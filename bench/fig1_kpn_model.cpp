@@ -1,0 +1,57 @@
+// Reproduces Figure 1 of the paper: the decomposition of the HIPERLAN/2
+// receiver into communicating processes, with per-symbol token counts on
+// every channel (80 / 64 / 64 / 52 / b 32-bit samples).
+
+#include <cstdio>
+
+#include "io/dot.hpp"
+#include "io/table.hpp"
+#include "util/strings.hpp"
+#include "workload/hiperlan2.hpp"
+
+int main() {
+  using namespace rtsm;
+
+  std::printf("== Figure 1: HIPERLAN/2 receiver KPN =========================\n\n");
+
+  for (const workload::ModeInfo& mode : workload::kHiperlan2Modes) {
+    workload::Hiperlan2Config config;
+    config.mode = mode.mode;
+    const kpn::Application app = workload::make_hiperlan2_receiver(config);
+    if (mode.mode == workload::Hiperlan2Mode::QPSK) {
+      io::TablePrinter table({"Channel", "Tokens/symbol", "Bytes/symbol",
+                              "Demand [Mtokens/s]"});
+      table.align_right(1);
+      table.align_right(2);
+      table.align_right(3);
+      for (const ChannelId cid : app.channel_ids()) {
+        const kpn::Channel& c = app.channel(cid);
+        table.add_row({c.name, std::to_string(c.tokens_per_symbol),
+                       std::to_string(c.tokens_per_symbol * c.token_bytes),
+                       format_double(app.tokens_per_second(cid) / 1e6, 1)});
+      }
+      std::printf("%s\n", table.to_string().c_str());
+      std::printf("QoS: one OFDM symbol per %llu ns, %u symbols per frame\n\n",
+                  static_cast<unsigned long long>(app.qos().symbol_period_ns),
+                  app.qos().frame_symbols);
+    }
+  }
+
+  std::printf("Demapper output b across the seven modes:\n");
+  io::TablePrinter modes({"Mode", "bits/sample", "b [tokens]", "bytes/symbol"});
+  modes.align_right(1);
+  modes.align_right(2);
+  modes.align_right(3);
+  for (const workload::ModeInfo& m : workload::kHiperlan2Modes) {
+    modes.add_row({std::string(m.name), std::to_string(m.bits_per_sample),
+                   std::to_string(m.output_tokens),
+                   std::to_string(m.output_tokens * 4)});
+  }
+  std::printf("%s\n", modes.to_string().c_str());
+  std::printf("Paper check: minimum output 12 bytes (BPSK), maximum 384 bytes "
+              "(QAM64).\n\n");
+
+  const kpn::Application app = workload::make_hiperlan2_receiver();
+  std::printf("Graphviz (QPSK instance):\n%s\n", io::kpn_to_dot(app).c_str());
+  return 0;
+}

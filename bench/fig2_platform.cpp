@@ -1,0 +1,62 @@
+// Reproduces Figure 2 of the paper: the 3x3-mesh MPSoC with two ARM tiles,
+// two MONTIUM tiles, the A/D source, the Sink, and three tiles of types
+// irrelevant to the case study. Coordinates are the reconstruction that
+// makes Table 2's cost column reproduce exactly (DESIGN.md assumption 1).
+
+#include <cstdio>
+
+#include "io/dot.hpp"
+#include "io/table.hpp"
+#include "util/strings.hpp"
+#include "workload/hiperlan2.hpp"
+
+int main() {
+  using namespace rtsm;
+
+  std::printf("== Figure 2: MPSoC layout ====================================\n\n");
+  const arch::Platform platform = workload::make_paper_platform();
+
+  std::printf("%s\n", io::platform_ascii(platform).c_str());
+
+  io::TablePrinter tiles({"Tile", "Type", "Router (x,y)", "Clock [MHz]",
+                          "Memory [KiB]", "Slots"});
+  tiles.align_right(3);
+  tiles.align_right(4);
+  tiles.align_right(5);
+  for (const TileId tid : platform.tile_ids()) {
+    const arch::Tile& t = platform.tile(tid);
+    tiles.add_row({t.name, platform.tile_type(t.type).name,
+                   "(" + std::to_string(t.x) + "," + std::to_string(t.y) + ")",
+                   std::to_string(platform.tile_clock_hz(tid) / 1'000'000),
+                   std::to_string(t.memory_bytes / 1024),
+                   std::to_string(t.process_slots)});
+  }
+  std::printf("%s\n", tiles.to_string().c_str());
+
+  const arch::NocParams& noc = platform.noc();
+  std::printf("NoC: %zu routers, %zu directed links, "
+              "%.0f Mtokens/s per link, %u cc router latency (%llu ns), "
+              "%u-token hop buffers\n\n",
+              platform.router_count(), platform.link_count(),
+              noc.link_capacity_tokens_per_s / 1e6, noc.router_latency_cc,
+              static_cast<unsigned long long>(noc.router_latency_ps() / 1000),
+              noc.hop_buffer_tokens);
+
+  // Distances that drive Table 2's cost column.
+  io::TablePrinter dist({"From", "To", "Manhattan hops"});
+  dist.align_right(2);
+  const char* interesting[][2] = {
+      {"A/D", "ARM1"},    {"A/D", "ARM2"},      {"ARM1", "ARM2"},
+      {"ARM1", "MONTIUM2"}, {"ARM2", "MONTIUM2"}, {"MONTIUM1", "MONTIUM2"},
+      {"MONTIUM1", "Sink"}, {"MONTIUM2", "Sink"}};
+  for (const auto& pair : interesting) {
+    dist.add_row({pair[0], pair[1],
+                  std::to_string(platform.manhattan(
+                      platform.tile_by_name(pair[0]),
+                      platform.tile_by_name(pair[1])))});
+  }
+  std::printf("%s\n", dist.to_string().c_str());
+
+  std::printf("Graphviz:\n%s\n", io::platform_to_dot(platform).c_str());
+  return 0;
+}

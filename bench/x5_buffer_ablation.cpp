@@ -1,0 +1,102 @@
+// Extension bench X5 — around Figure 3: how the router input-buffer depth
+// (the "4" annotations between the R actors) and the NoC clock shape the
+// computed consumer buffers B_i, the sustained period and the latency of
+// the mapped HIPERLAN/2 receiver. Exercises the step-4 dataflow machinery
+// as an ablation instrument.
+
+#include <cstdio>
+
+#include "core/spatial_mapper.hpp"
+#include "io/table.hpp"
+#include "util/strings.hpp"
+#include "workload/hiperlan2.hpp"
+
+namespace {
+
+using namespace rtsm;
+
+struct Row {
+  std::uint32_t hop_buffer;
+  std::uint32_t router_cc;
+  bool feasible = false;
+  std::vector<std::uint32_t> buffers;
+  std::uint64_t period_ps = 0;
+  std::uint64_t latency_ps = 0;
+};
+
+Row run(std::uint32_t hop_buffer, std::uint32_t router_cc) {
+  workload::Hiperlan2Config config;
+  const auto app = workload::make_hiperlan2_receiver(config);
+  // Rebuild the paper platform with modified NoC parameters.
+  arch::NocParams noc;
+  noc.noc_clock_hz = config.clock_hz;
+  noc.link_capacity_tokens_per_s = static_cast<double>(config.clock_hz);
+  noc.router_latency_cc = router_cc;
+  noc.hop_buffer_tokens = hop_buffer;
+
+  arch::Platform base = workload::make_paper_platform(config);
+  arch::Platform platform(base.name(), 3, 3, noc);
+  for (std::size_t t = 0; t < base.tile_type_count(); ++t) {
+    const arch::TileType& type =
+        base.tile_type(TileTypeId{static_cast<TileTypeId::value_type>(t)});
+    platform.add_tile_type(type.name, type.clock_hz);
+  }
+  for (const TileId tid : base.tile_ids()) {
+    const arch::Tile& tile = base.tile(tid);
+    platform.add_tile(tile.name, tile.type, tile.x, tile.y, tile.memory_bytes,
+                      tile.process_slots);
+  }
+
+  Row row{hop_buffer, router_cc, false, {}, 0, 0};
+  const auto result =
+      core::SpatialMapper(workload::paper_mapper_config()).map(app, platform);
+  if (!result.success) return row;
+  row.feasible = true;
+  for (const ChannelId cid : app.channel_ids()) {
+    row.buffers.push_back(*result.mapping.buffer_tokens(cid));
+  }
+  row.period_ps = result.achieved_period_ps;
+  row.latency_ps = result.latency_ps;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== X5: NoC buffer depth and router latency vs. B_i ===========\n\n");
+
+  io::TablePrinter table({"Hop buffer", "Router [cc]", "Feasible", "B1", "B2",
+                          "B3", "B4", "B(sink)", "Period [us]",
+                          "Latency [us]"});
+  for (std::size_t c = 0; c < 10; ++c) table.align_right(c);
+
+  for (const std::uint32_t router_cc : {2u, 4u, 8u, 16u}) {
+    for (const std::uint32_t hop_buffer : {1u, 2u, 4u, 8u, 16u}) {
+      const Row row = run(hop_buffer, router_cc);
+      std::vector<std::string> cells{std::to_string(hop_buffer),
+                                     std::to_string(router_cc),
+                                     row.feasible ? "yes" : "NO"};
+      if (row.feasible) {
+        for (const std::uint32_t b : row.buffers) cells.push_back(std::to_string(b));
+        cells.push_back(rtsm::format_double(row.period_ps / 1e6, 3));
+        cells.push_back(rtsm::format_double(row.latency_ps / 1e6, 3));
+      } else {
+        for (int i = 0; i < 7; ++i) cells.push_back("-");
+      }
+      table.add_row(cells);
+    }
+    table.add_rule();
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf(
+      "Reading: up to 8-cycle routers the 4 us period holds and latency\n"
+      "grows with router latency; the consumer buffer B3 (into the\n"
+      "64-token-burst Inv.OFDM) trades off against hop-buffer depth —\n"
+      "deeper router buffers absorb the in-flight stream, shrinking the\n"
+      "tile-side allocation. At 16-cycle routers the 80-token channel\n"
+      "serialises past the symbol period (80 x 80 ns = 6.4 us > 4 us) and\n"
+      "step 4 correctly reports infeasibility. The paper's 4-cycle routers\n"
+      "with 4-deep buffers sit comfortably inside the feasible region.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Design-space exploration with the mapper in the loop: sweep the
+// HIPERLAN/2 demapping mode (output volume b) and the tile clock, and watch
+// where the QoS constraint stops being satisfiable and how energy moves.
+// This is the kind of what-if analysis a platform architect runs with the
+// library before committing to silicon parameters.
+
+#include <cstdio>
+
+#include "core/cost.hpp"
+#include "core/spatial_mapper.hpp"
+#include "io/table.hpp"
+#include "util/strings.hpp"
+#include "workload/hiperlan2.hpp"
+
+int main() {
+  using namespace rtsm;
+
+  std::printf("HIPERLAN/2 receiver: feasibility across demapping modes and "
+              "tile clocks\n\n");
+
+  io::TablePrinter table({"Clock [MHz]", "Mode", "b", "Feasible",
+                          "Energy [nJ/sym]", "Period [us]", "Latency [us]",
+                          "Rounds"});
+  for (std::size_t c = 2; c < 8; ++c) table.align_right(c);
+
+  for (const std::uint64_t mhz : {100ull, 150ull, 200ull, 300ull}) {
+    for (const workload::ModeInfo& mode : workload::kHiperlan2Modes) {
+      // Keep the sweep readable: three representative modes per clock.
+      if (mode.mode != workload::Hiperlan2Mode::BPSK &&
+          mode.mode != workload::Hiperlan2Mode::QPSK &&
+          mode.mode != workload::Hiperlan2Mode::QAM64) {
+        continue;
+      }
+      workload::Hiperlan2Config config;
+      config.mode = mode.mode;
+      config.clock_hz = mhz * 1'000'000;
+      const auto app = workload::make_hiperlan2_receiver(config);
+      const auto platform = workload::make_paper_platform(config);
+      const auto result = core::SpatialMapper().map(app, platform);
+
+      table.add_row(
+          {std::to_string(mhz), std::string(mode.name),
+           std::to_string(mode.output_tokens),
+           result.success ? "yes" : "NO",
+           result.success ? format_double(result.energy_nj_per_symbol, 1)
+                          : "-",
+           result.success ? format_double(result.achieved_period_ps / 1e6, 3)
+                          : "-",
+           result.success ? format_double(result.latency_ps / 1e6, 3) : "-",
+           std::to_string(result.rounds)});
+    }
+    table.add_rule();
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf(
+      "Reading: below ~150 MHz even the MONTIUM implementations cannot\n"
+      "sustain one OFDM symbol per 4 us and the mapper correctly reports\n"
+      "infeasibility; from 200 MHz upwards the paper's mapping is feasible\n"
+      "in every mode, with energy independent of clock (it is charged per\n"
+      "symbol) and latency shrinking as tiles get faster.\n");
+  return 0;
+}

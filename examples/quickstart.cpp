@@ -1,0 +1,111 @@
+// Quickstart: build a streaming application and a tiled platform with the
+// public API, run the four-step run-time spatial mapper, and inspect the
+// result. This is the 5-minute tour of the library.
+
+#include <cstdio>
+
+#include "arch/platform.hpp"
+#include "core/spatial_mapper.hpp"
+#include "io/dot.hpp"
+#include "kpn/application.hpp"
+
+int main() {
+  using namespace rtsm;
+
+  // -- 1. Describe the application (a tiny 3-stage camera pipeline). -------
+  kpn::QosConstraints qos;
+  qos.symbol_period_ns = 10'000;  // one frame-slice every 10 us
+
+  kpn::Application app("camera pipeline", qos);
+  const ProcessId camera = app.add_fixture("camera", "CAM");   // pinned
+  const ProcessId filter = app.add_process("filter");
+  const ProcessId detect = app.add_process("detect");
+  const ProcessId report = app.add_fixture("report", "UART");  // pinned
+
+  const ChannelId c0 = app.connect(camera, filter, /*tokens per period=*/64);
+  const ChannelId c1 = app.connect(filter, detect, 64);
+  const ChannelId c2 = app.connect(detect, report, 4);
+
+  // Implementations: CSDF phase vectors (here single-phase), WCET in tile
+  // clock cycles, average energy per period, memory footprint.
+  auto impl = [](std::string name, std::string type, std::uint32_t wcet,
+                 double energy) {
+    kpn::Implementation im;
+    im.name = std::move(name);
+    im.tile_type = std::move(type);
+    im.wcet_cc = {wcet};
+    im.energy_nj_per_symbol = energy;
+    im.memory_bytes = 4 * 1024;
+    return im;
+  };
+  {
+    kpn::Implementation cam = impl("camera@SENSOR", "SENSOR", 500, 0.0);
+    cam.outputs = {{c0, {64}}};
+    app.add_implementation(camera, std::move(cam));
+  }
+  {
+    kpn::Implementation arm = impl("filter@CPU", "CPU", 1500, 120.0);
+    arm.inputs = {{c0, {64}}};
+    arm.outputs = {{c1, {64}}};
+    app.add_implementation(filter, std::move(arm));
+    kpn::Implementation dsp = impl("filter@DSP", "DSP", 600, 45.0);
+    dsp.inputs = {{c0, {64}}};
+    dsp.outputs = {{c1, {64}}};
+    app.add_implementation(filter, std::move(dsp));
+  }
+  {
+    kpn::Implementation arm = impl("detect@CPU", "CPU", 1200, 90.0);
+    arm.inputs = {{c1, {64}}};
+    arm.outputs = {{c2, {4}}};
+    app.add_implementation(detect, std::move(arm));
+    kpn::Implementation dsp = impl("detect@DSP", "DSP", 800, 60.0);
+    dsp.inputs = {{c1, {64}}};
+    dsp.outputs = {{c2, {4}}};
+    app.add_implementation(detect, std::move(dsp));
+  }
+  {
+    kpn::Implementation uart = impl("report@UART", "UART", 200, 0.0);
+    uart.inputs = {{c2, {4}}};
+    app.add_implementation(report, std::move(uart));
+  }
+  app.validate();
+
+  // -- 2. Describe the platform: a 3x2 mesh with mixed tiles. --------------
+  arch::Platform platform("demo SoC", 3, 2);
+  const TileTypeId cpu = platform.add_tile_type("CPU", 200'000'000);
+  const TileTypeId dsp = platform.add_tile_type("DSP", 200'000'000);
+  const TileTypeId cam = platform.add_tile_type("SENSOR", 200'000'000);
+  const TileTypeId uart = platform.add_tile_type("UART", 200'000'000);
+  platform.add_tile("CPU0", cpu, 1, 0);
+  platform.add_tile("DSP0", dsp, 1, 1);
+  platform.add_tile("DSP1", dsp, 2, 1);
+  platform.add_tile("CAM", cam, 0, 0);
+  platform.add_tile("UART", uart, 2, 0);
+
+  // -- 3. Map at "application start time". ---------------------------------
+  const core::SpatialMapper mapper;  // default = full four-step heuristic
+  const core::MappingResult result = mapper.map(app, platform);
+  if (!result.success) {
+    std::printf("mapping failed: %s\n", result.failure.c_str());
+    return 1;
+  }
+
+  // -- 4. Inspect the result. -----------------------------------------------
+  std::printf("mapped '%s' in %u round(s): %.1f nJ per period, sustained "
+              "period %.2f us, latency %.2f us\n\n",
+              app.name().c_str(), result.rounds, result.energy_nj_per_symbol,
+              result.achieved_period_ps / 1e6, result.latency_ps / 1e6);
+  for (const ProcessId pid : app.process_ids()) {
+    const auto& im = app.implementation(pid, result.mapping.impl_of(pid));
+    std::printf("  %-8s -> %-12s on tile %s\n", app.process(pid).name.c_str(),
+                im.name.c_str(),
+                platform.tile(result.mapping.tile_of(pid)).name.c_str());
+  }
+  std::printf("\nchannel buffers: ");
+  for (const ChannelId cid : app.channel_ids()) {
+    std::printf("%s=%u tokens  ", app.channel(cid).name.c_str(),
+                *result.mapping.buffer_tokens(cid));
+  }
+  std::printf("\n\n%s\n", io::platform_ascii(platform, &app, &result.mapping).c_str());
+  return 0;
+}

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace rtsm::arch {
+
+/// A class of processing elements (e.g. ARM, MONTIUM, ASIC I/O block).
+struct TileType {
+  std::string name;
+  /// Clock of tiles of this type, Hz; converts WCET cycles to wall time.
+  std::uint64_t clock_hz = 200'000'000;
+};
+
+/// A tile: one processing element plus its network interface, attached to
+/// the router at mesh coordinate (x, y).
+struct Tile {
+  std::string name;
+  TileTypeId type;
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  /// Local memory available for code, state and FIFO buffers, bytes.
+  std::uint64_t memory_bytes = 64 * 1024;
+  /// How many processes the tile can serve simultaneously. Single-context
+  /// accelerators such as the MONTIUM hold one kernel configuration at a
+  /// time (the paper: assigning one process "occupies" the tile); an
+  /// RTOS-scheduled CPU tile may interleave several, bounded additionally
+  /// by compute utilisation.
+  std::uint32_t process_slots = 1;
+};
+
+/// Classification of directed NoC links.
+enum class LinkKind {
+  /// Router-to-router mesh link.
+  RouterToRouter,
+  /// Tile NI -> router (injection).
+  Inject,
+  /// Router -> tile NI (ejection).
+  Eject,
+};
+
+/// A directed link of the NoC with a guaranteed-throughput capacity.
+struct Link {
+  LinkKind kind = LinkKind::RouterToRouter;
+  RouterId from_router;  // valid for RouterToRouter and Eject
+  RouterId to_router;    // valid for RouterToRouter and Inject
+  TileId tile;           // valid for Inject and Eject
+  /// Reservable throughput, tokens (32-bit words) per second.
+  double capacity_tokens_per_s = 0.0;
+};
+
+/// NoC-wide parameters (Kavaldjiev-style guaranteed-throughput router [5]).
+struct NocParams {
+  /// Per-link reservable throughput, tokens per second
+  /// (default: 1 token/cycle at 200 MHz).
+  double link_capacity_tokens_per_s = 200e6;
+  /// Worst-case cycles a token spends in one router (buffered inputs,
+  /// round-robin arbitration; the paper uses 4).
+  std::uint32_t router_latency_cc = 4;
+  /// NoC clock, Hz.
+  std::uint64_t noc_clock_hz = 200'000'000;
+  /// Input buffer depth per router port, tokens; becomes the capacity of
+  /// hop edges in the CSDF expansion.
+  std::uint32_t hop_buffer_tokens = 4;
+
+  /// Router latency in picoseconds.
+  [[nodiscard]] std::uint64_t router_latency_ps() const {
+    return static_cast<std::uint64_t>(router_latency_cc) * 1'000'000'000'000ull /
+           noc_clock_hz;
+  }
+};
+
+/// A heterogeneous tiled MPSoC: a W x H router mesh with tiles attached to
+/// routers (Figure 2 of the paper is a 3 x 3 instance).
+///
+/// Routers and router-to-router links are created eagerly with the mesh;
+/// tile NI links are created as tiles are added. Tiles are kept in insertion
+/// order, which defines the first-fit order used by mapping step 1.
+class Platform {
+ public:
+  Platform(std::string name, std::uint32_t mesh_width,
+           std::uint32_t mesh_height, NocParams noc = {});
+
+  /// Registers a tile type; names must be unique.
+  TileTypeId add_tile_type(const std::string& name,
+                           std::uint64_t clock_hz = 200'000'000);
+
+  /// Adds a tile at router (x, y); creates its inject/eject NI links.
+  TileId add_tile(const std::string& name, TileTypeId type, std::uint32_t x,
+                  std::uint32_t y, std::uint64_t memory_bytes = 64 * 1024,
+                  std::uint32_t process_slots = 1);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint32_t mesh_width() const { return width_; }
+  [[nodiscard]] std::uint32_t mesh_height() const { return height_; }
+  [[nodiscard]] const NocParams& noc() const { return noc_; }
+
+  [[nodiscard]] std::size_t tile_type_count() const { return types_.size(); }
+  [[nodiscard]] std::size_t tile_count() const { return tiles_.size(); }
+  [[nodiscard]] std::size_t router_count() const { return width_ * height_; }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const TileType& tile_type(TileTypeId id) const;
+  [[nodiscard]] const Tile& tile(TileId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+
+  /// Tile type id by name; throws rtsm::Error if unknown.
+  [[nodiscard]] TileTypeId type_by_name(const std::string& name) const;
+
+  /// Tile id by name; throws rtsm::Error if unknown.
+  [[nodiscard]] TileId tile_by_name(const std::string& name) const;
+
+  /// All tile ids in insertion order (the platform's first-fit order).
+  [[nodiscard]] std::vector<TileId> tile_ids() const;
+
+  /// Tiles of @p type, in insertion order.
+  [[nodiscard]] std::vector<TileId> tiles_of_type(TileTypeId type) const;
+
+  /// Router at mesh coordinate (x, y).
+  [[nodiscard]] RouterId router_at(std::uint32_t x, std::uint32_t y) const;
+
+  /// Coordinate of @p router.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> router_pos(
+      RouterId router) const;
+
+  /// Router the tile's NI attaches to.
+  [[nodiscard]] RouterId tile_router(TileId tile) const;
+
+  /// Hop distance between the routers of two tiles (Manhattan metric, the
+  /// communication estimate of mapping step 2).
+  [[nodiscard]] std::uint32_t manhattan(TileId a, TileId b) const;
+
+  /// Outgoing router-to-router links of @p router.
+  [[nodiscard]] const std::vector<LinkId>& router_out_links(RouterId) const;
+
+  /// NI links of a tile.
+  [[nodiscard]] LinkId inject_link(TileId tile) const;
+  [[nodiscard]] LinkId eject_link(TileId tile) const;
+
+  /// Tiles attached to @p router (usually 0 or 1).
+  [[nodiscard]] const std::vector<TileId>& router_tiles(RouterId) const;
+
+  /// Clock of the tile's type, Hz.
+  [[nodiscard]] std::uint64_t tile_clock_hz(TileId tile) const;
+
+  /// Seconds -> cycles helper: WCET cycles of @p tile as picoseconds.
+  [[nodiscard]] std::uint64_t cycles_to_ps(TileId tile,
+                                           std::uint64_t cycles) const;
+
+ private:
+  void check_type(TileTypeId id) const;
+  void check_tile(TileId id) const;
+  void check_link(LinkId id) const;
+
+  std::string name_;
+  std::uint32_t width_;
+  std::uint32_t height_;
+  NocParams noc_;
+
+  std::vector<TileType> types_;
+  std::vector<Tile> tiles_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> router_out_;   // per router: RR links
+  std::vector<std::vector<TileId>> router_tiles_; // per router
+  std::vector<LinkId> inject_;                    // per tile
+  std::vector<LinkId> eject_;                     // per tile
+};
+
+}  // namespace rtsm::arch

@@ -1,0 +1,211 @@
+#include "baselines/annealing.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "core/channel_routing.hpp"
+#include "core/cost.hpp"
+#include "core/resource_state.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rtsm::baselines {
+
+namespace {
+
+using core::Mapping;
+using core::ResourceState;
+
+struct Option {
+  ImplementationId impl;
+  TileId tile;
+};
+
+/// All adequate (implementation, tile) pairs of a process whose raw
+/// utilisation could ever pass verification.
+std::vector<Option> options_of(const kpn::Application& app,
+                               const arch::Platform& platform, ProcessId pid) {
+  std::vector<Option> result;
+  const kpn::Process& p = app.process(pid);
+  for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
+    const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+    TileTypeId type;
+    try {
+      type = platform.type_by_name(p.implementations[ii].tile_type);
+    } catch (const Error&) {
+      continue;
+    }
+    if (core::impl_utilization(app, pid, impl,
+                               platform.tile_type(type).clock_hz) > 1.0) {
+      continue;
+    }
+    for (const TileId tile : platform.tiles_of_type(type)) {
+      result.push_back(Option{impl, tile});
+    }
+  }
+  return result;
+}
+
+double estimated_energy(const kpn::Application& app,
+                        const arch::Platform& platform, const Mapping& mapping,
+                        const energy::EnergyModel& energy) {
+  double total = core::processing_energy_nj_per_symbol(app, mapping);
+  total += core::placement_cost(app, platform, mapping,
+                                core::CommCostModel::EnergyWeighted, energy);
+  return total;
+}
+
+}  // namespace
+
+AnnealingResult anneal_map(const kpn::Application& app,
+                           const arch::Platform& platform,
+                           const AnnealingOptions& options) {
+  app.validate();
+  Rng rng(options.seed);
+
+  AnnealingResult result;
+  result.mapping = Mapping(app.process_count(), app.channel_count());
+
+  ResourceState state(platform);
+  Mapping current(app.process_count(), app.channel_count());
+
+  // Fixtures first; movable process option lists next.
+  std::vector<ProcessId> movable;
+  for (const ProcessId pid : app.process_ids()) {
+    const kpn::Process& p = app.process(pid);
+    if (!p.is_fixture()) {
+      movable.push_back(pid);
+      continue;
+    }
+    const TileId tile = platform.tile_by_name(*p.pinned_tile);
+    const std::string& type_name =
+        platform.tile_type(platform.tile(tile).type).name;
+    for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
+      if (p.implementations[ii].tile_type != type_name) continue;
+      const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+      const double util = core::claimed_utilization(core::impl_utilization(
+          app, pid, impl, platform.tile_clock_hz(tile)));
+      state.reserve_tile(tile, util, p.implementations[ii].memory_bytes);
+      current.assign(pid, impl, tile);
+      break;
+    }
+    if (!current.is_assigned(pid)) {
+      result.failure = "fixture '" + p.name + "' cannot bind its pinned tile";
+      return result;
+    }
+  }
+
+  std::vector<std::vector<Option>> option_lists(app.process_count());
+  for (const ProcessId pid : movable) {
+    option_lists[pid.value()] = options_of(app, platform, pid);
+    if (option_lists[pid.value()].empty()) {
+      result.failure =
+          "process '" + app.process(pid).name + "' has no feasible option";
+      return result;
+    }
+  }
+
+  auto load_of = [&](ProcessId pid, const Option& opt) {
+    const double util = core::claimed_utilization(core::impl_utilization(
+        app, pid, opt.impl, platform.tile_clock_hz(opt.tile)));
+    return std::pair<double, std::uint64_t>(
+        util, app.implementation(pid, opt.impl).memory_bytes);
+  };
+
+  // Random adequate initial configuration (rejection sampling).
+  for (const ProcessId pid : movable) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 256 && !placed; ++attempt) {
+      const auto& opts = option_lists[pid.value()];
+      const Option& opt = opts[rng.pick_index(opts.size())];
+      const auto [util, mem] = load_of(pid, opt);
+      if (!state.tile_fits(opt.tile, util, mem)) continue;
+      state.reserve_tile(opt.tile, util, mem);
+      current.assign(pid, opt.impl, opt.tile);
+      placed = true;
+    }
+    if (!placed) {
+      result.failure = "could not seed an adherent random configuration";
+      return result;
+    }
+  }
+
+  double current_cost = estimated_energy(app, platform, current, options.energy);
+  Mapping best = current;
+  double best_cost = current_cost;
+
+  const double t0 = options.temperature_start;
+  const double t1 = options.temperature_end;
+  for (std::uint64_t it = 0; it < options.iterations; ++it) {
+    const double progress = options.iterations <= 1
+                                ? 1.0
+                                : static_cast<double>(it) /
+                                      static_cast<double>(options.iterations - 1);
+    const double temperature = t0 * std::pow(t1 / t0, progress);
+
+    const ProcessId pid = movable[rng.pick_index(movable.size())];
+    const auto& opts = option_lists[pid.value()];
+    const Option& opt = opts[rng.pick_index(opts.size())];
+    const ImplementationId old_impl = current.impl_of(pid);
+    const TileId old_tile = current.tile_of(pid);
+    if (opt.impl == old_impl && opt.tile == old_tile) continue;
+
+    const auto [old_util, old_mem] =
+        load_of(pid, Option{old_impl, old_tile});
+    const auto [new_util, new_mem] = load_of(pid, opt);
+    state.release_tile(old_tile, old_util, old_mem);
+    if (!state.tile_fits(opt.tile, new_util, new_mem)) {
+      state.reserve_tile(old_tile, old_util, old_mem);
+      continue;
+    }
+
+    current.assign(pid, opt.impl, opt.tile);
+    const double cost = estimated_energy(app, platform, current, options.energy);
+    const double delta = cost - current_cost;
+    if (delta <= 0.0 ||
+        rng.uniform01() < std::exp(-delta / std::max(temperature, 1e-9))) {
+      state.reserve_tile(opt.tile, new_util, new_mem);
+      current_cost = cost;
+      ++result.accepted_moves;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = current;
+      }
+    } else {
+      current.assign(pid, old_impl, old_tile);
+      state.reserve_tile(old_tile, old_util, old_mem);
+    }
+  }
+
+  // Route and optionally verify the best configuration found.
+  ResourceState final_state(platform);
+  for (const ProcessId pid : app.process_ids()) {
+    const auto [util, mem] =
+        load_of(pid, Option{best.impl_of(pid), best.tile_of(pid)});
+    final_state.reserve_tile(best.tile_of(pid), util, mem);
+  }
+  std::vector<core::Step3Record> unused_trace;
+  const core::Step3Outcome s3 = core::run_step3(
+      app, platform, final_state, core::Step3Options{}, best, unused_trace);
+  if (!s3.success) {
+    result.failure = "annealed placement unroutable: " + s3.failure;
+    return result;
+  }
+  if (options.verify_step4) {
+    core::Step4Trace trace;
+    const core::FeasibilityReport report = core::run_step4(
+        app, platform, final_state, options.step4, best, trace);
+    if (!report.feasible) {
+      result.failure = "annealed placement infeasible: " + report.failure;
+      return result;
+    }
+  }
+
+  result.success = true;
+  result.mapping = std::move(best);
+  result.energy_nj_per_symbol = core::total_energy_nj_per_symbol(
+      app, platform, result.mapping, options.energy);
+  return result;
+}
+
+}  // namespace rtsm::baselines

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/platform.hpp"
+#include "core/feasibility.hpp"
+#include "core/mapping.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::baselines {
+
+/// Options of the simulated-annealing mapper.
+struct AnnealingOptions {
+  std::uint64_t iterations = 20'000;
+  double temperature_start = 60.0;
+  double temperature_end = 0.05;
+  std::uint64_t seed = 1;
+
+  energy::EnergyModel energy;
+
+  /// Verify the final configuration with the step-4 dataflow analysis.
+  bool verify_step4 = true;
+  core::FeasibilityOptions step4;
+};
+
+/// Result of the annealing run.
+struct AnnealingResult {
+  bool success = false;
+  core::Mapping mapping{0, 0};
+  double energy_nj_per_symbol = 0.0;
+  std::uint64_t accepted_moves = 0;
+  std::string failure;
+};
+
+/// Classic design-time comparator: simulated annealing over the joint
+/// (implementation, tile) configuration with Metropolis acceptance on the
+/// estimated energy (processing + Manhattan communication), capacity
+/// feasibility enforced on every move, followed by routing and optional
+/// dataflow verification of the best configuration.
+[[nodiscard]] AnnealingResult anneal_map(const kpn::Application& app,
+                                         const arch::Platform& platform,
+                                         const AnnealingOptions& options = {});
+
+}  // namespace rtsm::baselines

@@ -1,0 +1,321 @@
+#include "baselines/clustering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <optional>
+
+#include "core/channel_routing.hpp"
+#include "core/cost.hpp"
+#include "core/resource_state.hpp"
+#include "util/error.hpp"
+
+namespace rtsm::baselines {
+
+namespace {
+
+using core::Mapping;
+using core::ResourceState;
+
+struct Cluster {
+  std::vector<ProcessId> members;
+  /// Implementation choice per member once a common type is fixed.
+  std::vector<ImplementationId> impls;
+  double utilization = 0.0;       // on the chosen type
+  std::uint64_t memory = 0;
+  TileTypeId type;
+};
+
+/// Cheapest implementation of @p pid on @p type, if any.
+std::optional<ImplementationId> impl_on_type(const kpn::Application& app,
+                                             const arch::Platform& platform,
+                                             ProcessId pid, TileTypeId type) {
+  const kpn::Process& p = app.process(pid);
+  const std::string& type_name = platform.tile_type(type).name;
+  std::optional<ImplementationId> best;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
+    const kpn::Implementation& im = p.implementations[ii];
+    if (im.tile_type != type_name) continue;
+    const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+    if (core::impl_utilization(app, pid, impl,
+                               platform.tile_type(type).clock_hz) > 1.0) {
+      continue;
+    }
+    if (im.energy_nj_per_symbol < best_energy) {
+      best_energy = im.energy_nj_per_symbol;
+      best = impl;
+    }
+  }
+  return best;
+}
+
+/// Builds a single-process cluster on the process's cheapest usable type.
+std::optional<Cluster> singleton(const kpn::Application& app,
+                                 const arch::Platform& platform,
+                                 ProcessId pid) {
+  std::optional<Cluster> best;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < platform.tile_type_count(); ++t) {
+    const TileTypeId type{static_cast<TileTypeId::value_type>(t)};
+    if (platform.tiles_of_type(type).empty()) continue;
+    const auto impl = impl_on_type(app, platform, pid, type);
+    if (!impl) continue;
+    const kpn::Implementation& im = app.implementation(pid, *impl);
+    if (im.energy_nj_per_symbol < best_energy) {
+      best_energy = im.energy_nj_per_symbol;
+      Cluster c;
+      c.members = {pid};
+      c.impls = {*impl};
+      c.type = type;
+      c.utilization = core::impl_utilization(
+          app, pid, *impl, platform.tile_type(type).clock_hz);
+      c.memory = im.memory_bytes;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Tries to re-type a merged member set onto one common type; returns the
+/// merged cluster when every member has an implementation there and the
+/// whole fits a single tile's budget.
+std::optional<Cluster> merge(const kpn::Application& app,
+                             const arch::Platform& platform,
+                             const Cluster& a, const Cluster& b,
+                             std::uint32_t slot_limit) {
+  if (a.members.size() + b.members.size() > slot_limit) return std::nullopt;
+  std::optional<Cluster> best;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < platform.tile_type_count(); ++t) {
+    const TileTypeId type{static_cast<TileTypeId::value_type>(t)};
+    if (platform.tiles_of_type(type).empty()) continue;
+    Cluster merged;
+    merged.type = type;
+    double energy = 0.0;
+    bool ok = true;
+    for (const Cluster* part : {&a, &b}) {
+      for (const ProcessId pid : part->members) {
+        const auto impl = impl_on_type(app, platform, pid, type);
+        if (!impl) {
+          ok = false;
+          break;
+        }
+        const kpn::Implementation& im = app.implementation(pid, *impl);
+        merged.members.push_back(pid);
+        merged.impls.push_back(*impl);
+        merged.utilization += core::impl_utilization(
+            app, pid, *impl, platform.tile_type(type).clock_hz);
+        merged.memory += im.memory_bytes;
+        energy += im.energy_nj_per_symbol;
+      }
+      if (!ok) break;
+    }
+    if (!ok || merged.utilization > 1.0) continue;
+    if (energy < best_energy) {
+      best_energy = energy;
+      best = std::move(merged);
+    }
+  }
+  return best;
+}
+
+/// Tokens per symbol between two clusters (the off-tile traffic Moreira's
+/// clustering minimises).
+std::uint64_t traffic_between(const kpn::Application& app, const Cluster& a,
+                              const Cluster& b) {
+  std::uint64_t tokens = 0;
+  auto in = [](const Cluster& c, ProcessId pid) {
+    return std::find(c.members.begin(), c.members.end(), pid) !=
+           c.members.end();
+  };
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& ch = app.channel(cid);
+    if ((in(a, ch.src) && in(b, ch.dst)) || (in(b, ch.src) && in(a, ch.dst))) {
+      tokens += ch.tokens_per_symbol;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+ClusteringResult cluster_map(const kpn::Application& app,
+                             const arch::Platform& platform,
+                             const ClusteringOptions& options) {
+  app.validate();
+  ClusteringResult result;
+  result.mapping = Mapping(app.process_count(), app.channel_count());
+
+  // Slot limit for merging: the largest slot count of any tile.
+  std::uint32_t slot_limit = 1;
+  for (const TileId tid : platform.tile_ids()) {
+    slot_limit = std::max(slot_limit, platform.tile(tid).process_slots);
+  }
+
+  // Seed: one cluster per movable process.
+  std::vector<Cluster> clusters;
+  for (const ProcessId pid : app.process_ids()) {
+    if (app.process(pid).is_fixture()) continue;
+    auto c = singleton(app, platform, pid);
+    if (!c) {
+      result.failure = "process '" + app.process(pid).name +
+                       "' has no feasible implementation";
+      return result;
+    }
+    clusters.push_back(std::move(*c));
+  }
+
+  // Greedy merging: repeatedly fuse the cluster pair with the heaviest
+  // inter-cluster traffic that still fits one tile.
+  if (options.cluster_neighbours) {
+    bool merged_any = true;
+    while (merged_any) {
+      merged_any = false;
+      std::uint64_t best_traffic = 0;
+      std::size_t best_i = 0;
+      std::size_t best_j = 0;
+      std::optional<Cluster> best_cluster;
+      for (std::size_t i = 0; i < clusters.size(); ++i) {
+        for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+          const std::uint64_t traffic =
+              traffic_between(app, clusters[i], clusters[j]);
+          if (traffic == 0 || traffic < best_traffic) continue;
+          auto m = merge(app, platform, clusters[i], clusters[j], slot_limit);
+          if (!m) continue;
+          best_traffic = traffic;
+          best_i = i;
+          best_j = j;
+          best_cluster = std::move(m);
+        }
+      }
+      if (best_cluster) {
+        clusters[best_i] = std::move(*best_cluster);
+        clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(best_j));
+        merged_any = true;
+      }
+    }
+  }
+  result.clusters = static_cast<std::uint32_t>(clusters.size());
+
+  // First-fit-decreasing bin packing of clusters onto tiles of their type.
+  ResourceState state(platform);
+
+  // Fixtures first.
+  for (const ProcessId pid : app.process_ids()) {
+    const kpn::Process& p = app.process(pid);
+    if (!p.is_fixture()) continue;
+    const TileId tile = platform.tile_by_name(*p.pinned_tile);
+    const std::string& type_name =
+        platform.tile_type(platform.tile(tile).type).name;
+    bool bound = false;
+    for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
+      if (p.implementations[ii].tile_type != type_name) continue;
+      const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+      const double util = core::claimed_utilization(core::impl_utilization(
+          app, pid, impl, platform.tile_clock_hz(tile)));
+      if (!state.tile_fits(tile, util, p.implementations[ii].memory_bytes)) break;
+      state.reserve_tile(tile, util, p.implementations[ii].memory_bytes);
+      result.mapping.assign(pid, impl, tile);
+      bound = true;
+      break;
+    }
+    if (!bound) {
+      result.failure = "fixture '" + p.name + "' cannot bind its tile";
+      return result;
+    }
+  }
+
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              return a.utilization > b.utilization;
+            });
+  for (const Cluster& c : clusters) {
+    // The cheapest type first; when its tiles are exhausted the cluster is
+    // re-typed to the next type all members support (without this fallback
+    // the homogeneous method dies immediately on heterogeneous platforms —
+    // all HIPERLAN/2 processes prefer the two MONTIUMs).
+    std::vector<Cluster> variants;
+    for (std::size_t t = 0; t < platform.tile_type_count(); ++t) {
+      const TileTypeId type{static_cast<TileTypeId::value_type>(t)};
+      if (platform.tiles_of_type(type).empty()) continue;
+      Cluster variant;
+      variant.type = type;
+      bool ok = true;
+      for (const ProcessId pid : c.members) {
+        const auto impl = impl_on_type(app, platform, pid, type);
+        if (!impl) {
+          ok = false;
+          break;
+        }
+        variant.members.push_back(pid);
+        variant.impls.push_back(*impl);
+        variant.utilization += core::impl_utilization(
+            app, pid, *impl, platform.tile_type(type).clock_hz);
+        variant.memory += app.implementation(pid, *impl).memory_bytes;
+      }
+      if (ok && variant.utilization <= 1.0) variants.push_back(std::move(variant));
+    }
+    std::sort(variants.begin(), variants.end(),
+              [&](const Cluster& x, const Cluster& y) {
+                auto energy_of = [&](const Cluster& v) {
+                  double e = 0.0;
+                  for (std::size_t m = 0; m < v.members.size(); ++m) {
+                    e += app.implementation(v.members[m], v.impls[m])
+                             .energy_nj_per_symbol;
+                  }
+                  return e;
+                };
+                return energy_of(x) < energy_of(y);
+              });
+
+    bool placed = false;
+    for (const Cluster& variant : variants) {
+      for (const TileId tile : platform.tiles_of_type(variant.type)) {
+        if (!state.tile_fits(tile, variant.utilization, variant.memory,
+                             static_cast<std::uint32_t>(variant.members.size()))) {
+          continue;
+        }
+        state.reserve_tile(tile, variant.utilization, variant.memory,
+                           static_cast<std::uint32_t>(variant.members.size()));
+        for (std::size_t m = 0; m < variant.members.size(); ++m) {
+          result.mapping.assign(variant.members[m], variant.impls[m], tile);
+        }
+        placed = true;
+        break;
+      }
+      if (placed) break;
+    }
+    if (!placed) {
+      result.failure = "cluster of " + std::to_string(c.members.size()) +
+                       " process(es) does not fit any tile of any "
+                       "common type";
+      return result;
+    }
+  }
+
+  // Route and optionally verify.
+  std::vector<core::Step3Record> unused_trace;
+  const core::Step3Outcome s3 =
+      core::run_step3(app, platform, state, core::Step3Options{},
+                      result.mapping, unused_trace);
+  if (!s3.success) {
+    result.failure = "clustered placement unroutable: " + s3.failure;
+    return result;
+  }
+  if (options.verify_step4) {
+    core::Step4Trace trace;
+    const core::FeasibilityReport report = core::run_step4(
+        app, platform, state, options.step4, result.mapping, trace);
+    if (!report.feasible) {
+      result.failure = "clustered placement infeasible: " + report.failure;
+      return result;
+    }
+  }
+  result.success = true;
+  result.energy_nj_per_symbol = core::total_energy_nj_per_symbol(
+      app, platform, result.mapping, options.energy);
+  return result;
+}
+
+}  // namespace rtsm::baselines

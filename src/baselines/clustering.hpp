@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/platform.hpp"
+#include "core/feasibility.hpp"
+#include "core/mapping.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::baselines {
+
+/// Options of the clustering + bin-packing mapper.
+struct ClusteringOptions {
+  energy::EnergyModel energy;
+
+  /// Merge neighbouring processes while the cluster still fits a tile
+  /// (Moreira et al. merge to minimise off-tile connections).
+  bool cluster_neighbours = true;
+
+  /// Verify the result with the step-4 dataflow analysis.
+  bool verify_step4 = true;
+  core::FeasibilityOptions step4;
+};
+
+/// Result of the clustering mapper.
+struct ClusteringResult {
+  bool success = false;
+  core::Mapping mapping{0, 0};
+  double energy_nj_per_symbol = 0.0;
+  /// Clusters formed (indexed arbitrarily; informational).
+  std::uint32_t clusters = 0;
+  std::string failure;
+};
+
+/// Related-work baseline after Moreira et al. [8]: greedily cluster
+/// neighbouring processes to minimise off-tile traffic, then first-fit-
+/// decreasing bin-pack the clusters onto tiles, routing channels afterwards.
+///
+/// The method presumes homogeneous processors: a cluster is only placed on
+/// a tile type for which *every* member has an implementation, and the
+/// cheapest common type is used. On heterogeneous platforms this is exactly
+/// the limitation the paper's per-process implementation selection removes,
+/// which bench X2/X3 makes measurable.
+[[nodiscard]] ClusteringResult cluster_map(const kpn::Application& app,
+                                           const arch::Platform& platform,
+                                           const ClusteringOptions& options = {});
+
+}  // namespace rtsm::baselines

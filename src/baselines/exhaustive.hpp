@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/platform.hpp"
+#include "core/feasibility.hpp"
+#include "core/mapping.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::baselines {
+
+/// Options of the exhaustive optimal mapper.
+struct ExhaustiveOptions {
+  energy::EnergyModel energy;
+
+  /// Run the full step-4 dataflow verification on candidate optima
+  /// (expensive); otherwise the optimum is over adherent, routed mappings.
+  bool verify_step4 = false;
+
+  core::FeasibilityOptions step4;
+
+  /// Safety cap on search-tree nodes.
+  std::uint64_t node_limit = 20'000'000;
+};
+
+/// Result of the exhaustive search.
+struct ExhaustiveResult {
+  bool success = false;
+  /// True when node_limit stopped the search before full enumeration (the
+  /// returned mapping is then only best-found, not provably optimal).
+  bool exhausted_budget = false;
+
+  core::Mapping mapping{0, 0};
+  double energy_nj_per_symbol = 0.0;
+
+  std::uint64_t nodes = 0;
+  std::uint64_t leaves = 0;
+};
+
+/// Branch-and-bound enumeration of all adequate, capacity-respecting
+/// (implementation, tile) assignments; channels are routed at every leaf
+/// with the step-3 router and the minimum-energy mapping is kept.
+///
+/// Ground truth for bench X2 (quality gap of the run-time heuristic).
+/// Exponential: intended for small instances only.
+[[nodiscard]] ExhaustiveResult exhaustive_map(const kpn::Application& app,
+                                              const arch::Platform& platform,
+                                              const ExhaustiveOptions& options = {});
+
+}  // namespace rtsm::baselines

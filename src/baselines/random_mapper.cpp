@@ -1,0 +1,130 @@
+#include "baselines/random_mapper.hpp"
+
+#include <limits>
+
+#include "core/channel_routing.hpp"
+#include "core/cost.hpp"
+#include "core/resource_state.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rtsm::baselines {
+
+namespace {
+
+using core::Mapping;
+using core::ResourceState;
+
+}  // namespace
+
+RandomMapperResult random_map(const kpn::Application& app,
+                              const arch::Platform& platform,
+                              const RandomMapperOptions& options) {
+  app.validate();
+  Rng rng(options.seed);
+
+  RandomMapperResult result;
+  result.mapping = Mapping(app.process_count(), app.channel_count());
+  double best_energy = std::numeric_limits<double>::infinity();
+  ResourceState best_state(platform);
+
+  for (std::uint32_t sample = 0; sample < options.samples; ++sample) {
+    ResourceState state(platform);
+    Mapping mapping(app.process_count(), app.channel_count());
+    bool ok = true;
+
+    for (const ProcessId pid : app.process_ids()) {
+      const kpn::Process& p = app.process(pid);
+
+      if (p.is_fixture()) {
+        const TileId tile = platform.tile_by_name(*p.pinned_tile);
+        const std::string& type_name =
+            platform.tile_type(platform.tile(tile).type).name;
+        bool bound = false;
+        for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
+          if (p.implementations[ii].tile_type != type_name) continue;
+          const ImplementationId impl{
+              static_cast<ImplementationId::value_type>(ii)};
+          const double util = core::claimed_utilization(core::impl_utilization(
+              app, pid, impl, platform.tile_clock_hz(tile)));
+          if (!state.tile_fits(tile, util, p.implementations[ii].memory_bytes)) {
+            break;
+          }
+          state.reserve_tile(tile, util, p.implementations[ii].memory_bytes);
+          mapping.assign(pid, impl, tile);
+          bound = true;
+          break;
+        }
+        if (!bound) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+
+      bool placed = false;
+      for (int attempt = 0; attempt < 128 && !placed; ++attempt) {
+        const std::size_t ii = rng.pick_index(p.implementations.size());
+        const kpn::Implementation& im = p.implementations[ii];
+        TileTypeId type;
+        try {
+          type = platform.type_by_name(im.tile_type);
+        } catch (const Error&) {
+          continue;
+        }
+        const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+        const double raw_util = core::impl_utilization(
+            app, pid, impl, platform.tile_type(type).clock_hz);
+        if (raw_util > 1.0) continue;
+        const auto tiles = platform.tiles_of_type(type);
+        if (tiles.empty()) continue;
+        const TileId tile = tiles[rng.pick_index(tiles.size())];
+        if (!state.tile_fits(tile, raw_util, im.memory_bytes)) continue;
+        state.reserve_tile(tile, raw_util, im.memory_bytes);
+        mapping.assign(pid, impl, tile);
+        placed = true;
+      }
+      if (!placed) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    std::vector<core::Step3Record> unused_trace;
+    const core::Step3Outcome s3 = core::run_step3(
+        app, platform, state, core::Step3Options{}, mapping, unused_trace);
+    if (!s3.success) continue;
+
+    ++result.valid_samples;
+    const double energy = core::total_energy_nj_per_symbol(
+        app, platform, mapping, options.energy);
+    if (energy < best_energy) {
+      best_energy = energy;
+      result.mapping = mapping;
+      best_state = state;
+      result.success = true;
+    }
+  }
+
+  if (!result.success) {
+    result.failure = "no routable random configuration found";
+    return result;
+  }
+
+  if (options.verify_step4) {
+    core::Step4Trace trace;
+    const core::FeasibilityReport report =
+        core::run_step4(app, platform, best_state, options.step4,
+                        result.mapping, trace);
+    if (!report.feasible) {
+      result.success = false;
+      result.failure = "best random sample infeasible: " + report.failure;
+      return result;
+    }
+  }
+  result.energy_nj_per_symbol = best_energy;
+  return result;
+}
+
+}  // namespace rtsm::baselines

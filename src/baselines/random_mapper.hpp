@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/platform.hpp"
+#include "core/feasibility.hpp"
+#include "core/mapping.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::baselines {
+
+/// Options of the best-of-N random mapper.
+struct RandomMapperOptions {
+  std::uint32_t samples = 64;
+  std::uint64_t seed = 1;
+  energy::EnergyModel energy;
+
+  /// Verify the winning sample with the step-4 dataflow analysis.
+  bool verify_step4 = true;
+  core::FeasibilityOptions step4;
+};
+
+/// Result of the random mapper.
+struct RandomMapperResult {
+  bool success = false;
+  core::Mapping mapping{0, 0};
+  double energy_nj_per_symbol = 0.0;
+  std::uint32_t valid_samples = 0;
+  std::string failure;
+};
+
+/// Naive comparator: draws N random adequate, capacity-respecting, routable
+/// configurations and keeps the cheapest. The expected quality gap versus
+/// the heuristic quantifies what the paper's desirability ordering and local
+/// search actually buy.
+[[nodiscard]] RandomMapperResult random_map(const kpn::Application& app,
+                                            const arch::Platform& platform,
+                                            const RandomMapperOptions& options = {});
+
+}  // namespace rtsm::baselines

@@ -1,0 +1,72 @@
+#include "core/channel_routing.hpp"
+
+#include <algorithm>
+
+#include "noc/route.hpp"
+#include "util/error.hpp"
+
+namespace rtsm::core {
+
+Step3Outcome run_step3(const kpn::Application& app,
+                       const arch::Platform& platform, ResourceState& state,
+                       const Step3Options& options, Mapping& mapping,
+                       std::vector<Step3Record>& trace) {
+  require(mapping.all_assigned(), "step 3 requires a complete placement");
+
+  std::vector<ChannelId> order = app.channel_ids();
+  if (options.sort_by_throughput) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](ChannelId a, ChannelId b) {
+                       return app.tokens_per_second(a) >
+                              app.tokens_per_second(b);
+                     });
+  }
+
+  for (const ChannelId cid : order) {
+    const kpn::Channel& c = app.channel(cid);
+    const TileId src = mapping.tile_of(c.src);
+    const TileId dst = mapping.tile_of(c.dst);
+    const double demand = app.tokens_per_second(cid);
+
+    const auto path = options.xy_routing
+                          ? noc::route_xy(state.links(), src, dst, demand)
+                          : noc::route_shortest(state.links(), src, dst, demand);
+
+    Step3Record record;
+    record.channel = c.name;
+    record.demand_tokens_per_s = demand;
+    record.success = path.has_value();
+    if (path) {
+      for (const RouterId r : path->routers(platform)) {
+        record.routers.push_back(r.value());
+      }
+      record.rr_hops = path->rr_hops(platform);
+    }
+    trace.push_back(record);
+
+    if (!path) {
+      Step3Outcome out;
+      out.failure = "channel '" + c.name + "' (demand " +
+                    std::to_string(demand) + " tokens/s) is unroutable";
+      // Feed back a placement constraint: move the movable endpoint away
+      // from its congested region next round.
+      const bool dst_movable = !app.process(c.dst).is_fixture();
+      const bool src_movable = !app.process(c.src).is_fixture();
+      if (dst_movable || src_movable) {
+        FeedbackConstraint fc;
+        fc.kind = FeedbackConstraint::Kind::ForbidTile;
+        fc.process = dst_movable ? c.dst : c.src;
+        fc.tile = dst_movable ? dst : src;
+        fc.reason = out.failure;
+        out.feedback = fc;
+      }
+      return out;
+    }
+
+    state.links().reserve_path(*path, demand);
+    mapping.set_path(cid, *path);
+  }
+  return {true, "", std::nullopt};
+}
+
+}  // namespace rtsm::core

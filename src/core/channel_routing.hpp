@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "core/feedback.hpp"
+#include "core/mapping.hpp"
+#include "core/resource_state.hpp"
+#include "core/trace.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::core {
+
+/// Options of mapping step 3 (assign channels to paths).
+struct Step3Options {
+  /// Route heavy channels first (the paper's non-increasing throughput
+  /// order); disabling is an ablation (X3).
+  bool sort_by_throughput = true;
+
+  /// Use dimension-ordered XY routes instead of adaptive shortest paths
+  /// (baseline for the routing ablation).
+  bool xy_routing = false;
+};
+
+/// Outcome of step 3.
+struct Step3Outcome {
+  bool success = false;
+  std::string failure;
+  /// Constraint for earlier steps when a channel was unroutable.
+  std::optional<FeedbackConstraint> feedback;
+};
+
+/// Step 3: sorts channels by non-increasing throughput demand and routes
+/// them incrementally; each route must have residual capacity for the
+/// channel on every link, and its reservation is committed in @p state
+/// before the next channel is routed.
+[[nodiscard]] Step3Outcome run_step3(const kpn::Application& app,
+                                     const arch::Platform& platform,
+                                     ResourceState& state,
+                                     const Step3Options& options,
+                                     Mapping& mapping,
+                                     std::vector<Step3Record>& trace);
+
+}  // namespace rtsm::core

@@ -1,0 +1,67 @@
+#include "core/cost.hpp"
+
+#include "util/error.hpp"
+
+namespace rtsm::core {
+
+double channel_cost(const kpn::Channel& channel, std::uint32_t hops,
+                    CommCostModel model, const energy::EnergyModel& energy) {
+  switch (model) {
+    case CommCostModel::HopCount:
+      return static_cast<double>(hops);
+    case CommCostModel::TokenWeighted:
+      return static_cast<double>(hops) * channel.tokens_per_symbol;
+    case CommCostModel::EnergyWeighted:
+      return energy.comm_nj(channel.tokens_per_symbol, hops);
+  }
+  throw Error("unknown CommCostModel");
+}
+
+double placement_cost(const kpn::Application& app,
+                      const arch::Platform& platform, const Mapping& mapping,
+                      CommCostModel model, const energy::EnergyModel& energy) {
+  double cost = 0.0;
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& c = app.channel(cid);
+    if (!mapping.is_assigned(c.src) || !mapping.is_assigned(c.dst)) continue;
+    const std::uint32_t hops =
+        platform.manhattan(mapping.tile_of(c.src), mapping.tile_of(c.dst));
+    cost += channel_cost(c, hops, model, energy);
+  }
+  return cost;
+}
+
+double processing_energy_nj_per_symbol(const kpn::Application& app,
+                                       const Mapping& mapping) {
+  double total = 0.0;
+  for (const ProcessId pid : app.process_ids()) {
+    require(mapping.is_assigned(pid),
+            "energy of a mapping with unassigned processes");
+    total += app.implementation(pid, mapping.impl_of(pid)).energy_nj_per_symbol;
+  }
+  return total;
+}
+
+double comm_energy_nj_per_symbol(const kpn::Application& app,
+                                 const arch::Platform& platform,
+                                 const Mapping& mapping,
+                                 const energy::EnergyModel& energy) {
+  double total = 0.0;
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& c = app.channel(cid);
+    const auto& path = mapping.path(cid);
+    require(path.has_value(), "comm energy of an unrouted mapping");
+    total += energy.comm_nj(c, *path, platform);
+  }
+  return total;
+}
+
+double total_energy_nj_per_symbol(const kpn::Application& app,
+                                  const arch::Platform& platform,
+                                  const Mapping& mapping,
+                                  const energy::EnergyModel& energy) {
+  return processing_energy_nj_per_symbol(app, mapping) +
+         comm_energy_nj_per_symbol(app, platform, mapping, energy);
+}
+
+}  // namespace rtsm::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/platform.hpp"
+#include "core/mapping.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::core {
+
+/// Weighting of the step-2 communication cost.
+enum class CommCostModel {
+  /// Sum of Manhattan distances over all channels — the paper's cost
+  /// (Table 2's cost column).
+  HopCount,
+  /// Manhattan distance weighted by the channel's tokens per symbol;
+  /// prioritises keeping heavy channels short.
+  TokenWeighted,
+  /// Full energy estimate (hop + NI energy, token-weighted).
+  EnergyWeighted,
+};
+
+/// Step-2 communication cost of a (partial) placement: channels with both
+/// endpoints assigned contribute their weighted Manhattan distance.
+[[nodiscard]] double placement_cost(const kpn::Application& app,
+                                    const arch::Platform& platform,
+                                    const Mapping& mapping, CommCostModel model,
+                                    const energy::EnergyModel& energy);
+
+/// Contribution of a single channel at hop distance @p hops.
+[[nodiscard]] double channel_cost(const kpn::Channel& channel,
+                                  std::uint32_t hops, CommCostModel model,
+                                  const energy::EnergyModel& energy);
+
+/// Total energy per symbol of a fully routed mapping: processing energy of
+/// every chosen implementation plus communication energy over actual paths.
+[[nodiscard]] double total_energy_nj_per_symbol(
+    const kpn::Application& app, const arch::Platform& platform,
+    const Mapping& mapping, const energy::EnergyModel& energy);
+
+/// Processing-only energy per symbol of the chosen implementations.
+[[nodiscard]] double processing_energy_nj_per_symbol(const kpn::Application& app,
+                                                     const Mapping& mapping);
+
+/// Communication-only energy per symbol over the routed paths.
+[[nodiscard]] double comm_energy_nj_per_symbol(const kpn::Application& app,
+                                               const arch::Platform& platform,
+                                               const Mapping& mapping,
+                                               const energy::EnergyModel& energy);
+
+}  // namespace rtsm::core

@@ -1,0 +1,136 @@
+#include "core/criteria.hpp"
+
+#include "core/resource_state.hpp"
+#include "noc/link_load.hpp"
+#include "util/error.hpp"
+
+namespace rtsm::core {
+
+CriteriaVerdict check_adequate(const kpn::Application& app,
+                               const arch::Platform& platform,
+                               const Mapping& mapping) {
+  for (const ProcessId pid : app.process_ids()) {
+    const kpn::Process& p = app.process(pid);
+    if (!mapping.is_assigned(pid)) {
+      return {false, "process '" + p.name + "' is unassigned"};
+    }
+    const ImplementationId impl = mapping.impl_of(pid);
+    if (impl.value() >= p.implementations.size()) {
+      return {false, "process '" + p.name + "' has an invalid implementation"};
+    }
+    const TileId tile = mapping.tile_of(pid);
+    const arch::Tile& t = platform.tile(tile);
+    const std::string& impl_type = p.implementations[impl.value()].tile_type;
+    if (platform.tile_type(t.type).name != impl_type) {
+      return {false, "process '" + p.name + "' implementation targets '" +
+                         impl_type + "' but sits on '" +
+                         platform.tile_type(t.type).name + "' tile '" +
+                         t.name + "'"};
+    }
+    if (p.pinned_tile && t.name != *p.pinned_tile) {
+      return {false, "pinned process '" + p.name + "' sits on '" + t.name +
+                         "' instead of '" + *p.pinned_tile + "'"};
+    }
+  }
+  return {true, ""};
+}
+
+CriteriaVerdict check_path_structure(const kpn::Application& app,
+                                     const arch::Platform& platform,
+                                     const Mapping& mapping,
+                                     ChannelId channel) {
+  const kpn::Channel& c = app.channel(channel);
+  const auto& opt_path = mapping.path(channel);
+  if (!opt_path) return {false, "channel '" + c.name + "' is unrouted"};
+  const noc::Path& path = *opt_path;
+
+  const TileId src = mapping.tile_of(c.src);
+  const TileId dst = mapping.tile_of(c.dst);
+  if (path.src_tile != src || path.dst_tile != dst) {
+    return {false, "channel '" + c.name + "': path endpoints disagree with "
+                   "the process placement"};
+  }
+  if (src == dst) {
+    if (!path.links.empty()) {
+      return {false, "channel '" + c.name + "': intra-tile path has links"};
+    }
+    return {true, ""};
+  }
+  if (path.links.size() < 2) {
+    return {false, "channel '" + c.name + "': inter-tile path too short"};
+  }
+
+  // Walk: inject from src tile, contiguous routers, eject into dst tile.
+  const arch::Link& first = platform.link(path.links.front());
+  if (first.kind != arch::LinkKind::Inject || first.tile != src) {
+    return {false, "channel '" + c.name + "': path does not start with the "
+                   "source tile's injection link"};
+  }
+  RouterId at = first.to_router;
+  for (std::size_t i = 1; i + 1 < path.links.size(); ++i) {
+    const arch::Link& l = platform.link(path.links[i]);
+    if (l.kind != arch::LinkKind::RouterToRouter || l.from_router != at) {
+      return {false, "channel '" + c.name + "': discontinuous path at link " +
+                         std::to_string(i)};
+    }
+    at = l.to_router;
+  }
+  const arch::Link& last = platform.link(path.links.back());
+  if (last.kind != arch::LinkKind::Eject || last.tile != dst ||
+      last.from_router != at) {
+    return {false, "channel '" + c.name + "': path does not end with the "
+                   "destination tile's ejection link"};
+  }
+  return {true, ""};
+}
+
+CriteriaVerdict check_adherent(const kpn::Application& app,
+                               const arch::Platform& platform,
+                               const Mapping& mapping) {
+  const CriteriaVerdict adequate = check_adequate(app, platform, mapping);
+  if (!adequate.ok) return adequate;
+
+  // Tile budgets: recompute from scratch for this application alone.
+  ResourceState state(platform);
+  for (const ProcessId pid : app.process_ids()) {
+    const TileId tile = mapping.tile_of(pid);
+    const ImplementationId impl = mapping.impl_of(pid);
+    const double util =
+        impl_utilization(app, pid, impl, platform.tile_clock_hz(tile));
+    std::uint64_t memory =
+        app.implementation(pid, impl).memory_bytes;
+    // Consumer-side channel buffers live on the consuming tile.
+    for (const ChannelId cid : app.in_channels(pid)) {
+      if (const auto tokens = mapping.buffer_tokens(cid)) {
+        memory += static_cast<std::uint64_t>(*tokens) *
+                  app.channel(cid).token_bytes;
+      }
+    }
+    if (!state.tile_fits(tile, util, memory)) {
+      return {false, "tile '" + platform.tile(tile).name +
+                         "' over-subscribed by process '" +
+                         app.process(pid).name + "'"};
+    }
+    state.reserve_tile(tile, util, memory);
+  }
+
+  // Channel routing: structural and capacity checks.
+  for (const ChannelId cid : app.channel_ids()) {
+    const CriteriaVerdict path_ok =
+        check_path_structure(app, platform, mapping, cid);
+    if (!path_ok.ok) return path_ok;
+    const double demand = app.tokens_per_second(cid);
+    const noc::Path& path = *mapping.path(cid);
+    for (const LinkId link : path.links) {
+      if (!state.links().fits(link, demand)) {
+        return {false, "channel '" + app.channel(cid).name +
+                           "' over-subscribes link " +
+                           std::to_string(link.value())};
+      }
+    }
+    state.links().reserve_path(path, demand);
+  }
+  return {true, ""};
+}
+
+}  // namespace rtsm::core

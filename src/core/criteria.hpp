@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "arch/platform.hpp"
+#include "core/mapping.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::core {
+
+/// Result of a mapping-quality predicate, with a reason when violated.
+struct CriteriaVerdict {
+  bool ok = false;
+  std::string reason;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// ADEQUATE (paper, Section 3): every process is assigned, and for each the
+/// chosen implementation exists and targets the type of its assigned tile;
+/// pinned processes sit on their pinned tile.
+[[nodiscard]] CriteriaVerdict check_adequate(const kpn::Application& app,
+                                             const arch::Platform& platform,
+                                             const Mapping& mapping);
+
+/// ADHERENT: adequate, and no resource is over-subscribed by this
+/// application alone — per-tile compute utilisation <= 1 and memory
+/// (implementations + consumer-side channel buffers, when sized) within
+/// bounds, every channel routed on a connected path whose links all carry
+/// the accumulated demand within capacity.
+[[nodiscard]] CriteriaVerdict check_adherent(const kpn::Application& app,
+                                             const arch::Platform& platform,
+                                             const Mapping& mapping);
+
+/// Structural path validation: the path connects the channel's mapped tiles
+/// through adjacent routers (used by adherence and tests).
+[[nodiscard]] CriteriaVerdict check_path_structure(
+    const kpn::Application& app, const arch::Platform& platform,
+    const Mapping& mapping, ChannelId channel);
+
+}  // namespace rtsm::core

@@ -1,0 +1,116 @@
+#include "core/csdf_expansion.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rtsm::core {
+
+ExpandedGraph expand_mapping(const kpn::Application& app,
+                             const arch::Platform& platform,
+                             const Mapping& mapping) {
+  require(mapping.all_assigned() && mapping.all_routed(),
+          "CSDF expansion requires a placed and routed mapping");
+
+  ExpandedGraph out;
+  out.process_actor.resize(app.process_count());
+  out.hop_actors.resize(app.channel_count());
+  out.consumer_edge.resize(app.channel_count());
+
+  // Process actors: WCET phases converted to wall time at the tile's clock.
+  for (const ProcessId pid : app.process_ids()) {
+    const kpn::Implementation& im =
+        app.implementation(pid, mapping.impl_of(pid));
+    const TileId tile = mapping.tile_of(pid);
+    std::vector<std::uint64_t> wcet_ps;
+    wcet_ps.reserve(im.wcet_cc.size());
+    for (const std::uint32_t cc : im.wcet_cc) {
+      wcet_ps.push_back(platform.cycles_to_ps(tile, cc));
+    }
+    out.process_actor[pid.value()] =
+        out.graph.add_actor(app.process(pid).name, std::move(wcet_ps));
+  }
+
+  const std::uint64_t hop_wcet_ps = platform.noc().router_latency_ps();
+  const std::uint32_t hop_buffer = platform.noc().hop_buffer_tokens;
+
+  auto output_rates = [&](ProcessId pid, ChannelId cid) -> const kpn::PhaseRates& {
+    const kpn::Implementation& im =
+        app.implementation(pid, mapping.impl_of(pid));
+    for (const kpn::PortSpec& port : im.outputs) {
+      if (port.channel == cid) return port.rates;
+    }
+    throw Error("implementation '" + im.name + "' lacks output port for '" +
+                app.channel(cid).name + "'");
+  };
+  auto input_rates = [&](ProcessId pid, ChannelId cid) -> const kpn::PhaseRates& {
+    const kpn::Implementation& im =
+        app.implementation(pid, mapping.impl_of(pid));
+    for (const kpn::PortSpec& port : im.inputs) {
+      if (port.channel == cid) return port.rates;
+    }
+    throw Error("implementation '" + im.name + "' lacks input port for '" +
+                app.channel(cid).name + "'");
+  };
+
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& c = app.channel(cid);
+    const noc::Path& path = *mapping.path(cid);
+    const ActorId src_actor = out.process_actor[c.src.value()];
+    const ActorId dst_actor = out.process_actor[c.dst.value()];
+    const kpn::PhaseRates& prod = output_rates(c.src, cid);
+    const kpn::PhaseRates& cons = input_rates(c.dst, cid);
+
+    const std::vector<RouterId> routers = path.routers(platform);
+    if (routers.empty()) {
+      // Intra-tile channel: one direct FIFO, sized by step 4.
+      csdf::Edge e;
+      e.name = c.name;
+      e.src = src_actor;
+      e.dst = dst_actor;
+      e.production = prod;
+      e.consumption = cons;
+      out.consumer_edge[cid.value()] = out.graph.add_edge(std::move(e));
+      continue;
+    }
+
+    // One forwarding actor per traversed router: consume 1, produce 1,
+    // 4 NoC cycles per token (the paper's R actors in Figure 3).
+    std::vector<ActorId>& hops = out.hop_actors[cid.value()];
+    for (std::size_t h = 0; h < routers.size(); ++h) {
+      hops.push_back(out.graph.add_actor(
+          "R" + std::to_string(routers[h].value()) + "[" + c.name + "]",
+          {hop_wcet_ps}));
+    }
+
+    auto connect = [&](ActorId from, ActorId to, std::vector<std::uint32_t> p,
+                       std::vector<std::uint32_t> q,
+                       std::optional<std::uint32_t> capacity,
+                       const std::string& name) {
+      csdf::Edge e;
+      e.name = name;
+      e.src = from;
+      e.dst = to;
+      e.production = std::move(p);
+      e.consumption = std::move(q);
+      e.capacity = capacity;
+      return out.graph.add_edge(std::move(e));
+    };
+
+    // The producer-side NI buffer must at least hold one phase's burst.
+    std::uint32_t burst = 0;
+    for (const std::uint32_t r : prod) burst = std::max(burst, r);
+    connect(src_actor, hops.front(), prod, {1},
+            std::max(hop_buffer, burst), c.name + "/inject");
+    for (std::size_t h = 0; h + 1 < hops.size(); ++h) {
+      connect(hops[h], hops[h + 1], {1}, {1}, hop_buffer,
+              c.name + "/hop" + std::to_string(h));
+    }
+    out.consumer_edge[cid.value()] =
+        connect(hops.back(), dst_actor, {1}, cons, std::nullopt,
+                c.name + "/eject");
+  }
+  return out;
+}
+
+}  // namespace rtsm::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "core/mapping.hpp"
+#include "csdf/graph.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::core {
+
+/// The CSDF graph of a fully mapped application (the paper's Figure 3):
+/// one actor per process (WCET = implementation phases at the tile's clock)
+/// and one 4-cycle router actor per router traversed by each channel, with
+/// finite hop buffers between routers and a sizable consumer-side buffer.
+struct ExpandedGraph {
+  csdf::Graph graph;
+
+  /// Actor of each process (parallel to process ids).
+  std::vector<ActorId> process_actor;
+
+  /// Router actors of each channel, in path order (empty for intra-tile
+  /// channels), parallel to channel ids.
+  std::vector<std::vector<ActorId>> hop_actors;
+
+  /// The consumer-side edge of each channel — the B_i buffers of Figure 3,
+  /// sized by step 4. Parallel to channel ids.
+  std::vector<EdgeId> consumer_edge;
+};
+
+/// Expands the mapped application. Requires all processes assigned and all
+/// channels routed. Hop buffers get the platform's router input-buffer
+/// depth; consumer edges start unbounded (step 4 assigns capacities).
+[[nodiscard]] ExpandedGraph expand_mapping(const kpn::Application& app,
+                                           const arch::Platform& platform,
+                                           const Mapping& mapping);
+
+}  // namespace rtsm::core

@@ -1,0 +1,149 @@
+#include "core/feasibility.hpp"
+
+#include <algorithm>
+
+#include "core/csdf_expansion.hpp"
+#include "csdf/buffer_sizing.hpp"
+#include "util/error.hpp"
+
+namespace rtsm::core {
+
+namespace {
+
+/// The stream endpoints: first KPN source process and first KPN sink
+/// process (by id). The sink's iterations define the period.
+struct Endpoints {
+  ProcessId source;
+  ProcessId sink;
+};
+
+Endpoints find_endpoints(const kpn::Application& app) {
+  Endpoints ep;
+  for (const ProcessId pid : app.process_ids()) {
+    if (!ep.source.valid() && app.in_channels(pid).empty()) ep.source = pid;
+    if (!ep.sink.valid() && app.out_channels(pid).empty()) ep.sink = pid;
+  }
+  require(ep.source.valid() && ep.sink.valid(),
+          "application has no stream source/sink process");
+  return ep;
+}
+
+/// When the period is unreachable, blame the slowest implementation: the
+/// mapped process whose per-symbol work occupies the largest fraction of
+/// the period on its tile.
+std::optional<FeedbackConstraint> blame_slowest(const kpn::Application& app,
+                                                const arch::Platform& platform,
+                                                const Mapping& mapping) {
+  ProcessId worst;
+  double worst_util = 0.0;
+  for (const ProcessId pid : app.process_ids()) {
+    if (app.process(pid).is_fixture()) continue;
+    const double util =
+        impl_utilization(app, pid, mapping.impl_of(pid),
+                         platform.tile_clock_hz(mapping.tile_of(pid)));
+    if (util > worst_util) {
+      worst_util = util;
+      worst = pid;
+    }
+  }
+  if (!worst.valid()) return std::nullopt;
+  FeedbackConstraint fc;
+  fc.kind = FeedbackConstraint::Kind::ForbidImplementation;
+  fc.process = worst;
+  fc.impl = mapping.impl_of(worst);
+  fc.reason = "implementation '" +
+              app.implementation(worst, mapping.impl_of(worst)).name +
+              "' cannot sustain the period (utilization " +
+              std::to_string(worst_util) + ")";
+  return fc;
+}
+
+}  // namespace
+
+FeasibilityReport run_step4(const kpn::Application& app,
+                            const arch::Platform& platform,
+                            ResourceState& state,
+                            const FeasibilityOptions& options, Mapping& mapping,
+                            Step4Trace& trace) {
+  FeasibilityReport report;
+  trace.ran = true;
+
+  ExpandedGraph expanded = expand_mapping(app, platform, mapping);
+  const Endpoints ep = find_endpoints(app);
+
+  csdf::BufferSizingConfig cfg;
+  cfg.target_period_ps =
+      static_cast<std::uint64_t>(app.qos().symbol_period_ns) * 1000ull;
+  cfg.reference = expanded.process_actor[ep.sink.value()];
+  cfg.probe = csdf::LatencyProbe{expanded.process_actor[ep.source.value()],
+                                 expanded.process_actor[ep.sink.value()]};
+  cfg.simulation = options.simulation;
+  cfg.capacity_limit = options.capacity_limit;
+
+  const auto sizing =
+      csdf::size_buffers(expanded.graph, expanded.consumer_edge, cfg);
+
+  report.achieved_period_ps = sizing.achieved_period_ps;
+  report.latency_ps = sizing.latency_ps;
+
+  if (!sizing.feasible) {
+    report.failure = "throughput constraint violated: " + sizing.message;
+    report.feedback = blame_slowest(app, platform, mapping);
+    trace.feasible = false;
+    trace.message = report.failure;
+    trace.achieved_period_ps = sizing.achieved_period_ps;
+    return report;
+  }
+
+  // Record buffers and charge their memory to the consuming tiles.
+  trace.buffer_tokens.assign(app.channel_count(), 0);
+  for (const ChannelId cid : app.channel_ids()) {
+    const std::uint32_t tokens = sizing.capacities[cid.value()];
+    mapping.set_buffer_tokens(cid, tokens);
+    trace.buffer_tokens[cid.value()] = tokens;
+
+    const kpn::Channel& c = app.channel(cid);
+    const TileId consumer_tile = mapping.tile_of(c.dst);
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(tokens) * c.token_bytes;
+    if (!state.tile_fits(consumer_tile, 0.0, bytes, 0)) {
+      report.failure = "buffer of channel '" + c.name + "' (" +
+                       std::to_string(bytes) + " B) does not fit tile '" +
+                       platform.tile(consumer_tile).name + "'";
+      FeedbackConstraint fc;
+      fc.kind = FeedbackConstraint::Kind::ForbidTile;
+      fc.process = c.dst;
+      fc.tile = consumer_tile;
+      fc.reason = report.failure;
+      report.feedback = fc;
+      trace.feasible = false;
+      trace.message = report.failure;
+      return report;
+    }
+    state.reserve_tile(consumer_tile, 0.0, bytes, 0);
+  }
+
+  // Latency bound, when the ALS specifies one.
+  if (app.qos().max_latency_ns) {
+    const std::uint64_t bound_ps = *app.qos().max_latency_ns * 1000ull;
+    if (sizing.latency_ps > bound_ps) {
+      report.failure = "latency " + std::to_string(sizing.latency_ps / 1000) +
+                       "ns exceeds bound " +
+                       std::to_string(*app.qos().max_latency_ns) + "ns";
+      trace.feasible = false;
+      trace.message = report.failure;
+      trace.achieved_period_ps = sizing.achieved_period_ps;
+      trace.latency_ps = sizing.latency_ps;
+      return report;
+    }
+  }
+
+  report.feasible = true;
+  trace.feasible = true;
+  trace.achieved_period_ps = sizing.achieved_period_ps;
+  trace.latency_ps = sizing.latency_ps;
+  trace.message = "feasible";
+  return report;
+}
+
+}  // namespace rtsm::core

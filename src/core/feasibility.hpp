@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "arch/platform.hpp"
+#include "core/feedback.hpp"
+#include "core/mapping.hpp"
+#include "core/resource_state.hpp"
+#include "core/trace.hpp"
+#include "csdf/simulator.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::core {
+
+/// Options of mapping step 4 (check application constraints).
+struct FeasibilityOptions {
+  /// Simulation window for throughput measurement and buffer sizing.
+  csdf::SimulationConfig simulation;
+
+  /// Divergence guard for buffer capacities.
+  std::uint32_t capacity_limit = 1u << 16;
+};
+
+/// Result of the dataflow feasibility analysis.
+struct FeasibilityReport {
+  bool feasible = false;
+  std::string failure;
+
+  /// Sustained iteration period of the mapped graph, ps.
+  std::uint64_t achieved_period_ps = 0;
+
+  /// Worst source-start to sink-completion time of one symbol, ps.
+  std::uint64_t latency_ps = 0;
+
+  /// Constraint suggestion for the next refinement round, when derivable.
+  std::optional<FeedbackConstraint> feedback;
+};
+
+/// Step 4: expands the mapped application into its CSDF graph (router
+/// actors included), computes minimal consumer-side buffer capacities under
+/// the period constraint (the role of Wiggers et al. [11]), verifies the
+/// buffers fit the consuming tiles' memory, and checks the latency bound.
+///
+/// On success the buffer capacities are written into @p mapping and the
+/// buffer memory is reserved in @p state. On failure a feedback constraint
+/// is attached when one can be derived.
+[[nodiscard]] FeasibilityReport run_step4(const kpn::Application& app,
+                                          const arch::Platform& platform,
+                                          ResourceState& state,
+                                          const FeasibilityOptions& options,
+                                          Mapping& mapping, Step4Trace& trace);
+
+}  // namespace rtsm::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "core/feedback.hpp"
+#include "core/mapping.hpp"
+#include "core/resource_state.hpp"
+#include "core/trace.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::core {
+
+/// Options of mapping step 1 (assign implementations to processes).
+struct Step1Options {
+  /// Choose the next process by desirability (paper) instead of plain
+  /// process order (ablation X3).
+  bool desirability_order = true;
+
+  /// Include a Manhattan-distance communication estimate towards already
+  /// placed neighbours in the option cost. The paper's example ranks by
+  /// processing energy alone, so the Table 2 bench disables this; both
+  /// settings produce the paper's assignment (see DESIGN.md).
+  bool comm_aware = true;
+
+  /// Reject implementations whose compute utilisation exceeds a whole tile
+  /// (they could never pass step 4). Disabling exercises the feedback loop.
+  bool utilization_screen = true;
+};
+
+/// Outcome of step 1.
+struct Step1Outcome {
+  bool success = false;
+  std::string failure;
+};
+
+/// Step 1: iteratively picks the most *desirable* unassigned process — the
+/// one with the largest cost gap between its cheapest and second-cheapest
+/// tile-type option — selects its cheapest admissible implementation, and
+/// packs it first-fit onto a concrete tile (insertion order). Fixtures
+/// (pinned processes) are bound to their tiles first.
+///
+/// On success every process of @p app is assigned in @p mapping and its
+/// compute/memory demand reserved in @p state.
+[[nodiscard]] Step1Outcome run_step1(const kpn::Application& app,
+                                     const arch::Platform& platform,
+                                     ResourceState& state,
+                                     const FeedbackSet& feedback,
+                                     const Step1Options& options,
+                                     const energy::EnergyModel& energy,
+                                     Mapping& mapping,
+                                     std::vector<Step1Record>& trace);
+
+}  // namespace rtsm::core

@@ -1,0 +1,97 @@
+#include "core/mapping.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rtsm::core {
+
+Mapping::Mapping(std::size_t process_count, std::size_t channel_count)
+    : assignments_(process_count),
+      paths_(channel_count),
+      buffers_(channel_count) {}
+
+bool Mapping::is_assigned(ProcessId process) const {
+  check_process(process);
+  return assignments_[process.value()].has_value();
+}
+
+void Mapping::assign(ProcessId process, ImplementationId impl, TileId tile) {
+  check_process(process);
+  require(impl.valid() && tile.valid(), "Mapping::assign with invalid ids");
+  assignments_[process.value()] = Assignment{impl, tile};
+}
+
+void Mapping::move(ProcessId process, TileId tile) {
+  check_process(process);
+  require(assignments_[process.value()].has_value(),
+          "Mapping::move of unassigned process");
+  require(tile.valid(), "Mapping::move to invalid tile");
+  assignments_[process.value()]->tile = tile;
+}
+
+void Mapping::unassign(ProcessId process) {
+  check_process(process);
+  assignments_[process.value()].reset();
+}
+
+ImplementationId Mapping::impl_of(ProcessId process) const {
+  check_process(process);
+  require(assignments_[process.value()].has_value(),
+          "Mapping::impl_of unassigned process");
+  return assignments_[process.value()]->impl;
+}
+
+TileId Mapping::tile_of(ProcessId process) const {
+  check_process(process);
+  require(assignments_[process.value()].has_value(),
+          "Mapping::tile_of unassigned process");
+  return assignments_[process.value()]->tile;
+}
+
+bool Mapping::all_assigned() const {
+  return std::all_of(assignments_.begin(), assignments_.end(),
+                     [](const auto& a) { return a.has_value(); });
+}
+
+void Mapping::set_path(ChannelId channel, noc::Path path) {
+  check_channel(channel);
+  paths_[channel.value()] = std::move(path);
+}
+
+void Mapping::clear_paths() {
+  for (auto& p : paths_) p.reset();
+  for (auto& b : buffers_) b.reset();
+}
+
+const std::optional<noc::Path>& Mapping::path(ChannelId channel) const {
+  check_channel(channel);
+  return paths_[channel.value()];
+}
+
+bool Mapping::all_routed() const {
+  return std::all_of(paths_.begin(), paths_.end(),
+                     [](const auto& p) { return p.has_value(); });
+}
+
+void Mapping::set_buffer_tokens(ChannelId channel, std::uint32_t tokens) {
+  check_channel(channel);
+  buffers_[channel.value()] = tokens;
+}
+
+std::optional<std::uint32_t> Mapping::buffer_tokens(ChannelId channel) const {
+  check_channel(channel);
+  return buffers_[channel.value()];
+}
+
+void Mapping::check_process(ProcessId process) const {
+  require(process.valid() && process.value() < assignments_.size(),
+          "Mapping: process id out of range");
+}
+
+void Mapping::check_channel(ChannelId channel) const {
+  require(channel.valid() && channel.value() < paths_.size(),
+          "Mapping: channel id out of range");
+}
+
+}  // namespace rtsm::core

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "noc/link_load.hpp"
+#include "util/ids.hpp"
+
+namespace rtsm::core {
+
+/// A (partial) spatial mapping: the decision variables of the problem.
+///
+/// Per process: which implementation runs on which tile. Per channel: the
+/// NoC path (set by step 3) and the buffer capacity at the consumer side
+/// (set by step 4). A mapping starts empty and is filled in by the steps;
+/// the criteria predicates in criteria.hpp classify its quality.
+class Mapping {
+ public:
+  Mapping(std::size_t process_count, std::size_t channel_count);
+
+  [[nodiscard]] std::size_t process_count() const {
+    return assignments_.size();
+  }
+  [[nodiscard]] std::size_t channel_count() const { return paths_.size(); }
+
+  /// True when @p process has an implementation and tile assigned.
+  [[nodiscard]] bool is_assigned(ProcessId process) const;
+
+  /// Assigns (or re-assigns) implementation and tile to @p process.
+  void assign(ProcessId process, ImplementationId impl, TileId tile);
+
+  /// Moves an assigned process to another tile, keeping the implementation.
+  void move(ProcessId process, TileId tile);
+
+  void unassign(ProcessId process);
+
+  [[nodiscard]] ImplementationId impl_of(ProcessId process) const;
+  [[nodiscard]] TileId tile_of(ProcessId process) const;
+
+  /// All processes currently assigned.
+  [[nodiscard]] bool all_assigned() const;
+
+  void set_path(ChannelId channel, noc::Path path);
+  void clear_paths();
+  [[nodiscard]] const std::optional<noc::Path>& path(ChannelId channel) const;
+  [[nodiscard]] bool all_routed() const;
+
+  void set_buffer_tokens(ChannelId channel, std::uint32_t tokens);
+  [[nodiscard]] std::optional<std::uint32_t> buffer_tokens(
+      ChannelId channel) const;
+
+ private:
+  struct Assignment {
+    ImplementationId impl;
+    TileId tile;
+  };
+
+  void check_process(ProcessId process) const;
+  void check_channel(ChannelId channel) const;
+
+  std::vector<std::optional<Assignment>> assignments_;
+  std::vector<std::optional<noc::Path>> paths_;
+  std::vector<std::optional<std::uint32_t>> buffers_;
+};
+
+}  // namespace rtsm::core

@@ -1,0 +1,39 @@
+#include "core/reservation.hpp"
+
+#include "util/error.hpp"
+
+namespace rtsm::core {
+
+RuntimeResourceManager::RuntimeResourceManager(const arch::Platform& platform)
+    : state_(platform) {}
+
+RuntimeResourceManager::StartResult RuntimeResourceManager::start(
+    const kpn::Application& app, const SpatialMapper& mapper) {
+  StartResult result;
+  result.mapping = mapper.map(app, state_);
+  if (!result.mapping.success) return result;
+
+  commit_mapping(state_, app, result.mapping.mapping);
+  result.admitted = true;
+  result.id = AppId{next_id_++};
+  running_.emplace(result.id,
+                   Running{std::make_shared<kpn::Application>(app),
+                           result.mapping.mapping,
+                           result.mapping.energy_nj_per_symbol});
+  return result;
+}
+
+void RuntimeResourceManager::stop(AppId id) {
+  const auto it = running_.find(id);
+  require(it != running_.end(), "stop of unknown application id");
+  release_mapping(state_, *it->second.app, it->second.mapping);
+  running_.erase(it);
+}
+
+double RuntimeResourceManager::total_energy_nj_per_symbol() const {
+  double total = 0.0;
+  for (const auto& [id, run] : running_) total += run.energy_nj;
+  return total;
+}
+
+}  // namespace rtsm::core

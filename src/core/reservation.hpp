@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "arch/platform.hpp"
+#include "core/spatial_mapper.hpp"
+
+namespace rtsm::core {
+
+/// Run-time resource manager: admits streaming applications as they start,
+/// maps them against the *current* residual resources, and releases their
+/// reservations when they stop.
+///
+/// This realises the run-time scenario of the paper's introduction: instead
+/// of worst-case design-time allocations, every admission sees the actual
+/// set of running applications.
+class RuntimeResourceManager {
+ public:
+  explicit RuntimeResourceManager(const arch::Platform& platform);
+
+  /// Result of an admission attempt.
+  struct StartResult {
+    bool admitted = false;
+    AppId id;
+    MappingResult mapping;
+  };
+
+  /// Maps @p app with @p mapper against current residual resources and, on
+  /// success, commits the mapping. The application description is copied
+  /// and retained until stop().
+  StartResult start(const kpn::Application& app, const SpatialMapper& mapper);
+
+  /// Stops a running application, releasing all of its resources.
+  /// Throws rtsm::Error for unknown ids.
+  void stop(AppId id);
+
+  [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+
+  /// Residual resource view (what a new application would see).
+  [[nodiscard]] const ResourceState& state() const { return state_; }
+
+  /// Total energy per symbol across running applications, nJ.
+  [[nodiscard]] double total_energy_nj_per_symbol() const;
+
+ private:
+  struct Running {
+    std::shared_ptr<const kpn::Application> app;
+    Mapping mapping;
+    double energy_nj = 0.0;
+  };
+
+  ResourceState state_;
+  std::map<AppId, Running> running_;
+  AppId::value_type next_id_ = 0;
+};
+
+}  // namespace rtsm::core

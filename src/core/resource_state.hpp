@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "kpn/application.hpp"
+#include "noc/link_load.hpp"
+#include "util/ids.hpp"
+
+namespace rtsm::core {
+
+/// Mutable view of what is still free on the platform.
+///
+/// The run-time mapper maps against this residual state rather than the bare
+/// platform, which is exactly the paper's motivation: at run time the actual
+/// set of running applications is known, so a new application is fitted into
+/// the *remaining* capacity. Tracks per-tile compute utilisation (fraction of
+/// the period spent executing) and memory, plus all NoC link reservations.
+class ResourceState {
+ public:
+  explicit ResourceState(const arch::Platform& platform);
+
+  [[nodiscard]] const arch::Platform& platform() const { return *platform_; }
+
+  /// Fraction of the tile's time already committed (0 = idle, 1 = full).
+  [[nodiscard]] double utilization(TileId tile) const;
+
+  /// Bytes of tile-local memory already committed.
+  [[nodiscard]] std::uint64_t memory_used(TileId tile) const;
+
+  /// Memory still available on @p tile.
+  [[nodiscard]] std::uint64_t memory_free(TileId tile) const;
+
+  /// Processes currently hosted by @p tile.
+  [[nodiscard]] std::uint32_t processes_hosted(TileId tile) const;
+
+  /// True when @p extra_utilization, @p extra_memory and @p extra_processes
+  /// still fit on @p tile (slots, utilisation and memory all respected).
+  /// Pass extra_processes = 0 for pure memory reservations (channel
+  /// buffers).
+  [[nodiscard]] bool tile_fits(TileId tile, double extra_utilization,
+                               std::uint64_t extra_memory,
+                               std::uint32_t extra_processes = 1) const;
+
+  void reserve_tile(TileId tile, double utilization, std::uint64_t memory,
+                    std::uint32_t processes = 1);
+  void release_tile(TileId tile, double utilization, std::uint64_t memory,
+                    std::uint32_t processes = 1);
+
+  [[nodiscard]] noc::LinkLoad& links() { return links_; }
+  [[nodiscard]] const noc::LinkLoad& links() const { return links_; }
+
+  /// Count of tiles with zero committed utilisation (for shutdown/energy
+  /// reporting: unused tiles can be power-gated).
+  [[nodiscard]] std::size_t idle_tile_count() const;
+
+ private:
+  void check_tile(TileId tile) const;
+
+  const arch::Platform* platform_;
+  std::vector<double> utilization_;
+  std::vector<std::uint64_t> memory_used_;
+  std::vector<std::uint32_t> processes_;
+  noc::LinkLoad links_;
+};
+
+/// Wall-clock time one symbol of work takes for @p impl of @p process when
+/// run on a tile clocked at @p clock_hz, in nanoseconds.
+[[nodiscard]] double impl_time_per_symbol_ns(const kpn::Application& app,
+                                             ProcessId process,
+                                             ImplementationId impl,
+                                             std::uint64_t clock_hz);
+
+/// Fraction of the application period consumed by @p impl on such a tile.
+[[nodiscard]] double impl_utilization(const kpn::Application& app,
+                                      ProcessId process, ImplementationId impl,
+                                      std::uint64_t clock_hz);
+
+/// Utilisation as booked against a tile budget. An implementation slower
+/// than the period (raw > 1) claims the whole tile; whether it is admissible
+/// at all is decided by step 1's screen or step 4's dataflow check, not by
+/// the bookkeeping.
+[[nodiscard]] inline double claimed_utilization(double raw_utilization) {
+  return raw_utilization < 1.0 ? raw_utilization : 1.0;
+}
+
+}  // namespace rtsm::core

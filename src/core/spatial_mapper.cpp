@@ -1,0 +1,144 @@
+#include "core/spatial_mapper.hpp"
+
+#include "core/cost.hpp"
+#include "core/criteria.hpp"
+#include "util/error.hpp"
+
+namespace rtsm::core {
+
+SpatialMapper::SpatialMapper(MapperConfig config) : config_(std::move(config)) {}
+
+MappingResult SpatialMapper::map(const kpn::Application& app,
+                                 const arch::Platform& platform) const {
+  return map(app, ResourceState(platform));
+}
+
+MappingResult SpatialMapper::map(const kpn::Application& app,
+                                 const ResourceState& base) const {
+  app.validate();
+  const arch::Platform& platform = base.platform();
+
+  MappingResult result;
+  result.mapping = Mapping(app.process_count(), app.channel_count());
+
+  FeedbackSet feedback;
+
+  for (std::uint32_t round = 0; round < config_.max_refinement_rounds;
+       ++round) {
+    result.rounds = round + 1;
+    MappingTrace::Round& rt = result.trace.rounds.emplace_back();
+
+    // Each round works on a private copy of the residual resources, so a
+    // failed round leaves no partial reservations behind.
+    ResourceState state = base;
+    Mapping mapping(app.process_count(), app.channel_count());
+
+    // Step 1: assign implementations to processes.
+    const Step1Outcome s1 =
+        run_step1(app, platform, state, feedback, config_.step1,
+                  config_.energy, mapping, rt.step1);
+    if (!s1.success) {
+      rt.outcome = "step 1 failed: " + s1.failure;
+      result.failure = rt.outcome;
+      // Step 1 exhausts options monotonically; more rounds cannot help
+      // unless feedback shrinks elsewhere, so stop here.
+      return result;
+    }
+
+    // Step 2: assign processes to tiles (local search refinement).
+    if (config_.run_step2) {
+      run_step2(app, platform, state, feedback, config_.step2, config_.energy,
+                mapping, rt.step2);
+    } else {
+      rt.step2.initial_cost = rt.step2.final_cost = placement_cost(
+          app, platform, mapping, config_.step2.cost_model, config_.energy);
+    }
+
+    // Step 3: assign channels to paths.
+    const Step3Outcome s3 = run_step3(app, platform, state, config_.step3,
+                                      mapping, rt.step3);
+    if (!s3.success) {
+      rt.outcome = "step 3 failed: " + s3.failure;
+      result.failure = rt.outcome;
+      if (!s3.feedback) return result;
+      feedback.add(*s3.feedback);
+      continue;
+    }
+
+    // Step 4: check application constraints via dataflow analysis.
+    if (config_.run_step4) {
+      const FeasibilityReport report = run_step4(
+          app, platform, state, config_.step4, mapping, rt.step4);
+      if (!report.feasible) {
+        rt.outcome = "step 4 failed: " + report.failure;
+        result.failure = rt.outcome;
+        if (!report.feedback) return result;
+        feedback.add(*report.feedback);
+        continue;
+      }
+      result.achieved_period_ps = report.achieved_period_ps;
+      result.latency_ps = report.latency_ps;
+    }
+
+    rt.outcome = "feasible";
+    result.success = true;
+    result.failure.clear();
+    result.mapping = std::move(mapping);
+    result.energy_nj_per_symbol = total_energy_nj_per_symbol(
+        app, platform, result.mapping, config_.energy);
+    return result;
+  }
+
+  if (result.failure.empty()) {
+    result.failure = "refinement round limit reached";
+  }
+  return result;
+}
+
+void commit_mapping(ResourceState& state, const kpn::Application& app,
+                    const Mapping& mapping) {
+  const arch::Platform& platform = state.platform();
+  for (const ProcessId pid : app.process_ids()) {
+    const TileId tile = mapping.tile_of(pid);
+    const ImplementationId impl = mapping.impl_of(pid);
+    const double util = claimed_utilization(
+        impl_utilization(app, pid, impl, platform.tile_clock_hz(tile)));
+    state.reserve_tile(tile, util, app.implementation(pid, impl).memory_bytes);
+  }
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& c = app.channel(cid);
+    const auto& path = mapping.path(cid);
+    require(path.has_value(), "commit of an unrouted mapping");
+    state.links().reserve_path(*path, app.tokens_per_second(cid));
+    if (const auto tokens = mapping.buffer_tokens(cid)) {
+      state.reserve_tile(mapping.tile_of(c.dst), 0.0,
+                         static_cast<std::uint64_t>(*tokens) * c.token_bytes,
+                         0);
+    }
+  }
+}
+
+void release_mapping(ResourceState& state, const kpn::Application& app,
+                     const Mapping& mapping) {
+  const arch::Platform& platform = state.platform();
+  for (const ProcessId pid : app.process_ids()) {
+    const TileId tile = mapping.tile_of(pid);
+    const ImplementationId impl = mapping.impl_of(pid);
+    const double util = claimed_utilization(
+        impl_utilization(app, pid, impl, platform.tile_clock_hz(tile)));
+    state.release_tile(tile, util, app.implementation(pid, impl).memory_bytes);
+  }
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& c = app.channel(cid);
+    const auto& path = mapping.path(cid);
+    if (!path) continue;
+    state.links().release_path(*path, app.tokens_per_second(cid));
+    if (const auto tokens = mapping.buffer_tokens(cid)) {
+      state.release_tile(mapping.tile_of(c.dst), 0.0,
+                         static_cast<std::uint64_t>(*tokens) * c.token_bytes,
+                         0);
+    }
+  }
+}
+
+}  // namespace rtsm::core

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/platform.hpp"
+#include "core/channel_routing.hpp"
+#include "core/feasibility.hpp"
+#include "core/implementation_selection.hpp"
+#include "core/mapping.hpp"
+#include "core/tile_assignment.hpp"
+#include "core/trace.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::core {
+
+/// Configuration of the four-step run-time spatial mapper.
+struct MapperConfig {
+  Step1Options step1;
+  Step2Options step2;
+  Step3Options step3;
+  FeasibilityOptions step4;
+
+  /// Skip the step-2 local search (ablation X3: greedy first-fit only).
+  bool run_step2 = true;
+
+  /// Skip the dataflow feasibility check (only for experiments that measure
+  /// placement quality in isolation; such mappings are adherent, not
+  /// verified feasible).
+  bool run_step4 = true;
+
+  /// Maximum refinement rounds driven by feedback (Section 3's iterative
+  /// refinement).
+  std::uint32_t max_refinement_rounds = 8;
+
+  energy::EnergyModel energy;
+};
+
+/// Result of a mapping request.
+struct MappingResult {
+  /// True when a feasible (or, with run_step4 off, adherent) mapping was
+  /// found.
+  bool success = false;
+
+  Mapping mapping{0, 0};
+
+  /// Total energy per symbol of the returned mapping (processing +
+  /// communication), nanojoule.
+  double energy_nj_per_symbol = 0.0;
+
+  /// Verified sustained period / latency from step 4, ps.
+  std::uint64_t achieved_period_ps = 0;
+  std::uint64_t latency_ps = 0;
+
+  /// Refinement rounds executed.
+  std::uint32_t rounds = 0;
+
+  std::string failure;
+
+  MappingTrace trace;
+};
+
+/// The paper's run-time spatial mapping algorithm: hierarchical search with
+/// iterative refinement. Runs steps 1-4; when a step fails it emits feedback
+/// constraints and the driver re-runs from step 1 with the reduced search
+/// space, up to max_refinement_rounds.
+class SpatialMapper {
+ public:
+  explicit SpatialMapper(MapperConfig config = {});
+
+  [[nodiscard]] const MapperConfig& config() const { return config_; }
+
+  /// Maps @p app onto an otherwise idle @p platform.
+  [[nodiscard]] MappingResult map(const kpn::Application& app,
+                                  const arch::Platform& platform) const;
+
+  /// Maps @p app against the residual resources in @p base (the run-time
+  /// scenario: other applications are already running). @p base is not
+  /// modified; commit the result with commit_mapping() to admit the
+  /// application.
+  [[nodiscard]] MappingResult map(const kpn::Application& app,
+                                  const ResourceState& base) const;
+
+ private:
+  MapperConfig config_;
+};
+
+/// Books a successful mapping's resources (tile utilisation, implementation
+/// and buffer memory, link reservations) into @p state.
+void commit_mapping(ResourceState& state, const kpn::Application& app,
+                    const Mapping& mapping);
+
+/// Releases everything commit_mapping() booked.
+void release_mapping(ResourceState& state, const kpn::Application& app,
+                     const Mapping& mapping);
+
+}  // namespace rtsm::core

@@ -1,0 +1,290 @@
+#include "core/tile_assignment.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rtsm::core {
+
+namespace {
+
+/// A candidate reassignment: either a move of one process to a free-capacity
+/// tile of the same type, or a swap of two processes across same-type tiles.
+struct Candidate {
+  ProcessId a;          // moved / first swapped process
+  ProcessId b;          // swap partner (invalid for moves)
+  TileId target;        // move target (invalid for swaps)
+  double cost_after = 0.0;
+  std::string describe(const kpn::Application& app,
+                       const arch::Platform& platform) const {
+    if (b.valid()) {
+      return "swap " + app.process(a).name + " <-> " + app.process(b).name;
+    }
+    return "move " + app.process(a).name + " -> " + platform.tile(target).name;
+  }
+};
+
+/// Per-process booked load, needed to transfer reservations between tiles.
+struct Load {
+  double util = 0.0;
+  std::uint64_t mem = 0;
+};
+
+std::pair<ProcessId, ProcessId> ordered_pair(ProcessId x, ProcessId y) {
+  return x < y ? std::pair{x, y} : std::pair{y, x};
+}
+
+Load load_of(const kpn::Application& app, const arch::Platform& platform,
+             const Mapping& mapping, ProcessId pid) {
+  const ImplementationId impl = mapping.impl_of(pid);
+  const TileId tile = mapping.tile_of(pid);
+  return {claimed_utilization(
+              impl_utilization(app, pid, impl, platform.tile_clock_hz(tile))),
+          app.implementation(pid, impl).memory_bytes};
+}
+
+class Search {
+ public:
+  Search(const kpn::Application& app, const arch::Platform& platform,
+         ResourceState& state, const FeedbackSet& feedback,
+         const Step2Options& options, const energy::EnergyModel& energy,
+         Mapping& mapping, Step2Trace& trace)
+      : app_(app), platform_(platform), state_(state), feedback_(feedback),
+        options_(options), energy_(energy), mapping_(mapping), trace_(trace) {
+    for (const ProcessId pid : app_.process_ids()) {
+      if (!app_.process(pid).is_fixture()) movable_.push_back(pid);
+    }
+  }
+
+  void run() {
+    trace_.initial_cost = cost();
+    trace_.initial_assignment = assignment_snapshot();
+    switch (options_.strategy) {
+      case Step2Strategy::BestImprovement:
+        run_best_improvement();
+        break;
+      case Step2Strategy::SequentialSweep:
+        run_sequential_sweep();
+        break;
+    }
+    trace_.final_cost = cost();
+  }
+
+ private:
+  double cost() const {
+    return placement_cost(app_, platform_, mapping_, options_.cost_model,
+                          energy_);
+  }
+
+  std::vector<std::string> assignment_snapshot() const {
+    std::vector<std::string> snap;
+    snap.reserve(app_.process_count());
+    for (const ProcessId pid : app_.process_ids()) {
+      snap.push_back(mapping_.is_assigned(pid)
+                         ? platform_.tile(mapping_.tile_of(pid)).name
+                         : "-");
+    }
+    return snap;
+  }
+
+  bool move_fits(ProcessId pid, TileId target) const {
+    const Load l = load_of(app_, platform_, mapping_, pid);
+    return state_.tile_fits(target, l.util, l.mem);
+  }
+
+  /// Checks a swap is capacity-feasible by tentatively releasing both sides.
+  bool swap_fits(ProcessId a, ProcessId b) {
+    const TileId ta = mapping_.tile_of(a);
+    const TileId tb = mapping_.tile_of(b);
+    const Load la = load_of(app_, platform_, mapping_, a);
+    const Load lb = load_of(app_, platform_, mapping_, b);
+    state_.release_tile(ta, la.util, la.mem);
+    state_.release_tile(tb, lb.util, lb.mem);
+    const bool ok =
+        state_.tile_fits(tb, la.util, la.mem) && state_.tile_fits(ta, lb.util, lb.mem);
+    state_.reserve_tile(ta, la.util, la.mem);
+    state_.reserve_tile(tb, lb.util, lb.mem);
+    return ok;
+  }
+
+  double evaluate_move(ProcessId pid, TileId target) {
+    const TileId original = mapping_.tile_of(pid);
+    mapping_.move(pid, target);
+    const double c = cost();
+    mapping_.move(pid, original);
+    return c;
+  }
+
+  double evaluate_swap(ProcessId a, ProcessId b) {
+    const TileId ta = mapping_.tile_of(a);
+    const TileId tb = mapping_.tile_of(b);
+    mapping_.move(a, tb);
+    mapping_.move(b, ta);
+    const double c = cost();
+    mapping_.move(a, ta);
+    mapping_.move(b, tb);
+    return c;
+  }
+
+  void apply(const Candidate& cand) {
+    if (cand.b.valid()) {
+      const TileId ta = mapping_.tile_of(cand.a);
+      const TileId tb = mapping_.tile_of(cand.b);
+      const Load la = load_of(app_, platform_, mapping_, cand.a);
+      const Load lb = load_of(app_, platform_, mapping_, cand.b);
+      state_.release_tile(ta, la.util, la.mem);
+      state_.release_tile(tb, lb.util, lb.mem);
+      state_.reserve_tile(tb, la.util, la.mem);
+      state_.reserve_tile(ta, lb.util, lb.mem);
+      mapping_.move(cand.a, tb);
+      mapping_.move(cand.b, ta);
+    } else {
+      const TileId ta = mapping_.tile_of(cand.a);
+      const Load la = load_of(app_, platform_, mapping_, cand.a);
+      state_.release_tile(ta, la.util, la.mem);
+      state_.reserve_tile(cand.target, la.util, la.mem);
+      mapping_.move(cand.a, cand.target);
+    }
+  }
+
+  /// All admissible candidates for @p pid; swaps with partners in
+  /// @p skip_pairs are omitted (sweep-level deduplication).
+  std::vector<Candidate> candidates_for(
+      ProcessId pid, const std::set<std::pair<ProcessId, ProcessId>>& skip_pairs) {
+    std::vector<Candidate> result;
+    const TileId current = mapping_.tile_of(pid);
+    const TileTypeId type = platform_.tile(current).type;
+
+    for (const TileId tile : platform_.tiles_of_type(type)) {
+      if (tile == current) continue;
+      if (feedback_.tile_forbidden(pid, tile)) continue;
+      if (!move_fits(pid, tile)) continue;
+      result.push_back(
+          Candidate{pid, ProcessId{}, tile, evaluate_move(pid, tile)});
+    }
+    for (const ProcessId other : movable_) {
+      if (other == pid) continue;
+      const TileId other_tile = mapping_.tile_of(other);
+      if (other_tile == current) continue;
+      if (platform_.tile(other_tile).type != type) continue;
+      if (skip_pairs.contains(ordered_pair(pid, other))) continue;
+      if (feedback_.tile_forbidden(pid, other_tile) ||
+          feedback_.tile_forbidden(other, current)) {
+        continue;
+      }
+      if (!swap_fits(pid, other)) continue;
+      result.push_back(
+          Candidate{pid, other, TileId{}, evaluate_swap(pid, other)});
+    }
+    return result;
+  }
+
+  /// Records an iteration row. The paper's Table 2 shows the *attempted*
+  /// placement even for reverted candidates, so for reverts the candidate is
+  /// applied to the mapping (positions only) just long enough to snapshot.
+  void record(std::uint32_t iteration, const Candidate& cand,
+              double cost_before, bool kept) {
+    std::vector<std::string> snapshot;
+    if (kept) {
+      snapshot = assignment_snapshot();
+    } else {
+      const TileId ta = mapping_.tile_of(cand.a);
+      if (cand.b.valid()) {
+        const TileId tb = mapping_.tile_of(cand.b);
+        mapping_.move(cand.a, tb);
+        mapping_.move(cand.b, ta);
+        snapshot = assignment_snapshot();
+        mapping_.move(cand.a, ta);
+        mapping_.move(cand.b, tb);
+      } else {
+        mapping_.move(cand.a, cand.target);
+        snapshot = assignment_snapshot();
+        mapping_.move(cand.a, ta);
+      }
+    }
+    trace_.records.push_back(Step2Record{
+        iteration, cand.describe(app_, platform_), cost_before,
+        cand.cost_after, kept, std::move(snapshot)});
+  }
+
+  void run_best_improvement() {
+    std::uint32_t iteration = 0;
+    while (iteration < options_.max_iterations) {
+      const double before = cost();
+      std::optional<Candidate> best;
+      std::set<std::pair<ProcessId, ProcessId>> seen_pairs;
+      for (const ProcessId pid : movable_) {
+        for (Candidate& cand : candidates_for(pid, seen_pairs)) {
+          if (cand.b.valid()) seen_pairs.insert(ordered_pair(cand.a, cand.b));
+          if (!best || cand.cost_after < best->cost_after) best = cand;
+        }
+      }
+      if (!best) return;
+      ++iteration;
+      if (best->cost_after < before - options_.min_gain) {
+        apply(*best);
+        record(iteration, *best, before, true);
+      } else {
+        record(iteration, *best, before, false);
+        return;
+      }
+    }
+  }
+
+  void run_sequential_sweep() {
+    std::uint32_t iteration = 0;
+    bool improved_in_sweep = true;
+    while (improved_in_sweep && iteration < options_.max_iterations) {
+      improved_in_sweep = false;
+      std::set<std::pair<ProcessId, ProcessId>> evaluated_pairs;
+      for (const ProcessId pid : movable_) {
+        if (iteration >= options_.max_iterations) break;
+        auto cands = candidates_for(pid, evaluated_pairs);
+        for (const Candidate& cand : cands) {
+          if (cand.b.valid()) evaluated_pairs.insert(ordered_pair(cand.a, cand.b));
+        }
+        if (cands.empty()) continue;
+        const auto best = std::min_element(
+            cands.begin(), cands.end(), [](const Candidate& x, const Candidate& y) {
+              return x.cost_after < y.cost_after;
+            });
+        const double before = cost();
+        ++iteration;
+        if (best->cost_after < before - options_.min_gain) {
+          apply(*best);
+          record(iteration, *best, before, true);
+          improved_in_sweep = true;
+        } else {
+          record(iteration, *best, before, false);
+        }
+      }
+    }
+  }
+
+  const kpn::Application& app_;
+  const arch::Platform& platform_;
+  ResourceState& state_;
+  const FeedbackSet& feedback_;
+  const Step2Options& options_;
+  const energy::EnergyModel& energy_;
+  Mapping& mapping_;
+  Step2Trace& trace_;
+  std::vector<ProcessId> movable_;
+};
+
+}  // namespace
+
+void run_step2(const kpn::Application& app, const arch::Platform& platform,
+               ResourceState& state, const FeedbackSet& feedback,
+               const Step2Options& options, const energy::EnergyModel& energy,
+               Mapping& mapping, Step2Trace& trace) {
+  require(mapping.all_assigned(), "step 2 requires a complete step-1 mapping");
+  Search search(app, platform, state, feedback, options, energy, mapping,
+                trace);
+  search.run();
+}
+
+}  // namespace rtsm::core

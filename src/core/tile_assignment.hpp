@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/platform.hpp"
+#include "core/cost.hpp"
+#include "core/feedback.hpp"
+#include "core/mapping.hpp"
+#include "core/resource_state.hpp"
+#include "core/trace.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::core {
+
+/// Exploration strategy of step 2's local search.
+enum class Step2Strategy {
+  /// Evaluate all candidates every iteration and apply the single best one
+  /// (Section 3: "only the best reassignment is actually performed").
+  BestImprovement,
+  /// Round-robin over processes in pipeline order, applying each process's
+  /// best candidate when it improves and reverting otherwise. This is the
+  /// behaviour Table 2 of the paper logs (see DESIGN.md assumption 4).
+  SequentialSweep,
+};
+
+/// Options of mapping step 2 (assign processes to tiles).
+struct Step2Options {
+  Step2Strategy strategy = Step2Strategy::BestImprovement;
+
+  /// Cost function; the paper's Table 2 uses plain hop counts.
+  CommCostModel cost_model = CommCostModel::HopCount;
+
+  /// Stop when a candidate improves by less than this (the paper's
+  /// "minimum gain" threshold). Strict improvement by default.
+  double min_gain = 1e-12;
+
+  /// Hard cap on evaluated candidates (the paper's "maximum number of
+  /// iterations").
+  std::uint32_t max_iterations = 10'000;
+};
+
+/// Step 2: improves the greedy first-fit placement by local search. Moves
+/// relocate a process to another tile of the *same type* with spare
+/// capacity; swaps exchange two processes sitting on distinct tiles of the
+/// same type. Same-type reassignment preserves adequacy by construction.
+/// Fixtures never move. Tile/NoC reservations in @p state are updated to
+/// follow the placement.
+void run_step2(const kpn::Application& app, const arch::Platform& platform,
+               ResourceState& state, const FeedbackSet& feedback,
+               const Step2Options& options, const energy::EnergyModel& energy,
+               Mapping& mapping, Step2Trace& trace);
+
+}  // namespace rtsm::core

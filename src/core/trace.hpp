@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace rtsm::core {
+
+/// One implementation-selection decision of step 1.
+struct Step1Record {
+  std::string process;
+  std::string implementation;
+  std::string tile_type;
+  std::string tile;
+  /// Gap between cheapest and second-cheapest tile-type option; infinity
+  /// (rendered as "default") when only one type remained.
+  double desirability = 0.0;
+  bool defaulted = false;
+};
+
+/// One candidate evaluation of the step-2 local search
+/// (a row of the paper's Table 2).
+struct Step2Record {
+  std::uint32_t iteration = 0;
+  /// E.g. "swap Pfx.rem <-> Frq.off" or "move Inv.OFDM -> MONTIUM2".
+  std::string action;
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+  bool kept = false;
+  /// Tile name per process at the END of this iteration (after keep/revert),
+  /// parallel to the application's process ids.
+  std::vector<std::string> assignment;
+};
+
+/// Step-2 summary.
+struct Step2Trace {
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  std::vector<std::string> initial_assignment;
+  std::vector<Step2Record> records;
+};
+
+/// One routed channel of step 3, in routing order.
+struct Step3Record {
+  std::string channel;
+  double demand_tokens_per_s = 0.0;
+  /// Router indices traversed (empty for intra-tile channels).
+  std::vector<std::uint32_t> routers;
+  std::size_t rr_hops = 0;
+  bool success = false;
+};
+
+/// Step-4 feasibility summary.
+struct Step4Trace {
+  bool ran = false;
+  bool feasible = false;
+  std::uint64_t achieved_period_ps = 0;
+  std::uint64_t latency_ps = 0;
+  /// Computed buffer capacity (tokens) per channel, parallel to channel ids.
+  std::vector<std::uint32_t> buffer_tokens;
+  std::string message;
+};
+
+/// Full trace of one mapping attempt (all refinement rounds).
+struct MappingTrace {
+  /// One entry per refinement round, each holding the four step traces.
+  struct Round {
+    std::vector<Step1Record> step1;
+    Step2Trace step2;
+    std::vector<Step3Record> step3;
+    Step4Trace step4;
+    std::string outcome;  // "feasible", or the failure + feedback issued
+  };
+  std::vector<Round> rounds;
+};
+
+}  // namespace rtsm::core

@@ -1,0 +1,110 @@
+#include "csdf/analysis.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rational.hpp"
+
+namespace rtsm::csdf {
+
+std::optional<RepetitionVector> repetition_vector(const Graph& graph) {
+  const std::size_t n = graph.actor_count();
+  if (n == 0) return RepetitionVector{};
+
+  // Propagate rational cycle counts over the undirected edge structure,
+  // starting from an arbitrary root with q = 1, then verify every balance
+  // equation (the propagation spans a tree; off-tree edges must agree).
+  std::vector<Rational> q(n, Rational{0});
+  std::vector<bool> visited(n, false);
+
+  std::vector<ActorId> stack;
+  q[0] = Rational{1};
+  visited[0] = true;
+  stack.push_back(ActorId{0});
+
+  while (!stack.empty()) {
+    const ActorId a = stack.back();
+    stack.pop_back();
+    auto relax = [&](EdgeId eid) {
+      const Edge& e = graph.edge(eid);
+      const auto prod = static_cast<std::int64_t>(e.tokens_per_src_cycle());
+      const auto cons = static_cast<std::int64_t>(e.tokens_per_dst_cycle());
+      if (prod == 0 || cons == 0) return true;  // degenerate, checked later
+      const ActorId src = e.src;
+      const ActorId dst = e.dst;
+      // Balance: q[src] * prod == q[dst] * cons.
+      if (visited[src.value()] && !visited[dst.value()]) {
+        q[dst.value()] = q[src.value()] * Rational{prod, cons};
+        visited[dst.value()] = true;
+        stack.push_back(dst);
+      } else if (visited[dst.value()] && !visited[src.value()]) {
+        q[src.value()] = q[dst.value()] * Rational{cons, prod};
+        visited[src.value()] = true;
+        stack.push_back(src);
+      }
+      return true;
+    };
+    for (const EdgeId eid : graph.out_edges(a)) relax(eid);
+    for (const EdgeId eid : graph.in_edges(a)) relax(eid);
+  }
+
+  // Disconnected graphs have no single iteration notion.
+  if (!std::all_of(visited.begin(), visited.end(), [](bool v) { return v; })) {
+    return std::nullopt;
+  }
+
+  // Verify all balance equations (catches inconsistent cycles).
+  for (const EdgeId eid : graph.edge_ids()) {
+    const Edge& e = graph.edge(eid);
+    const auto prod = static_cast<std::int64_t>(e.tokens_per_src_cycle());
+    const auto cons = static_cast<std::int64_t>(e.tokens_per_dst_cycle());
+    if (q[e.src.value()] * Rational{prod} != q[e.dst.value()] * Rational{cons}) {
+      return std::nullopt;
+    }
+  }
+
+  // Scale to the minimal positive integral vector.
+  std::int64_t den_lcm = 1;
+  for (const Rational& r : q) den_lcm = lcm64(den_lcm, r.den());
+  std::int64_t num_gcd = 0;
+  std::vector<std::int64_t> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = (q[i] * Rational{den_lcm}).to_integer();
+    require(scaled[i] > 0, "repetition vector entry must be positive");
+    num_gcd = gcd64(num_gcd, scaled[i]);
+  }
+
+  RepetitionVector rv;
+  rv.cycles.resize(n);
+  rv.firings.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rv.cycles[i] = static_cast<std::uint64_t>(scaled[i] / num_gcd);
+    rv.firings[i] = rv.cycles[i] * graph.actor(ActorId{static_cast<ActorId::value_type>(i)})
+                                       .phase_count();
+  }
+  return rv;
+}
+
+bool is_consistent(const Graph& graph) {
+  return repetition_vector(graph).has_value();
+}
+
+std::uint64_t min_period_bound_ps(const Graph& graph,
+                                  const RepetitionVector& rv) {
+  require(rv.cycles.size() == graph.actor_count(),
+          "repetition vector does not match graph");
+  std::uint64_t bound = 0;
+  for (const ActorId a : graph.actor_ids()) {
+    bound = std::max(bound,
+                     rv.cycles[a.value()] * graph.actor(a).cycle_wcet_ps());
+  }
+  return bound;
+}
+
+std::uint64_t tokens_per_iteration(const Graph& graph,
+                                   const RepetitionVector& rv, EdgeId edge) {
+  const Edge& e = graph.edge(edge);
+  return rv.cycles[e.src.value()] * e.tokens_per_src_cycle();
+}
+
+}  // namespace rtsm::csdf

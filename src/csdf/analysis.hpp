@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "csdf/graph.hpp"
+
+namespace rtsm::csdf {
+
+/// Result of solving the CSDF balance equations.
+struct RepetitionVector {
+  /// Minimal positive number of full phase-cycles each actor executes per
+  /// graph iteration (indexed by actor id).
+  std::vector<std::uint64_t> cycles;
+
+  /// cycles[a] * phase_count(a): individual firings per iteration.
+  std::vector<std::uint64_t> firings;
+};
+
+/// Solves the balance equations q_src * prod_cycle(e) = q_dst * cons_cycle(e).
+///
+/// Returns nullopt when the graph is inconsistent (no non-trivial solution)
+/// or not weakly connected across rate-carrying edges. The minimal integral
+/// solution is computed exactly with rational arithmetic.
+[[nodiscard]] std::optional<RepetitionVector> repetition_vector(
+    const Graph& graph);
+
+/// True when a repetition vector exists.
+[[nodiscard]] bool is_consistent(const Graph& graph);
+
+/// Structural lower bound on the achievable iteration period, picoseconds:
+/// every actor is sequential, so one iteration cannot complete faster than
+/// the busiest actor's total work, max_a cycles[a] * cycle_wcet(a).
+[[nodiscard]] std::uint64_t min_period_bound_ps(const Graph& graph,
+                                                const RepetitionVector& rv);
+
+/// Total tokens transported over @p edge per graph iteration.
+[[nodiscard]] std::uint64_t tokens_per_iteration(const Graph& graph,
+                                                 const RepetitionVector& rv,
+                                                 EdgeId edge);
+
+}  // namespace rtsm::csdf

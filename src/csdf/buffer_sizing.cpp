@@ -1,0 +1,145 @@
+#include "csdf/buffer_sizing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace rtsm::csdf {
+
+std::uint32_t capacity_lower_bound(const Graph& graph, EdgeId edge) {
+  const Edge& e = graph.edge(edge);
+  return std::max({e.max_production(), e.max_consumption(), e.initial_tokens,
+                   std::uint32_t{1}});
+}
+
+BufferSizingResult size_buffers(Graph& graph, const std::vector<EdgeId>& edges,
+                                const BufferSizingConfig& config) {
+  require(config.target_period_ps > 0,
+          "buffer sizing requires a positive target period");
+
+  BufferSizingResult result;
+  result.capacities.assign(edges.size(), 0);
+
+  const auto rv = repetition_vector(graph);
+  if (!rv) {
+    result.message = "graph is inconsistent; no repetition vector";
+    return result;
+  }
+
+  auto apply = [&](const std::vector<std::uint32_t>& caps) {
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      graph.set_capacity(edges[i], caps[i]);
+    }
+  };
+
+  auto check = [&](const std::vector<std::uint32_t>& caps) -> SimulationResult {
+    apply(caps);
+    return simulate(graph, *rv, config.reference, config.simulation,
+                    config.probe);
+  };
+
+  auto meets = [&](const SimulationResult& sim) {
+    return sim.status == SimulationStatus::Completed &&
+           sim.period_ps <= config.target_period_ps;
+  };
+
+  // Per-edge bounds. The upper bound of four iterations' worth of tokens
+  // (plus initial tokens) removes the back-pressure the graph can exert in
+  // steady state: with whole-symbol bursts crossing multi-hop paths and
+  // join synchronisation, pipeline stages can be up to a few symbols apart,
+  // so two iterations of slack is measurably too tight (see the X1 bench).
+  std::vector<std::uint32_t> lower(edges.size());
+  std::vector<std::uint32_t> upper(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    lower[i] = capacity_lower_bound(graph, edges[i]);
+    const std::uint64_t per_iter = tokens_per_iteration(graph, *rv, edges[i]);
+    const std::uint64_t ub =
+        std::max<std::uint64_t>(lower[i], 4 * per_iter +
+                                              graph.edge(edges[i]).initial_tokens);
+    upper[i] = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(ub, config.capacity_limit));
+  }
+
+  SimulationResult sim = check(upper);
+  if (!meets(sim)) {
+    result.message =
+        "target period unreachable even with generous buffers: " +
+        (sim.status == SimulationStatus::Completed
+             ? "achieved " + std::to_string(sim.period_ps) + "ps > target " +
+                   std::to_string(config.target_period_ps) + "ps"
+             : sim.message);
+    result.achieved_period_ps = sim.period_ps;
+    apply(upper);
+    return result;
+  }
+
+  // Binary search a common interpolation factor t/kResolution between the
+  // lower and upper bounds (monotone in t).
+  constexpr std::uint32_t kResolution = 64;
+  auto blend = [&](std::uint32_t t) {
+    std::vector<std::uint32_t> caps(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const std::uint64_t span = upper[i] - lower[i];
+      caps[i] = lower[i] + static_cast<std::uint32_t>(span * t / kResolution);
+    }
+    return caps;
+  };
+
+  std::uint32_t lo_t = 0;
+  std::uint32_t hi_t = kResolution;
+  if (meets(check(blend(0)))) {
+    hi_t = 0;
+  } else {
+    while (hi_t - lo_t > 1) {
+      const std::uint32_t mid = lo_t + (hi_t - lo_t) / 2;
+      if (meets(check(blend(mid)))) {
+        hi_t = mid;
+      } else {
+        lo_t = mid;
+      }
+    }
+  }
+  std::vector<std::uint32_t> caps = blend(hi_t);
+
+  // Per-edge trim, largest capacity first: binary search the minimal value
+  // for each edge with all others fixed.
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (caps[a] != caps[b]) return caps[a] > caps[b];
+    return a < b;
+  });
+  for (const std::size_t i : order) {
+    std::uint32_t lo = lower[i];
+    std::uint32_t hi = caps[i];
+    if (lo >= hi) continue;
+    std::vector<std::uint32_t> trial = caps;
+    trial[i] = lo;
+    if (meets(check(trial))) {
+      caps[i] = lo;
+      continue;
+    }
+    while (hi - lo > 1) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      trial[i] = mid;
+      if (meets(check(trial))) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    caps[i] = hi;
+  }
+
+  sim = check(caps);
+  require(meets(sim), "buffer sizing lost feasibility during trim");
+
+  result.feasible = true;
+  result.capacities = caps;
+  result.achieved_period_ps = sim.period_ps;
+  result.latency_ps = sim.latency_ps;
+  return result;
+}
+
+}  // namespace rtsm::csdf

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "csdf/graph.hpp"
+#include "csdf/simulator.hpp"
+
+namespace rtsm::csdf {
+
+/// Parameters for minimal buffer-capacity computation.
+struct BufferSizingConfig {
+  /// Throughput constraint: required sustained iteration period, ps.
+  std::uint64_t target_period_ps = 0;
+
+  /// Actor whose iterations define the period (usually the stream sink).
+  ActorId reference;
+
+  /// Optional latency probe forwarded to the simulator.
+  std::optional<LatencyProbe> probe;
+
+  /// Simulation window used by every feasibility check.
+  SimulationConfig simulation;
+
+  /// Upper bound on any single capacity considered (divergence guard).
+  std::uint32_t capacity_limit = 1u << 16;
+};
+
+/// Result of buffer sizing.
+struct BufferSizingResult {
+  /// True when the target period is achievable with finite buffers.
+  bool feasible = false;
+
+  /// Chosen capacity per sized edge (parallel to the edges passed in).
+  std::vector<std::uint32_t> capacities;
+
+  /// Period measured with the final capacities, ps.
+  std::uint64_t achieved_period_ps = 0;
+
+  /// Latency measured with the final capacities, ps (0 without probe).
+  std::uint64_t latency_ps = 0;
+
+  /// Failure explanation when !feasible.
+  std::string message;
+};
+
+/// Computes small buffer capacities for @p edges such that @p graph sustains
+/// config.target_period_ps, reproducing the role of the buffer-capacity
+/// algorithm of Wiggers et al. [11] in the mapping flow.
+///
+/// Method: throughput under the simulator's conservative firing rule is
+/// monotonically non-decreasing in every capacity, so a per-edge lower bound
+/// is first established structurally, feasibility is checked at a generous
+/// upper bound, a common interpolation factor is found by binary search, and
+/// each edge is then individually trimmed by binary search (largest first).
+/// The result is feasible and per-edge minimal w.r.t. single-edge reduction;
+/// capacities of edges not listed in @p edges are left untouched.
+///
+/// @p graph is modified: on success the chosen capacities remain set.
+[[nodiscard]] BufferSizingResult size_buffers(Graph& graph,
+                                              const std::vector<EdgeId>& edges,
+                                              const BufferSizingConfig& config);
+
+/// Structural lower bound for a usable capacity of @p edge: the largest
+/// single-phase transfer on either endpoint, and at least the initial tokens.
+[[nodiscard]] std::uint32_t capacity_lower_bound(const Graph& graph,
+                                                 EdgeId edge);
+
+}  // namespace rtsm::csdf

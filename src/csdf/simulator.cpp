@@ -1,0 +1,259 @@
+#include "csdf/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace rtsm::csdf {
+
+namespace {
+
+struct ActorState {
+  std::size_t phase = 0;          // next phase to fire
+  bool busy = false;
+  std::uint64_t cycles_done = 0;  // completed full phase sweeps
+};
+
+struct Firing {
+  std::uint64_t end_ps;
+  ActorId actor;
+  // Deterministic ordering: earliest end first, then lowest actor id.
+  bool operator>(const Firing& rhs) const {
+    if (end_ps != rhs.end_ps) return end_ps > rhs.end_ps;
+    return actor.value() > rhs.actor.value();
+  }
+};
+
+}  // namespace
+
+SimulationResult simulate(const Graph& graph, const RepetitionVector& rv,
+                          ActorId reference, const SimulationConfig& config,
+                          std::optional<LatencyProbe> probe) {
+  require(rv.cycles.size() == graph.actor_count(),
+          "simulate: repetition vector does not match graph");
+  require(reference.valid() && reference.value() < graph.actor_count(),
+          "simulate: invalid reference actor");
+  require(config.measured_iterations > 0,
+          "simulate: need at least one measured iteration");
+
+  const std::size_t num_actors = graph.actor_count();
+  const std::size_t num_edges = graph.edge_count();
+
+  std::vector<ActorState> actors(num_actors);
+  std::vector<std::uint64_t> tokens(num_edges);
+  std::vector<std::uint64_t> reserved(num_edges, 0);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    tokens[e] = graph.edge(EdgeId{static_cast<EdgeId::value_type>(e)})
+                    .initial_tokens;
+  }
+
+  const std::uint64_t ref_cycles_per_iter = rv.cycles[reference.value()];
+  const std::uint64_t total_iters =
+      config.warmup_iterations + config.measured_iterations;
+
+  // Completion time of each reference iteration (index 0 .. total_iters-1).
+  std::vector<std::uint64_t> ref_iter_end(total_iters, 0);
+  // Latency probe bookkeeping.
+  std::vector<std::uint64_t> src_iter_start;
+  std::vector<std::uint64_t> sink_iter_end;
+  std::uint64_t src_cycles_per_iter = 0;
+  std::uint64_t sink_cycles_per_iter = 0;
+  if (probe) {
+    src_cycles_per_iter = rv.cycles[probe->source.value()];
+    sink_cycles_per_iter = rv.cycles[probe->sink.value()];
+    src_iter_start.assign(total_iters + 2, 0);
+    sink_iter_end.assign(total_iters + 2, 0);
+  }
+
+  std::priority_queue<Firing, std::vector<Firing>, std::greater<>> in_flight;
+
+  SimulationResult result;
+  std::uint64_t now = 0;
+
+  auto can_start = [&](ActorId a) -> bool {
+    const ActorState& st = actors[a.value()];
+    if (st.busy) return false;
+    const std::size_t k = st.phase;
+    for (const EdgeId eid : graph.in_edges(a)) {
+      const Edge& e = graph.edge(eid);
+      if (tokens[eid.value()] < e.consumption[k]) return false;
+    }
+    for (const EdgeId eid : graph.out_edges(a)) {
+      const Edge& e = graph.edge(eid);
+      if (!e.capacity) continue;
+      const std::uint64_t used = tokens[eid.value()] + reserved[eid.value()];
+      if (used + e.production[k] > *e.capacity) return false;
+    }
+    return true;
+  };
+
+  auto start_firing = [&](ActorId a) {
+    ActorState& st = actors[a.value()];
+    const std::size_t k = st.phase;
+    for (const EdgeId eid : graph.in_edges(a)) {
+      tokens[eid.value()] -= graph.edge(eid).consumption[k];
+    }
+    for (const EdgeId eid : graph.out_edges(a)) {
+      reserved[eid.value()] += graph.edge(eid).production[k];
+    }
+    if (probe && a == probe->source && k == 0 &&
+        st.cycles_done % src_cycles_per_iter == 0) {
+      const std::uint64_t iter = st.cycles_done / src_cycles_per_iter;
+      if (iter < src_iter_start.size()) src_iter_start[iter] = now;
+    }
+    st.busy = true;
+    in_flight.push(Firing{now + graph.actor(a).wcet_ps[k], a});
+  };
+
+  // Worklist-driven enabling. Only two events can enable an actor:
+  // tokens arriving on an input edge (a producer completed) and space
+  // appearing on an output edge (its consumer started and removed tokens).
+  // Starting an actor therefore propagates to the producers of its input
+  // edges; completing one propagates to the consumers of its output edges.
+  std::vector<ActorId> worklist;
+  std::vector<bool> queued(num_actors, false);
+  auto enqueue = [&](ActorId a) {
+    if (!queued[a.value()]) {
+      queued[a.value()] = true;
+      worklist.push_back(a);
+    }
+  };
+  auto drain_worklist = [&] {
+    while (!worklist.empty()) {
+      const ActorId a = worklist.back();
+      worklist.pop_back();
+      queued[a.value()] = false;
+      if (!can_start(a)) continue;
+      start_firing(a);
+      // Consumption freed space: producers into this actor may now fit.
+      for (const EdgeId eid : graph.in_edges(a)) {
+        const ActorId producer = graph.edge(eid).src;
+        if (!actors[producer.value()].busy) enqueue(producer);
+      }
+    }
+  };
+  auto start_all_enabled = [&] {
+    for (std::size_t i = 0; i < num_actors; ++i) {
+      enqueue(ActorId{static_cast<ActorId::value_type>(i)});
+    }
+    drain_worklist();
+  };
+
+  auto describe_block = [&]() -> std::string {
+    std::string info = "deadlock; blocked actors:";
+    for (std::size_t i = 0; i < num_actors; ++i) {
+      const ActorId a{static_cast<ActorId::value_type>(i)};
+      const ActorState& st = actors[i];
+      if (st.busy) continue;
+      const std::size_t k = st.phase;
+      for (const EdgeId eid : graph.in_edges(a)) {
+        const Edge& e = graph.edge(eid);
+        if (tokens[eid.value()] < e.consumption[k]) {
+          info += " " + graph.actor(a).name + "(needs " +
+                  std::to_string(e.consumption[k]) + " on '" + e.name + "')";
+          break;
+        }
+      }
+      for (const EdgeId eid : graph.out_edges(a)) {
+        const Edge& e = graph.edge(eid);
+        if (!e.capacity) continue;
+        if (tokens[eid.value()] + reserved[eid.value()] + e.production[k] >
+            *e.capacity) {
+          info += " " + graph.actor(a).name + "(no space on '" + e.name + "')";
+          break;
+        }
+      }
+    }
+    return info;
+  };
+
+  start_all_enabled();
+
+  while (true) {
+    if (in_flight.empty()) {
+      result.status = SimulationStatus::Deadlock;
+      result.message = describe_block();
+      result.end_time_ps = now;
+      return result;
+    }
+    const Firing f = in_flight.top();
+    in_flight.pop();
+    now = f.end_ps;
+    ++result.events;
+
+    ActorState& st = actors[f.actor.value()];
+    const std::size_t k = st.phase;
+    for (const EdgeId eid : graph.out_edges(f.actor)) {
+      const std::uint32_t produced = graph.edge(eid).production[k];
+      reserved[eid.value()] -= produced;
+      tokens[eid.value()] += produced;
+    }
+    st.busy = false;
+    st.phase = (st.phase + 1) % graph.actor(f.actor).phase_count();
+    if (st.phase == 0) {
+      ++st.cycles_done;
+      if (f.actor == reference && st.cycles_done % ref_cycles_per_iter == 0) {
+        const std::uint64_t iter = st.cycles_done / ref_cycles_per_iter - 1;
+        if (iter < total_iters) ref_iter_end[iter] = now;
+        if (iter + 1 >= total_iters) {
+          // Target reached; fall through to measurement below.
+          break;
+        }
+      }
+      if (probe && f.actor == probe->sink &&
+          st.cycles_done % sink_cycles_per_iter == 0) {
+        const std::uint64_t iter = st.cycles_done / sink_cycles_per_iter - 1;
+        if (iter < sink_iter_end.size()) sink_iter_end[iter] = now;
+      }
+    }
+
+    if (result.events >= config.max_events) {
+      result.status = SimulationStatus::EventLimit;
+      result.message = "event limit reached at t=" + std::to_string(now) + "ps";
+      result.end_time_ps = now;
+      return result;
+    }
+
+    // The completion can enable the actor itself and the consumers of the
+    // tokens it just delivered; everything else is unaffected.
+    enqueue(f.actor);
+    for (const EdgeId eid : graph.out_edges(f.actor)) {
+      const ActorId consumer = graph.edge(eid).dst;
+      if (!actors[consumer.value()].busy) enqueue(consumer);
+    }
+    drain_worklist();
+  }
+
+  result.status = SimulationStatus::Completed;
+  result.end_time_ps = now;
+
+  const std::uint32_t w = config.warmup_iterations;
+  const std::uint32_t m = config.measured_iterations;
+  // Average period over the measured window. With warmup == 0 the window
+  // starts at iteration 0, whose "previous completion" is time 0.
+  const std::uint64_t t_begin = w == 0 ? ref_iter_end[0] : ref_iter_end[w - 1];
+  const std::uint64_t t_end = ref_iter_end[w + m - 1];
+  const std::uint32_t spans = w == 0 ? m - 1 : m;
+  result.period_ps = spans == 0 ? t_begin : (t_end - t_begin + spans - 1) / spans;
+
+  std::uint64_t max_span = 0;
+  for (std::uint32_t i = (w == 0 ? 1 : w); i < w + m; ++i) {
+    max_span = std::max(max_span, ref_iter_end[i] - ref_iter_end[i - 1]);
+  }
+  result.max_period_ps = max_span;
+
+  if (probe) {
+    std::uint64_t worst = 0;
+    for (std::uint32_t i = w; i < w + m; ++i) {
+      if (sink_iter_end[i] == 0) continue;  // sink lagging behind reference
+      if (sink_iter_end[i] > src_iter_start[i]) {
+        worst = std::max(worst, sink_iter_end[i] - src_iter_start[i]);
+      }
+    }
+    result.latency_ps = worst;
+  }
+  return result;
+}
+
+}  // namespace rtsm::csdf

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "csdf/analysis.hpp"
+#include "csdf/graph.hpp"
+
+namespace rtsm::csdf {
+
+/// Outcome classification of a self-timed execution.
+enum class SimulationStatus {
+  /// The reference actor completed the requested number of iterations.
+  Completed,
+  /// No actor can fire and none is in flight: the graph is deadlocked
+  /// (typically by insufficient buffer capacity).
+  Deadlock,
+  /// The event budget was exhausted before the target was reached.
+  EventLimit,
+};
+
+/// Parameters of a self-timed simulation run.
+struct SimulationConfig {
+  /// Iterations to run before measurement starts (reach steady state).
+  std::uint32_t warmup_iterations = 8;
+  /// Iterations over which the period is averaged.
+  std::uint32_t measured_iterations = 16;
+  /// Hard cap on firings, guards against runaway multi-rate graphs.
+  std::uint64_t max_events = 20'000'000;
+};
+
+/// Optional source/sink pair for latency measurement.
+struct LatencyProbe {
+  ActorId source;
+  ActorId sink;
+};
+
+/// Results of a self-timed execution.
+struct SimulationResult {
+  SimulationStatus status = SimulationStatus::Deadlock;
+
+  /// Average steady-state iteration period over the measured window, ps.
+  std::uint64_t period_ps = 0;
+
+  /// Worst iteration-to-iteration distance in the measured window, ps.
+  std::uint64_t max_period_ps = 0;
+
+  /// Max over measured iterations of sink-completion minus source-start, ps
+  /// (0 when no probe was given).
+  std::uint64_t latency_ps = 0;
+
+  /// Total firings executed.
+  std::uint64_t events = 0;
+
+  /// Time of the last processed event, ps.
+  std::uint64_t end_time_ps = 0;
+
+  /// Human-readable cause for Deadlock / EventLimit.
+  std::string message;
+};
+
+/// Executes @p graph self-timed (every actor fires as early as possible,
+/// sequentially, consuming tokens at firing start with output space reserved
+/// at start and tokens delivered at firing end) until @p reference has
+/// completed warmup + measured iterations, where one iteration of an actor
+/// is rv.cycles[actor] full phase cycles.
+///
+/// Deterministic: ties are broken by actor id.
+[[nodiscard]] SimulationResult simulate(const Graph& graph,
+                                        const RepetitionVector& rv,
+                                        ActorId reference,
+                                        const SimulationConfig& config = {},
+                                        std::optional<LatencyProbe> probe = {});
+
+}  // namespace rtsm::csdf

@@ -1,0 +1,4 @@
+#include "energy/model.hpp"
+
+// EnergyModel is header-only today; this translation unit anchors the
+// library target and keeps room for calibrated, table-driven models.

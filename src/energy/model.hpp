@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "kpn/application.hpp"
+#include "noc/link_load.hpp"
+
+namespace rtsm::energy {
+
+/// Energy cost parameters of the platform.
+///
+/// Processing energy comes from the implementation descriptors (paper
+/// Table 1). The paper does not quantify NoC energy; the defaults here make
+/// communication a realistic ~10% of processing energy for the HIPERLAN/2
+/// case (see DESIGN.md assumption 9) and are configurable for studies.
+struct EnergyModel {
+  /// Energy for moving one token across one router-to-router hop
+  /// (router traversal + link), nanojoule.
+  double hop_nj_per_token = 0.1;
+
+  /// Fixed per-token cost of NI injection + ejection, nanojoule.
+  double ni_nj_per_token = 0.05;
+
+  /// Energy per symbol for processing @p impl (from its descriptor).
+  [[nodiscard]] double processing_nj(const kpn::Implementation& impl) const {
+    return impl.energy_nj_per_symbol;
+  }
+
+  /// Communication energy per symbol for a channel crossing @p rr_hops
+  /// router-to-router links (0 hops = same tile = free).
+  [[nodiscard]] double comm_nj(std::uint32_t tokens_per_symbol,
+                               std::size_t rr_hops) const {
+    if (rr_hops == 0) return 0.0;
+    return tokens_per_symbol *
+           (hop_nj_per_token * static_cast<double>(rr_hops) + ni_nj_per_token);
+  }
+
+  /// Communication energy of a routed channel per symbol.
+  [[nodiscard]] double comm_nj(const kpn::Channel& channel,
+                               const noc::Path& path,
+                               const arch::Platform& platform) const {
+    return comm_nj(channel.tokens_per_symbol, path.rr_hops(platform));
+  }
+};
+
+}  // namespace rtsm::energy

@@ -1,0 +1,134 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace rtsm::graph {
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return NodeId{static_cast<NodeId::value_type>(out_.size() - 1)};
+}
+
+void Digraph::add_nodes(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) add_node();
+}
+
+std::size_t Digraph::add_arc(NodeId from, NodeId to) {
+  check_node(from);
+  check_node(to);
+  arcs_.push_back(Arc{from, to});
+  const std::size_t index = arcs_.size() - 1;
+  out_[from.value()].push_back(index);
+  in_[to.value()].push_back(index);
+  return index;
+}
+
+const Arc& Digraph::arc(std::size_t index) const {
+  require(index < arcs_.size(), "Digraph::arc index out of range");
+  return arcs_[index];
+}
+
+const std::vector<std::size_t>& Digraph::out_arcs(NodeId node) const {
+  check_node(node);
+  return out_[node.value()];
+}
+
+const std::vector<std::size_t>& Digraph::in_arcs(NodeId node) const {
+  check_node(node);
+  return in_[node.value()];
+}
+
+std::optional<std::vector<NodeId>> Digraph::topological_order() const {
+  std::vector<std::size_t> indegree(node_count(), 0);
+  for (const Arc& a : arcs_) ++indegree[a.to.value()];
+
+  std::queue<NodeId> ready;
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    if (indegree[n] == 0) ready.push(NodeId{static_cast<NodeId::value_type>(n)});
+  }
+
+  std::vector<NodeId> order;
+  order.reserve(node_count());
+  while (!ready.empty()) {
+    const NodeId n = ready.front();
+    ready.pop();
+    order.push_back(n);
+    for (const std::size_t arc_index : out_[n.value()]) {
+      const NodeId m = arcs_[arc_index].to;
+      if (--indegree[m.value()] == 0) ready.push(m);
+    }
+  }
+  if (order.size() != node_count()) return std::nullopt;
+  return order;
+}
+
+bool Digraph::is_weakly_connected() const {
+  if (node_count() == 0) return true;
+  std::vector<bool> seen(node_count(), false);
+  std::vector<NodeId> stack{NodeId{0}};
+  seen[0] = true;
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    ++visited;
+    auto visit = [&](NodeId m) {
+      if (!seen[m.value()]) {
+        seen[m.value()] = true;
+        stack.push_back(m);
+      }
+    };
+    for (const std::size_t a : out_[n.value()]) visit(arcs_[a].to);
+    for (const std::size_t a : in_[n.value()]) visit(arcs_[a].from);
+  }
+  return visited == node_count();
+}
+
+std::vector<NodeId> Digraph::reachable_from(NodeId start) const {
+  check_node(start);
+  std::vector<bool> seen(node_count(), false);
+  std::vector<NodeId> stack{start};
+  std::vector<NodeId> result;
+  seen[start.value()] = true;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    result.push_back(n);
+    for (const std::size_t a : out_[n.value()]) {
+      const NodeId m = arcs_[a].to;
+      if (!seen[m.value()]) {
+        seen[m.value()] = true;
+        stack.push_back(m);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<NodeId> Digraph::sources() const {
+  std::vector<NodeId> result;
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    if (in_[n].empty()) result.push_back(NodeId{static_cast<NodeId::value_type>(n)});
+  }
+  return result;
+}
+
+std::vector<NodeId> Digraph::sinks() const {
+  std::vector<NodeId> result;
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    if (out_[n].empty()) result.push_back(NodeId{static_cast<NodeId::value_type>(n)});
+  }
+  return result;
+}
+
+void Digraph::check_node(NodeId node) const {
+  require(node.valid() && node.value() < node_count(),
+          "Digraph: node id out of range");
+}
+
+}  // namespace rtsm::graph

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace rtsm::graph {
+
+/// A directed edge between two nodes of a Digraph.
+struct Arc {
+  NodeId from;
+  NodeId to;
+};
+
+/// Minimal directed multigraph used as the structural backbone of the KPN
+/// and CSDF models.
+///
+/// Nodes and arcs are identified by dense indices, so NodeId/arc indices are
+/// stable across the graph's lifetime (no removal is supported — application
+/// and platform models are built once and then analysed).
+class Digraph {
+ public:
+  /// Adds a node and returns its id.
+  NodeId add_node();
+
+  /// Adds @p count nodes.
+  void add_nodes(std::size_t count);
+
+  /// Adds a directed arc; both endpoints must exist.
+  /// Returns the arc's dense index.
+  std::size_t add_arc(NodeId from, NodeId to);
+
+  [[nodiscard]] std::size_t node_count() const { return out_.size(); }
+  [[nodiscard]] std::size_t arc_count() const { return arcs_.size(); }
+
+  [[nodiscard]] const Arc& arc(std::size_t index) const;
+
+  /// Indices of arcs leaving @p node.
+  [[nodiscard]] const std::vector<std::size_t>& out_arcs(NodeId node) const;
+
+  /// Indices of arcs entering @p node.
+  [[nodiscard]] const std::vector<std::size_t>& in_arcs(NodeId node) const;
+
+  /// Topological order of node ids, or nullopt if the graph has a cycle.
+  [[nodiscard]] std::optional<std::vector<NodeId>> topological_order() const;
+
+  /// True when no directed cycle exists.
+  [[nodiscard]] bool is_acyclic() const { return topological_order().has_value(); }
+
+  /// True when the underlying undirected graph is connected
+  /// (vacuously true for the empty graph).
+  [[nodiscard]] bool is_weakly_connected() const;
+
+  /// All nodes reachable from @p start by directed arcs (including start).
+  [[nodiscard]] std::vector<NodeId> reachable_from(NodeId start) const;
+
+  /// Nodes with no incoming arcs.
+  [[nodiscard]] std::vector<NodeId> sources() const;
+
+  /// Nodes with no outgoing arcs.
+  [[nodiscard]] std::vector<NodeId> sinks() const;
+
+ private:
+  void check_node(NodeId node) const;
+
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::size_t>> out_;
+  std::vector<std::vector<std::size_t>> in_;
+};
+
+}  // namespace rtsm::graph

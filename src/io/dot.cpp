@@ -1,0 +1,128 @@
+#include "io/dot.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace rtsm::io {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = "n";
+  for (const char ch : name) {
+    out += (std::isalnum(static_cast<unsigned char>(ch)) != 0) ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string kpn_to_dot(const kpn::Application& app) {
+  std::ostringstream os;
+  os << "digraph \"" << app.name() << "\" {\n  rankdir=LR;\n";
+  for (const ProcessId pid : app.process_ids()) {
+    const kpn::Process& p = app.process(pid);
+    os << "  " << sanitize(p.name) << " [label=\"" << p.name << "\""
+       << (p.is_fixture() ? ", shape=box" : ", shape=ellipse") << "];\n";
+  }
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& c = app.channel(cid);
+    os << "  " << sanitize(app.process(c.src).name) << " -> "
+       << sanitize(app.process(c.dst).name) << " [label=\""
+       << c.tokens_per_symbol << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string platform_to_dot(const arch::Platform& platform) {
+  std::ostringstream os;
+  os << "graph \"" << platform.name() << "\" {\n  node [shape=box];\n";
+  for (std::uint32_t y = 0; y < platform.mesh_height(); ++y) {
+    for (std::uint32_t x = 0; x < platform.mesh_width(); ++x) {
+      const RouterId r = platform.router_at(x, y);
+      os << "  R" << r.value() << " [label=\"R\", shape=circle, pos=\"" << x
+         << "," << platform.mesh_height() - 1 - y << "!\"];\n";
+      if (x + 1 < platform.mesh_width()) {
+        os << "  R" << r.value() << " -- R"
+           << platform.router_at(x + 1, y).value() << ";\n";
+      }
+      if (y + 1 < platform.mesh_height()) {
+        os << "  R" << r.value() << " -- R"
+           << platform.router_at(x, y + 1).value() << ";\n";
+      }
+    }
+  }
+  for (const TileId tid : platform.tile_ids()) {
+    const arch::Tile& t = platform.tile(tid);
+    os << "  " << sanitize(t.name) << " [label=\"" << t.name << "\\n("
+       << platform.tile_type(t.type).name << ")\"];\n";
+    os << "  " << sanitize(t.name) << " -- R"
+       << platform.tile_router(tid).value() << " [style=dashed];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string csdf_to_dot(const csdf::Graph& graph) {
+  std::ostringstream os;
+  os << "digraph csdf {\n  rankdir=LR;\n";
+  for (const ActorId aid : graph.actor_ids()) {
+    const csdf::Actor& a = graph.actor(aid);
+    os << "  a" << aid.value() << " [label=\"" << a.name << "\\n|phases|="
+       << a.phase_count() << "\"];\n";
+  }
+  for (const EdgeId eid : graph.edge_ids()) {
+    const csdf::Edge& e = graph.edge(eid);
+    os << "  a" << e.src.value() << " -> a" << e.dst.value() << " [label=\"";
+    if (e.capacity) os << "cap=" << *e.capacity;
+    else os << "cap=inf";
+    if (e.initial_tokens > 0) os << ", init=" << e.initial_tokens;
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string platform_ascii(const arch::Platform& platform,
+                           const kpn::Application* app,
+                           const core::Mapping* mapping) {
+  // Cell text: "TileName(TYPE)[procs]" or "." for bare routers.
+  const std::uint32_t w = platform.mesh_width();
+  const std::uint32_t h = platform.mesh_height();
+  std::vector<std::string> cell(static_cast<std::size_t>(w) * h, "(router)");
+
+  for (const TileId tid : platform.tile_ids()) {
+    const arch::Tile& t = platform.tile(tid);
+    std::string text = t.name + ":" + platform.tile_type(t.type).name;
+    if (app != nullptr && mapping != nullptr) {
+      std::string procs;
+      for (const ProcessId pid : app->process_ids()) {
+        if (mapping->is_assigned(pid) && mapping->tile_of(pid) == tid) {
+          if (!procs.empty()) procs += ",";
+          procs += app->process(pid).name;
+        }
+      }
+      if (!procs.empty()) text += " <- {" + procs + "}";
+    }
+    cell[static_cast<std::size_t>(t.y) * w + t.x] = text;
+  }
+
+  std::size_t width = 0;
+  for (const auto& c : cell) width = std::max(width, c.size());
+
+  std::ostringstream os;
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      const std::string& c = cell[static_cast<std::size_t>(y) * w + x];
+      os << "[R] " << c << std::string(width - c.size(), ' ');
+      os << (x + 1 < w ? "  " : "");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rtsm::io

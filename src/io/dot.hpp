@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "arch/platform.hpp"
+#include "core/mapping.hpp"
+#include "csdf/graph.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::io {
+
+/// Graphviz rendering of a KPN application (Figure 1 style): processes as
+/// nodes, channels labelled with tokens per symbol.
+[[nodiscard]] std::string kpn_to_dot(const kpn::Application& app);
+
+/// Graphviz rendering of a platform: routers as a grid, tiles attached,
+/// coloured by type.
+[[nodiscard]] std::string platform_to_dot(const arch::Platform& platform);
+
+/// Graphviz rendering of a CSDF graph (Figure 3 style): actors labelled
+/// with their phase WCETs, edges with capacities.
+[[nodiscard]] std::string csdf_to_dot(const csdf::Graph& graph);
+
+/// ASCII-art layout of the mesh (Figure 2 style); when @p mapping and
+/// @p app are given, each tile is annotated with the processes it hosts.
+[[nodiscard]] std::string platform_ascii(const arch::Platform& platform,
+                                         const kpn::Application* app = nullptr,
+                                         const core::Mapping* mapping = nullptr);
+
+}  // namespace rtsm::io

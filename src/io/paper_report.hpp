@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::io {
+
+/// Renders the application's implementation alternatives in the shape of the
+/// paper's Table 1: process, PE type, input/output/WCET phase vectors in the
+/// run-length notation, and average energy per symbol.
+[[nodiscard]] std::string render_table1(const kpn::Application& app);
+
+/// Renders a step-2 trace in the shape of the paper's Table 2: one column
+/// per tile in @p tile_columns showing which process sits on it, the cost,
+/// and the keep/revert remark. Trailing non-improving evaluations (the
+/// stopping check) are collapsed into the final "No further choices" row,
+/// exactly as the paper's table does.
+[[nodiscard]] std::string render_table2(const kpn::Application& app,
+                                        const core::Step2Trace& trace,
+                                        const std::vector<std::string>& tile_columns);
+
+/// Renders the step-1 decisions (process order, chosen implementation,
+/// desirability margin) as a table; "default" marks single-option picks.
+[[nodiscard]] std::string render_step1(const std::vector<core::Step1Record>& records);
+
+/// Renders the step-3 routing log (channel order, demand, routers, hops).
+[[nodiscard]] std::string render_step3(const std::vector<core::Step3Record>& records);
+
+}  // namespace rtsm::io

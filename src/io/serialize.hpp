@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "arch/platform.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::io {
+
+/// Renders an application to the library's line-oriented text format.
+///
+/// The format is stable, human-editable and loss-free for everything the
+/// mapper consumes: QoS, processes/fixtures, channels, and CSDF
+/// implementation descriptors with run-length phase vectors, e.g.
+///
+///   application "HIPERLAN/2 receiver"
+///   period_ns 4000
+///   fixture "A/D" pinned "A/D"
+///   process "Pfx.rem."
+///   channel "A/D" -> "Pfx.rem." tokens 80 token_bytes 4
+///   impl "Pfx.rem." "Pfx.rem.@ARM" type "ARM" energy 60 memory 8192
+///     wcet 18^18
+///     input 0 rates 8^2,8,0,8,0,8,0,8,0,8,0,8,0,8,0,8,0
+///     output 1 rates 0^2,0,8,0,8,0,8,0,8,0,8,0,8,0,8,0,8
+///   end
+[[nodiscard]] std::string save_application(const kpn::Application& app);
+
+/// Parses the text format back into an application.
+/// Throws rtsm::Error with a line number on malformed input.
+[[nodiscard]] kpn::Application load_application(const std::string& text);
+
+/// Renders a platform to the text format:
+///
+///   platform "paper 3x3 MPSoC" mesh 3 3
+///   noc capacity 200000000 router_cc 4 clock_hz 200000000 hop_buffer 4
+///   type "ARM" clock_hz 200000000
+///   tile "ARM1" type "ARM" at 0 0 memory 65536 slots 1
+///   end
+[[nodiscard]] std::string save_platform(const arch::Platform& platform);
+
+/// Parses the platform text format.
+/// Throws rtsm::Error with a line number on malformed input.
+[[nodiscard]] arch::Platform load_platform(const std::string& text);
+
+}  // namespace rtsm::io

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rtsm::io {
+
+/// Fixed-width plain-text table writer used by all paper-table benches.
+///
+/// Columns are sized to their widest cell; the header is separated by a
+/// rule. Left-aligned by default; numeric columns can be right-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Marks a column as right-aligned (for numbers).
+  void align_right(std::size_t column);
+
+  /// Adds a data row; must have as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders the table.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = rule
+  std::vector<bool> right_align_;
+};
+
+}  // namespace rtsm::io

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kpn/implementation.hpp"
+#include "kpn/qos.hpp"
+#include "util/ids.hpp"
+
+namespace rtsm::kpn {
+
+/// A point-to-point FIFO channel of the KPN (an edge of Figure 1).
+struct Channel {
+  std::string name;
+  ProcessId src;
+  ProcessId dst;
+  /// Tokens transported per application iteration (per OFDM symbol).
+  std::uint32_t tokens_per_symbol = 0;
+  /// Size of one token in bytes (32-bit complex samples -> 4).
+  std::uint32_t token_bytes = 4;
+};
+
+/// A process (node of the KPN). Regular processes carry one or more
+/// alternative implementations; *fixtures* (A/D converter, Sink) are pinned
+/// to a named tile and have exactly one implementation describing their
+/// interface timing.
+struct Process {
+  std::string name;
+  std::vector<Implementation> implementations;
+  /// Name of the platform tile this process is pre-bound to, if any.
+  std::optional<std::string> pinned_tile;
+
+  [[nodiscard]] bool is_fixture() const { return pinned_tile.has_value(); }
+};
+
+/// A streaming application: KPN topology + per-process implementation
+/// alternatives + QoS constraints. Together these form the Application
+/// Level Specification (ALS) of the paper.
+///
+/// The class maintains referential integrity on construction; full semantic
+/// validation (rate consistency etc.) is performed by validate().
+class Application {
+ public:
+  Application(std::string name, QosConstraints qos);
+
+  /// Adds a mappable process. Name must be unique within the application.
+  ProcessId add_process(const std::string& name);
+
+  /// Adds a fixture process pinned to platform tile @p pinned_tile.
+  ProcessId add_fixture(const std::string& name,
+                        const std::string& pinned_tile);
+
+  /// Adds a FIFO channel carrying @p tokens_per_symbol tokens per iteration.
+  ChannelId connect(ProcessId src, ProcessId dst,
+                    std::uint32_t tokens_per_symbol,
+                    std::uint32_t token_bytes = 4);
+
+  /// Registers an implementation alternative for @p process.
+  ImplementationId add_implementation(ProcessId process, Implementation impl);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const QosConstraints& qos() const { return qos_; }
+
+  [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+
+  [[nodiscard]] const Process& process(ProcessId id) const;
+  [[nodiscard]] const Channel& channel(ChannelId id) const;
+
+  /// Implementation @p impl of process @p process.
+  [[nodiscard]] const Implementation& implementation(
+      ProcessId process, ImplementationId impl) const;
+
+  /// Ids of all processes, in insertion (pipeline) order.
+  [[nodiscard]] std::vector<ProcessId> process_ids() const;
+
+  /// Ids of all channels, in insertion order.
+  [[nodiscard]] std::vector<ChannelId> channel_ids() const;
+
+  /// Channels entering / leaving @p process, in insertion order.
+  [[nodiscard]] const std::vector<ChannelId>& in_channels(ProcessId) const;
+  [[nodiscard]] const std::vector<ChannelId>& out_channels(ProcessId) const;
+
+  /// Process id by name; throws rtsm::Error if unknown.
+  [[nodiscard]] ProcessId process_by_name(const std::string& name) const;
+
+  /// Sustained token rate demanded of @p channel, tokens per second.
+  [[nodiscard]] double tokens_per_second(ChannelId id) const;
+
+  /// Payload rate of @p channel in bits per second.
+  [[nodiscard]] double bits_per_second(ChannelId id) const;
+
+  /// Number of CSDF cycles implementation @p impl of @p process executes per
+  /// symbol. Throws rtsm::Error if the implementation's port rates are not an
+  /// integral divisor of the channel's per-symbol token count, or if ports
+  /// disagree.
+  [[nodiscard]] std::uint64_t cycles_per_symbol(ProcessId process,
+                                                ImplementationId impl) const;
+
+  /// Full semantic validation: every process has >= 1 implementation, every
+  /// implementation's ports cover exactly the process's channels, rates are
+  /// integral and mutually consistent, the KPN is weakly connected, and
+  /// per-symbol token totals match the channel annotation. Throws
+  /// rtsm::Error with a precise message on the first violation.
+  void validate() const;
+
+ private:
+  void check_process(ProcessId id) const;
+  void check_channel(ChannelId id) const;
+
+  std::string name_;
+  QosConstraints qos_;
+  std::vector<Process> processes_;
+  std::vector<Channel> channels_;
+  std::vector<std::vector<ChannelId>> in_channels_;
+  std::vector<std::vector<ChannelId>> out_channels_;
+};
+
+}  // namespace rtsm::kpn

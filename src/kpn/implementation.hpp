@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace rtsm::kpn {
+
+/// Tokens moved per CSDF phase on one port (index = phase).
+using PhaseRates = std::vector<std::uint32_t>;
+
+/// Binds one port of an implementation to a channel of the application.
+struct PortSpec {
+  /// The application channel this port reads from / writes to.
+  ChannelId channel;
+  /// Tokens consumed (input port) or produced (output port) in each phase.
+  PhaseRates rates;
+};
+
+/// One concrete realisation of a process for one tile type, specified as a
+/// Cyclo-Static Dataflow actor (paper Table 1).
+///
+/// All phase vectors (wcet_cc and every port's rates) must have the same
+/// length; one pass through the phases is one CSDF *cycle*. A cycle may move
+/// only a fraction of a symbol (e.g. Freq.off/ARM moves 8 of 64 tokens per
+/// cycle and therefore runs 8 cycles per symbol).
+struct Implementation {
+  /// Display name, e.g. "iOFDM@MONTIUM".
+  std::string name;
+
+  /// Tile type this implementation runs on (resolved by name against the
+  /// platform, keeping the application model hardware-independent).
+  std::string tile_type;
+
+  /// Worst-case execution time of each phase, in clock cycles of the tile.
+  std::vector<std::uint32_t> wcet_cc;
+
+  /// One entry per incoming channel of the process.
+  std::vector<PortSpec> inputs;
+
+  /// One entry per outgoing channel of the process.
+  std::vector<PortSpec> outputs;
+
+  /// Average energy for processing one symbol, in nanojoule (Table 1).
+  double energy_nj_per_symbol = 0.0;
+
+  /// Static memory demand (code + state + reserved FIFO space), bytes.
+  std::uint64_t memory_bytes = 0;
+
+  /// Number of CSDF phases.
+  [[nodiscard]] std::size_t phase_count() const { return wcet_cc.size(); }
+
+  /// Sum of all phase WCETs: execution time of one full CSDF cycle.
+  [[nodiscard]] std::uint64_t cycle_wcet_cc() const;
+
+  /// Tokens moved per CSDF cycle on @p port.
+  [[nodiscard]] static std::uint64_t tokens_per_cycle(const PortSpec& port);
+
+  /// Structural check of this implementation alone: non-empty phases, equal
+  /// phase vector lengths, no all-zero port. Throws rtsm::Error on failure.
+  void validate_shape() const;
+};
+
+/// Convenience builders for the run-length phase notation of the paper,
+/// e.g. phases({{8, 2}, {0, 1}, {8, 8}}) = <8^2, 0, 8^8>.
+struct PhaseRun {
+  std::uint32_t value;
+  std::uint32_t repeat;
+};
+
+/// Expands run-length encoded phases into a flat rate vector.
+[[nodiscard]] PhaseRates phases(std::initializer_list<PhaseRun> runs);
+
+/// n phases of the same value.
+[[nodiscard]] PhaseRates uniform_phases(std::uint32_t value, std::size_t n);
+
+}  // namespace rtsm::kpn

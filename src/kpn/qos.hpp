@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace rtsm::kpn {
+
+/// Quality-of-Service constraints of an application, part of the
+/// Application Level Specification (ALS).
+///
+/// A streaming application processes one "symbol" (application iteration)
+/// per period; the HIPERLAN/2 receiver consumes one OFDM symbol every 4 us.
+struct QosConstraints {
+  /// Required sustained iteration period in nanoseconds (throughput).
+  std::uint64_t symbol_period_ns = 4000;
+
+  /// Optional bound on source-to-sink latency of one symbol, in nanoseconds.
+  std::optional<std::uint64_t> max_latency_ns;
+
+  /// Symbols per (MAC) frame; informational, used by workload descriptions.
+  std::uint32_t frame_symbols = 500;
+};
+
+}  // namespace rtsm::kpn

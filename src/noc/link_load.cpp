@@ -1,0 +1,87 @@
+#include "noc/link_load.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace rtsm::noc {
+
+namespace {
+// Relative slack tolerating float accumulation across many reservations.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+std::size_t Path::rr_hops(const arch::Platform& platform) const {
+  std::size_t hops = 0;
+  for (const LinkId link : links) {
+    if (platform.link(link).kind == arch::LinkKind::RouterToRouter) ++hops;
+  }
+  return hops;
+}
+
+std::vector<RouterId> Path::routers(const arch::Platform& platform) const {
+  std::vector<RouterId> result;
+  for (const LinkId link : links) {
+    const arch::Link& l = platform.link(link);
+    switch (l.kind) {
+      case arch::LinkKind::Inject:
+        result.push_back(l.to_router);
+        break;
+      case arch::LinkKind::RouterToRouter:
+        result.push_back(l.to_router);
+        break;
+      case arch::LinkKind::Eject:
+        break;  // from_router already recorded by the previous link
+    }
+  }
+  return result;
+}
+
+LinkLoad::LinkLoad(const arch::Platform& platform)
+    : platform_(&platform), reserved_(platform.link_count(), 0.0) {}
+
+double LinkLoad::reserved(LinkId link) const {
+  require(link.valid() && link.value() < reserved_.size(),
+          "link id out of range");
+  return reserved_[link.value()];
+}
+
+double LinkLoad::residual(LinkId link) const {
+  return platform_->link(link).capacity_tokens_per_s - reserved(link);
+}
+
+bool LinkLoad::fits(LinkId link, double demand) const {
+  const double cap = platform_->link(link).capacity_tokens_per_s;
+  return reserved(link) + demand <= cap * (1.0 + kSlack);
+}
+
+void LinkLoad::reserve(LinkId link, double demand) {
+  require(demand >= 0, "negative link demand");
+  require(fits(link, demand), "link over-reservation");
+  reserved_[link.value()] += demand;
+}
+
+void LinkLoad::release(LinkId link, double demand) {
+  require(demand >= 0, "negative link demand");
+  double& r = reserved_[link.value()];
+  r = r > demand ? r - demand : 0.0;
+}
+
+void LinkLoad::reserve_path(const Path& path, double demand) {
+  // Validate the whole path first so a failed reservation is atomic.
+  for (const LinkId link : path.links) {
+    require(fits(link, demand), "path over-reservation on link " +
+                                    std::to_string(link.value()));
+  }
+  for (const LinkId link : path.links) reserve(link, demand);
+}
+
+void LinkLoad::release_path(const Path& path, double demand) {
+  for (const LinkId link : path.links) release(link, demand);
+}
+
+double LinkLoad::total_reserved() const {
+  return std::accumulate(reserved_.begin(), reserved_.end(), 0.0);
+}
+
+}  // namespace rtsm::noc

@@ -1,0 +1,121 @@
+#include "noc/route.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace rtsm::noc {
+
+namespace {
+
+std::optional<Path> finish_path(const LinkLoad& load, TileId src, TileId dst,
+                                std::vector<LinkId> rr_links,
+                                double demand) {
+  const arch::Platform& p = load.platform();
+  Path path;
+  path.src_tile = src;
+  path.dst_tile = dst;
+  const LinkId inject = p.inject_link(src);
+  const LinkId eject = p.eject_link(dst);
+  if (!load.fits(inject, demand) || !load.fits(eject, demand)) {
+    return std::nullopt;
+  }
+  path.links.push_back(inject);
+  path.links.insert(path.links.end(), rr_links.begin(), rr_links.end());
+  path.links.push_back(eject);
+  return path;
+}
+
+}  // namespace
+
+std::optional<Path> route_shortest(const LinkLoad& load, TileId src,
+                                   TileId dst, double demand_tokens_per_s) {
+  const arch::Platform& p = load.platform();
+  if (src == dst) return Path{src, dst, {}};
+
+  const RouterId start = p.tile_router(src);
+  const RouterId goal = p.tile_router(dst);
+
+  // Uniform-cost search over routers; admissible links only. Parent links
+  // chosen so the router index sequence is lexicographically minimal among
+  // shortest routes (deterministic tie-break).
+  const std::size_t n = p.router_count();
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(n, kInf);
+  std::vector<LinkId> parent_link(n);
+
+  using Entry = std::pair<std::uint32_t, RouterId::value_type>;  // (dist, router)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+  dist[start.value()] = 0;
+  open.emplace(0, start.value());
+
+  while (!open.empty()) {
+    const auto [d, rv] = open.top();
+    open.pop();
+    if (d > dist[rv]) continue;
+    const RouterId r{rv};
+    for (const LinkId lid : p.router_out_links(r)) {
+      if (!load.fits(lid, demand_tokens_per_s)) continue;
+      const RouterId next = p.link(lid).to_router;
+      const std::uint32_t nd = d + 1;
+      auto& best = dist[next.value()];
+      if (nd < best) {
+        best = nd;
+        parent_link[next.value()] = lid;
+        open.emplace(nd, next.value());
+      } else if (nd == best && parent_link[next.value()].valid()) {
+        // Prefer the predecessor with the smaller router index for a
+        // deterministic, lexicographically minimal route.
+        const RouterId cur_pred = p.link(parent_link[next.value()]).from_router;
+        if (r.value() < cur_pred.value()) parent_link[next.value()] = lid;
+      }
+    }
+  }
+
+  if (dist[goal.value()] == kInf) return std::nullopt;
+
+  std::vector<LinkId> rr;
+  for (RouterId r = goal; r != start;) {
+    const LinkId lid = parent_link[r.value()];
+    rr.push_back(lid);
+    r = p.link(lid).from_router;
+  }
+  std::reverse(rr.begin(), rr.end());
+  return finish_path(load, src, dst, std::move(rr), demand_tokens_per_s);
+}
+
+std::optional<Path> route_xy(const LinkLoad& load, TileId src, TileId dst,
+                             double demand_tokens_per_s) {
+  const arch::Platform& p = load.platform();
+  if (src == dst) return Path{src, dst, {}};
+
+  auto [x, y] = p.router_pos(p.tile_router(src));
+  const auto [gx, gy] = p.router_pos(p.tile_router(dst));
+
+  std::vector<LinkId> rr;
+  auto step_to = [&](std::uint32_t nx, std::uint32_t ny) -> bool {
+    const RouterId from = p.router_at(x, y);
+    const RouterId to = p.router_at(nx, ny);
+    for (const LinkId lid : p.router_out_links(from)) {
+      if (p.link(lid).to_router != to) continue;
+      if (!load.fits(lid, demand_tokens_per_s)) return false;
+      rr.push_back(lid);
+      x = nx;
+      y = ny;
+      return true;
+    }
+    return false;
+  };
+
+  while (x != gx) {
+    if (!step_to(x < gx ? x + 1 : x - 1, y)) return std::nullopt;
+  }
+  while (y != gy) {
+    if (!step_to(x, y < gy ? y + 1 : y - 1)) return std::nullopt;
+  }
+  return finish_path(load, src, dst, std::move(rr), demand_tokens_per_s);
+}
+
+}  // namespace rtsm::noc

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <optional>
+
+#include "noc/link_load.hpp"
+
+namespace rtsm::noc {
+
+/// Capacity-aware shortest path between two tiles.
+///
+/// Finds a minimal-hop route whose every link (NI and router-to-router) has
+/// residual capacity for @p demand_tokens_per_s; among equal-length routes
+/// the lexicographically smallest router sequence is chosen, making results
+/// deterministic. Returns an empty path for src == dst and nullopt when no
+/// admissible route exists.
+[[nodiscard]] std::optional<Path> route_shortest(const LinkLoad& load,
+                                                 TileId src, TileId dst,
+                                                 double demand_tokens_per_s);
+
+/// Dimension-ordered (X then Y) route, the classic deterministic baseline.
+///
+/// Returns nullopt when any link on the fixed XY route lacks capacity —
+/// unlike route_shortest it cannot detour around congestion.
+[[nodiscard]] std::optional<Path> route_xy(const LinkLoad& load, TileId src,
+                                           TileId dst,
+                                           double demand_tokens_per_s);
+
+}  // namespace rtsm::noc

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace rtsm {
+
+/// Type-safe index wrapper.
+///
+/// Each domain object family (processes, channels, tiles, links, CSDF actors,
+/// ...) uses its own `Id<Tag>` instantiation so indices into one container
+/// cannot silently be used with another. Ids are small value types ordered by
+/// their underlying index; `Id{}` is the invalid sentinel.
+template <class Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Constructs the invalid sentinel id.
+  constexpr Id() = default;
+
+  /// Wraps an index.
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  /// Underlying index; only meaningful when valid().
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+
+  /// True when this id refers to an object (is not the sentinel).
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+ private:
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+  value_type value_ = kInvalid;
+};
+
+struct ProcessTag {};
+struct ChannelTag {};
+struct ImplementationTag {};
+struct TileTag {};
+struct TileTypeTag {};
+struct RouterTag {};
+struct LinkTag {};
+struct ActorTag {};
+struct EdgeTag {};
+struct NodeTag {};
+struct AppTag {};
+
+/// A process (task) in a KPN application graph.
+using ProcessId = Id<ProcessTag>;
+/// A point-to-point FIFO channel between two processes.
+using ChannelId = Id<ChannelTag>;
+/// One concrete implementation of a process for one tile type.
+using ImplementationId = Id<ImplementationTag>;
+/// A tile (processing element + network interface) of the platform.
+using TileId = Id<TileTag>;
+/// A tile type (e.g. ARM, MONTIUM).
+using TileTypeId = Id<TileTypeTag>;
+/// A router of the NoC mesh.
+using RouterId = Id<RouterTag>;
+/// A directed NoC link (router->router or router<->tile).
+using LinkId = Id<LinkTag>;
+/// An actor of a CSDF graph.
+using ActorId = Id<ActorTag>;
+/// An edge (FIFO) of a CSDF graph.
+using EdgeId = Id<EdgeTag>;
+/// A node of a generic digraph.
+using NodeId = Id<NodeTag>;
+/// A running application instance registered with the resource manager.
+using AppId = Id<AppTag>;
+
+}  // namespace rtsm
+
+template <class Tag>
+struct std::hash<rtsm::Id<Tag>> {
+  std::size_t operator()(const rtsm::Id<Tag>& id) const noexcept {
+    return std::hash<typename rtsm::Id<Tag>::value_type>{}(id.value());
+  }
+};

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace rtsm {
+
+/// Exact rational number on 64-bit integers.
+///
+/// Used by the CSDF balance-equation solver, where floating point would make
+/// consistency checks unreliable. Always stored normalised: gcd(num, den) = 1
+/// and den > 0. Arithmetic detects signed overflow (via 128-bit intermediates)
+/// and throws rtsm::Error rather than wrapping.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() = default;
+
+  /// Whole number @p n.
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  /// @p num / @p den, normalised. Throws rtsm::Error if den == 0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+
+  /// Integer value; throws rtsm::Error unless is_integer().
+  [[nodiscard]] std::int64_t to_integer() const;
+
+  /// Closest double approximation.
+  [[nodiscard]] double to_double() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& rhs) const;
+  Rational operator-(const Rational& rhs) const;
+  Rational operator*(const Rational& rhs) const;
+  /// Throws rtsm::Error on division by zero.
+  Rational operator/(const Rational& rhs) const;
+
+  Rational& operator+=(const Rational& rhs) { return *this = *this + rhs; }
+  Rational& operator-=(const Rational& rhs) { return *this = *this - rhs; }
+  Rational& operator*=(const Rational& rhs) { return *this = *this * rhs; }
+  Rational& operator/=(const Rational& rhs) { return *this = *this / rhs; }
+
+  bool operator==(const Rational& rhs) const = default;
+  std::strong_ordering operator<=>(const Rational& rhs) const;
+
+  /// Reciprocal; throws rtsm::Error when zero.
+  [[nodiscard]] Rational inverse() const;
+
+  /// "num/den", or just "num" for integers.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+/// Least common multiple of two positive integers (overflow-checked).
+[[nodiscard]] std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+/// Greatest common divisor (non-negative result).
+[[nodiscard]] std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace rtsm

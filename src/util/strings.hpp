@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rtsm {
+
+/// Joins @p parts with @p sep ("a, b, c").
+[[nodiscard]] std::string join(std::span<const std::string> parts,
+                               const std::string& sep);
+
+/// Fixed-precision decimal rendering (no locale, no scientific notation).
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+/// Renders a phase-rate vector in the paper's compact notation:
+/// <8^2, 0, 8^8> — runs of equal values are collapsed to value^count.
+[[nodiscard]] std::string format_phase_vector(
+    std::span<const std::uint32_t> values);
+
+/// "1234567" -> "1,234,567" (thousands separators for table output).
+[[nodiscard]] std::string group_digits(std::uint64_t value);
+
+}  // namespace rtsm

@@ -1,0 +1,232 @@
+#include "workload/hiperlan2.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rtsm::workload {
+
+namespace names = hiperlan2_names;
+
+namespace {
+
+using kpn::phases;
+using kpn::PhaseRates;
+using kpn::uniform_phases;
+
+/// Memory footprints are not given in the paper; these are plausible code +
+/// state sizes, small against the 64 KiB tiles (DESIGN.md assumption 9).
+constexpr std::uint64_t kArmImplBytes = 8 * 1024;
+constexpr std::uint64_t kMontiumImplBytes = 2 * 1024;
+constexpr std::uint64_t kFixtureBytes = 256;
+
+}  // namespace
+
+kpn::Application make_hiperlan2_receiver(const Hiperlan2Config& config) {
+  const std::uint32_t b = mode_info(config.mode).output_tokens;
+  require(b >= 1, "HIPERLAN/2 mode with empty demapper output");
+
+  kpn::QosConstraints qos;
+  qos.symbol_period_ns = 4000;  // one OFDM symbol every 4 us
+  qos.frame_symbols = 500;      // 500 symbols per MAC frame
+
+  kpn::Application app("HIPERLAN/2 receiver", qos);
+
+  const ProcessId ad = app.add_fixture(names::kAd, names::kAd);
+  const ProcessId pfx = app.add_process(names::kPrefixRemoval);
+  const ProcessId frq = app.add_process(names::kFreqOffset);
+  const ProcessId iofdm = app.add_process(names::kInverseOfdm);
+  const ProcessId rem = app.add_process(names::kRemainder);
+  const ProcessId sink = app.add_fixture(names::kSink, names::kSink);
+
+  // Figure 1 edge annotations: 32-bit complex samples per OFDM symbol.
+  const ChannelId c_ad_pfx = app.connect(ad, pfx, 80);
+  const ChannelId c_pfx_frq = app.connect(pfx, frq, 64);
+  const ChannelId c_frq_iofdm = app.connect(frq, iofdm, 64);
+  const ChannelId c_iofdm_rem = app.connect(iofdm, rem, 52);
+  const ChannelId c_rem_sink = app.connect(rem, sink, b);
+
+  // --- Fixtures -----------------------------------------------------------
+  // A/D: one sample per NoC-side phase, 10 cc each -> exactly 800 cc
+  // (= 4 us at 200 MHz) per symbol; it is the stream's pacemaker.
+  {
+    kpn::Implementation im;
+    im.name = "A/D@IO";
+    im.tile_type = names::kIo;
+    im.wcet_cc = uniform_phases(10, 80);
+    im.outputs = {{c_ad_pfx, uniform_phases(1, 80)}};
+    im.energy_nj_per_symbol = 0.0;
+    im.memory_bytes = kFixtureBytes;
+    app.add_implementation(ad, std::move(im));
+  }
+  // Sink: absorbs one symbol's demapper output per firing, well under the
+  // period so it never throttles the pipeline.
+  {
+    kpn::Implementation im;
+    im.name = "Sink@IO";
+    im.tile_type = names::kIo;
+    im.wcet_cc = {400};
+    im.inputs = {{c_rem_sink, {b}}};
+    im.energy_nj_per_symbol = 0.0;
+    im.memory_bytes = kFixtureBytes;
+    app.add_implementation(sink, std::move(im));
+  }
+
+  // --- Prefix removal (Table 1, row 1) ------------------------------------
+  {
+    kpn::Implementation im;
+    im.name = "Pfx.rem.@ARM";
+    im.tile_type = names::kArm;
+    im.wcet_cc = uniform_phases(18, 18);
+    im.inputs = {{c_ad_pfx, phases({{8, 2}, {8, 1}, {0, 1}, {8, 1}, {0, 1},
+                                    {8, 1}, {0, 1}, {8, 1}, {0, 1}, {8, 1},
+                                    {0, 1}, {8, 1}, {0, 1}, {8, 1}, {0, 1},
+                                    {8, 1}, {0, 1}})}};
+    im.outputs = {{c_pfx_frq, phases({{0, 2}, {0, 1}, {8, 1}, {0, 1}, {8, 1},
+                                      {0, 1}, {8, 1}, {0, 1}, {8, 1}, {0, 1},
+                                      {8, 1}, {0, 1}, {8, 1}, {0, 1}, {8, 1},
+                                      {0, 1}, {8, 1}})}};
+    im.energy_nj_per_symbol = 60.0;
+    im.memory_bytes = kArmImplBytes;
+    app.add_implementation(pfx, std::move(im));
+  }
+  {
+    kpn::Implementation im;
+    im.name = "Pfx.rem.@MONTIUM";
+    im.tile_type = names::kMontium;
+    im.wcet_cc = uniform_phases(1, 81);
+    im.inputs = {{c_ad_pfx, phases({{1, 80}, {0, 1}})}};
+    im.outputs = {{c_pfx_frq, phases({{0, 17}, {1, 64}})}};
+    im.energy_nj_per_symbol = 32.0;
+    im.memory_bytes = kMontiumImplBytes;
+    app.add_implementation(pfx, std::move(im));
+  }
+
+  // --- Frequency offset correction (Table 1, row 2) -----------------------
+  {
+    kpn::Implementation im;
+    im.name = "Frq.off.@ARM";
+    im.tile_type = names::kArm;
+    im.wcet_cc = {18, 32, 18};
+    im.inputs = {{c_pfx_frq, {8, 0, 0}}};
+    im.outputs = {{c_frq_iofdm, {0, 0, 8}}};
+    im.energy_nj_per_symbol = 62.0;
+    im.memory_bytes = kArmImplBytes;
+    app.add_implementation(frq, std::move(im));
+  }
+  {
+    kpn::Implementation im;
+    im.name = "Frq.off.@MONTIUM";
+    im.tile_type = names::kMontium;
+    im.wcet_cc = uniform_phases(1, 66);
+    im.inputs = {{c_pfx_frq, phases({{1, 64}, {0, 2}})}};
+    im.outputs = {{c_frq_iofdm, phases({{0, 2}, {1, 64}})}};
+    im.energy_nj_per_symbol = 33.0;
+    im.memory_bytes = kMontiumImplBytes;
+    app.add_implementation(frq, std::move(im));
+  }
+
+  // --- Inverse OFDM (Table 1, row 3) ---------------------------------------
+  // The ARM row of Table 1 prints an output of 64 tokens, conflicting with
+  // Figure 1's 52-sample edge and the MONTIUM implementation; we take the
+  // KPN annotation as authoritative (DESIGN.md assumption 5).
+  {
+    kpn::Implementation im;
+    im.name = "Inv.OFDM@ARM";
+    im.tile_type = names::kArm;
+    im.wcet_cc = {66, 4250, 54};
+    im.inputs = {{c_frq_iofdm, {64, 0, 0}}};
+    im.outputs = {{c_iofdm_rem, {0, 0, 52}}};
+    im.energy_nj_per_symbol = 275.0;
+    im.memory_bytes = kArmImplBytes;
+    app.add_implementation(iofdm, std::move(im));
+  }
+  {
+    kpn::Implementation im;
+    im.name = "Inv.OFDM@MONTIUM";
+    im.tile_type = names::kMontium;
+    im.wcet_cc = phases({{1, 64}, {170, 1}, {1, 52}});
+    im.inputs = {{c_frq_iofdm, phases({{1, 64}, {0, 53}})}};
+    im.outputs = {{c_iofdm_rem, phases({{0, 65}, {1, 52}})}};
+    im.energy_nj_per_symbol = 143.0;
+    im.memory_bytes = kMontiumImplBytes;
+    app.add_implementation(iofdm, std::move(im));
+  }
+
+  // --- Remainder: equalization + phase offset + demapping (Table 1, row 4) -
+  {
+    kpn::Implementation im;
+    im.name = "Rem.@ARM";
+    im.tile_type = names::kArm;
+    im.wcet_cc = {54, 2250, b + 2};
+    im.inputs = {{c_iofdm_rem, {52, 0, 0}}};
+    im.outputs = {{c_rem_sink, {0, 0, b}}};
+    im.energy_nj_per_symbol = 140.0;
+    im.memory_bytes = kArmImplBytes;
+    app.add_implementation(rem, std::move(im));
+  }
+  {
+    kpn::Implementation im;
+    im.name = "Rem.@MONTIUM";
+    im.tile_type = names::kMontium;
+    // The paper's middle phase is 73-b cycles; clamp at one cycle so large
+    // constellations (b >= 72) stay well-formed.
+    const std::uint32_t mid = b < 72 ? 73 - b : 1;
+    im.wcet_cc = phases({{1, 52}, {mid, 1}, {1, b}});
+    im.inputs = {{c_iofdm_rem, phases({{1, 52}, {0, 1 + b}})}};
+    im.outputs = {{c_rem_sink, phases({{0, 53}, {1, b}})}};
+    im.energy_nj_per_symbol = 76.0;
+    im.memory_bytes = kMontiumImplBytes;
+    app.add_implementation(rem, std::move(im));
+  }
+
+  app.validate();
+  return app;
+}
+
+arch::Platform make_paper_platform(const Hiperlan2Config& config) {
+  arch::NocParams noc;
+  noc.noc_clock_hz = config.clock_hz;
+  noc.link_capacity_tokens_per_s = static_cast<double>(config.clock_hz);
+  noc.router_latency_cc = 4;
+  noc.hop_buffer_tokens = 4;
+
+  arch::Platform platform("paper 3x3 MPSoC", 3, 3, noc);
+
+  const TileTypeId arm =
+      platform.add_tile_type(names::kArm, config.clock_hz);
+  const TileTypeId montium =
+      platform.add_tile_type(names::kMontium, config.clock_hz);
+  const TileTypeId io = platform.add_tile_type(names::kIo, config.clock_hz);
+  const TileTypeId other =
+      platform.add_tile_type(names::kUnused, config.clock_hz);
+
+  const std::uint64_t mem = config.tile_memory_bytes;
+  // Coordinates reconstructed from Table 2 (DESIGN.md assumption 1).
+  // Insertion order = step-1 first-fit order.
+  platform.add_tile("ARM1", arm, 0, 0, mem);
+  platform.add_tile("ARM2", arm, 0, 1, mem);
+  platform.add_tile("MONTIUM1", montium, 1, 2, mem);
+  platform.add_tile("MONTIUM2", montium, 1, 0, mem);
+  platform.add_tile(names::kAd, io, 2, 1, mem);
+  platform.add_tile(names::kSink, io, 0, 2, mem);
+  platform.add_tile("X1", other, 2, 0, mem);
+  platform.add_tile("X2", other, 1, 1, mem);
+  platform.add_tile("X3", other, 2, 2, mem);
+  return platform;
+}
+
+core::MapperConfig paper_mapper_config() {
+  core::MapperConfig config;
+  // Section 4.4 ranks desirability on implementation (processing) energy
+  // alone and relies on step 4 for timing, so the walkthrough prints the
+  // paper's margins (132 for Inv.OFDM, 64 for Rem.).
+  config.step1.comm_aware = false;
+  config.step1.utilization_screen = false;
+  // Table 2 logs a sequential sweep with plain hop-count cost.
+  config.step2.strategy = core::Step2Strategy::SequentialSweep;
+  config.step2.cost_model = core::CommCostModel::HopCount;
+  return config;
+}
+
+}  // namespace rtsm::workload

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/platform.hpp"
+#include "core/spatial_mapper.hpp"
+#include "kpn/application.hpp"
+#include "workload/modes.hpp"
+
+namespace rtsm::workload {
+
+/// Parameters of the paper's HIPERLAN/2 case study (Section 4).
+struct Hiperlan2Config {
+  /// Demapping mode, selects the output volume b (default: QPSK, b = 12).
+  Hiperlan2Mode mode = Hiperlan2Mode::QPSK;
+
+  /// Tile and NoC clock. The paper gives WCETs in cycles only; 200 MHz is
+  /// the lowest round frequency at which the paper's final mapping meets
+  /// the 4 us symbol period (DESIGN.md assumption 7).
+  std::uint64_t clock_hz = 200'000'000;
+
+  /// Local memory per tile, bytes.
+  std::uint64_t tile_memory_bytes = 64 * 1024;
+};
+
+/// Builds the HIPERLAN/2 receiver application of Figure 1 with the
+/// implementation alternatives of Table 1: fixtures A/D and Sink, processes
+/// Pfx.rem., Frq.off., Inv.OFDM, Rem. (the grouped equalization /
+/// phase-offset / demapping process), channels carrying 80/64/64/52/b
+/// 32-bit samples per symbol, one symbol per 4 us.
+[[nodiscard]] kpn::Application make_hiperlan2_receiver(
+    const Hiperlan2Config& config = {});
+
+/// Builds the paper's 3x3-mesh MPSoC of Figure 2: two ARM tiles, two
+/// MONTIUM tiles, the A/D source and Sink tiles, and three tiles of
+/// irrelevant type. Coordinates are the reconstruction that reproduces
+/// Table 2 exactly (DESIGN.md assumption 1). Tiles are inserted in the
+/// order ARM1, ARM2, MONTIUM1, MONTIUM2, A/D, Sink, X1..X3, which fixes the
+/// first-fit order of step 1.
+[[nodiscard]] arch::Platform make_paper_platform(
+    const Hiperlan2Config& config = {});
+
+/// Mapper configuration that reproduces the paper's Section 4 walkthrough
+/// verbatim: step-1 desirability ranked on processing energy alone, step-2
+/// sequential sweep with plain hop-count cost (Table 2), adaptive shortest-
+/// path routing, full step-4 verification.
+[[nodiscard]] core::MapperConfig paper_mapper_config();
+
+/// Names used by the case study, centralised for tests and benches.
+namespace hiperlan2_names {
+inline constexpr const char* kAd = "A/D";
+inline constexpr const char* kPrefixRemoval = "Pfx.rem.";
+inline constexpr const char* kFreqOffset = "Frq.off.";
+inline constexpr const char* kInverseOfdm = "Inv.OFDM";
+inline constexpr const char* kRemainder = "Rem.";
+inline constexpr const char* kSink = "Sink";
+inline constexpr const char* kArm = "ARM";
+inline constexpr const char* kMontium = "MONTIUM";
+inline constexpr const char* kIo = "IO";
+inline constexpr const char* kUnused = "OTHER";
+}  // namespace hiperlan2_names
+
+}  // namespace rtsm::workload

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace rtsm::workload {
+
+/// The seven HIPERLAN/2 demapping modes (Section 4.1): they differ only in
+/// the demapper's output volume, from 12 bytes (BPSK) to 384 bytes (QAM64)
+/// per OFDM symbol. With 48 data samples per symbol and 32-bit output
+/// tokens, b = 48 * bits_per_sample / 32 tokens per symbol.
+enum class Hiperlan2Mode {
+  BPSK,      ///< 2 bits/sample  -> b = 3  tokens (12 B)
+  BPSK34,    ///< 4 bits/sample  -> b = 6  tokens (24 B)
+  QPSK,      ///< 8 bits/sample  -> b = 12 tokens (48 B)
+  QPSK34,    ///< 16 bits/sample -> b = 24 tokens (96 B)
+  QAM16,     ///< 32 bits/sample -> b = 48 tokens (192 B)
+  QAM16_34,  ///< 48 bits/sample -> b = 72 tokens (288 B)
+  QAM64,     ///< 64 bits/sample -> b = 96 tokens (384 B)
+};
+
+/// Static description of one mode.
+struct ModeInfo {
+  Hiperlan2Mode mode;
+  std::string_view name;
+  std::uint32_t bits_per_sample;
+  /// Demapper output tokens per OFDM symbol (the paper's `b`).
+  std::uint32_t output_tokens;
+};
+
+inline constexpr std::array<ModeInfo, 7> kHiperlan2Modes{{
+    {Hiperlan2Mode::BPSK, "BPSK", 2, 3},
+    {Hiperlan2Mode::BPSK34, "BPSK-3/4", 4, 6},
+    {Hiperlan2Mode::QPSK, "QPSK", 8, 12},
+    {Hiperlan2Mode::QPSK34, "QPSK-3/4", 16, 24},
+    {Hiperlan2Mode::QAM16, "16-QAM", 32, 48},
+    {Hiperlan2Mode::QAM16_34, "16-QAM-3/4", 48, 72},
+    {Hiperlan2Mode::QAM64, "64-QAM", 64, 96},
+}};
+
+/// Lookup of a mode's static description.
+[[nodiscard]] constexpr const ModeInfo& mode_info(Hiperlan2Mode mode) {
+  return kHiperlan2Modes[static_cast<std::size_t>(mode)];
+}
+
+}  // namespace rtsm::workload

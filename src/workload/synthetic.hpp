@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "kpn/application.hpp"
+#include "util/rng.hpp"
+
+namespace rtsm::workload {
+
+/// Shape of a generated application graph.
+enum class Topology {
+  /// Straight pipeline (SRC -> P0 -> ... -> Pn-1 -> DST), the dominant
+  /// shape of streaming DSP applications.
+  Chain,
+  /// A chain with additional forward (skip) edges, giving re-convergent
+  /// fan-in/fan-out as in fork-join DSP graphs.
+  ForkJoin,
+};
+
+/// Parameters of the synthetic streaming-application generator — the class
+/// of synthetic benchmark cases the paper's conclusion calls for.
+struct SyntheticAppParams {
+  /// Mappable processes (fixtures not counted).
+  std::uint32_t process_count = 6;
+
+  Topology topology = Topology::Chain;
+
+  /// Probability of each possible skip edge (ForkJoin only).
+  double extra_edge_prob = 0.15;
+
+  /// Pin a SRC / DST fixture pair (requires platform tiles named "SRC" and
+  /// "DST", as created by make_synthetic_platform).
+  bool with_fixtures = true;
+
+  /// Per-channel token volume per symbol, uniform in [min, max].
+  std::uint32_t min_tokens = 8;
+  std::uint32_t max_tokens = 96;
+
+  /// Iteration period of the QoS constraint.
+  std::uint64_t period_ns = 4000;
+
+  /// Nominal clock used to budget WCETs against the period.
+  std::uint64_t nominal_clock_hz = 200'000'000;
+
+  /// Tile types implementations may target; each process prefers one.
+  std::vector<std::string> tile_types = {"ARM", "DSP"};
+
+  /// Number of alternative implementations per process, uniform in range
+  /// (capped by the number of tile types).
+  std::uint32_t impls_min = 1;
+  std::uint32_t impls_max = 2;
+
+  /// Compute time of the preferred implementation as a fraction of the
+  /// period, uniform in [0.05, this].
+  double max_preferred_utilization = 0.45;
+
+  /// Non-preferred implementations are this much slower / hungrier.
+  double alt_slowdown_min = 1.3;
+  double alt_slowdown_max = 2.0;
+  double alt_energy_min = 1.6;
+  double alt_energy_max = 2.6;
+
+  /// Preferred-implementation energy per symbol, uniform range [nJ].
+  double energy_min = 40.0;
+  double energy_max = 160.0;
+
+  /// Implementation memory footprint, uniform range [bytes].
+  std::uint64_t memory_min = 2 * 1024;
+  std::uint64_t memory_max = 12 * 1024;
+};
+
+/// Generates a random but always *valid* streaming application
+/// (Application::validate() holds by construction).
+[[nodiscard]] kpn::Application make_synthetic_app(Rng& rng,
+                                                  const SyntheticAppParams& params,
+                                                  const std::string& name);
+
+/// Parameters of the synthetic platform generator.
+struct SyntheticPlatformParams {
+  std::uint32_t width = 4;
+  std::uint32_t height = 4;
+
+  /// Tiles per type, e.g. {{"ARM", 4}, {"DSP", 4}}. Total (plus the two IO
+  /// tiles) must fit the mesh.
+  std::vector<std::pair<std::string, std::uint32_t>> type_counts = {
+      {"ARM", 4}, {"DSP", 4}};
+
+  /// Add "SRC" and "DST" IO tiles for application fixtures.
+  bool with_io = true;
+
+  /// Shuffle tile placement (otherwise scan order).
+  bool random_placement = true;
+
+  std::uint64_t clock_hz = 200'000'000;
+  std::uint64_t tile_memory_bytes = 64 * 1024;
+  double link_capacity_tokens_per_s = 200e6;
+
+  /// Processes a tile can host simultaneously (1 = single-context
+  /// accelerator semantics as in the paper's MONTIUM tiles).
+  std::uint32_t process_slots = 2;
+};
+
+/// Generates a mesh platform with the requested tile mix.
+[[nodiscard]] arch::Platform make_synthetic_platform(
+    Rng& rng, const SyntheticPlatformParams& params, const std::string& name);
+
+}  // namespace rtsm::workload

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "arch/platform.hpp"
+#include "util/error.hpp"
+
+namespace rtsm::arch {
+namespace {
+
+Platform small() {
+  Platform p("p", 3, 2);
+  const TileTypeId arm = p.add_tile_type("ARM");
+  const TileTypeId dsp = p.add_tile_type("DSP", 100'000'000);
+  p.add_tile("a0", arm, 0, 0);
+  p.add_tile("a1", arm, 2, 1);
+  p.add_tile("d0", dsp, 1, 0);
+  return p;
+}
+
+TEST(Platform, EmptyMeshRejected) {
+  EXPECT_THROW(Platform("p", 0, 3), Error);
+}
+
+TEST(Platform, MeshLinksCreatedEagerly) {
+  const Platform p("p", 3, 3);
+  // 3x3 4-neighbour mesh: 2*2*3 horizontal + 2*2*3 vertical directed = 24.
+  EXPECT_EQ(p.link_count(), 24u);
+  EXPECT_EQ(p.router_count(), 9u);
+}
+
+TEST(Platform, RouterIndexingRoundTrip) {
+  const Platform p("p", 4, 3);
+  for (std::uint32_t y = 0; y < 3; ++y) {
+    for (std::uint32_t x = 0; x < 4; ++x) {
+      const auto [rx, ry] = p.router_pos(p.router_at(x, y));
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+}
+
+TEST(Platform, RouterOutDegrees) {
+  const Platform p("p", 3, 3);
+  EXPECT_EQ(p.router_out_links(p.router_at(0, 0)).size(), 2u);  // corner
+  EXPECT_EQ(p.router_out_links(p.router_at(1, 0)).size(), 3u);  // edge
+  EXPECT_EQ(p.router_out_links(p.router_at(1, 1)).size(), 4u);  // centre
+}
+
+TEST(Platform, DuplicateTypeRejected) {
+  Platform p("p", 2, 2);
+  p.add_tile_type("ARM");
+  EXPECT_THROW(p.add_tile_type("ARM"), Error);
+}
+
+TEST(Platform, DuplicateTileNameRejected) {
+  Platform p("p", 2, 2);
+  const TileTypeId t = p.add_tile_type("ARM");
+  p.add_tile("x", t, 0, 0);
+  EXPECT_THROW(p.add_tile("x", t, 1, 1), Error);
+}
+
+TEST(Platform, TileOutsideMeshRejected) {
+  Platform p("p", 2, 2);
+  const TileTypeId t = p.add_tile_type("ARM");
+  EXPECT_THROW(p.add_tile("x", t, 2, 0), Error);
+}
+
+TEST(Platform, ZeroSlotsRejected) {
+  Platform p("p", 2, 2);
+  const TileTypeId t = p.add_tile_type("ARM");
+  EXPECT_THROW(p.add_tile("x", t, 0, 0, 1024, 0), Error);
+}
+
+TEST(Platform, TileLookups) {
+  const Platform p = small();
+  EXPECT_EQ(p.tile_count(), 3u);
+  EXPECT_EQ(p.tile(p.tile_by_name("d0")).x, 1u);
+  EXPECT_THROW(p.tile_by_name("nope"), Error);
+  EXPECT_EQ(p.type_by_name("DSP").value(), 1u);
+  EXPECT_THROW(p.type_by_name("nope"), Error);
+}
+
+TEST(Platform, TilesOfTypePreservesInsertionOrder) {
+  const Platform p = small();
+  const auto arms = p.tiles_of_type(p.type_by_name("ARM"));
+  ASSERT_EQ(arms.size(), 2u);
+  EXPECT_EQ(p.tile(arms[0]).name, "a0");
+  EXPECT_EQ(p.tile(arms[1]).name, "a1");
+}
+
+TEST(Platform, ManhattanDistance) {
+  const Platform p = small();
+  EXPECT_EQ(p.manhattan(p.tile_by_name("a0"), p.tile_by_name("a1")), 3u);
+  EXPECT_EQ(p.manhattan(p.tile_by_name("a0"), p.tile_by_name("a0")), 0u);
+}
+
+TEST(Platform, NiLinksPerTile) {
+  const Platform p = small();
+  const TileId a0 = p.tile_by_name("a0");
+  const Link& inj = p.link(p.inject_link(a0));
+  const Link& ej = p.link(p.eject_link(a0));
+  EXPECT_EQ(inj.kind, LinkKind::Inject);
+  EXPECT_EQ(ej.kind, LinkKind::Eject);
+  EXPECT_EQ(inj.tile, a0);
+  EXPECT_EQ(inj.to_router, p.tile_router(a0));
+  EXPECT_EQ(ej.from_router, p.tile_router(a0));
+}
+
+TEST(Platform, RouterTiles) {
+  const Platform p = small();
+  const RouterId r = p.router_at(1, 0);
+  ASSERT_EQ(p.router_tiles(r).size(), 1u);
+  EXPECT_EQ(p.tile(p.router_tiles(r)[0]).name, "d0");
+  EXPECT_TRUE(p.router_tiles(p.router_at(2, 0)).empty());
+}
+
+TEST(Platform, ClockConversion) {
+  const Platform p = small();
+  const TileId d0 = p.tile_by_name("d0");  // 100 MHz -> 10 ns/cycle
+  EXPECT_EQ(p.tile_clock_hz(d0), 100'000'000u);
+  EXPECT_EQ(p.cycles_to_ps(d0, 3), 30'000u);
+  const TileId a0 = p.tile_by_name("a0");  // 200 MHz -> 5 ns/cycle
+  EXPECT_EQ(p.cycles_to_ps(a0, 4), 20'000u);
+}
+
+TEST(NocParams, RouterLatency) {
+  NocParams noc;
+  noc.router_latency_cc = 4;
+  noc.noc_clock_hz = 200'000'000;
+  EXPECT_EQ(noc.router_latency_ps(), 20'000u);  // 4 cycles at 5 ns
+}
+
+TEST(Platform, LinkCapacityFromNocParams) {
+  NocParams noc;
+  noc.link_capacity_tokens_per_s = 42.0;
+  Platform p("p", 2, 2, noc);
+  EXPECT_DOUBLE_EQ(p.link(LinkId{0}).capacity_tokens_per_s, 42.0);
+}
+
+}  // namespace
+}  // namespace rtsm::arch

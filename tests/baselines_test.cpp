@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "baselines/annealing.hpp"
+#include "baselines/exhaustive.hpp"
+#include "baselines/random_mapper.hpp"
+#include "core/criteria.hpp"
+#include "core/spatial_mapper.hpp"
+#include "test_helpers.hpp"
+#include "workload/hiperlan2.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtsm::baselines {
+namespace {
+
+TEST(Exhaustive, FindsOptimumOnSmallPipeline) {
+  const auto app = test::pipeline_app({.stages = 2});
+  const auto platform = test::small_platform();
+  const auto result = exhaustive_map(app, platform);
+  ASSERT_TRUE(result.success);
+  EXPECT_FALSE(result.exhausted_budget);
+  EXPECT_GT(result.leaves, 0u);
+  const auto adherent = core::check_adherent(app, platform, result.mapping);
+  EXPECT_TRUE(adherent.ok) << adherent.reason;
+}
+
+TEST(Exhaustive, OptimumNeverWorseThanHeuristic) {
+  const auto app = test::pipeline_app({.stages = 3});
+  const auto platform = test::small_platform();
+  const auto optimal = exhaustive_map(app, platform);
+  const auto heuristic = core::SpatialMapper().map(app, platform);
+  ASSERT_TRUE(optimal.success);
+  ASSERT_TRUE(heuristic.success);
+  EXPECT_LE(optimal.energy_nj_per_symbol,
+            heuristic.energy_nj_per_symbol + 1e-9);
+}
+
+TEST(Exhaustive, OptimumNeverWorseThanHeuristicOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    workload::SyntheticPlatformParams pp;
+    pp.width = 3;
+    pp.height = 3;
+    pp.type_counts = {{"ARM", 2}, {"DSP", 2}};
+    const auto platform = workload::make_synthetic_platform(rng, pp, "p");
+    workload::SyntheticAppParams ap;
+    ap.process_count = 3;
+    ap.tile_types = {"ARM", "DSP"};
+    const auto app = workload::make_synthetic_app(rng, ap, "a");
+
+    const auto optimal = exhaustive_map(app, platform);
+    const auto heuristic = core::SpatialMapper().map(app, platform);
+    if (!optimal.success || !heuristic.success) continue;
+    EXPECT_LE(optimal.energy_nj_per_symbol,
+              heuristic.energy_nj_per_symbol + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Exhaustive, NodeLimitReported) {
+  const auto app = test::pipeline_app({.stages = 3});
+  const auto platform = test::small_platform();
+  ExhaustiveOptions options;
+  options.node_limit = 2;
+  const auto result = exhaustive_map(app, platform, options);
+  EXPECT_TRUE(result.exhausted_budget);
+}
+
+TEST(Exhaustive, HiperlanPaperCaseMatchesMapperChoice) {
+  // For the paper's case the heuristic already finds the processing-energy
+  // optimum (MONTIUM for the two hungry kernels, ARM for the rest).
+  const auto app = workload::make_hiperlan2_receiver();
+  const auto platform = workload::make_paper_platform();
+  const auto optimal = exhaustive_map(app, platform);
+  const auto heuristic = core::SpatialMapper().map(app, platform);
+  ASSERT_TRUE(optimal.success);
+  ASSERT_TRUE(heuristic.success);
+  EXPECT_DOUBLE_EQ(
+      core::processing_energy_nj_per_symbol(app, optimal.mapping), 341.0);
+  EXPECT_NEAR(optimal.energy_nj_per_symbol, heuristic.energy_nj_per_symbol,
+              1e-9);
+}
+
+TEST(Annealing, FindsFeasibleMapping) {
+  const auto app = test::pipeline_app({.stages = 2});
+  const auto platform = test::small_platform();
+  AnnealingOptions options;
+  options.iterations = 4000;
+  const auto result = anneal_map(app, platform, options);
+  ASSERT_TRUE(result.success) << result.failure;
+  const auto adherent = core::check_adherent(app, platform, result.mapping);
+  EXPECT_TRUE(adherent.ok) << adherent.reason;
+}
+
+TEST(Annealing, NotWorseThanWorstRandom) {
+  const auto app = test::pipeline_app({.stages = 3});
+  const auto platform = test::small_platform();
+  AnnealingOptions ao;
+  ao.iterations = 6000;
+  const auto annealed = anneal_map(app, platform, ao);
+  RandomMapperOptions ro;
+  ro.samples = 1;  // a single random draw
+  const auto random = random_map(app, platform, ro);
+  if (annealed.success && random.success) {
+    EXPECT_LE(annealed.energy_nj_per_symbol,
+              random.energy_nj_per_symbol + 1e-9);
+  }
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  const auto app = test::pipeline_app({.stages = 3});
+  const auto platform = test::small_platform();
+  AnnealingOptions options;
+  options.iterations = 2000;
+  options.seed = 99;
+  const auto r1 = anneal_map(app, platform, options);
+  const auto r2 = anneal_map(app, platform, options);
+  ASSERT_EQ(r1.success, r2.success);
+  if (r1.success) {
+    EXPECT_DOUBLE_EQ(r1.energy_nj_per_symbol, r2.energy_nj_per_symbol);
+  }
+}
+
+TEST(RandomMapper, FindsFeasibleMappingWithEnoughSamples) {
+  const auto app = test::pipeline_app({.stages = 2});
+  const auto platform = test::small_platform();
+  RandomMapperOptions options;
+  options.samples = 64;
+  const auto result = random_map(app, platform, options);
+  ASSERT_TRUE(result.success) << result.failure;
+  EXPECT_GT(result.valid_samples, 0u);
+}
+
+TEST(RandomMapper, MoreSamplesNeverWorse) {
+  const auto app = test::pipeline_app({.stages = 3});
+  const auto platform = test::small_platform();
+  RandomMapperOptions few;
+  few.samples = 4;
+  few.verify_step4 = false;
+  RandomMapperOptions many;
+  many.samples = 64;
+  many.verify_step4 = false;
+  const auto r_few = random_map(app, platform, few);
+  const auto r_many = random_map(app, platform, many);
+  if (r_few.success && r_many.success) {
+    EXPECT_LE(r_many.energy_nj_per_symbol,
+              r_few.energy_nj_per_symbol + 1e-9);
+  }
+}
+
+TEST(RandomMapper, HeuristicBeatsSingleRandomDrawOnAverage) {
+  // Aggregate over seeds: the paper's desirability + local search should
+  // beat a single random adherent sample in total energy.
+  const auto platform = test::small_platform();
+  const auto app = test::pipeline_app({.stages = 3});
+  const auto heuristic = core::SpatialMapper().map(app, platform);
+  ASSERT_TRUE(heuristic.success);
+  double random_total = 0.0;
+  int random_count = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    RandomMapperOptions options;
+    options.samples = 1;
+    options.seed = seed;
+    options.verify_step4 = false;
+    const auto r = random_map(app, platform, options);
+    if (!r.success) continue;
+    random_total += r.energy_nj_per_symbol;
+    ++random_count;
+  }
+  ASSERT_GT(random_count, 0);
+  EXPECT_LE(heuristic.energy_nj_per_symbol,
+            random_total / random_count + 1e-9);
+}
+
+}  // namespace
+}  // namespace rtsm::baselines

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "baselines/clustering.hpp"
+#include "core/criteria.hpp"
+#include "core/spatial_mapper.hpp"
+#include "test_helpers.hpp"
+#include "workload/hiperlan2.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtsm::baselines {
+namespace {
+
+TEST(Clustering, MapsSimplePipeline) {
+  const auto app = test::pipeline_app({.stages = 2});
+  const auto platform = test::small_platform();
+  const auto result = cluster_map(app, platform);
+  ASSERT_TRUE(result.success) << result.failure;
+  const auto adherent = core::check_adherent(app, platform, result.mapping);
+  EXPECT_TRUE(adherent.ok) << adherent.reason;
+}
+
+TEST(Clustering, SingleSlotTilesForceSingletonClusters) {
+  const auto app = test::pipeline_app({.stages = 2});
+  const auto platform = test::small_platform();  // all tiles 1 slot
+  const auto result = cluster_map(app, platform);
+  ASSERT_TRUE(result.success) << result.failure;
+  EXPECT_EQ(result.clusters, 2u);
+}
+
+TEST(Clustering, MergesNeighboursOntoMultiSlotTiles) {
+  // Platform with 2-slot tiles and light stages: neighbours should fuse.
+  arch::Platform platform("p", 3, 2);
+  const TileTypeId big = platform.add_tile_type("BIG");
+  const TileTypeId io = platform.add_tile_type("IO");
+  platform.add_tile("BIG0", big, 1, 0, 64 * 1024, 2);
+  platform.add_tile("BIG1", big, 2, 0, 64 * 1024, 2);
+  platform.add_tile("SRC", io, 0, 0);
+  platform.add_tile("DST", io, 0, 1);
+
+  test::PipelineSpec spec;
+  spec.stages = 2;
+  spec.big_wcet_cc = 200;   // 0.25 util each: both fit one tile
+  spec.little_wcet_cc = 0;
+  const auto app = test::pipeline_app(spec);
+  const auto result = cluster_map(app, platform);
+  ASSERT_TRUE(result.success) << result.failure;
+  EXPECT_EQ(result.clusters, 1u);
+  EXPECT_EQ(result.mapping.tile_of(app.process_by_name("S0")),
+            result.mapping.tile_of(app.process_by_name("S1")));
+}
+
+TEST(Clustering, DisableMergingKeepsSingletons) {
+  arch::Platform platform("p", 3, 2);
+  const TileTypeId big = platform.add_tile_type("BIG");
+  const TileTypeId io = platform.add_tile_type("IO");
+  platform.add_tile("BIG0", big, 1, 0, 64 * 1024, 2);
+  platform.add_tile("BIG1", big, 2, 0, 64 * 1024, 2);
+  platform.add_tile("SRC", io, 0, 0);
+  platform.add_tile("DST", io, 0, 1);
+  const auto app = test::pipeline_app({.stages = 2, .little_wcet_cc = 0});
+  ClusteringOptions options;
+  options.cluster_neighbours = false;
+  const auto result = cluster_map(app, platform, options);
+  ASSERT_TRUE(result.success) << result.failure;
+  EXPECT_EQ(result.clusters, 2u);
+}
+
+TEST(Clustering, HomogeneityLimitVisibleOnHiperlan) {
+  // On the paper's case every process still maps (ARM/MONTIUM both exist),
+  // but the merged choice must stay adequate and verified.
+  const auto app = workload::make_hiperlan2_receiver();
+  const auto platform = workload::make_paper_platform();
+  const auto result = cluster_map(app, platform);
+  ASSERT_TRUE(result.success) << result.failure;
+  const auto adequate = core::check_adequate(app, platform, result.mapping);
+  EXPECT_TRUE(adequate.ok) << adequate.reason;
+}
+
+TEST(Clustering, HeuristicNotWorseOnPaperCase) {
+  const auto app = workload::make_hiperlan2_receiver();
+  const auto platform = workload::make_paper_platform();
+  const auto clustered = cluster_map(app, platform);
+  const auto heuristic = core::SpatialMapper().map(app, platform);
+  ASSERT_TRUE(heuristic.success);
+  if (clustered.success) {
+    EXPECT_LE(heuristic.energy_nj_per_symbol,
+              clustered.energy_nj_per_symbol + 1e-9);
+  }
+}
+
+TEST(Clustering, ReportsImpossibleInstances) {
+  // 5 BIG-only stages, 2 single-slot BIG tiles.
+  const auto app = test::pipeline_app({.stages = 5, .little_wcet_cc = 0});
+  const auto platform = test::small_platform();
+  const auto result = cluster_map(app, platform);
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.failure.empty());
+}
+
+TEST(Clustering, RandomInstancesStayAdherentWhenMapped) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    workload::SyntheticPlatformParams pp;
+    pp.process_slots = 2;
+    const auto platform = workload::make_synthetic_platform(rng, pp, "p");
+    workload::SyntheticAppParams ap;
+    ap.process_count = 5;
+    const auto app = workload::make_synthetic_app(rng, ap, "a");
+    const auto result = cluster_map(app, platform);
+    if (!result.success) continue;
+    const auto adherent = core::check_adherent(app, platform, result.mapping);
+    EXPECT_TRUE(adherent.ok) << "seed " << seed << ": " << adherent.reason;
+  }
+}
+
+}  // namespace
+}  // namespace rtsm::baselines

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "core/cost.hpp"
+#include "core/criteria.hpp"
+#include "core/mapping.hpp"
+#include "core/resource_state.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rtsm::core {
+namespace {
+
+TEST(Mapping, StartsUnassigned) {
+  const Mapping m(3, 2);
+  EXPECT_FALSE(m.is_assigned(ProcessId{0}));
+  EXPECT_FALSE(m.all_assigned());
+  EXPECT_FALSE(m.all_routed());
+}
+
+TEST(Mapping, AssignMoveUnassign) {
+  Mapping m(2, 1);
+  m.assign(ProcessId{0}, ImplementationId{1}, TileId{3});
+  EXPECT_TRUE(m.is_assigned(ProcessId{0}));
+  EXPECT_EQ(m.impl_of(ProcessId{0}), ImplementationId{1});
+  EXPECT_EQ(m.tile_of(ProcessId{0}), TileId{3});
+  m.move(ProcessId{0}, TileId{5});
+  EXPECT_EQ(m.tile_of(ProcessId{0}), TileId{5});
+  EXPECT_EQ(m.impl_of(ProcessId{0}), ImplementationId{1});
+  m.unassign(ProcessId{0});
+  EXPECT_FALSE(m.is_assigned(ProcessId{0}));
+}
+
+TEST(Mapping, AccessorsGuardUnassigned) {
+  const Mapping m(1, 0);
+  EXPECT_THROW((void)m.impl_of(ProcessId{0}), Error);
+  EXPECT_THROW((void)m.tile_of(ProcessId{0}), Error);
+}
+
+TEST(Mapping, OutOfRangeIdsRejected) {
+  Mapping m(1, 1);
+  EXPECT_THROW(m.assign(ProcessId{7}, ImplementationId{0}, TileId{0}), Error);
+  EXPECT_THROW((void)m.path(ChannelId{9}), Error);
+}
+
+TEST(Mapping, PathsAndBuffers) {
+  Mapping m(2, 2);
+  noc::Path p;
+  p.src_tile = TileId{0};
+  p.dst_tile = TileId{0};
+  m.set_path(ChannelId{0}, p);
+  EXPECT_TRUE(m.path(ChannelId{0}).has_value());
+  EXPECT_FALSE(m.all_routed());
+  m.set_path(ChannelId{1}, p);
+  EXPECT_TRUE(m.all_routed());
+  m.set_buffer_tokens(ChannelId{0}, 12);
+  EXPECT_EQ(*m.buffer_tokens(ChannelId{0}), 12u);
+  m.clear_paths();
+  EXPECT_FALSE(m.path(ChannelId{0}).has_value());
+  EXPECT_FALSE(m.buffer_tokens(ChannelId{0}).has_value());
+}
+
+TEST(ResourceState, UtilizationAndMemoryBookkeeping) {
+  const arch::Platform p = test::small_platform();
+  ResourceState state(p);
+  const TileId t = p.tile_by_name("BIG0");
+  EXPECT_DOUBLE_EQ(state.utilization(t), 0.0);
+  state.reserve_tile(t, 0.5, 1024);
+  EXPECT_DOUBLE_EQ(state.utilization(t), 0.5);
+  EXPECT_EQ(state.memory_used(t), 1024u);
+  state.release_tile(t, 0.5, 1024);
+  EXPECT_DOUBLE_EQ(state.utilization(t), 0.0);
+  EXPECT_EQ(state.memory_used(t), 0u);
+}
+
+TEST(ResourceState, SlotLimitEnforced) {
+  const arch::Platform p = test::small_platform();  // single-slot tiles
+  ResourceState state(p);
+  const TileId t = p.tile_by_name("BIG0");
+  EXPECT_TRUE(state.tile_fits(t, 0.1, 0));
+  state.reserve_tile(t, 0.1, 0);
+  EXPECT_EQ(state.processes_hosted(t), 1u);
+  // Slot taken: a second process does not fit even with spare utilisation.
+  EXPECT_FALSE(state.tile_fits(t, 0.1, 0));
+  // Pure memory reservations (buffers) still fit.
+  EXPECT_TRUE(state.tile_fits(t, 0.0, 512, 0));
+}
+
+TEST(ResourceState, UtilizationLimitEnforced) {
+  arch::Platform p("p", 2, 1);
+  const TileTypeId tt = p.add_tile_type("T");
+  p.add_tile("t0", tt, 0, 0, 1024, 4);  // 4 slots
+  ResourceState state(p);
+  const TileId t = p.tile_by_name("t0");
+  state.reserve_tile(t, 0.7, 0);
+  EXPECT_FALSE(state.tile_fits(t, 0.4, 0));
+  EXPECT_TRUE(state.tile_fits(t, 0.3, 0));
+}
+
+TEST(ResourceState, MemoryLimitEnforced) {
+  const arch::Platform p = test::small_platform(200'000'000, 200'000'000, 2048);
+  ResourceState state(p);
+  const TileId t = p.tile_by_name("BIG0");
+  EXPECT_FALSE(state.tile_fits(t, 0.0, 4096));
+  EXPECT_EQ(state.memory_free(t), 2048u);
+}
+
+TEST(ResourceState, OverReservationThrows) {
+  const arch::Platform p = test::small_platform();
+  ResourceState state(p);
+  const TileId t = p.tile_by_name("BIG0");
+  EXPECT_THROW(state.reserve_tile(t, 1.5, 0), Error);
+}
+
+TEST(ResourceState, IdleTileCount) {
+  const arch::Platform p = test::small_platform();
+  ResourceState state(p);
+  EXPECT_EQ(state.idle_tile_count(), 6u);
+  state.reserve_tile(p.tile_by_name("BIG0"), 0.2, 0);
+  EXPECT_EQ(state.idle_tile_count(), 5u);
+}
+
+TEST(ResourceState, CopySemantics) {
+  const arch::Platform p = test::small_platform();
+  ResourceState a(p);
+  a.reserve_tile(p.tile_by_name("BIG0"), 0.5, 100);
+  ResourceState b = a;  // rounds of the mapper rely on cheap copies
+  b.reserve_tile(p.tile_by_name("BIG1"), 0.5, 100);
+  EXPECT_DOUBLE_EQ(a.utilization(p.tile_by_name("BIG1")), 0.0);
+  EXPECT_DOUBLE_EQ(b.utilization(p.tile_by_name("BIG0")), 0.5);
+}
+
+TEST(ImplUtilization, ComputesFractionOfPeriod) {
+  // 2 stages, 200 cc at 200 MHz = 1000 ns of 4000 ns period = 0.25.
+  const kpn::Application app = test::pipeline_app({});
+  const ProcessId s0 = app.process_by_name("S0");
+  EXPECT_DOUBLE_EQ(impl_utilization(app, s0, ImplementationId{0}, 200'000'000),
+                   0.25);
+  EXPECT_DOUBLE_EQ(
+      impl_time_per_symbol_ns(app, s0, ImplementationId{0}, 200'000'000),
+      1000.0);
+}
+
+TEST(ImplUtilization, ClaimedClampsAtOne) {
+  EXPECT_DOUBLE_EQ(claimed_utilization(0.3), 0.3);
+  EXPECT_DOUBLE_EQ(claimed_utilization(5.4), 1.0);
+}
+
+TEST(PlacementCost, HopCountMatchesManualSum) {
+  const kpn::Application app = test::pipeline_app({.stages = 2});
+  const arch::Platform platform = test::small_platform();
+  Mapping m(app.process_count(), app.channel_count());
+  m.assign(app.process_by_name("SRC"), ImplementationId{0},
+           platform.tile_by_name("SRC"));
+  m.assign(app.process_by_name("DST"), ImplementationId{0},
+           platform.tile_by_name("DST"));
+  m.assign(app.process_by_name("S0"), ImplementationId{0},
+           platform.tile_by_name("BIG0"));
+  m.assign(app.process_by_name("S1"), ImplementationId{0},
+           platform.tile_by_name("BIG1"));
+  const energy::EnergyModel energy;
+  // SRC(0,0)->S0(1,0): 1; S0->S1(2,0): 1; S1->DST(0,1): 3. Total 5.
+  EXPECT_DOUBLE_EQ(
+      placement_cost(app, platform, m, CommCostModel::HopCount, energy), 5.0);
+  // Token-weighted: 16 tokens per channel.
+  EXPECT_DOUBLE_EQ(
+      placement_cost(app, platform, m, CommCostModel::TokenWeighted, energy),
+      5.0 * 16);
+}
+
+TEST(PlacementCost, PartialMappingCountsPlacedChannelsOnly) {
+  const kpn::Application app = test::pipeline_app({.stages = 2});
+  const arch::Platform platform = test::small_platform();
+  Mapping m(app.process_count(), app.channel_count());
+  m.assign(app.process_by_name("S0"), ImplementationId{0},
+           platform.tile_by_name("BIG0"));
+  const energy::EnergyModel energy;
+  EXPECT_DOUBLE_EQ(
+      placement_cost(app, platform, m, CommCostModel::HopCount, energy), 0.0);
+}
+
+TEST(ProcessingEnergy, SumsChosenImplementations) {
+  const kpn::Application app = test::pipeline_app({.stages = 2});
+  Mapping m(app.process_count(), app.channel_count());
+  for (const ProcessId pid : app.process_ids()) {
+    m.assign(pid, ImplementationId{0}, TileId{0});
+  }
+  // 2 stages at 100 nJ (BIG impl is index 0) + fixtures at 0.
+  EXPECT_DOUBLE_EQ(processing_energy_nj_per_symbol(app, m), 200.0);
+}
+
+}  // namespace
+}  // namespace rtsm::core

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "core/reservation.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsm::core {
+namespace {
+
+TEST(RuntimeResourceManager, AdmitsAndReleases) {
+  const auto platform = test::small_platform();
+  RuntimeResourceManager manager(platform);
+  const SpatialMapper mapper;
+  const auto app = test::pipeline_app({.stages = 2});
+
+  const auto started = manager.start(app, mapper);
+  ASSERT_TRUE(started.admitted) << started.mapping.failure;
+  EXPECT_EQ(manager.running_count(), 1u);
+  EXPECT_GT(manager.total_energy_nj_per_symbol(), 0.0);
+
+  manager.stop(started.id);
+  EXPECT_EQ(manager.running_count(), 0u);
+  EXPECT_DOUBLE_EQ(manager.total_energy_nj_per_symbol(), 0.0);
+  for (const TileId tid : platform.tile_ids()) {
+    EXPECT_DOUBLE_EQ(manager.state().utilization(tid), 0.0);
+  }
+}
+
+TEST(RuntimeResourceManager, SecondAppSeesResidualResources) {
+  // IO tiles accept several fixtures; each app then contends for one of
+  // the two single-slot BIG tiles.
+  const auto platform =
+      test::small_platform(200'000'000, 200'000'000, 64 * 1024, /*io_slots=*/4);
+  RuntimeResourceManager manager(platform);
+  const SpatialMapper mapper;
+  test::PipelineSpec spec;
+  spec.stages = 1;
+  spec.little_wcet_cc = 0;
+  const auto app = test::pipeline_app(spec);
+
+  const auto first = manager.start(app, mapper);
+  ASSERT_TRUE(first.admitted) << first.mapping.failure;
+  const auto second = manager.start(app, mapper);
+  ASSERT_TRUE(second.admitted) << second.mapping.failure;
+  // Both BIG tiles occupied now: a third must be rejected.
+  const auto third = manager.start(app, mapper);
+  EXPECT_FALSE(third.admitted);
+  EXPECT_EQ(manager.running_count(), 2u);
+
+  // The two running instances use distinct BIG tiles.
+  const ProcessId s0 = app.process_by_name("S0");
+  EXPECT_NE(first.mapping.mapping.tile_of(s0),
+            second.mapping.mapping.tile_of(s0));
+
+  // Stopping one frees capacity for a new admission.
+  manager.stop(first.id);
+  const auto fourth = manager.start(app, mapper);
+  EXPECT_TRUE(fourth.admitted);
+}
+
+TEST(RuntimeResourceManager, StopUnknownIdThrows) {
+  const auto platform = test::small_platform();
+  RuntimeResourceManager manager(platform);
+  EXPECT_THROW(manager.stop(AppId{99}), Error);
+}
+
+TEST(RuntimeResourceManager, RejectedAppLeavesNoResidue) {
+  const auto platform = test::small_platform();
+  RuntimeResourceManager manager(platform);
+  const SpatialMapper mapper;
+  // Impossible: 5 BIG-only stages on 2 BIG tiles.
+  const auto app = test::pipeline_app({.stages = 5, .little_wcet_cc = 0});
+  const auto result = manager.start(app, mapper);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(manager.running_count(), 0u);
+  for (const TileId tid : platform.tile_ids()) {
+    EXPECT_DOUBLE_EQ(manager.state().utilization(tid), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(manager.state().links().total_reserved(), 0.0);
+}
+
+TEST(RuntimeResourceManager, IdsAreUniqueAcrossRestarts) {
+  const auto platform = test::small_platform();
+  RuntimeResourceManager manager(platform);
+  const SpatialMapper mapper;
+  test::PipelineSpec spec;
+  spec.stages = 1;
+  const auto app = test::pipeline_app(spec);
+  const auto a = manager.start(app, mapper);
+  ASSERT_TRUE(a.admitted);
+  manager.stop(a.id);
+  const auto b = manager.start(app, mapper);
+  ASSERT_TRUE(b.admitted);
+  EXPECT_NE(a.id, b.id);
+}
+
+}  // namespace
+}  // namespace rtsm::core

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "core/implementation_selection.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsm::core {
+namespace {
+
+struct Step1Fixture {
+  arch::Platform platform = test::small_platform();
+  energy::EnergyModel energy;
+  FeedbackSet feedback;
+  std::vector<Step1Record> trace;
+
+  Step1Outcome run(const kpn::Application& app, ResourceState& state,
+                   Mapping& mapping, Step1Options options = {}) {
+    return run_step1(app, platform, state, feedback, options, energy, mapping,
+                     trace);
+  }
+};
+
+TEST(Step1, AssignsEveryProcess) {
+  Step1Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  const auto outcome = f.run(app, state, mapping);
+  ASSERT_TRUE(outcome.success) << outcome.failure;
+  EXPECT_TRUE(mapping.all_assigned());
+}
+
+TEST(Step1, FixturesGoToPinnedTiles) {
+  Step1Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  ASSERT_TRUE(f.run(app, state, mapping).success);
+  EXPECT_EQ(mapping.tile_of(app.process_by_name("SRC")),
+            f.platform.tile_by_name("SRC"));
+  EXPECT_EQ(mapping.tile_of(app.process_by_name("DST")),
+            f.platform.tile_by_name("DST"));
+}
+
+TEST(Step1, PrefersCheaperImplementation) {
+  Step1Fixture f;
+  // LITTLE (50 nJ) is cheaper than BIG (100 nJ) and fits the period.
+  const auto app = test::pipeline_app({.stages = 2, .little_wcet_cc = 400});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  Step1Options options;
+  options.comm_aware = false;
+  ASSERT_TRUE(f.run(app, state, mapping, options).success);
+  const ProcessId s0 = app.process_by_name("S0");
+  EXPECT_EQ(app.implementation(s0, mapping.impl_of(s0)).tile_type, "LITTLE");
+}
+
+TEST(Step1, UtilizationScreenRejectsTooSlowImpls) {
+  Step1Fixture f;
+  // LITTLE impl needs 1600 cc = 8000 ns > 4000 ns period: must pick BIG.
+  const auto app = test::pipeline_app({.stages = 2, .little_wcet_cc = 1600});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  Step1Options options;
+  options.utilization_screen = true;
+  ASSERT_TRUE(f.run(app, state, mapping, options).success);
+  for (const auto& name : {"S0", "S1"}) {
+    const ProcessId pid = app.process_by_name(name);
+    EXPECT_EQ(app.implementation(pid, mapping.impl_of(pid)).tile_type, "BIG");
+  }
+}
+
+TEST(Step1, FirstFitUsesInsertionOrder) {
+  Step1Fixture f;
+  const auto app = test::pipeline_app({.stages = 1, .little_wcet_cc = 0});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  Step1Options options;
+  options.comm_aware = false;  // ranking must not bias the tile choice
+  ASSERT_TRUE(f.run(app, state, mapping, options).success);
+  EXPECT_EQ(mapping.tile_of(app.process_by_name("S0")),
+            f.platform.tile_by_name("BIG0"));
+}
+
+TEST(Step1, SlotsForceSpreadingAcrossTiles) {
+  Step1Fixture f;
+  const auto app = test::pipeline_app({.stages = 2, .little_wcet_cc = 0});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  ASSERT_TRUE(f.run(app, state, mapping).success);
+  EXPECT_NE(mapping.tile_of(app.process_by_name("S0")),
+            mapping.tile_of(app.process_by_name("S1")));
+}
+
+TEST(Step1, FailsWhenDemandExceedsTiles) {
+  Step1Fixture f;
+  // 3 stages, BIG-only implementations, but only 2 BIG tiles.
+  const auto app = test::pipeline_app({.stages = 3, .little_wcet_cc = 0});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  const auto outcome = f.run(app, state, mapping);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_NE(outcome.failure.find("no admissible implementation"),
+            std::string::npos);
+}
+
+TEST(Step1, SpillsToSecondTypeWhenPreferredFull) {
+  Step1Fixture f;
+  // 3 stages with both variants: two land on LITTLE (cheaper), one spills.
+  const auto app = test::pipeline_app({.stages = 3});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  ASSERT_TRUE(f.run(app, state, mapping).success);
+  int big = 0;
+  int little = 0;
+  for (const auto& name : {"S0", "S1", "S2"}) {
+    const ProcessId pid = app.process_by_name(name);
+    const auto& type =
+        app.implementation(pid, mapping.impl_of(pid)).tile_type;
+    (type == "BIG" ? big : little) += 1;
+  }
+  EXPECT_EQ(little, 2);
+  EXPECT_EQ(big, 1);
+}
+
+TEST(Step1, ForbiddenImplementationSkipped) {
+  Step1Fixture f;
+  const auto app = test::pipeline_app({.stages = 1});
+  const ProcessId s0 = app.process_by_name("S0");
+  // Find the LITTLE implementation index and forbid it.
+  FeedbackConstraint fc;
+  fc.kind = FeedbackConstraint::Kind::ForbidImplementation;
+  fc.process = s0;
+  fc.impl = ImplementationId{1};  // LITTLE is added second
+  f.feedback.add(fc);
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  ASSERT_TRUE(f.run(app, state, mapping).success);
+  EXPECT_EQ(app.implementation(s0, mapping.impl_of(s0)).tile_type, "BIG");
+}
+
+TEST(Step1, ForbiddenTileSkipped) {
+  Step1Fixture f;
+  const auto app = test::pipeline_app({.stages = 1, .little_wcet_cc = 0});
+  const ProcessId s0 = app.process_by_name("S0");
+  FeedbackConstraint fc;
+  fc.kind = FeedbackConstraint::Kind::ForbidTile;
+  fc.process = s0;
+  fc.tile = f.platform.tile_by_name("BIG0");
+  f.feedback.add(fc);
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  ASSERT_TRUE(f.run(app, state, mapping).success);
+  EXPECT_EQ(mapping.tile_of(s0), f.platform.tile_by_name("BIG1"));
+}
+
+TEST(Step1, TraceRecordsDecisions) {
+  Step1Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  ASSERT_TRUE(f.run(app, state, mapping).success);
+  EXPECT_EQ(f.trace.size(), 2u);  // fixtures are not traced
+  for (const auto& r : f.trace) {
+    EXPECT_FALSE(r.process.empty());
+    EXPECT_FALSE(r.tile.empty());
+  }
+}
+
+TEST(Step1, DesirabilityOrderPicksWidestMarginFirst) {
+  Step1Fixture f;
+  // Stage BIG=100nJ LITTLE=50nJ everywhere: margins equal; with
+  // desirability disabled the order is process order — both must still
+  // produce complete assignments.
+  const auto app = test::pipeline_app({.stages = 2});
+  for (const bool desirability : {true, false}) {
+    ResourceState state(f.platform);
+    Mapping mapping(app.process_count(), app.channel_count());
+    Step1Options options;
+    options.desirability_order = desirability;
+    f.trace.clear();
+    ASSERT_TRUE(f.run(app, state, mapping, options).success);
+    EXPECT_TRUE(mapping.all_assigned());
+  }
+}
+
+TEST(Step1, ReservesUtilizationAndMemory) {
+  Step1Fixture f;
+  const auto app = test::pipeline_app({.stages = 1, .little_wcet_cc = 0});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  ASSERT_TRUE(f.run(app, state, mapping).success);
+  const TileId tile = mapping.tile_of(app.process_by_name("S0"));
+  EXPECT_DOUBLE_EQ(state.utilization(tile), 0.25);  // 200cc/800cc
+  EXPECT_EQ(state.memory_used(tile), 4096u);
+  EXPECT_EQ(state.processes_hosted(tile), 1u);
+}
+
+TEST(Step1, UnknownPinnedTileFails) {
+  Step1Fixture f;
+  kpn::QosConstraints qos;
+  kpn::Application app("x", qos);
+  const ProcessId ghost = app.add_fixture("G", "NOPE");
+  const ProcessId p = app.add_process("P");
+  const ChannelId c = app.connect(ghost, p, 4);
+  kpn::Implementation gi;
+  gi.name = "G@IO";
+  gi.tile_type = "IO";
+  gi.wcet_cc = {10};
+  gi.outputs = {{c, {4}}};
+  app.add_implementation(ghost, std::move(gi));
+  kpn::Implementation pi;
+  pi.name = "P@BIG";
+  pi.tile_type = "BIG";
+  pi.wcet_cc = {10};
+  pi.inputs = {{c, {4}}};
+  app.add_implementation(p, std::move(pi));
+
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  const auto outcome = f.run(app, state, mapping);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_NE(outcome.failure.find("NOPE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtsm::core

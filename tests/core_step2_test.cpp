@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "core/implementation_selection.hpp"
+#include "core/tile_assignment.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsm::core {
+namespace {
+
+struct Step2Fixture {
+  arch::Platform platform = test::small_platform();
+  energy::EnergyModel energy;
+  FeedbackSet feedback;
+
+  /// Runs step 1 to get a complete initial placement.
+  void place(const kpn::Application& app, ResourceState& state,
+             Mapping& mapping) {
+    std::vector<Step1Record> trace;
+    Step1Options options;
+    options.comm_aware = false;  // deliberately naive initial placement
+    const auto outcome = run_step1(app, platform, state, feedback, options,
+                                   energy, mapping, trace);
+    ASSERT_TRUE(outcome.success) << outcome.failure;
+  }
+
+  Step2Trace improve(const kpn::Application& app, ResourceState& state,
+                     Mapping& mapping, Step2Options options = {}) {
+    Step2Trace trace;
+    run_step2(app, platform, state, feedback, options, energy, mapping, trace);
+    return trace;
+  }
+};
+
+TEST(Step2, RequiresCompleteMapping) {
+  Step2Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  Step2Trace trace;
+  EXPECT_THROW(run_step2(app, f.platform, state, f.feedback, Step2Options{},
+                         f.energy, mapping, trace),
+               Error);
+}
+
+TEST(Step2, NeverIncreasesCost) {
+  Step2Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place(app, state, mapping);
+  const auto trace = f.improve(app, state, mapping);
+  EXPECT_LE(trace.final_cost, trace.initial_cost);
+}
+
+TEST(Step2, BestImprovementRecordsKeptIterations) {
+  Step2Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place(app, state, mapping);
+  const auto trace = f.improve(app, state, mapping);
+  // Each kept record must strictly improve.
+  double last = trace.initial_cost;
+  for (const auto& r : trace.records) {
+    if (r.kept) {
+      EXPECT_LT(r.cost_after, last);
+      last = r.cost_after;
+    }
+  }
+  EXPECT_DOUBLE_EQ(trace.final_cost, last);
+}
+
+TEST(Step2, SweepMatchesBestImprovementFinalCostOnSmallCases) {
+  Step2Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  for (const auto strategy :
+       {Step2Strategy::BestImprovement, Step2Strategy::SequentialSweep}) {
+    ResourceState state(f.platform);
+    Mapping mapping(app.process_count(), app.channel_count());
+    f.place(app, state, mapping);
+    Step2Options options;
+    options.strategy = strategy;
+    const auto trace = f.improve(app, state, mapping, options);
+    // Both must land in a local optimum; for this tiny case that is the
+    // same cost.
+    EXPECT_LE(trace.final_cost, trace.initial_cost);
+  }
+}
+
+TEST(Step2, PreservesAdequacyByConstruction) {
+  Step2Fixture f;
+  const auto app = test::pipeline_app({.stages = 3});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place(app, state, mapping);
+  std::vector<std::string> types_before;
+  for (const ProcessId pid : app.process_ids()) {
+    types_before.push_back(
+        f.platform.tile_type(f.platform.tile(mapping.tile_of(pid)).type).name);
+  }
+  f.improve(app, state, mapping);
+  for (const ProcessId pid : app.process_ids()) {
+    EXPECT_EQ(
+        f.platform.tile_type(f.platform.tile(mapping.tile_of(pid)).type).name,
+        types_before[pid.value()])
+        << "step 2 changed the tile type of " << app.process(pid).name;
+  }
+}
+
+TEST(Step2, FixturesNeverMove) {
+  Step2Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place(app, state, mapping);
+  f.improve(app, state, mapping);
+  EXPECT_EQ(mapping.tile_of(app.process_by_name("SRC")),
+            f.platform.tile_by_name("SRC"));
+  EXPECT_EQ(mapping.tile_of(app.process_by_name("DST")),
+            f.platform.tile_by_name("DST"));
+}
+
+TEST(Step2, ReservationsFollowMoves) {
+  Step2Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place(app, state, mapping);
+  f.improve(app, state, mapping);
+  // Every assigned tile hosts exactly the processes the mapping says.
+  for (const ProcessId pid : app.process_ids()) {
+    const TileId tile = mapping.tile_of(pid);
+    EXPECT_GE(state.processes_hosted(tile), 1u)
+        << app.process(pid).name << " reservation lost";
+  }
+}
+
+TEST(Step2, MaxIterationsBoundsWork) {
+  Step2Fixture f;
+  const auto app = test::pipeline_app({.stages = 3});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place(app, state, mapping);
+  Step2Options options;
+  options.max_iterations = 1;
+  const auto trace = f.improve(app, state, mapping, options);
+  EXPECT_LE(trace.records.size(), 1u);
+}
+
+TEST(Step2, MinGainThresholdStopsEarly) {
+  Step2Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place(app, state, mapping);
+  Step2Options options;
+  options.min_gain = 1e9;  // nothing can improve this much
+  const auto trace = f.improve(app, state, mapping, options);
+  EXPECT_DOUBLE_EQ(trace.final_cost, trace.initial_cost);
+  for (const auto& r : trace.records) EXPECT_FALSE(r.kept);
+}
+
+TEST(Step2, TokenWeightedCostPrioritisesHeavyChannels) {
+  Step2Fixture f;
+  const auto app = test::pipeline_app({.stages = 2, .tokens = 64});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place(app, state, mapping);
+  Step2Options options;
+  options.cost_model = CommCostModel::TokenWeighted;
+  const auto trace = f.improve(app, state, mapping, options);
+  EXPECT_LE(trace.final_cost, trace.initial_cost);
+}
+
+TEST(Step2, SnapshotsCoverAllProcesses) {
+  Step2Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place(app, state, mapping);
+  const auto trace = f.improve(app, state, mapping);
+  EXPECT_EQ(trace.initial_assignment.size(), app.process_count());
+  for (const auto& r : trace.records) {
+    EXPECT_EQ(r.assignment.size(), app.process_count());
+  }
+}
+
+}  // namespace
+}  // namespace rtsm::core

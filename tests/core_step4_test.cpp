@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "core/channel_routing.hpp"
+#include "core/csdf_expansion.hpp"
+#include "core/feasibility.hpp"
+#include "core/implementation_selection.hpp"
+#include "csdf/analysis.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsm::core {
+namespace {
+
+struct Step4Fixture {
+  arch::Platform platform = test::small_platform();
+  energy::EnergyModel energy;
+  FeedbackSet feedback;
+
+  /// Runs steps 1 and 3 so the mapping is placed and routed.
+  void place_and_route(const kpn::Application& app, ResourceState& state,
+                       Mapping& mapping, bool screen = true) {
+    std::vector<Step1Record> s1;
+    Step1Options options;
+    options.utilization_screen = screen;
+    ASSERT_TRUE(run_step1(app, platform, state, feedback, options, energy,
+                          mapping, s1)
+                    .success);
+    std::vector<Step3Record> s3;
+    ASSERT_TRUE(run_step3(app, platform, state, Step3Options{}, mapping, s3)
+                    .success);
+  }
+};
+
+TEST(Expansion, RequiresRoutedMapping) {
+  Step4Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  Mapping mapping(app.process_count(), app.channel_count());
+  EXPECT_THROW((void)expand_mapping(app, f.platform, mapping), Error);
+}
+
+TEST(Expansion, CreatesProcessAndRouterActors) {
+  Step4Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place_and_route(app, state, mapping);
+  const ExpandedGraph expanded = expand_mapping(app, f.platform, mapping);
+
+  // Process actors: one per process.
+  EXPECT_EQ(expanded.process_actor.size(), app.process_count());
+  std::size_t hop_actors = 0;
+  for (const ChannelId cid : app.channel_ids()) {
+    const auto& path = *mapping.path(cid);
+    const std::size_t routers = path.routers(f.platform).size();
+    EXPECT_EQ(expanded.hop_actors[cid.value()].size(), routers);
+    hop_actors += routers;
+  }
+  EXPECT_EQ(expanded.graph.actor_count(), app.process_count() + hop_actors);
+}
+
+TEST(Expansion, GraphIsConsistent) {
+  Step4Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place_and_route(app, state, mapping);
+  const ExpandedGraph expanded = expand_mapping(app, f.platform, mapping);
+  EXPECT_TRUE(csdf::is_consistent(expanded.graph));
+}
+
+TEST(Expansion, HopEdgesCarryRouterBufferCapacity) {
+  Step4Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place_and_route(app, state, mapping);
+  const ExpandedGraph expanded = expand_mapping(app, f.platform, mapping);
+  // All edges except the consumer edges have finite capacity.
+  std::vector<bool> is_consumer(expanded.graph.edge_count(), false);
+  for (const EdgeId e : expanded.consumer_edge) is_consumer[e.value()] = true;
+  for (const EdgeId e : expanded.graph.edge_ids()) {
+    if (is_consumer[e.value()]) {
+      EXPECT_FALSE(expanded.graph.edge(e).capacity.has_value());
+    } else {
+      ASSERT_TRUE(expanded.graph.edge(e).capacity.has_value());
+      EXPECT_GE(*expanded.graph.edge(e).capacity,
+                f.platform.noc().hop_buffer_tokens);
+    }
+  }
+}
+
+TEST(Expansion, WcetsScaleWithTileClock) {
+  // Same app on a platform whose BIG tiles are clocked twice as fast.
+  const auto app = test::pipeline_app({.stages = 1, .little_wcet_cc = 0});
+  Step4Fixture slow;
+  Step4Fixture fast;
+  fast.platform = test::small_platform(400'000'000);
+
+  ResourceState s1(slow.platform);
+  Mapping m1(app.process_count(), app.channel_count());
+  slow.place_and_route(app, s1, m1);
+  ResourceState s2(fast.platform);
+  Mapping m2(app.process_count(), app.channel_count());
+  fast.place_and_route(app, s2, m2);
+
+  const auto g1 = expand_mapping(app, slow.platform, m1);
+  const auto g2 = expand_mapping(app, fast.platform, m2);
+  const ProcessId s0 = app.process_by_name("S0");
+  const auto wcet1 =
+      g1.graph.actor(g1.process_actor[s0.value()]).cycle_wcet_ps();
+  const auto wcet2 =
+      g2.graph.actor(g2.process_actor[s0.value()]).cycle_wcet_ps();
+  EXPECT_EQ(wcet1, 2 * wcet2);
+}
+
+TEST(Step4, FeasiblePipelineVerifies) {
+  Step4Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place_and_route(app, state, mapping);
+  Step4Trace trace;
+  const auto report = run_step4(app, f.platform, state, FeasibilityOptions{},
+                                mapping, trace);
+  ASSERT_TRUE(report.feasible) << report.failure;
+  EXPECT_LE(report.achieved_period_ps, 4000u * 1000u);
+  EXPECT_GT(report.latency_ps, 0u);
+  // Buffers recorded on every channel.
+  for (const ChannelId cid : app.channel_ids()) {
+    EXPECT_TRUE(mapping.buffer_tokens(cid).has_value());
+    EXPECT_GE(*mapping.buffer_tokens(cid), 1u);
+  }
+}
+
+TEST(Step4, TooSlowImplementationRejectedWithFeedback) {
+  Step4Fixture f;
+  // Only LITTLE variants exist and they are far too slow: 3200 cc = 16 us.
+  test::PipelineSpec spec;
+  spec.stages = 1;
+  spec.big_wcet_cc = 3200;
+  spec.little_wcet_cc = 0;
+  const auto app = test::pipeline_app(spec);
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place_and_route(app, state, mapping, /*screen=*/false);
+  Step4Trace trace;
+  const auto report = run_step4(app, f.platform, state, FeasibilityOptions{},
+                                mapping, trace);
+  EXPECT_FALSE(report.feasible);
+  ASSERT_TRUE(report.feedback.has_value());
+  EXPECT_EQ(report.feedback->kind,
+            FeedbackConstraint::Kind::ForbidImplementation);
+  EXPECT_EQ(report.feedback->process, app.process_by_name("S0"));
+}
+
+TEST(Step4, BufferMemoryChargedToConsumerTile) {
+  Step4Fixture f;
+  const auto app = test::pipeline_app({.stages = 2});
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place_and_route(app, state, mapping);
+  const ProcessId s1 = app.process_by_name("S1");
+  const TileId consumer = mapping.tile_of(s1);
+  const std::uint64_t before = state.memory_used(consumer);
+  Step4Trace trace;
+  ASSERT_TRUE(run_step4(app, f.platform, state, FeasibilityOptions{}, mapping,
+                        trace)
+                  .feasible);
+  EXPECT_GT(state.memory_used(consumer), before);
+}
+
+TEST(Step4, BufferThatCannotFitProducesTileFeedback) {
+  // Tiny tile memory: implementations fit, buffers do not.
+  Step4Fixture f;
+  f.platform = test::small_platform(200'000'000, 200'000'000, 4200);
+  test::PipelineSpec spec;
+  spec.stages = 2;
+  spec.tokens = 64;  // 64 tokens * 4 B > remaining memory after 4 KiB impl
+  spec.impl_memory = 4 * 1024;
+  const auto app = test::pipeline_app(spec);
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place_and_route(app, state, mapping);
+  Step4Trace trace;
+  const auto report = run_step4(app, f.platform, state, FeasibilityOptions{},
+                                mapping, trace);
+  EXPECT_FALSE(report.feasible);
+  ASSERT_TRUE(report.feedback.has_value());
+  EXPECT_EQ(report.feedback->kind, FeedbackConstraint::Kind::ForbidTile);
+}
+
+TEST(Step4, LatencyBoundViolationDetected) {
+  Step4Fixture f;
+  kpn::QosConstraints qos;
+  qos.symbol_period_ns = 4000;
+  qos.max_latency_ns = 1;
+  kpn::Application strict("strict", qos);
+  const ProcessId a = strict.add_fixture("SRC", "SRC");
+  const ProcessId b = strict.add_process("S0");
+  const ProcessId c = strict.add_fixture("DST", "DST");
+  const ChannelId ab = strict.connect(a, b, 8);
+  const ChannelId bc = strict.connect(b, c, 8);
+  kpn::Implementation ia;
+  ia.name = "SRC@IO";
+  ia.tile_type = "IO";
+  ia.wcet_cc = {100};
+  ia.outputs = {{ab, {8}}};
+  strict.add_implementation(a, std::move(ia));
+  kpn::Implementation ib;
+  ib.name = "S0@BIG";
+  ib.tile_type = "BIG";
+  ib.wcet_cc = {100};
+  ib.inputs = {{ab, {8}}};
+  ib.outputs = {{bc, {8}}};
+  strict.add_implementation(b, std::move(ib));
+  kpn::Implementation ic;
+  ic.name = "DST@IO";
+  ic.tile_type = "IO";
+  ic.wcet_cc = {100};
+  ic.inputs = {{bc, {8}}};
+  strict.add_implementation(c, std::move(ic));
+  strict.validate();
+
+  ResourceState state(f.platform);
+  Mapping mapping(strict.process_count(), strict.channel_count());
+  f.place_and_route(strict, state, mapping);
+  Step4Trace trace;
+  const auto report = run_step4(strict, f.platform, state,
+                                FeasibilityOptions{}, mapping, trace);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.failure.find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtsm::core

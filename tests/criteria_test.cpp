@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/criteria.hpp"
+#include "core/spatial_mapper.hpp"
+#include "test_helpers.hpp"
+
+// Negative-path coverage for the paper's mapping-quality criteria: start
+// from a verified-feasible mapping and break it in one specific way; the
+// predicates must fail with a verdict naming the violation.
+
+namespace rtsm::core {
+namespace {
+
+struct Valid {
+  kpn::Application app = test::pipeline_app({.stages = 2});
+  arch::Platform platform = test::small_platform();
+  MappingResult result;
+  Valid() { result = SpatialMapper().map(app, platform); }
+};
+
+TEST(Criteria, ValidMappingPassesEverything) {
+  Valid v;
+  ASSERT_TRUE(v.result.success);
+  EXPECT_TRUE(check_adequate(v.app, v.platform, v.result.mapping).ok);
+  EXPECT_TRUE(check_adherent(v.app, v.platform, v.result.mapping).ok);
+}
+
+TEST(Criteria, UnassignedProcessIsInadequate) {
+  Valid v;
+  ASSERT_TRUE(v.result.success);
+  Mapping broken = v.result.mapping;
+  broken.unassign(v.app.process_by_name("S0"));
+  const auto verdict = check_adequate(v.app, v.platform, broken);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.reason.find("unassigned"), std::string::npos);
+  EXPECT_NE(verdict.reason.find("S0"), std::string::npos);
+}
+
+TEST(Criteria, WrongTileTypeIsInadequate) {
+  Valid v;
+  ASSERT_TRUE(v.result.success);
+  Mapping broken = v.result.mapping;
+  // Move S0 (BIG or LITTLE implementation) onto an IO tile.
+  broken.move(v.app.process_by_name("S0"), v.platform.tile_by_name("SRC"));
+  const auto verdict = check_adequate(v.app, v.platform, broken);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.reason.find("S0"), std::string::npos);
+}
+
+TEST(Criteria, UnpinnedFixtureIsInadequate) {
+  Valid v;
+  ASSERT_TRUE(v.result.success);
+  Mapping broken = v.result.mapping;
+  // SRC and DST are both IO tiles, so the type stays right but the pin is
+  // violated.
+  broken.move(v.app.process_by_name("SRC"), v.platform.tile_by_name("DST"));
+  const auto verdict = check_adequate(v.app, v.platform, broken);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.reason.find("pinned"), std::string::npos);
+}
+
+TEST(Criteria, SlotOverSubscriptionIsInadherent) {
+  Valid v;
+  ASSERT_TRUE(v.result.success);
+  Mapping broken = v.result.mapping;
+  // Cram both stages onto one single-slot tile (same type keeps adequacy).
+  const TileId tile = broken.tile_of(v.app.process_by_name("S0"));
+  const ProcessId s1 = v.app.process_by_name("S1");
+  if (v.platform.tile(broken.tile_of(s1)).type != v.platform.tile(tile).type) {
+    GTEST_SKIP() << "stages landed on different types for this seed";
+  }
+  broken.move(s1, tile);
+  EXPECT_TRUE(check_adequate(v.app, v.platform, broken).ok);
+  const auto verdict = check_adherent(v.app, v.platform, broken);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.reason.find("over-subscribed"), std::string::npos);
+}
+
+TEST(Criteria, MissingPathIsInadherent) {
+  Valid v;
+  ASSERT_TRUE(v.result.success);
+  Mapping broken = v.result.mapping;
+  broken.clear_paths();
+  const auto verdict = check_adherent(v.app, v.platform, broken);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.reason.find("unrouted"), std::string::npos);
+}
+
+TEST(Criteria, StalePathEndpointsDetected) {
+  Valid v;
+  ASSERT_TRUE(v.result.success);
+  Mapping broken = v.result.mapping;
+  // Swap the two stages' tiles without re-routing: the stored paths now
+  // disagree with the placement.
+  const ProcessId s0 = v.app.process_by_name("S0");
+  const ProcessId s1 = v.app.process_by_name("S1");
+  const TileId t0 = broken.tile_of(s0);
+  const TileId t1 = broken.tile_of(s1);
+  if (v.platform.tile(t0).type != v.platform.tile(t1).type) {
+    GTEST_SKIP() << "stages landed on different types for this seed";
+  }
+  broken.move(s0, t1);
+  broken.move(s1, t0);
+  bool any_failed = false;
+  for (const ChannelId cid : v.app.channel_ids()) {
+    if (!check_path_structure(v.app, v.platform, broken, cid).ok) {
+      any_failed = true;
+    }
+  }
+  EXPECT_TRUE(any_failed);
+  EXPECT_FALSE(check_adherent(v.app, v.platform, broken).ok);
+}
+
+TEST(Criteria, GiantBufferIsInadherent) {
+  Valid v;
+  ASSERT_TRUE(v.result.success);
+  Mapping broken = v.result.mapping;
+  // A consumer-side buffer larger than the whole tile memory.
+  broken.set_buffer_tokens(ChannelId{0}, 1u << 20);
+  const auto verdict = check_adherent(v.app, v.platform, broken);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.reason.find("over-subscribed"), std::string::npos);
+}
+
+TEST(Criteria, VerdictConvertsToBool) {
+  const CriteriaVerdict good{true, ""};
+  const CriteriaVerdict bad{false, "reason"};
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_FALSE(static_cast<bool>(bad));
+}
+
+}  // namespace
+}  // namespace rtsm::core

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "csdf/analysis.hpp"
+#include "csdf/graph.hpp"
+#include "csdf/simulator.hpp"
+
+namespace rtsm::csdf {
+namespace {
+
+Edge make_edge(const std::string& name, ActorId src, ActorId dst,
+               std::vector<std::uint32_t> prod, std::vector<std::uint32_t> cons,
+               std::optional<std::uint32_t> cap = std::nullopt,
+               std::uint32_t init = 0) {
+  Edge e;
+  e.name = name;
+  e.src = src;
+  e.dst = dst;
+  e.production = std::move(prod);
+  e.consumption = std::move(cons);
+  e.capacity = cap;
+  e.initial_tokens = init;
+  return e;
+}
+
+TEST(Simulator, PipelinePeriodIsBottleneckActor) {
+  // P(100) -> C(250): self-timed steady state is paced by C at 250 ps.
+  Graph g;
+  const ActorId p = g.add_actor("P", {100});
+  const ActorId c = g.add_actor("C", {250});
+  g.add_edge(make_edge("e", p, c, {1}, {1}, 4));
+  const auto rv = repetition_vector(g);
+  ASSERT_TRUE(rv);
+  const auto sim = simulate(g, *rv, c);
+  EXPECT_EQ(sim.status, SimulationStatus::Completed);
+  EXPECT_EQ(sim.period_ps, 250u);
+}
+
+TEST(Simulator, SourcePacedPipeline) {
+  // Slow producer paces a fast consumer.
+  Graph g;
+  const ActorId p = g.add_actor("P", {400});
+  const ActorId c = g.add_actor("C", {50});
+  g.add_edge(make_edge("e", p, c, {1}, {1}, 2));
+  const auto rv = repetition_vector(g);
+  const auto sim = simulate(g, *rv, c);
+  EXPECT_EQ(sim.status, SimulationStatus::Completed);
+  EXPECT_EQ(sim.period_ps, 400u);
+}
+
+TEST(Simulator, UnbufferedDeadlockDetected) {
+  // A cycle with no initial tokens cannot fire at all.
+  Graph g;
+  const ActorId a = g.add_actor("a", {10});
+  const ActorId b = g.add_actor("b", {10});
+  g.add_edge(make_edge("ab", a, b, {1}, {1}));
+  g.add_edge(make_edge("ba", b, a, {1}, {1}));  // no initial tokens
+  const auto rv = repetition_vector(g);
+  ASSERT_TRUE(rv);
+  const auto sim = simulate(g, *rv, a);
+  EXPECT_EQ(sim.status, SimulationStatus::Deadlock);
+  EXPECT_NE(sim.message.find("deadlock"), std::string::npos);
+}
+
+TEST(Simulator, CycleWithTokenRuns) {
+  Graph g;
+  const ActorId a = g.add_actor("a", {10});
+  const ActorId b = g.add_actor("b", {30});
+  g.add_edge(make_edge("ab", a, b, {1}, {1}));
+  g.add_edge(make_edge("ba", b, a, {1}, {1}, std::nullopt, 1));
+  const auto rv = repetition_vector(g);
+  const auto sim = simulate(g, *rv, b);
+  EXPECT_EQ(sim.status, SimulationStatus::Completed);
+  // One token circulates: period = wcet(a) + wcet(b).
+  EXPECT_EQ(sim.period_ps, 40u);
+}
+
+TEST(Simulator, TightCapacityThrottles) {
+  // P(100) -> C(300), capacity 1: P must wait for C each round.
+  Graph g;
+  const ActorId p = g.add_actor("P", {100});
+  const ActorId c = g.add_actor("C", {300});
+  g.add_edge(make_edge("e", p, c, {1}, {1}, 1));
+  const auto rv = repetition_vector(g);
+  const auto sim = simulate(g, *rv, c);
+  EXPECT_EQ(sim.status, SimulationStatus::Completed);
+  EXPECT_EQ(sim.period_ps, 300u);  // still C-bound; capacity 1 suffices here
+}
+
+TEST(Simulator, MultiRateThroughput) {
+  // P produces 4/firing @200ps; C consumes 1/firing @100ps.
+  // Iteration = 1 P-firing + 4 C-firings; C is the bottleneck: 400ps.
+  Graph g;
+  const ActorId p = g.add_actor("P", {200});
+  const ActorId c = g.add_actor("C", {100});
+  g.add_edge(make_edge("e", p, c, {4}, {1}, 8));
+  const auto rv = repetition_vector(g);
+  ASSERT_TRUE(rv);
+  EXPECT_EQ(rv->cycles, (std::vector<std::uint64_t>{1, 4}));
+  const auto sim = simulate(g, *rv, c);
+  EXPECT_EQ(sim.status, SimulationStatus::Completed);
+  EXPECT_EQ(sim.period_ps, 400u);
+}
+
+TEST(Simulator, PhasedActorHonoursPhases) {
+  // Actor with read(10) / compute(100) / write(10) phases between two
+  // single-phase endpoints.
+  Graph g;
+  const ActorId src = g.add_actor("src", {120});
+  const ActorId mid = g.add_actor("mid", {10, 100, 10});
+  const ActorId dst = g.add_actor("dst", {60});
+  g.add_edge(make_edge("in", src, mid, {8}, {8, 0, 0}, 16));
+  g.add_edge(make_edge("out", mid, dst, {0, 0, 8}, {8}, 16));
+  const auto rv = repetition_vector(g);
+  ASSERT_TRUE(rv);
+  const auto sim = simulate(g, *rv, dst);
+  EXPECT_EQ(sim.status, SimulationStatus::Completed);
+  EXPECT_EQ(sim.period_ps, 120u);  // mid's cycle: 10+100+10
+}
+
+TEST(Simulator, LatencyProbeMeasuresPipelineDepth) {
+  Graph g;
+  const ActorId p = g.add_actor("P", {100});
+  const ActorId m = g.add_actor("M", {100});
+  const ActorId c = g.add_actor("C", {100});
+  g.add_edge(make_edge("pm", p, m, {1}, {1}, 2));
+  g.add_edge(make_edge("mc", m, c, {1}, {1}, 2));
+  const auto rv = repetition_vector(g);
+  const auto sim = simulate(g, *rv, c, SimulationConfig{},
+                            LatencyProbe{p, c});
+  EXPECT_EQ(sim.status, SimulationStatus::Completed);
+  EXPECT_GE(sim.latency_ps, 300u);  // three stages of 100 each
+  EXPECT_LE(sim.latency_ps, 600u);
+}
+
+TEST(Simulator, EventLimitReported) {
+  Graph g;
+  const ActorId p = g.add_actor("P", {1});
+  const ActorId c = g.add_actor("C", {1});
+  g.add_edge(make_edge("e", p, c, {1}, {1}, 4));
+  const auto rv = repetition_vector(g);
+  SimulationConfig cfg;
+  cfg.max_events = 10;
+  cfg.warmup_iterations = 100;
+  cfg.measured_iterations = 100;
+  const auto sim = simulate(g, *rv, c, cfg);
+  EXPECT_EQ(sim.status, SimulationStatus::EventLimit);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  Graph g;
+  const ActorId a = g.add_actor("a", {70});
+  const ActorId b = g.add_actor("b", {110});
+  const ActorId c = g.add_actor("c", {90});
+  g.add_edge(make_edge("ab", a, b, {3}, {2}, 12));
+  g.add_edge(make_edge("bc", b, c, {2}, {3}, 12));
+  const auto rv = repetition_vector(g);
+  ASSERT_TRUE(rv);
+  const auto s1 = simulate(g, *rv, c);
+  const auto s2 = simulate(g, *rv, c);
+  EXPECT_EQ(s1.period_ps, s2.period_ps);
+  EXPECT_EQ(s1.events, s2.events);
+  EXPECT_EQ(s1.end_time_ps, s2.end_time_ps);
+}
+
+TEST(Simulator, PeriodNeverBeatsStructuralBound) {
+  Graph g;
+  const ActorId a = g.add_actor("a", {123});
+  const ActorId b = g.add_actor("b", {77});
+  g.add_edge(make_edge("ab", a, b, {5}, {3}, 30));
+  const auto rv = repetition_vector(g);
+  ASSERT_TRUE(rv);
+  const auto sim = simulate(g, *rv, b);
+  ASSERT_EQ(sim.status, SimulationStatus::Completed);
+  EXPECT_GE(sim.period_ps, min_period_bound_ps(g, *rv));
+}
+
+TEST(Simulator, WarmupZeroWorks) {
+  Graph g;
+  const ActorId p = g.add_actor("P", {100});
+  const ActorId c = g.add_actor("C", {100});
+  g.add_edge(make_edge("e", p, c, {1}, {1}, 2));
+  const auto rv = repetition_vector(g);
+  SimulationConfig cfg;
+  cfg.warmup_iterations = 0;
+  cfg.measured_iterations = 4;
+  const auto sim = simulate(g, *rv, c, cfg);
+  EXPECT_EQ(sim.status, SimulationStatus::Completed);
+  EXPECT_GT(sim.period_ps, 0u);
+}
+
+}  // namespace
+}  // namespace rtsm::csdf

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "energy/model.hpp"
+#include "noc/route.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsm::energy {
+namespace {
+
+TEST(EnergyModel, ProcessingComesFromDescriptor) {
+  kpn::Implementation im;
+  im.energy_nj_per_symbol = 42.5;
+  const EnergyModel model;
+  EXPECT_DOUBLE_EQ(model.processing_nj(im), 42.5);
+}
+
+TEST(EnergyModel, IntraTileCommunicationIsFree) {
+  const EnergyModel model;
+  EXPECT_DOUBLE_EQ(model.comm_nj(100, 0), 0.0);
+}
+
+TEST(EnergyModel, CommScalesWithTokensAndHops) {
+  EnergyModel model;
+  model.hop_nj_per_token = 0.1;
+  model.ni_nj_per_token = 0.05;
+  EXPECT_DOUBLE_EQ(model.comm_nj(80, 2), 80 * (0.2 + 0.05));
+  EXPECT_DOUBLE_EQ(model.comm_nj(80, 4), 80 * (0.4 + 0.05));
+  // Linear in tokens.
+  EXPECT_DOUBLE_EQ(model.comm_nj(160, 2), 2 * model.comm_nj(80, 2));
+}
+
+TEST(EnergyModel, PathOverloadUsesActualHops) {
+  const arch::Platform platform = test::small_platform();
+  noc::LinkLoad load(platform);
+  const TileId a = platform.tile_by_name("SRC");
+  const TileId b = platform.tile_by_name("BIG1");
+  const auto path = noc::route_shortest(load, a, b, 1.0);
+  ASSERT_TRUE(path);
+
+  kpn::Channel channel;
+  channel.tokens_per_symbol = 10;
+  EnergyModel model;
+  EXPECT_DOUBLE_EQ(
+      model.comm_nj(channel, *path, platform),
+      model.comm_nj(10, platform.manhattan(a, b)));
+}
+
+}  // namespace
+}  // namespace rtsm::energy

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/digraph.hpp"
+#include "util/error.hpp"
+
+namespace rtsm::graph {
+namespace {
+
+Digraph chain(std::size_t n) {
+  Digraph g;
+  g.add_nodes(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_arc(NodeId{static_cast<NodeId::value_type>(i)},
+              NodeId{static_cast<NodeId::value_type>(i + 1)});
+  }
+  return g;
+}
+
+TEST(Digraph, EmptyGraph) {
+  const Digraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.arc_count(), 0u);
+  EXPECT_TRUE(g.is_weakly_connected());
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(Digraph, AddNodesAndArcs) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const std::size_t arc = g.add_arc(a, b);
+  EXPECT_EQ(g.arc(arc).from, a);
+  EXPECT_EQ(g.arc(arc).to, b);
+  EXPECT_EQ(g.out_arcs(a).size(), 1u);
+  EXPECT_EQ(g.in_arcs(b).size(), 1u);
+  EXPECT_TRUE(g.in_arcs(a).empty());
+}
+
+TEST(Digraph, ArcToUnknownNodeThrows) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  EXPECT_THROW(g.add_arc(a, NodeId{5}), Error);
+  EXPECT_THROW(g.add_arc(NodeId{}, a), Error);
+}
+
+TEST(Digraph, TopologicalOrderOfChain) {
+  const Digraph g = chain(5);
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 5u);
+  for (std::size_t i = 0; i + 1 < 5; ++i) {
+    EXPECT_LT((*order)[i], (*order)[i + 1]);
+  }
+}
+
+TEST(Digraph, CycleHasNoTopologicalOrder) {
+  Digraph g;
+  g.add_nodes(3);
+  g.add_arc(NodeId{0}, NodeId{1});
+  g.add_arc(NodeId{1}, NodeId{2});
+  g.add_arc(NodeId{2}, NodeId{0});
+  EXPECT_FALSE(g.topological_order().has_value());
+  EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(Digraph, SelfLoopIsCycle) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  g.add_arc(a, a);
+  EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(Digraph, WeakConnectivityIgnoresDirection) {
+  Digraph g;
+  g.add_nodes(3);
+  g.add_arc(NodeId{1}, NodeId{0});
+  g.add_arc(NodeId{1}, NodeId{2});
+  EXPECT_TRUE(g.is_weakly_connected());
+}
+
+TEST(Digraph, DisconnectedDetected) {
+  Digraph g;
+  g.add_nodes(4);
+  g.add_arc(NodeId{0}, NodeId{1});
+  g.add_arc(NodeId{2}, NodeId{3});
+  EXPECT_FALSE(g.is_weakly_connected());
+}
+
+TEST(Digraph, ReachableFollowsDirection) {
+  Digraph g;
+  g.add_nodes(4);
+  g.add_arc(NodeId{0}, NodeId{1});
+  g.add_arc(NodeId{1}, NodeId{2});
+  g.add_arc(NodeId{3}, NodeId{0});
+  const auto reach = g.reachable_from(NodeId{0});
+  EXPECT_EQ(reach, (std::vector<NodeId>{NodeId{0}, NodeId{1}, NodeId{2}}));
+}
+
+TEST(Digraph, SourcesAndSinks) {
+  const Digraph g = chain(4);
+  EXPECT_EQ(g.sources(), std::vector<NodeId>{NodeId{0}});
+  EXPECT_EQ(g.sinks(), std::vector<NodeId>{NodeId{3}});
+}
+
+TEST(Digraph, MultiArcsAllowed) {
+  Digraph g;
+  g.add_nodes(2);
+  g.add_arc(NodeId{0}, NodeId{1});
+  g.add_arc(NodeId{0}, NodeId{1});
+  EXPECT_EQ(g.arc_count(), 2u);
+  EXPECT_EQ(g.out_arcs(NodeId{0}).size(), 2u);
+}
+
+TEST(Digraph, DiamondIsAcyclicAndConnected) {
+  Digraph g;
+  g.add_nodes(4);
+  g.add_arc(NodeId{0}, NodeId{1});
+  g.add_arc(NodeId{0}, NodeId{2});
+  g.add_arc(NodeId{1}, NodeId{3});
+  g.add_arc(NodeId{2}, NodeId{3});
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_TRUE(g.is_weakly_connected());
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order);
+  EXPECT_EQ(order->front(), NodeId{0});
+  EXPECT_EQ(order->back(), NodeId{3});
+}
+
+}  // namespace
+}  // namespace rtsm::graph

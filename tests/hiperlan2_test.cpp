@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "core/criteria.hpp"
+#include "core/csdf_expansion.hpp"
+#include "core/spatial_mapper.hpp"
+#include "csdf/analysis.hpp"
+#include "workload/hiperlan2.hpp"
+
+// Reproduction tests pinning the paper's Section 4 case study: the KPN of
+// Figure 1, the implementation table (Table 1), the reconstructed platform
+// of Figure 2, the step-2 iteration trace of Table 2, and the feasibility
+// of the final mapping (Figure 3).
+
+namespace rtsm::workload {
+namespace {
+
+namespace names = hiperlan2_names;
+
+// ------------------------------------------------------------ Figure 1 / ALS
+
+TEST(Hiperlan2App, KpnTopologyMatchesFigure1) {
+  const auto app = make_hiperlan2_receiver();
+  EXPECT_EQ(app.process_count(), 6u);  // A/D, 4 processes, Sink
+  EXPECT_EQ(app.channel_count(), 5u);
+
+  const std::vector<std::pair<std::string, std::uint32_t>> expected{
+      {"A/D->Pfx.rem.", 80},
+      {"Pfx.rem.->Frq.off.", 64},
+      {"Frq.off.->Inv.OFDM", 64},
+      {"Inv.OFDM->Rem.", 52},
+      {"Rem.->Sink", 12},  // QPSK default: b = 12
+  };
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const kpn::Channel& c =
+        app.channel(ChannelId{static_cast<ChannelId::value_type>(i)});
+    EXPECT_EQ(c.name, expected[i].first);
+    EXPECT_EQ(c.tokens_per_symbol, expected[i].second);
+  }
+}
+
+TEST(Hiperlan2App, QosIsOneSymbolPer4us) {
+  const auto app = make_hiperlan2_receiver();
+  EXPECT_EQ(app.qos().symbol_period_ns, 4000u);
+  EXPECT_EQ(app.qos().frame_symbols, 500u);
+}
+
+TEST(Hiperlan2App, ValidatesAtEveryMode) {
+  for (const ModeInfo& mode : kHiperlan2Modes) {
+    Hiperlan2Config config;
+    config.mode = mode.mode;
+    EXPECT_NO_THROW((void)make_hiperlan2_receiver(config))
+        << "mode " << mode.name;
+  }
+}
+
+TEST(Hiperlan2App, ModeTableSpansPaperRange) {
+  // "minimum output is 12 bytes and the maximum is 384 bytes" (Section 4.1).
+  EXPECT_EQ(mode_info(Hiperlan2Mode::BPSK).output_tokens * 4u, 12u);
+  EXPECT_EQ(mode_info(Hiperlan2Mode::QAM64).output_tokens * 4u, 384u);
+  EXPECT_EQ(kHiperlan2Modes.size(), 7u);  // seven modes in the standard
+}
+
+// ------------------------------------------------------------------ Table 1
+
+struct ImplExpectation {
+  const char* process;
+  const char* type;
+  std::uint64_t cycle_wcet_cc;     // per CSDF cycle
+  std::uint64_t cycles_per_symbol;
+  double energy;
+};
+
+class Table1 : public ::testing::TestWithParam<ImplExpectation> {};
+
+TEST_P(Table1, WcetAndEnergyMatchPaper) {
+  const auto app = make_hiperlan2_receiver();  // b = 12
+  const ImplExpectation& e = GetParam();
+  const ProcessId pid = app.process_by_name(e.process);
+  const kpn::Process& p = app.process(pid);
+  bool found = false;
+  for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
+    const kpn::Implementation& im = p.implementations[ii];
+    if (im.tile_type != e.type) continue;
+    found = true;
+    EXPECT_EQ(im.cycle_wcet_cc(), e.cycle_wcet_cc) << im.name;
+    EXPECT_DOUBLE_EQ(im.energy_nj_per_symbol, e.energy) << im.name;
+    EXPECT_EQ(app.cycles_per_symbol(
+                  pid, ImplementationId{
+                           static_cast<ImplementationId::value_type>(ii)}),
+              e.cycles_per_symbol)
+        << im.name;
+  }
+  EXPECT_TRUE(found) << e.process << "@" << e.type;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table1,
+    ::testing::Values(
+        // Pfx.rem.: ARM <18^18> = 324 cc/cycle, 1 cycle/symbol, 60 nJ.
+        ImplExpectation{"Pfx.rem.", "ARM", 324, 1, 60.0},
+        // Pfx.rem.: MONTIUM <1^81> = 81 cc, 32 nJ.
+        ImplExpectation{"Pfx.rem.", "MONTIUM", 81, 1, 32.0},
+        // Frq.off.: ARM <18,32,18> = 68 cc/cycle, 8 cycles/symbol, 62 nJ.
+        ImplExpectation{"Frq.off.", "ARM", 68, 8, 62.0},
+        // Frq.off.: MONTIUM <1^66> = 66 cc, 33 nJ.
+        ImplExpectation{"Frq.off.", "MONTIUM", 66, 1, 33.0},
+        // Inv.OFDM: ARM <66,4250,54> = 4370 cc, 275 nJ.
+        ImplExpectation{"Inv.OFDM", "ARM", 4370, 1, 275.0},
+        // Inv.OFDM: MONTIUM <1^64,170,1^52> = 286 cc, 143 nJ.
+        ImplExpectation{"Inv.OFDM", "MONTIUM", 286, 1, 143.0},
+        // Rem.: ARM <54,2250,b+2> = 2318 cc at b=12, 140 nJ.
+        ImplExpectation{"Rem.", "ARM", 2318, 1, 140.0},
+        // Rem.: MONTIUM <1^52,73-b,1^b> = 52+61+12 = 125 cc, 76 nJ.
+        ImplExpectation{"Rem.", "MONTIUM", 125, 1, 76.0}));
+
+TEST(Hiperlan2App, PerSymbolTokenTotalsMatchKpnAnnotations) {
+  // Every implementation moves exactly the channel's tokens per symbol
+  // (Figure 1's edge labels) — the consistency the paper relies on.
+  const auto app = make_hiperlan2_receiver();
+  app.validate();  // includes the integral cycles-per-symbol check
+  for (const ProcessId pid : app.process_ids()) {
+    const kpn::Process& p = app.process(pid);
+    for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
+      const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+      const std::uint64_t cycles = app.cycles_per_symbol(pid, impl);
+      for (const kpn::PortSpec& port : p.implementations[ii].inputs) {
+        EXPECT_EQ(kpn::Implementation::tokens_per_cycle(port) * cycles,
+                  app.channel(port.channel).tokens_per_symbol);
+      }
+      for (const kpn::PortSpec& port : p.implementations[ii].outputs) {
+        EXPECT_EQ(kpn::Implementation::tokens_per_cycle(port) * cycles,
+                  app.channel(port.channel).tokens_per_symbol);
+      }
+    }
+  }
+}
+
+TEST(Hiperlan2App, RemainderMontiumClampsAtLargeB) {
+  Hiperlan2Config config;
+  config.mode = Hiperlan2Mode::QAM64;  // b = 96 > 72
+  const auto app = make_hiperlan2_receiver(config);
+  EXPECT_NO_THROW(app.validate());
+}
+
+// ------------------------------------------------------------------ Figure 2
+
+TEST(PaperPlatform, LayoutMatchesReconstruction) {
+  const auto p = make_paper_platform();
+  EXPECT_EQ(p.mesh_width(), 3u);
+  EXPECT_EQ(p.mesh_height(), 3u);
+  EXPECT_EQ(p.tile_count(), 9u);
+
+  auto pos = [&](const char* name) {
+    const arch::Tile& t = p.tile(p.tile_by_name(name));
+    return std::pair<std::uint32_t, std::uint32_t>{t.x, t.y};
+  };
+  EXPECT_EQ(pos("ARM1"), (std::pair<std::uint32_t, std::uint32_t>{0, 0}));
+  EXPECT_EQ(pos("MONTIUM2"), (std::pair<std::uint32_t, std::uint32_t>{1, 0}));
+  EXPECT_EQ(pos("ARM2"), (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+  EXPECT_EQ(pos("A/D"), (std::pair<std::uint32_t, std::uint32_t>{2, 1}));
+  EXPECT_EQ(pos("Sink"), (std::pair<std::uint32_t, std::uint32_t>{0, 2}));
+  EXPECT_EQ(pos("MONTIUM1"), (std::pair<std::uint32_t, std::uint32_t>{1, 2}));
+}
+
+TEST(PaperPlatform, TwoArmsTwoMontiums) {
+  const auto p = make_paper_platform();
+  EXPECT_EQ(p.tiles_of_type(p.type_by_name(names::kArm)).size(), 2u);
+  EXPECT_EQ(p.tiles_of_type(p.type_by_name(names::kMontium)).size(), 2u);
+  EXPECT_EQ(p.tiles_of_type(p.type_by_name(names::kUnused)).size(), 3u);
+}
+
+TEST(PaperPlatform, RouterLatencyIsFourCycles) {
+  const auto p = make_paper_platform();
+  EXPECT_EQ(p.noc().router_latency_cc, 4u);
+  EXPECT_EQ(p.noc().router_latency_ps(), 20'000u);  // 4 cc at 200 MHz
+}
+
+// ------------------------------------------------------------------ Table 2
+
+struct PaperRun {
+  kpn::Application app = make_hiperlan2_receiver();
+  arch::Platform platform = make_paper_platform();
+  core::MappingResult result;
+  PaperRun() {
+    const core::SpatialMapper mapper(paper_mapper_config());
+    result = mapper.map(app, platform);
+  }
+};
+
+TEST(Table2, Step1MatchesSection44) {
+  const PaperRun run;
+  ASSERT_TRUE(run.result.success) << run.result.failure;
+  const auto& step1 = run.result.trace.rounds.back().step1;
+  ASSERT_EQ(step1.size(), 4u);
+  // "the 'Inverse OFDM' process is the most desirable" with margin
+  // 275-143 = 132, then Remainder with 140-76 = 64, then the ARM-only rest.
+  EXPECT_EQ(step1[0].process, "Inv.OFDM");
+  EXPECT_DOUBLE_EQ(step1[0].desirability, 132.0);
+  EXPECT_EQ(step1[0].tile, "MONTIUM1");
+  EXPECT_EQ(step1[1].process, "Rem.");
+  EXPECT_DOUBLE_EQ(step1[1].desirability, 64.0);
+  EXPECT_EQ(step1[1].tile, "MONTIUM2");
+  EXPECT_EQ(step1[2].process, "Pfx.rem.");
+  EXPECT_TRUE(step1[2].defaulted);
+  EXPECT_EQ(step1[2].tile, "ARM1");
+  EXPECT_EQ(step1[3].process, "Frq.off.");
+  EXPECT_TRUE(step1[3].defaulted);
+  EXPECT_EQ(step1[3].tile, "ARM2");
+}
+
+TEST(Table2, IterationTraceMatchesPaper) {
+  const PaperRun run;
+  ASSERT_TRUE(run.result.success) << run.result.failure;
+  const auto& step2 = run.result.trace.rounds.back().step2;
+
+  EXPECT_DOUBLE_EQ(step2.initial_cost, 11.0);
+  EXPECT_DOUBLE_EQ(step2.final_cost, 7.0);
+
+  // Kept/reverted sequence up to the last improvement: 11 (revert),
+  // 9 (keep), 7 (keep) — exactly Table 2.
+  ASSERT_GE(step2.records.size(), 3u);
+  EXPECT_FALSE(step2.records[0].kept);
+  EXPECT_DOUBLE_EQ(step2.records[0].cost_after, 11.0);
+  EXPECT_TRUE(step2.records[1].kept);
+  EXPECT_DOUBLE_EQ(step2.records[1].cost_after, 9.0);
+  EXPECT_TRUE(step2.records[2].kept);
+  EXPECT_DOUBLE_EQ(step2.records[2].cost_after, 7.0);
+  // Everything after the last improvement is the stopping sweep: reverts.
+  for (std::size_t i = 3; i < step2.records.size(); ++i) {
+    EXPECT_FALSE(step2.records[i].kept);
+  }
+}
+
+TEST(Table2, FinalAssignmentMatchesPaper) {
+  const PaperRun run;
+  ASSERT_TRUE(run.result.success);
+  const auto& m = run.result.mapping;
+  auto tile_of = [&](const char* process) {
+    return run.platform.tile(m.tile_of(run.app.process_by_name(process))).name;
+  };
+  // Table 2's final row: ARM1=Frq.off., ARM2=Pfx.rem., MONTIUM1=Rem.,
+  // MONTIUM2=Inv.OFDM.
+  EXPECT_EQ(tile_of("Frq.off."), "ARM1");
+  EXPECT_EQ(tile_of("Pfx.rem."), "ARM2");
+  EXPECT_EQ(tile_of("Rem."), "MONTIUM1");
+  EXPECT_EQ(tile_of("Inv.OFDM"), "MONTIUM2");
+}
+
+TEST(Table2, ChosenImplementationsMatchSection44) {
+  const PaperRun run;
+  ASSERT_TRUE(run.result.success);
+  auto impl_type = [&](const char* process) {
+    const ProcessId pid = run.app.process_by_name(process);
+    return run.app.implementation(pid, run.result.mapping.impl_of(pid))
+        .tile_type;
+  };
+  EXPECT_EQ(impl_type("Inv.OFDM"), "MONTIUM");
+  EXPECT_EQ(impl_type("Rem."), "MONTIUM");
+  EXPECT_EQ(impl_type("Pfx.rem."), "ARM");
+  EXPECT_EQ(impl_type("Frq.off."), "ARM");
+}
+
+// ------------------------------------------------------------------ Figure 3
+
+TEST(Figure3, FinalMappingIsFeasibleAt4us) {
+  const PaperRun run;
+  ASSERT_TRUE(run.result.success) << run.result.failure;
+  EXPECT_LE(run.result.achieved_period_ps, 4'000'000u);
+  const auto adherent =
+      core::check_adherent(run.app, run.platform, run.result.mapping);
+  EXPECT_TRUE(adherent.ok) << adherent.reason;
+}
+
+TEST(Figure3, ProcessingEnergyMatchesTable1Sum) {
+  const PaperRun run;
+  ASSERT_TRUE(run.result.success);
+  // 60 (Pfx/ARM) + 62 (Frq/ARM) + 143 (iOFDM/MONTIUM) + 76 (Rem/MONTIUM).
+  EXPECT_DOUBLE_EQ(
+      core::processing_energy_nj_per_symbol(run.app, run.result.mapping),
+      341.0);
+}
+
+TEST(Figure3, ExpansionHasRouterActorsWithPaperLatency) {
+  const PaperRun run;
+  ASSERT_TRUE(run.result.success);
+  const auto expanded =
+      core::expand_mapping(run.app, run.platform, run.result.mapping);
+  std::size_t hop_count = 0;
+  for (const auto& hops : expanded.hop_actors) {
+    for (const ActorId a : hops) {
+      ++hop_count;
+      ASSERT_EQ(expanded.graph.actor(a).phase_count(), 1u);
+      EXPECT_EQ(expanded.graph.actor(a).wcet_ps[0], 20'000u);  // 4 cc @200MHz
+    }
+  }
+  EXPECT_GT(hop_count, 0u);
+  EXPECT_TRUE(csdf::is_consistent(expanded.graph));
+}
+
+TEST(Figure3, BufferCapacitiesComputedForEveryChannel) {
+  const PaperRun run;
+  ASSERT_TRUE(run.result.success);
+  for (const ChannelId cid : run.app.channel_ids()) {
+    const auto tokens = run.result.mapping.buffer_tokens(cid);
+    ASSERT_TRUE(tokens.has_value()) << run.app.channel(cid).name;
+    EXPECT_GE(*tokens, 1u);
+    EXPECT_LE(*tokens, 128u);  // sane magnitude for this pipeline
+  }
+}
+
+TEST(Figure3, AllModesProduceFeasibleMappings) {
+  for (const ModeInfo& mode : kHiperlan2Modes) {
+    Hiperlan2Config config;
+    config.mode = mode.mode;
+    const auto app = make_hiperlan2_receiver(config);
+    const auto platform = make_paper_platform(config);
+    const core::SpatialMapper mapper(paper_mapper_config());
+    const auto result = mapper.map(app, platform);
+    EXPECT_TRUE(result.success) << mode.name << ": " << result.failure;
+  }
+}
+
+class Table2AcrossModes : public ::testing::TestWithParam<Hiperlan2Mode> {};
+
+TEST_P(Table2AcrossModes, CostSequenceIndependentOfDemappingMode) {
+  // b only scales the lightest channel (Rem.->Sink); the hop-count cost and
+  // therefore the whole Table 2 trace must be identical in every mode.
+  Hiperlan2Config config;
+  config.mode = GetParam();
+  const auto app = make_hiperlan2_receiver(config);
+  const auto platform = make_paper_platform(config);
+  const auto result =
+      core::SpatialMapper(paper_mapper_config()).map(app, platform);
+  ASSERT_TRUE(result.success) << result.failure;
+  const auto& step2 = result.trace.rounds.back().step2;
+  EXPECT_DOUBLE_EQ(step2.initial_cost, 11.0);
+  EXPECT_DOUBLE_EQ(step2.final_cost, 7.0);
+  ASSERT_GE(step2.records.size(), 3u);
+  EXPECT_DOUBLE_EQ(step2.records[0].cost_after, 11.0);
+  EXPECT_DOUBLE_EQ(step2.records[1].cost_after, 9.0);
+  EXPECT_DOUBLE_EQ(step2.records[2].cost_after, 7.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, Table2AcrossModes,
+    ::testing::Values(Hiperlan2Mode::BPSK, Hiperlan2Mode::BPSK34,
+                      Hiperlan2Mode::QPSK, Hiperlan2Mode::QPSK34,
+                      Hiperlan2Mode::QAM16, Hiperlan2Mode::QAM16_34,
+                      Hiperlan2Mode::QAM64));
+
+TEST(Hiperlan2, DefaultMapperConfigAgreesWithPaperConfig) {
+  // The engineering-default config (screen on, comm-aware, best-improvement)
+  // must find a mapping that is at least as cheap as the paper walkthrough.
+  const auto app = make_hiperlan2_receiver();
+  const auto platform = make_paper_platform();
+  const auto paper = core::SpatialMapper(paper_mapper_config()).map(app, platform);
+  const auto modern = core::SpatialMapper().map(app, platform);
+  ASSERT_TRUE(paper.success);
+  ASSERT_TRUE(modern.success);
+  EXPECT_LE(modern.energy_nj_per_symbol, paper.energy_nj_per_symbol + 1e-9);
+  EXPECT_DOUBLE_EQ(
+      core::processing_energy_nj_per_symbol(app, modern.mapping), 341.0);
+}
+
+TEST(Hiperlan2, ArmOnlyImplementationsRejectedByScreen) {
+  // At 200 MHz the ARM Inv.OFDM (4370 cc) and Rem. (2318 cc) exceed the
+  // 800-cycle period; the default screen must never choose them.
+  const auto app = make_hiperlan2_receiver();
+  const auto platform = make_paper_platform();
+  const auto result = core::SpatialMapper().map(app, platform);
+  ASSERT_TRUE(result.success);
+  const ProcessId iofdm = app.process_by_name("Inv.OFDM");
+  const ProcessId rem = app.process_by_name("Rem.");
+  EXPECT_EQ(app.implementation(iofdm, result.mapping.impl_of(iofdm)).tile_type,
+            "MONTIUM");
+  EXPECT_EQ(app.implementation(rem, result.mapping.impl_of(rem)).tile_type,
+            "MONTIUM");
+}
+
+}  // namespace
+}  // namespace rtsm::workload

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "core/csdf_expansion.hpp"
+#include "core/spatial_mapper.hpp"
+#include "io/dot.hpp"
+#include "io/paper_report.hpp"
+#include "io/table.hpp"
+#include "workload/hiperlan2.hpp"
+
+namespace rtsm::io {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"A", "Bee"});
+  t.add_row({"xx", "y"});
+  t.add_row({"1", "22"});
+  const std::string out = t.to_string();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("A   Bee"), std::string::npos);
+}
+
+TEST(TablePrinter, RightAlignment) {
+  TablePrinter t({"N"});
+  t.align_right(0);
+  t.add_row({"5"});
+  t.add_row({"500"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("  5\n"), std::string::npos);
+  EXPECT_NE(out.find("500\n"), std::string::npos);
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TablePrinter, RulesRendered) {
+  TablePrinter t({"A"});
+  t.add_row({"x"});
+  t.add_rule();
+  t.add_row({"y"});
+  const std::string out = t.to_string();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+struct PaperArtifacts {
+  kpn::Application app = workload::make_hiperlan2_receiver();
+  arch::Platform platform = workload::make_paper_platform();
+  core::MappingResult result;
+  PaperArtifacts() {
+    result = core::SpatialMapper(workload::paper_mapper_config())
+                 .map(app, platform);
+  }
+};
+
+TEST(PaperReport, Table1ListsAllImplementations) {
+  const PaperArtifacts a;
+  const std::string table = render_table1(a.app);
+  for (const char* needle :
+       {"Pfx.rem.", "Frq.off.", "Inv.OFDM", "Rem.", "ARM", "MONTIUM",
+        "<18^18>", "<66, 4250, 54>", "143", "76"}) {
+    EXPECT_NE(table.find(needle), std::string::npos) << needle;
+  }
+  // Fixtures are not Table 1 rows.
+  EXPECT_EQ(table.find("A/D"), std::string::npos);
+}
+
+TEST(PaperReport, Table2ShowsPaperTrace) {
+  const PaperArtifacts a;
+  ASSERT_TRUE(a.result.success);
+  const std::string table =
+      render_table2(a.app, a.result.trace.rounds.back().step2,
+                    {"ARM1", "ARM2", "MONTIUM1", "MONTIUM2"});
+  EXPECT_NE(table.find("Initial (greedy) assignment"), std::string::npos);
+  EXPECT_NE(table.find("No improvement, revert"), std::string::npos);
+  EXPECT_NE(table.find("Improvement, keep"), std::string::npos);
+  EXPECT_NE(table.find("No further choices"), std::string::npos);
+  // Cost column values of the paper.
+  EXPECT_NE(table.find("11"), std::string::npos);
+  EXPECT_NE(table.find("9"), std::string::npos);
+  EXPECT_NE(table.find("7"), std::string::npos);
+}
+
+TEST(PaperReport, Step1AndStep3Render) {
+  const PaperArtifacts a;
+  ASSERT_TRUE(a.result.success);
+  const auto& round = a.result.trace.rounds.back();
+  const std::string s1 = render_step1(round.step1);
+  EXPECT_NE(s1.find("Inv.OFDM"), std::string::npos);
+  EXPECT_NE(s1.find("default"), std::string::npos);
+  const std::string s3 = render_step3(round.step3);
+  EXPECT_NE(s3.find("A/D->Pfx.rem."), std::string::npos);
+  EXPECT_NE(s3.find("R"), std::string::npos);
+}
+
+TEST(Dot, KpnExportContainsProcessesAndRates) {
+  const PaperArtifacts a;
+  const std::string dot = kpn_to_dot(a.app);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"80\""), std::string::npos);
+  EXPECT_NE(dot.find("Inv.OFDM"), std::string::npos);
+}
+
+TEST(Dot, PlatformExportContainsRoutersAndTiles) {
+  const PaperArtifacts a;
+  const std::string dot = platform_to_dot(a.platform);
+  EXPECT_NE(dot.find("R0"), std::string::npos);
+  EXPECT_NE(dot.find("MONTIUM1"), std::string::npos);
+  EXPECT_NE(dot.find("ARM2"), std::string::npos);
+}
+
+TEST(Dot, CsdfExportRendersCapacities) {
+  const PaperArtifacts a;
+  ASSERT_TRUE(a.result.success);
+  const auto expanded =
+      core::expand_mapping(a.app, a.platform, a.result.mapping);
+  const std::string dot = csdf_to_dot(expanded.graph);
+  EXPECT_NE(dot.find("cap=4"), std::string::npos);   // hop buffers
+  EXPECT_NE(dot.find("cap=inf"), std::string::npos); // consumer edges
+}
+
+TEST(Dot, AsciiPlatformShowsMappingAnnotations) {
+  const PaperArtifacts a;
+  ASSERT_TRUE(a.result.success);
+  const std::string art = platform_ascii(a.platform, &a.app, &a.result.mapping);
+  EXPECT_NE(art.find("MONTIUM1:MONTIUM"), std::string::npos);
+  EXPECT_NE(art.find("{Rem.}"), std::string::npos);
+  EXPECT_NE(art.find("{Frq.off.}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtsm::io

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "core/spatial_mapper.hpp"
+#include "io/serialize.hpp"
+#include "util/error.hpp"
+#include "workload/hiperlan2.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtsm::io {
+namespace {
+
+void expect_apps_equal(const kpn::Application& a, const kpn::Application& b) {
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.qos().symbol_period_ns, b.qos().symbol_period_ns);
+  EXPECT_EQ(a.qos().frame_symbols, b.qos().frame_symbols);
+  EXPECT_EQ(a.qos().max_latency_ns, b.qos().max_latency_ns);
+  ASSERT_EQ(a.process_count(), b.process_count());
+  ASSERT_EQ(a.channel_count(), b.channel_count());
+  for (const ProcessId pid : a.process_ids()) {
+    const kpn::Process& pa = a.process(pid);
+    const kpn::Process& pb = b.process(pid);
+    EXPECT_EQ(pa.name, pb.name);
+    EXPECT_EQ(pa.pinned_tile, pb.pinned_tile);
+    ASSERT_EQ(pa.implementations.size(), pb.implementations.size());
+    for (std::size_t i = 0; i < pa.implementations.size(); ++i) {
+      const kpn::Implementation& ia = pa.implementations[i];
+      const kpn::Implementation& ib = pb.implementations[i];
+      EXPECT_EQ(ia.name, ib.name);
+      EXPECT_EQ(ia.tile_type, ib.tile_type);
+      EXPECT_EQ(ia.wcet_cc, ib.wcet_cc);
+      EXPECT_DOUBLE_EQ(ia.energy_nj_per_symbol, ib.energy_nj_per_symbol);
+      EXPECT_EQ(ia.memory_bytes, ib.memory_bytes);
+      ASSERT_EQ(ia.inputs.size(), ib.inputs.size());
+      for (std::size_t k = 0; k < ia.inputs.size(); ++k) {
+        EXPECT_EQ(ia.inputs[k].channel, ib.inputs[k].channel);
+        EXPECT_EQ(ia.inputs[k].rates, ib.inputs[k].rates);
+      }
+      ASSERT_EQ(ia.outputs.size(), ib.outputs.size());
+      for (std::size_t k = 0; k < ia.outputs.size(); ++k) {
+        EXPECT_EQ(ia.outputs[k].channel, ib.outputs[k].channel);
+        EXPECT_EQ(ia.outputs[k].rates, ib.outputs[k].rates);
+      }
+    }
+  }
+  for (const ChannelId cid : a.channel_ids()) {
+    EXPECT_EQ(a.channel(cid).src, b.channel(cid).src);
+    EXPECT_EQ(a.channel(cid).dst, b.channel(cid).dst);
+    EXPECT_EQ(a.channel(cid).tokens_per_symbol,
+              b.channel(cid).tokens_per_symbol);
+    EXPECT_EQ(a.channel(cid).token_bytes, b.channel(cid).token_bytes);
+  }
+}
+
+TEST(SerializeApp, Hiperlan2RoundTrip) {
+  const auto app = workload::make_hiperlan2_receiver();
+  const std::string text = save_application(app);
+  const auto loaded = load_application(text);
+  expect_apps_equal(app, loaded);
+}
+
+TEST(SerializeApp, AllModesRoundTrip) {
+  for (const workload::ModeInfo& mode : workload::kHiperlan2Modes) {
+    workload::Hiperlan2Config config;
+    config.mode = mode.mode;
+    const auto app = workload::make_hiperlan2_receiver(config);
+    expect_apps_equal(app, load_application(save_application(app)));
+  }
+}
+
+TEST(SerializeApp, SyntheticRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    workload::SyntheticAppParams params;
+    params.process_count = 3 + static_cast<std::uint32_t>(seed % 4);
+    params.topology = workload::Topology::ForkJoin;
+    const auto app = workload::make_synthetic_app(rng, params, "a");
+    expect_apps_equal(app, load_application(save_application(app)));
+  }
+}
+
+TEST(SerializeApp, LoadedAppMapsIdentically) {
+  const auto app = workload::make_hiperlan2_receiver();
+  const auto loaded = load_application(save_application(app));
+  const auto platform = workload::make_paper_platform();
+  const core::SpatialMapper mapper(workload::paper_mapper_config());
+  const auto r1 = mapper.map(app, platform);
+  const auto r2 = mapper.map(loaded, platform);
+  ASSERT_TRUE(r1.success);
+  ASSERT_TRUE(r2.success);
+  EXPECT_DOUBLE_EQ(r1.energy_nj_per_symbol, r2.energy_nj_per_symbol);
+  for (const ProcessId pid : app.process_ids()) {
+    EXPECT_EQ(r1.mapping.tile_of(pid), r2.mapping.tile_of(pid));
+  }
+}
+
+TEST(SerializeApp, MaxLatencyPreserved) {
+  kpn::QosConstraints qos;
+  qos.symbol_period_ns = 1000;
+  qos.max_latency_ns = 5000;
+  kpn::Application app("x", qos);
+  const ProcessId a = app.add_process("A");
+  const ProcessId b = app.add_process("B");
+  const ChannelId c = app.connect(a, b, 4);
+  kpn::Implementation ia;
+  ia.name = "A@T";
+  ia.tile_type = "T";
+  ia.wcet_cc = {10};
+  ia.outputs = {{c, {4}}};
+  app.add_implementation(a, std::move(ia));
+  kpn::Implementation ib;
+  ib.name = "B@T";
+  ib.tile_type = "T";
+  ib.wcet_cc = {10};
+  ib.inputs = {{c, {4}}};
+  app.add_implementation(b, std::move(ib));
+
+  const auto loaded = load_application(save_application(app));
+  ASSERT_TRUE(loaded.qos().max_latency_ns.has_value());
+  EXPECT_EQ(*loaded.qos().max_latency_ns, 5000u);
+}
+
+TEST(SerializeApp, MalformedInputRejectedWithLineInfo) {
+  EXPECT_THROW((void)load_application("bogus"), Error);
+  EXPECT_THROW((void)load_application("application \"x\"\nperiod_ns 100\n"
+                                      "process \"A\"\nwat\nend\n"),
+               Error);
+  try {
+    (void)load_application("application \"x\"\nperiod_ns 100\n"
+                           "process \"A\"\nwat\nend\n");
+    FAIL() << "expected rtsm::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializeApp, MissingEndRejected) {
+  EXPECT_THROW((void)load_application("application \"x\"\nperiod_ns 100\n"),
+               Error);
+}
+
+TEST(SerializeApp, CommentsAndWhitespaceTolerated) {
+  const auto app = workload::make_hiperlan2_receiver();
+  std::string text = save_application(app);
+  text.insert(0, "# generated file\n\n");
+  expect_apps_equal(app, load_application(text));
+}
+
+TEST(SerializePlatform, PaperPlatformRoundTrip) {
+  const auto platform = workload::make_paper_platform();
+  const auto loaded = load_platform(save_platform(platform));
+  EXPECT_EQ(loaded.name(), platform.name());
+  EXPECT_EQ(loaded.mesh_width(), platform.mesh_width());
+  EXPECT_EQ(loaded.mesh_height(), platform.mesh_height());
+  EXPECT_EQ(loaded.tile_count(), platform.tile_count());
+  EXPECT_EQ(loaded.tile_type_count(), platform.tile_type_count());
+  EXPECT_DOUBLE_EQ(loaded.noc().link_capacity_tokens_per_s,
+                   platform.noc().link_capacity_tokens_per_s);
+  EXPECT_EQ(loaded.noc().router_latency_cc, platform.noc().router_latency_cc);
+  EXPECT_EQ(loaded.noc().hop_buffer_tokens, platform.noc().hop_buffer_tokens);
+  for (const TileId tid : platform.tile_ids()) {
+    const arch::Tile& orig = platform.tile(tid);
+    const arch::Tile& copy = loaded.tile(loaded.tile_by_name(orig.name));
+    EXPECT_EQ(copy.x, orig.x);
+    EXPECT_EQ(copy.y, orig.y);
+    EXPECT_EQ(copy.memory_bytes, orig.memory_bytes);
+    EXPECT_EQ(copy.process_slots, orig.process_slots);
+    EXPECT_EQ(loaded.tile_type(copy.type).name,
+              platform.tile_type(orig.type).name);
+  }
+}
+
+TEST(SerializePlatform, LoadedPlatformMapsIdentically) {
+  const auto app = workload::make_hiperlan2_receiver();
+  const auto platform = workload::make_paper_platform();
+  const auto loaded = load_platform(save_platform(platform));
+  const core::SpatialMapper mapper;
+  const auto r1 = mapper.map(app, platform);
+  const auto r2 = mapper.map(app, loaded);
+  ASSERT_TRUE(r1.success);
+  ASSERT_TRUE(r2.success);
+  EXPECT_DOUBLE_EQ(r1.energy_nj_per_symbol, r2.energy_nj_per_symbol);
+}
+
+TEST(SerializePlatform, MalformedRejected) {
+  EXPECT_THROW((void)load_platform("platform \"x\""), Error);
+  EXPECT_THROW((void)load_platform("platform \"x\" mesh 2 2\nbananas\nend"),
+               Error);
+  EXPECT_THROW(
+      (void)load_platform("platform \"x\" mesh 2 2\n"
+                          "tile \"t\" type \"NOPE\" at 0 0 memory 1 slots 1\n"
+                          "end"),
+      Error);
+}
+
+TEST(SerializePlatform, SyntheticRoundTrip) {
+  Rng rng(5);
+  workload::SyntheticPlatformParams params;
+  const auto platform = workload::make_synthetic_platform(rng, params, "p");
+  const auto loaded = load_platform(save_platform(platform));
+  EXPECT_EQ(loaded.tile_count(), platform.tile_count());
+  EXPECT_EQ(loaded.link_count(), platform.link_count());
+}
+
+}  // namespace
+}  // namespace rtsm::io

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "core/spatial_mapper.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtsm::workload {
+namespace {
+
+TEST(SyntheticApp, GeneratedAppsAlwaysValidate) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    SyntheticAppParams params;
+    params.process_count = 2 + static_cast<std::uint32_t>(seed % 6);
+    params.topology =
+        seed % 2 == 0 ? Topology::Chain : Topology::ForkJoin;
+    const auto app = make_synthetic_app(rng, params, "app");
+    EXPECT_NO_THROW(app.validate()) << "seed " << seed;
+    EXPECT_EQ(app.process_count(), params.process_count + 2u);  // + fixtures
+  }
+}
+
+TEST(SyntheticApp, DeterministicForSeed) {
+  SyntheticAppParams params;
+  Rng r1(42);
+  Rng r2(42);
+  const auto a1 = make_synthetic_app(r1, params, "a");
+  const auto a2 = make_synthetic_app(r2, params, "a");
+  ASSERT_EQ(a1.channel_count(), a2.channel_count());
+  for (const ChannelId cid : a1.channel_ids()) {
+    EXPECT_EQ(a1.channel(cid).tokens_per_symbol,
+              a2.channel(cid).tokens_per_symbol);
+  }
+}
+
+TEST(SyntheticApp, FixturesOptional) {
+  Rng rng(7);
+  SyntheticAppParams params;
+  params.with_fixtures = false;
+  const auto app = make_synthetic_app(rng, params, "a");
+  for (const ProcessId pid : app.process_ids()) {
+    EXPECT_FALSE(app.process(pid).is_fixture());
+  }
+}
+
+TEST(SyntheticApp, ChainHasExactlySpineChannels) {
+  Rng rng(9);
+  SyntheticAppParams params;
+  params.process_count = 5;
+  params.topology = Topology::Chain;
+  params.with_fixtures = false;
+  const auto app = make_synthetic_app(rng, params, "a");
+  EXPECT_EQ(app.channel_count(), 4u);
+}
+
+TEST(SyntheticApp, ForkJoinAddsForwardEdgesOnly) {
+  Rng rng(11);
+  SyntheticAppParams params;
+  params.process_count = 6;
+  params.topology = Topology::ForkJoin;
+  params.extra_edge_prob = 0.5;
+  params.with_fixtures = false;
+  const auto app = make_synthetic_app(rng, params, "a");
+  EXPECT_GE(app.channel_count(), 5u);
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& c = app.channel(cid);
+    EXPECT_LT(c.src, c.dst);  // DAG by construction
+  }
+}
+
+TEST(SyntheticApp, PreferredImplementationIsCheapest) {
+  Rng rng(13);
+  SyntheticAppParams params;
+  params.impls_min = 2;
+  params.impls_max = 2;
+  const auto app = make_synthetic_app(rng, params, "a");
+  for (const ProcessId pid : app.process_ids()) {
+    const kpn::Process& p = app.process(pid);
+    if (p.is_fixture() || p.implementations.size() < 2) continue;
+    EXPECT_LT(p.implementations[0].energy_nj_per_symbol,
+              p.implementations[1].energy_nj_per_symbol);
+    EXPECT_LE(p.implementations[0].cycle_wcet_cc(),
+              p.implementations[1].cycle_wcet_cc());
+  }
+}
+
+TEST(SyntheticApp, BadParamsRejected) {
+  Rng rng(1);
+  SyntheticAppParams params;
+  params.process_count = 0;
+  EXPECT_THROW((void)make_synthetic_app(rng, params, "a"), Error);
+  params.process_count = 2;
+  params.min_tokens = 10;
+  params.max_tokens = 5;
+  EXPECT_THROW((void)make_synthetic_app(rng, params, "a"), Error);
+}
+
+TEST(SyntheticPlatform, GeneratesRequestedMix) {
+  Rng rng(3);
+  SyntheticPlatformParams params;
+  params.width = 4;
+  params.height = 4;
+  params.type_counts = {{"ARM", 3}, {"DSP", 5}};
+  const auto p = make_synthetic_platform(rng, params, "p");
+  EXPECT_EQ(p.tile_count(), 10u);  // 3 + 5 + SRC + DST
+  EXPECT_EQ(p.tiles_of_type(p.type_by_name("ARM")).size(), 3u);
+  EXPECT_EQ(p.tiles_of_type(p.type_by_name("DSP")).size(), 5u);
+  EXPECT_NO_THROW((void)p.tile_by_name("SRC"));
+  EXPECT_NO_THROW((void)p.tile_by_name("DST"));
+}
+
+TEST(SyntheticPlatform, OverfullMeshRejected) {
+  Rng rng(3);
+  SyntheticPlatformParams params;
+  params.width = 2;
+  params.height = 2;
+  params.type_counts = {{"ARM", 4}};  // 4 + 2 IO > 4 cells
+  EXPECT_THROW((void)make_synthetic_platform(rng, params, "p"), Error);
+}
+
+TEST(SyntheticPlatform, DistinctCellsPerTile) {
+  Rng rng(17);
+  SyntheticPlatformParams params;
+  const auto p = make_synthetic_platform(rng, params, "p");
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const TileId tid : p.tile_ids()) {
+    const arch::Tile& t = p.tile(tid);
+    EXPECT_TRUE(seen.insert({t.x, t.y}).second)
+        << "two tiles share cell (" << t.x << "," << t.y << ")";
+  }
+}
+
+TEST(SyntheticEndToEnd, GeneratedInstancesAreOftenMappable) {
+  // The generator's default envelope must produce mostly mappable
+  // instances, otherwise the scalability benches measure failures.
+  int success = 0;
+  const int trials = 10;
+  for (int seed = 0; seed < trials; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    SyntheticPlatformParams pp;
+    const auto platform = make_synthetic_platform(rng, pp, "p");
+    SyntheticAppParams ap;
+    ap.process_count = 5;
+    const auto app = make_synthetic_app(rng, ap, "a");
+    const auto result = core::SpatialMapper().map(app, platform);
+    if (result.success) ++success;
+  }
+  EXPECT_GE(success, trials / 2);
+}
+
+}  // namespace
+}  // namespace rtsm::workload
