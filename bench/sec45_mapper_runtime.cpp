@@ -53,11 +53,11 @@ void BM_Step1_ImplementationSelection(benchmark::State& state) {
   for (auto _ : state) {
     core::ResourceState rs(c.platform);
     core::Mapping mapping(c.app.process_count(), c.app.channel_count());
-    std::vector<core::Step1Record> trace;
     core::FeedbackSet feedback;
-    auto outcome = core::run_step1(c.app, c.platform, rs, feedback,
-                                   c.config.step1, c.config.energy, mapping,
-                                   trace);
+    core::MappingTrace::Round round;
+    core::MappingContext ctx{c.app,   c.platform,     rs,    feedback,
+                             c.config.energy, mapping, round};
+    auto outcome = core::run_step1(ctx, c.config.step1);
     benchmark::DoNotOptimize(outcome.success);
   }
 }
@@ -68,14 +68,13 @@ void BM_Steps12_PlacementAndLocalSearch(benchmark::State& state) {
   for (auto _ : state) {
     core::ResourceState rs(c.platform);
     core::Mapping mapping(c.app.process_count(), c.app.channel_count());
-    std::vector<core::Step1Record> s1;
     core::FeedbackSet feedback;
-    (void)core::run_step1(c.app, c.platform, rs, feedback, c.config.step1,
-                          c.config.energy, mapping, s1);
-    core::Step2Trace s2;
-    core::run_step2(c.app, c.platform, rs, feedback, c.config.step2,
-                    c.config.energy, mapping, s2);
-    benchmark::DoNotOptimize(s2.final_cost);
+    core::MappingTrace::Round round;
+    core::MappingContext ctx{c.app,   c.platform,     rs,    feedback,
+                             c.config.energy, mapping, round};
+    (void)core::run_step1(ctx, c.config.step1);
+    core::run_step2(ctx, c.config.step2);
+    benchmark::DoNotOptimize(round.step2.final_cost);
   }
 }
 BENCHMARK(BM_Steps12_PlacementAndLocalSearch)->Unit(benchmark::kMicrosecond);
@@ -90,9 +89,11 @@ void BM_Step4_DataflowVerification(benchmark::State& state) {
   for (auto _ : state) {
     core::ResourceState rs(c.platform);
     core::Mapping mapping = placed.mapping;
-    core::Step4Trace trace;
-    auto report = core::run_step4(c.app, c.platform, rs, c.config.step4,
-                                  mapping, trace);
+    core::FeedbackSet feedback;
+    core::MappingTrace::Round round;
+    core::MappingContext ctx{c.app,   c.platform,     rs,    feedback,
+                             c.config.energy, mapping, round};
+    auto report = core::run_step4(ctx, c.config.step4);
     benchmark::DoNotOptimize(report.feasible);
   }
 }

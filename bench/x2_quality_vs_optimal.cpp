@@ -1,14 +1,22 @@
 // Extension bench X2: quality of the run-time heuristic against ground
-// truth. On small instances the branch-and-bound mapper enumerates the true
-// energy optimum; simulated annealing and best-of-N random sampling bracket
-// the heuristic from the design-time and the naive side.
+// truth. Every mapper is pulled from the built-in registry by name and
+// driven through the shared Mapper interface; the branch-and-bound
+// "exhaustive" entry provides the true energy optimum on small instances,
+// with annealing, clustering and best-of-N random sampling bracketing the
+// heuristic from the design-time and the naive side.
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/annealing.hpp"
 #include "baselines/clustering.hpp"
 #include "baselines/exhaustive.hpp"
 #include "baselines/random_mapper.hpp"
+#include "baselines/registry.hpp"
 #include "core/spatial_mapper.hpp"
 #include "io/table.hpp"
 #include "util/strings.hpp"
@@ -19,52 +27,78 @@ namespace {
 
 using namespace rtsm;
 
-struct Row {
-  std::string name;
-  bool success = false;
-  double energy = 0.0;
-};
+constexpr const char* kOptimal = "exhaustive";
+
+/// Registry for one random trial: same five strategies as the built-ins,
+/// but the stochastic mappers get a per-trial seed (decorrelated runs) and
+/// the historical X2 budgets — annealing at 8k iterations, best-of-16
+/// random sampling.
+core::MapperRegistry trial_registry(std::uint32_t seed) {
+  core::MapperRegistry registry;
+  registry.add("spatial", "paper heuristic",
+               [] { return std::make_unique<core::SpatialMapper>(); });
+  registry.add("annealing", "simulated annealing, 8k iters, per-trial seed",
+               [seed] {
+                 baselines::AnnealingOptions options;
+                 options.iterations = 8000;
+                 options.seed = seed + 1;
+                 return std::make_unique<baselines::AnnealingMapper>(options);
+               });
+  registry.add("clustering", "clustering + bin-packing", [] {
+    return std::make_unique<baselines::ClusteringMapper>();
+  });
+  registry.add("exhaustive", "branch-and-bound optimum", [] {
+    return std::make_unique<baselines::ExhaustiveMapper>();
+  });
+  registry.add("random-16", "best-of-16 random, per-trial seed", [seed] {
+    baselines::RandomMapperOptions options;
+    options.samples = 16;
+    options.seed = seed + 1;
+    return std::make_unique<baselines::RandomSamplingMapper>(options);
+  });
+  return registry;
+}
 
 }  // namespace
 
 int main() {
-  std::printf("== X2: heuristic energy vs. exhaustive optimum ===============\n\n");
+  std::printf("== X2: mapper energies vs. exhaustive optimum ================\n\n");
 
-  // Part 1: the paper's own case.
+  // Part 1: the paper's own case, every built-in registry mapper with its
+  // default options.
   {
+    const core::MapperRegistry builtins = baselines::builtin_mappers();
     const auto app = workload::make_hiperlan2_receiver();
     const auto platform = workload::make_paper_platform();
-    const auto heuristic = core::SpatialMapper().map(app, platform);
-    baselines::ExhaustiveOptions xo;
-    const auto optimal = baselines::exhaustive_map(app, platform, xo);
-    std::printf("HIPERLAN/2: heuristic %.1f nJ/symbol, exhaustive optimum "
-                "%.1f nJ/symbol (%llu nodes, %llu routable leaves) -> gap "
-                "%.2f%%\n\n",
-                heuristic.energy_nj_per_symbol, optimal.energy_nj_per_symbol,
-                static_cast<unsigned long long>(optimal.nodes),
-                static_cast<unsigned long long>(optimal.leaves),
-                optimal.success && heuristic.success
-                    ? 100.0 * (heuristic.energy_nj_per_symbol -
-                               optimal.energy_nj_per_symbol) /
-                          optimal.energy_nj_per_symbol
-                    : -1.0);
+    std::printf("HIPERLAN/2 receiver on the paper platform:\n");
+    io::TablePrinter table({"Mapper", "Energy [nJ/symbol]", "Result"});
+    table.align_right(1);
+    for (const std::string& name : builtins.names()) {
+      const auto mapper = builtins.create(name);
+      const auto result = mapper->map(app, platform);
+      table.add_row({name,
+                     result.success
+                         ? rtsm::format_double(result.energy_nj_per_symbol, 1)
+                         : "-",
+                     result.success ? "ok" : result.failure});
+    }
+    std::printf("%s\n", table.to_string().c_str());
   }
 
-  // Part 2: random small instances.
+  // Part 2: random small instances; gap of each mapper vs. the optimum.
+  // Stochastic mappers run with a fresh seed per trial (see
+  // trial_registry()) so the summary aggregates decorrelated runs.
+  const std::vector<std::string> names = trial_registry(0).names();
   const std::uint32_t trials = 12;
   std::uint32_t comparable = 0;
-  double gap_sum = 0.0;
-  double gap_max = 0.0;
+  std::map<std::string, std::pair<double, std::uint32_t>> gap_acc;
+  double heuristic_gap_max = 0.0;
   std::uint32_t heuristic_hits_opt = 0;
-  double random_gap_sum = 0.0;
-  double sa_gap_sum = 0.0;
-  std::uint32_t random_ok = 0;
-  std::uint32_t sa_ok = 0;
 
-  io::TablePrinter table({"Seed", "Optimal [nJ]", "Heuristic [nJ]", "Gap",
-                          "Annealing [nJ]", "Random-16 [nJ]",
-                          "Clustering [nJ]"});
-  for (std::size_t c = 1; c < 7; ++c) table.align_right(c);
+  std::vector<std::string> header = {"Seed"};
+  for (const std::string& name : names) header.push_back(name + " [nJ]");
+  io::TablePrinter table(std::move(header));
+  for (std::size_t c = 1; c <= names.size(); ++c) table.align_right(c);
 
   for (std::uint32_t seed = 0; seed < trials; ++seed) {
     Rng rng(seed);
@@ -77,79 +111,63 @@ int main() {
     ap.process_count = 4;
     const auto app = workload::make_synthetic_app(rng, ap, "a");
 
-    const auto optimal = baselines::exhaustive_map(app, platform);
-    const auto heuristic = core::SpatialMapper().map(app, platform);
-    baselines::AnnealingOptions ao;
-    ao.iterations = 8000;
-    ao.seed = seed + 1;
-    const auto annealed = baselines::anneal_map(app, platform, ao);
-    baselines::RandomMapperOptions ro;
-    ro.samples = 16;
-    ro.seed = seed + 1;
-    const auto random = baselines::random_map(app, platform, ro);
-    const auto clustered = baselines::cluster_map(app, platform);
+    const core::MapperRegistry registry = trial_registry(seed);
+    std::map<std::string, core::MappingResult> results;
+    for (const std::string& name : names) {
+      results.emplace(name, registry.create(name)->map(app, platform));
+    }
 
-    if (!optimal.success || !heuristic.success) {
-      table.add_row({std::to_string(seed), optimal.success ? "ok" : "-",
-                     heuristic.success ? "ok" : "-", "-", "-", "-", "-"});
-      continue;
+    std::vector<std::string> row = {std::to_string(seed)};
+    for (const std::string& name : names) {
+      const auto& r = results.at(name);
+      row.push_back(r.success
+                        ? rtsm::format_double(r.energy_nj_per_symbol, 1)
+                        : "-");
     }
+    table.add_row(std::move(row));
+
+    const auto& optimal = results.at(kOptimal);
+    if (!optimal.success) continue;
     ++comparable;
-    const double gap = 100.0 *
-                       (heuristic.energy_nj_per_symbol -
-                        optimal.energy_nj_per_symbol) /
-                       optimal.energy_nj_per_symbol;
-    gap_sum += gap;
-    gap_max = std::max(gap_max, gap);
-    if (gap < 1e-6) ++heuristic_hits_opt;
-    if (annealed.success) {
-      ++sa_ok;
-      sa_gap_sum += 100.0 *
-                    (annealed.energy_nj_per_symbol -
-                     optimal.energy_nj_per_symbol) /
-                    optimal.energy_nj_per_symbol;
+    for (const std::string& name : names) {
+      if (name == kOptimal) continue;
+      const auto& r = results.at(name);
+      if (!r.success) continue;
+      const double gap = 100.0 *
+                         (r.energy_nj_per_symbol -
+                          optimal.energy_nj_per_symbol) /
+                         optimal.energy_nj_per_symbol;
+      auto& [sum, count] = gap_acc[name];
+      sum += gap;
+      ++count;
+      if (name == "spatial") {
+        heuristic_gap_max = std::max(heuristic_gap_max, gap);
+        if (gap < 1e-6) ++heuristic_hits_opt;
+      }
     }
-    if (random.success) {
-      ++random_ok;
-      random_gap_sum += 100.0 *
-                        (random.energy_nj_per_symbol -
-                         optimal.energy_nj_per_symbol) /
-                        optimal.energy_nj_per_symbol;
-    }
-    table.add_row(
-        {std::to_string(seed),
-         rtsm::format_double(optimal.energy_nj_per_symbol, 1),
-         rtsm::format_double(heuristic.energy_nj_per_symbol, 1),
-         rtsm::format_double(gap, 1) + "%",
-         annealed.success ? rtsm::format_double(annealed.energy_nj_per_symbol, 1)
-                          : "-",
-         random.success ? rtsm::format_double(random.energy_nj_per_symbol, 1)
-                        : "-",
-         clustered.success
-             ? rtsm::format_double(clustered.energy_nj_per_symbol, 1)
-             : "-"});
   }
   std::printf("%s\n", table.to_string().c_str());
 
   if (comparable > 0) {
-    std::printf(
-        "Summary over %u comparable instances:\n"
-        "  heuristic-vs-optimal gap: mean %.1f%%, max %.1f%%, optimum hit "
-        "%u/%u times\n",
-        comparable, gap_sum / comparable, gap_max, heuristic_hits_opt,
-        comparable);
-    if (sa_ok > 0) {
-      std::printf("  annealing-vs-optimal gap: mean %.1f%% (%u runs)\n",
-                  sa_gap_sum / sa_ok, sa_ok);
-    }
-    if (random_ok > 0) {
-      std::printf("  random-16-vs-optimal gap: mean %.1f%% (%u runs)\n",
-                  random_gap_sum / random_ok, random_ok);
+    std::printf("Summary over %u instances with a known optimum (gap vs. "
+                "'%s'):\n",
+                comparable, kOptimal);
+    for (const auto& [name, acc] : gap_acc) {
+      const auto& [sum, count] = acc;
+      std::printf("  %-10s mean gap %5.1f%% (%u successful runs)%s\n",
+                  name.c_str(), sum / count, count,
+                  name == "spatial"
+                      ? (" — max " + rtsm::format_double(heuristic_gap_max, 1) +
+                         "%, optimum hit " + std::to_string(heuristic_hits_opt) +
+                         "/" + std::to_string(comparable) + " times")
+                            .c_str()
+                      : "");
     }
     std::printf(
         "\nShape check: the run-time heuristic tracks the optimum closely\n"
-        "(single-digit mean gap) while random sampling trails it — the\n"
-        "ordering the paper's design presumes.\n");
+        "(single-digit mean gap). Clustering's homogeneous-tile assumption\n"
+        "costs it the most — exactly the limitation the paper's per-process\n"
+        "implementation selection removes.\n");
   }
   return 0;
 }

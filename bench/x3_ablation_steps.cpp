@@ -1,12 +1,17 @@
 // Extension bench X3: ablations of the design choices the paper's heuristic
 // makes — desirability ordering in step 1, the local search of step 2, the
 // throughput-sorted incremental routing of step 3, and the step-2 cost
-// weighting. Each row reports admission success and mean energy over a pool
-// of synthetic instances; the paper case is shown alongside.
+// weighting. Each ablation variant is registered as a named mapper in a
+// local MapperRegistry and driven generically through the Mapper interface.
+// Each row reports admission success and mean energy over a pool of
+// synthetic instances; the paper case is shown alongside.
 
 #include <cstdio>
-#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
+#include "core/mapper_registry.hpp"
 #include "core/spatial_mapper.hpp"
 #include "io/table.hpp"
 #include "util/strings.hpp"
@@ -17,53 +22,53 @@ namespace {
 
 using namespace rtsm;
 
-struct Variant {
-  std::string name;
-  core::MapperConfig config;
-};
+void add_variant(core::MapperRegistry& registry, const std::string& name,
+                 core::MapperConfig config) {
+  registry.add(name, "ablation variant of the paper heuristic",
+               [config = std::move(config)] {
+                 return std::make_unique<core::SpatialMapper>(config);
+               });
+}
 
-std::vector<Variant> variants() {
-  std::vector<Variant> out;
+core::MapperRegistry ablation_registry() {
+  core::MapperRegistry registry;
+  add_variant(registry, "full heuristic (paper design)", {});
   {
-    Variant v{"full heuristic (paper design)", {}};
-    out.push_back(v);
+    core::MapperConfig c;
+    c.run_step2 = false;
+    add_variant(registry, "no step-2 local search", c);
   }
   {
-    Variant v{"no step-2 local search", {}};
-    v.config.run_step2 = false;
-    out.push_back(v);
+    core::MapperConfig c;
+    c.step1.desirability_order = false;
+    add_variant(registry, "step 1 in plain process order", c);
   }
   {
-    Variant v{"step 1 in plain process order", {}};
-    v.config.step1.desirability_order = false;
-    out.push_back(v);
+    core::MapperConfig c;
+    c.step1.comm_aware = false;
+    add_variant(registry, "step 1 without comm estimate", c);
   }
   {
-    Variant v{"step 1 without comm estimate", {}};
-    v.config.step1.comm_aware = false;
-    out.push_back(v);
+    core::MapperConfig c;
+    c.step3.sort_by_throughput = false;
+    add_variant(registry, "step 3 unsorted channel order", c);
   }
   {
-    Variant v{"step 3 unsorted channel order", {}};
-    v.config.step3.sort_by_throughput = false;
-    out.push_back(v);
+    core::MapperConfig c;
+    c.step3.xy_routing = true;
+    add_variant(registry, "step 3 XY routing", c);
   }
   {
-    Variant v{"step 3 XY routing", {}};
-    v.config.step3.xy_routing = true;
-    out.push_back(v);
+    core::MapperConfig c;
+    c.step2.cost_model = core::CommCostModel::TokenWeighted;
+    add_variant(registry, "step 2 token-weighted cost", c);
   }
   {
-    Variant v{"step 2 token-weighted cost", {}};
-    v.config.step2.cost_model = core::CommCostModel::TokenWeighted;
-    out.push_back(v);
+    core::MapperConfig c;
+    c.step2.cost_model = core::CommCostModel::EnergyWeighted;
+    add_variant(registry, "step 2 energy-weighted cost", c);
   }
-  {
-    Variant v{"step 2 energy-weighted cost", {}};
-    v.config.step2.cost_model = core::CommCostModel::EnergyWeighted;
-    out.push_back(v);
-  }
-  return out;
+  return registry;
 }
 
 struct Aggregate {
@@ -104,20 +109,21 @@ int main() {
   table.align_right(2);
   table.align_right(3);
 
-  for (const Variant& v : variants()) {
-    const core::SpatialMapper mapper(v.config);
+  const core::MapperRegistry registry = ablation_registry();
+  for (const std::string& name : registry.names()) {
+    const auto mapper = registry.create(name);
     Aggregate agg;
     for (const auto& [app, platform] : pool) {
       ++agg.trials;
-      const auto result = mapper.map(app, platform);
+      const auto result = mapper->map(app, platform);
       if (result.success) {
         ++agg.successes;
         agg.energy_sum += result.energy_nj_per_symbol;
       }
     }
-    const auto paper = mapper.map(hl_app, hl_platform);
+    const auto paper = mapper->map(hl_app, hl_platform);
     table.add_row(
-        {v.name,
+        {name,
          std::to_string(agg.successes) + "/" + std::to_string(agg.trials),
          agg.successes > 0
              ? rtsm::format_double(agg.energy_sum / agg.successes, 0)

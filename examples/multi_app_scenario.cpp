@@ -1,27 +1,28 @@
 // Run-time resource management scenario: applications start and stop on a
 // shared MPSoC. Each admission is mapped against the *actual* residual
 // resources — the core motivation for moving spatial mapping from design
-// time to run time (paper, Section 1).
+// time to run time (paper, Section 1). The RuntimeManager owns the resource
+// state; its retry policy parks an application that does not fit yet and
+// admits it automatically when capacity is released.
 
 #include <cstdio>
+#include <memory>
 
-#include "core/reservation.hpp"
-#include "io/dot.hpp"
-#include "workload/hiperlan2.hpp"
+#include "core/spatial_mapper.hpp"
+#include "runtime/runtime_manager.hpp"
 #include "workload/synthetic.hpp"
 
 namespace {
 
 using namespace rtsm;
 
-void show(const core::RuntimeResourceManager& manager,
-          const arch::Platform& platform) {
-  std::printf("  running=%zu, idle tiles=%zu, total energy=%.1f nJ/symbol, "
-              "NoC reserved=%.1f Mtokens/s\n\n",
-              manager.running_count(), manager.state().idle_tile_count(),
+void show(const runtime::RuntimeManager& manager) {
+  std::printf("  running=%zu, waiting=%zu, idle tiles=%zu, total energy="
+              "%.1f nJ/symbol, NoC reserved=%.1f Mtokens/s\n\n",
+              manager.running_count(), manager.waiting_count(),
+              manager.state().idle_tile_count(),
               manager.total_energy_nj_per_symbol(),
               manager.state().links().total_reserved() / 1e6);
-  (void)platform;
 }
 
 }  // namespace
@@ -40,11 +41,12 @@ int main() {
   const arch::Platform platform =
       workload::make_synthetic_platform(rng, pp, "shared 4x4 MPSoC");
 
-  core::RuntimeResourceManager manager(platform);
-  const core::SpatialMapper mapper;
+  runtime::RuntimeManager manager(
+      platform, std::make_shared<core::SpatialMapper>(),
+      std::make_shared<runtime::RetryAdmission>(/*max_attempts=*/4));
 
   std::printf("== t0: platform boots idle ====================================\n");
-  show(manager, platform);
+  show(manager);
 
   std::printf("== t1: video decoder starts ===================================\n");
   workload::SyntheticAppParams video;
@@ -52,11 +54,11 @@ int main() {
   video.topology = workload::Topology::ForkJoin;
   video.tile_types = {"ARM", "DSP"};
   const auto video_app = workload::make_synthetic_app(rng, video, "video");
-  const auto video_run = manager.start(video_app, mapper);
-  std::printf("  admitted=%s, energy=%.1f nJ/symbol\n",
-              video_run.admitted ? "yes" : "no",
-              video_run.mapping.energy_nj_per_symbol);
-  show(manager, platform);
+  const auto video_run = manager.admit(video_app);
+  std::printf("  admitted=%s, energy=%.1f nJ/symbol, mapped in %.0f us\n",
+              video_run.status == runtime::AdmitStatus::Admitted ? "yes" : "no",
+              video_run.mapping.energy_nj_per_symbol, video_run.mapping_us);
+  show(manager);
 
   std::printf("== t2: audio pipeline starts (sees residual resources) =======\n");
   workload::SyntheticAppParams audio;
@@ -64,34 +66,56 @@ int main() {
   audio.tile_types = {"DSP", "ARM"};
   audio.max_preferred_utilization = 0.3;
   const auto audio_app = workload::make_synthetic_app(rng, audio, "audio");
-  const auto audio_run = manager.start(audio_app, mapper);
+  const auto audio_run = manager.admit(audio_app);
   std::printf("  admitted=%s, energy=%.1f nJ/symbol\n",
-              audio_run.admitted ? "yes" : "no",
+              audio_run.status == runtime::AdmitStatus::Admitted ? "yes" : "no",
               audio_run.mapping.energy_nj_per_symbol);
-  show(manager, platform);
+  show(manager);
 
-  std::printf("== t3: a third, greedy application is rejected gracefully ====\n");
+  std::printf("== t3: a greedy application is parked by the retry policy ====\n");
   workload::SyntheticAppParams big;
   big.process_count = 14;
   big.tile_types = {"ARM", "DSP"};
   const auto big_app = workload::make_synthetic_app(rng, big, "bulk");
-  const auto big_run = manager.start(big_app, mapper);
-  std::printf("  admitted=%s (%s)\n", big_run.admitted ? "yes" : "no",
-              big_run.admitted ? "-" : big_run.mapping.failure.c_str());
-  show(manager, platform);
+  const auto big_run = manager.admit(big_app);
+  const char* big_status = "rejected";
+  switch (big_run.status) {
+    case runtime::AdmitStatus::Admitted: big_status = "admitted"; break;
+    case runtime::AdmitStatus::Waiting:
+      big_status = "parked until resources free up";
+      break;
+    case runtime::AdmitStatus::DeadlineMiss: big_status = "deadline miss"; break;
+    case runtime::AdmitStatus::Rejected: break;
+  }
+  std::printf("  admitted=%s (status: %s)\n",
+              big_run.status == runtime::AdmitStatus::Admitted ? "yes" : "no",
+              big_status);
+  show(manager);
 
-  std::printf("== t4: video stops; its resources are reclaimed ==============\n");
-  manager.stop(video_run.id);
-  show(manager, platform);
+  std::printf("== t4: video stops; the parked application is re-admitted ====\n");
+  manager.submit_release(video_run.app_id);
+  for (const auto& outcome : manager.drain()) {
+    std::printf("  deferred request %llu resolved: admitted=%s, energy=%.1f "
+                "nJ/symbol after %u attempt(s)\n",
+                static_cast<unsigned long long>(outcome.request),
+                outcome.status == runtime::AdmitStatus::Admitted ? "yes" : "no",
+                outcome.mapping.energy_nj_per_symbol, outcome.attempts);
+  }
+  show(manager);
 
-  std::printf("== t5: the rejected application now fits ======================\n");
-  const auto retry = manager.start(big_app, mapper);
-  std::printf("  admitted=%s, energy=%.1f nJ/symbol\n",
-              retry.admitted ? "yes" : "no",
-              retry.mapping.energy_nj_per_symbol);
-  show(manager, platform);
+  const runtime::AdmissionStats& stats = manager.stats();
+  std::printf("Admission statistics: offered=%llu admitted=%llu rejected=%llu "
+              "retries=%llu releases=%llu; mapping latency p50=%.0f us "
+              "p99=%.0f us\n\n",
+              static_cast<unsigned long long>(stats.offered),
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.releases),
+              stats.latency_percentile_us(50), stats.latency_percentile_us(99));
 
-  std::printf("Run-time mapping admitted the same workload a static "
-              "worst-case reservation would have refused at t5.\n");
+  std::printf("Run-time mapping admitted a workload that a static worst-case\n"
+              "reservation would have refused outright — and the admission\n"
+              "manager needed no manual retry to do it.\n");
   return 0;
 }

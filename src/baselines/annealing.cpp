@@ -1,8 +1,10 @@
 #include "baselines/annealing.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 
+#include "baselines/design_time_adapter.hpp"
 #include "core/channel_routing.hpp"
 #include "core/cost.hpp"
 #include "core/resource_state.hpp"
@@ -112,8 +114,17 @@ AnnealingResult anneal_map(const kpn::Application& app,
         util, app.implementation(pid, opt.impl).memory_bytes);
   };
 
-  // Random adequate initial configuration (rejection sampling).
-  for (const ProcessId pid : movable) {
+  // Random adequate initial configuration (rejection sampling). Seed the
+  // most constrained processes first: a process whose only options are a
+  // few single-context accelerator tiles (e.g. the MONTIUM-only kernels)
+  // must claim them before flexible processes randomly squat on them.
+  std::vector<ProcessId> seed_order = movable;
+  std::stable_sort(seed_order.begin(), seed_order.end(),
+                   [&](ProcessId a, ProcessId b) {
+                     return option_lists[a.value()].size() <
+                            option_lists[b.value()].size();
+                   });
+  for (const ProcessId pid : seed_order) {
     bool placed = false;
     for (int attempt = 0; attempt < 256 && !placed; ++attempt) {
       const auto& opts = option_lists[pid.value()];
@@ -184,17 +195,17 @@ AnnealingResult anneal_map(const kpn::Application& app,
         load_of(pid, Option{best.impl_of(pid), best.tile_of(pid)});
     final_state.reserve_tile(best.tile_of(pid), util, mem);
   }
-  std::vector<core::Step3Record> unused_trace;
-  const core::Step3Outcome s3 = core::run_step3(
-      app, platform, final_state, core::Step3Options{}, best, unused_trace);
+  const core::FeedbackSet no_feedback;
+  core::MappingTrace::Round scratch;
+  core::MappingContext ctx{app,    platform,       final_state, no_feedback,
+                           options.energy, best,   scratch};
+  const core::Step3Outcome s3 = core::run_step3(ctx);
   if (!s3.success) {
     result.failure = "annealed placement unroutable: " + s3.failure;
     return result;
   }
   if (options.verify_step4) {
-    core::Step4Trace trace;
-    const core::FeasibilityReport report = core::run_step4(
-        app, platform, final_state, options.step4, best, trace);
+    const core::FeasibilityReport report = core::run_step4(ctx, options.step4);
     if (!report.feasible) {
       result.failure = "annealed placement infeasible: " + report.failure;
       return result;
@@ -206,6 +217,19 @@ AnnealingResult anneal_map(const kpn::Application& app,
   result.energy_nj_per_symbol = core::total_energy_nj_per_symbol(
       app, platform, result.mapping, options.energy);
   return result;
+}
+
+std::string AnnealingMapper::describe() const {
+  return "design-time simulated annealing over (implementation, tile) "
+         "configurations with Metropolis acceptance on estimated energy";
+}
+
+core::MappingResult AnnealingMapper::map(const kpn::Application& app,
+                                         const core::ResourceState& base) const {
+  AnnealingResult annealed = anneal_map(app, base.platform(), options_);
+  return detail::screen_design_time_plan(
+      base, app, annealed.success, std::move(annealed.mapping),
+      annealed.energy_nj_per_symbol, std::move(annealed.failure));
 }
 
 }  // namespace rtsm::baselines

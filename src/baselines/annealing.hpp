@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "arch/platform.hpp"
 #include "core/feasibility.hpp"
+#include "core/mapper.hpp"
 #include "core/mapping.hpp"
 #include "energy/model.hpp"
 #include "kpn/application.hpp"
@@ -41,5 +43,26 @@ struct AnnealingResult {
 [[nodiscard]] AnnealingResult anneal_map(const kpn::Application& app,
                                          const arch::Platform& platform,
                                          const AnnealingOptions& options = {});
+
+/// Mapper-strategy adapter around anneal_map(). Annealing is a design-time
+/// method: it plans against the idle platform; when the plan does not fit
+/// the residual resources of @p base the request fails instead of
+/// over-subscribing tiles.
+class AnnealingMapper final : public core::Mapper {
+ public:
+  explicit AnnealingMapper(AnnealingOptions options = {})
+      : options_(std::move(options)) {}
+
+  [[nodiscard]] std::string name() const override { return "annealing"; }
+  [[nodiscard]] std::string describe() const override;
+
+  using core::Mapper::map;
+  [[nodiscard]] core::MappingResult map(
+      const kpn::Application& app,
+      const core::ResourceState& base) const override;
+
+ private:
+  AnnealingOptions options_;
+};
 
 }  // namespace rtsm::baselines

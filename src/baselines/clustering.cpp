@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 
+#include "baselines/design_time_adapter.hpp"
 #include "core/channel_routing.hpp"
 #include "core/cost.hpp"
 #include "core/resource_state.hpp"
@@ -295,18 +296,17 @@ ClusteringResult cluster_map(const kpn::Application& app,
   }
 
   // Route and optionally verify.
-  std::vector<core::Step3Record> unused_trace;
-  const core::Step3Outcome s3 =
-      core::run_step3(app, platform, state, core::Step3Options{},
-                      result.mapping, unused_trace);
+  const core::FeedbackSet no_feedback;
+  core::MappingTrace::Round scratch;
+  core::MappingContext ctx{app,    platform,       state,          no_feedback,
+                           options.energy, result.mapping, scratch};
+  const core::Step3Outcome s3 = core::run_step3(ctx);
   if (!s3.success) {
     result.failure = "clustered placement unroutable: " + s3.failure;
     return result;
   }
   if (options.verify_step4) {
-    core::Step4Trace trace;
-    const core::FeasibilityReport report = core::run_step4(
-        app, platform, state, options.step4, result.mapping, trace);
+    const core::FeasibilityReport report = core::run_step4(ctx, options.step4);
     if (!report.feasible) {
       result.failure = "clustered placement infeasible: " + report.failure;
       return result;
@@ -316,6 +316,19 @@ ClusteringResult cluster_map(const kpn::Application& app,
   result.energy_nj_per_symbol = core::total_energy_nj_per_symbol(
       app, platform, result.mapping, options.energy);
   return result;
+}
+
+std::string ClusteringMapper::describe() const {
+  return "Moreira-style clustering of neighbouring processes with first-fit-"
+         "decreasing bin-packing onto tiles of a common type";
+}
+
+core::MappingResult ClusteringMapper::map(const kpn::Application& app,
+                                          const core::ResourceState& base) const {
+  ClusteringResult clustered = cluster_map(app, base.platform(), options_);
+  return detail::screen_design_time_plan(
+      base, app, clustered.success, std::move(clustered.mapping),
+      clustered.energy_nj_per_symbol, std::move(clustered.failure));
 }
 
 }  // namespace rtsm::baselines

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "arch/platform.hpp"
 #include "core/feasibility.hpp"
+#include "core/mapper.hpp"
 #include "core/mapping.hpp"
 #include "energy/model.hpp"
 #include "kpn/application.hpp"
@@ -45,5 +47,24 @@ struct ClusteringResult {
 [[nodiscard]] ClusteringResult cluster_map(const kpn::Application& app,
                                            const arch::Platform& platform,
                                            const ClusteringOptions& options = {});
+
+/// Mapper-strategy adapter around cluster_map(). Plans against the idle
+/// platform; fails when the plan does not fit the residual state.
+class ClusteringMapper final : public core::Mapper {
+ public:
+  explicit ClusteringMapper(ClusteringOptions options = {})
+      : options_(std::move(options)) {}
+
+  [[nodiscard]] std::string name() const override { return "clustering"; }
+  [[nodiscard]] std::string describe() const override;
+
+  using core::Mapper::map;
+  [[nodiscard]] core::MappingResult map(
+      const kpn::Application& app,
+      const core::ResourceState& base) const override;
+
+ private:
+  ClusteringOptions options_;
+};
 
 }  // namespace rtsm::baselines

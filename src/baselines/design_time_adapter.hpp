@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/mapper.hpp"
+
+namespace rtsm::baselines::detail {
+
+/// Shared tail of every design-time Mapper adapter: wraps an algorithm's
+/// (success, mapping, energy, failure) outcome into a MappingResult and
+/// screens the plan — made against the idle platform — with mapping_fits()
+/// so it can never over-subscribe the residual state.
+inline core::MappingResult screen_design_time_plan(
+    const core::ResourceState& base, const kpn::Application& app, bool success,
+    core::Mapping mapping, double energy_nj_per_symbol, std::string failure) {
+  core::MappingResult result;
+  result.rounds = 1;
+  result.mapping = std::move(mapping);
+  result.energy_nj_per_symbol = energy_nj_per_symbol;
+  if (!success) {
+    result.failure = std::move(failure);
+    return result;
+  }
+  if (!core::mapping_fits(base, app, result.mapping)) {
+    result.failure = "design-time plan does not fit the residual resources";
+    return result;
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace rtsm::baselines::detail

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "baselines/design_time_adapter.hpp"
 #include "core/channel_routing.hpp"
 #include "core/cost.hpp"
 #include "core/resource_state.hpp"
@@ -136,10 +137,11 @@ class Search {
     // between branches.
     ResourceState routed_state = state_;
     Mapping candidate = mapping_;
-    std::vector<core::Step3Record> unused_trace;
-    const core::Step3Outcome s3 =
-        core::run_step3(app_, platform_, routed_state, core::Step3Options{},
-                        candidate, unused_trace);
+    const core::FeedbackSet no_feedback;
+    core::MappingTrace::Round scratch;
+    core::MappingContext ctx{app_,    platform_,       routed_state, no_feedback,
+                             options_.energy, candidate, scratch};
+    const core::Step3Outcome s3 = core::run_step3(ctx);
     if (!s3.success) return;
 
     const double energy = core::total_energy_nj_per_symbol(
@@ -147,9 +149,8 @@ class Search {
     if (result_.success && energy >= result_.energy_nj_per_symbol) return;
 
     if (options_.verify_step4) {
-      core::Step4Trace trace;
-      const core::FeasibilityReport report = core::run_step4(
-          app_, platform_, routed_state, options_.step4, candidate, trace);
+      const core::FeasibilityReport report =
+          core::run_step4(ctx, options_.step4);
       if (!report.feasible) return;
     }
 
@@ -190,6 +191,22 @@ ExhaustiveResult exhaustive_map(const kpn::Application& app,
     result.energy_nj_per_symbol = 0.0;
   }
   return result;
+}
+
+std::string ExhaustiveMapper::describe() const {
+  return "branch-and-bound enumeration of all adequate, capacity-respecting "
+         "configurations; provably energy-optimal on small instances";
+}
+
+core::MappingResult ExhaustiveMapper::map(const kpn::Application& app,
+                                          const core::ResourceState& base) const {
+  ExhaustiveResult enumerated = exhaustive_map(app, base.platform(), options_);
+  return detail::screen_design_time_plan(
+      base, app, enumerated.success, std::move(enumerated.mapping),
+      enumerated.energy_nj_per_symbol,
+      enumerated.exhausted_budget
+          ? "node limit exhausted before an adherent mapping"
+          : "no adherent, routable mapping exists");
 }
 
 }  // namespace rtsm::baselines

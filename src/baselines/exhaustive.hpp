@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "arch/platform.hpp"
 #include "core/feasibility.hpp"
+#include "core/mapper.hpp"
 #include "core/mapping.hpp"
 #include "energy/model.hpp"
 #include "kpn/application.hpp"
@@ -47,5 +49,25 @@ struct ExhaustiveResult {
 [[nodiscard]] ExhaustiveResult exhaustive_map(const kpn::Application& app,
                                               const arch::Platform& platform,
                                               const ExhaustiveOptions& options = {});
+
+/// Mapper-strategy adapter around exhaustive_map(). Plans against the idle
+/// platform (ground-truth optimum); fails when the optimum does not fit the
+/// residual state.
+class ExhaustiveMapper final : public core::Mapper {
+ public:
+  explicit ExhaustiveMapper(ExhaustiveOptions options = {})
+      : options_(std::move(options)) {}
+
+  [[nodiscard]] std::string name() const override { return "exhaustive"; }
+  [[nodiscard]] std::string describe() const override;
+
+  using core::Mapper::map;
+  [[nodiscard]] core::MappingResult map(
+      const kpn::Application& app,
+      const core::ResourceState& base) const override;
+
+ private:
+  ExhaustiveOptions options_;
+};
 
 }  // namespace rtsm::baselines

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "baselines/design_time_adapter.hpp"
 #include "core/channel_routing.hpp"
 #include "core/cost.hpp"
 #include "core/resource_state.hpp"
@@ -91,9 +92,11 @@ RandomMapperResult random_map(const kpn::Application& app,
     }
     if (!ok) continue;
 
-    std::vector<core::Step3Record> unused_trace;
-    const core::Step3Outcome s3 = core::run_step3(
-        app, platform, state, core::Step3Options{}, mapping, unused_trace);
+    const core::FeedbackSet no_feedback;
+    core::MappingTrace::Round scratch;
+    core::MappingContext ctx{app,    platform, state,  no_feedback,
+                             options.energy,   mapping, scratch};
+    const core::Step3Outcome s3 = core::run_step3(ctx);
     if (!s3.success) continue;
 
     ++result.valid_samples;
@@ -113,10 +116,11 @@ RandomMapperResult random_map(const kpn::Application& app,
   }
 
   if (options.verify_step4) {
-    core::Step4Trace trace;
-    const core::FeasibilityReport report =
-        core::run_step4(app, platform, best_state, options.step4,
-                        result.mapping, trace);
+    const core::FeedbackSet no_feedback;
+    core::MappingTrace::Round scratch;
+    core::MappingContext ctx{app,    platform,       best_state,     no_feedback,
+                             options.energy, result.mapping, scratch};
+    const core::FeasibilityReport report = core::run_step4(ctx, options.step4);
     if (!report.feasible) {
       result.success = false;
       result.failure = "best random sample infeasible: " + report.failure;
@@ -125,6 +129,19 @@ RandomMapperResult random_map(const kpn::Application& app,
   }
   result.energy_nj_per_symbol = best_energy;
   return result;
+}
+
+std::string RandomSamplingMapper::describe() const {
+  return "best-of-N random sampling over adequate, capacity-respecting, "
+         "routable configurations";
+}
+
+core::MappingResult RandomSamplingMapper::map(
+    const kpn::Application& app, const core::ResourceState& base) const {
+  RandomMapperResult sampled = random_map(app, base.platform(), options_);
+  return detail::screen_design_time_plan(
+      base, app, sampled.success, std::move(sampled.mapping),
+      sampled.energy_nj_per_symbol, std::move(sampled.failure));
 }
 
 }  // namespace rtsm::baselines

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "arch/platform.hpp"
 #include "core/feasibility.hpp"
+#include "core/mapper.hpp"
 #include "core/mapping.hpp"
 #include "energy/model.hpp"
 #include "kpn/application.hpp"
@@ -37,5 +39,24 @@ struct RandomMapperResult {
 [[nodiscard]] RandomMapperResult random_map(const kpn::Application& app,
                                             const arch::Platform& platform,
                                             const RandomMapperOptions& options = {});
+
+/// Mapper-strategy adapter around random_map(). Plans against the idle
+/// platform; fails when the best sample does not fit the residual state.
+class RandomSamplingMapper final : public core::Mapper {
+ public:
+  explicit RandomSamplingMapper(RandomMapperOptions options = {})
+      : options_(std::move(options)) {}
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] std::string describe() const override;
+
+  using core::Mapper::map;
+  [[nodiscard]] core::MappingResult map(
+      const kpn::Application& app,
+      const core::ResourceState& base) const override;
+
+ private:
+  RandomMapperOptions options_;
+};
 
 }  // namespace rtsm::baselines

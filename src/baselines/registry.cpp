@@ -1,0 +1,37 @@
+#include "baselines/registry.hpp"
+
+#include <memory>
+
+#include "baselines/annealing.hpp"
+#include "baselines/clustering.hpp"
+#include "baselines/exhaustive.hpp"
+#include "baselines/random_mapper.hpp"
+#include "core/spatial_mapper.hpp"
+
+namespace rtsm::baselines {
+
+void register_builtin_mappers(core::MapperRegistry& registry) {
+  registry.add("spatial",
+               "paper's four-step run-time heuristic with iterative "
+               "refinement",
+               [] { return std::make_unique<core::SpatialMapper>(); });
+  registry.add("annealing",
+               "design-time simulated annealing on estimated energy",
+               [] { return std::make_unique<AnnealingMapper>(); });
+  registry.add("clustering",
+               "neighbour clustering with first-fit-decreasing bin-packing",
+               [] { return std::make_unique<ClusteringMapper>(); });
+  registry.add("exhaustive",
+               "branch-and-bound ground-truth optimum (small instances only)",
+               [] { return std::make_unique<ExhaustiveMapper>(); });
+  registry.add("random", "best-of-N random adequate configurations",
+               [] { return std::make_unique<RandomSamplingMapper>(); });
+}
+
+core::MapperRegistry builtin_mappers() {
+  core::MapperRegistry registry;
+  register_builtin_mappers(registry);
+  return registry;
+}
+
+}  // namespace rtsm::baselines

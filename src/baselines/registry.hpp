@@ -1,0 +1,15 @@
+#pragma once
+
+#include "core/mapper_registry.hpp"
+
+namespace rtsm::baselines {
+
+/// Registers the paper's run-time mapper ("spatial") and the four
+/// design-time baselines ("annealing", "clustering", "exhaustive",
+/// "random"), each with default options, into @p registry.
+void register_builtin_mappers(core::MapperRegistry& registry);
+
+/// Registry preloaded with all five built-in mappers.
+[[nodiscard]] core::MapperRegistry builtin_mappers();
+
+}  // namespace rtsm::baselines

@@ -7,10 +7,11 @@
 
 namespace rtsm::core {
 
-Step3Outcome run_step3(const kpn::Application& app,
-                       const arch::Platform& platform, ResourceState& state,
-                       const Step3Options& options, Mapping& mapping,
-                       std::vector<Step3Record>& trace) {
+Step3Outcome run_step3(MappingContext& ctx, const Step3Options& options) {
+  const kpn::Application& app = ctx.app;
+  const arch::Platform& platform = ctx.platform;
+  ResourceState& state = ctx.state;
+  Mapping& mapping = ctx.mapping;
   require(mapping.all_assigned(), "step 3 requires a complete placement");
 
   std::vector<ChannelId> order = app.channel_ids();
@@ -42,7 +43,7 @@ Step3Outcome run_step3(const kpn::Application& app,
       }
       record.rr_hops = path->rr_hops(platform);
     }
-    trace.push_back(record);
+    ctx.trace.step3.push_back(record);
 
     if (!path) {
       Step3Outcome out;

@@ -2,14 +2,8 @@
 
 #include <optional>
 #include <string>
-#include <vector>
 
-#include "arch/platform.hpp"
-#include "core/feedback.hpp"
-#include "core/mapping.hpp"
-#include "core/resource_state.hpp"
-#include "core/trace.hpp"
-#include "kpn/application.hpp"
+#include "core/mapping_context.hpp"
 
 namespace rtsm::core {
 
@@ -34,13 +28,9 @@ struct Step3Outcome {
 
 /// Step 3: sorts channels by non-increasing throughput demand and routes
 /// them incrementally; each route must have residual capacity for the
-/// channel on every link, and its reservation is committed in @p state
-/// before the next channel is routed.
-[[nodiscard]] Step3Outcome run_step3(const kpn::Application& app,
-                                     const arch::Platform& platform,
-                                     ResourceState& state,
-                                     const Step3Options& options,
-                                     Mapping& mapping,
-                                     std::vector<Step3Record>& trace);
+/// channel on every link, and its reservation is committed in ctx.state
+/// before the next channel is routed. Routes are logged to ctx.trace.step3.
+[[nodiscard]] Step3Outcome run_step3(MappingContext& ctx,
+                                     const Step3Options& options = {});
 
 }  // namespace rtsm::core

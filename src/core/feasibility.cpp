@@ -60,11 +60,14 @@ std::optional<FeedbackConstraint> blame_slowest(const kpn::Application& app,
 
 }  // namespace
 
-FeasibilityReport run_step4(const kpn::Application& app,
-                            const arch::Platform& platform,
-                            ResourceState& state,
-                            const FeasibilityOptions& options, Mapping& mapping,
-                            Step4Trace& trace) {
+FeasibilityReport run_step4(MappingContext& ctx,
+                            const FeasibilityOptions& options) {
+  const kpn::Application& app = ctx.app;
+  const arch::Platform& platform = ctx.platform;
+  ResourceState& state = ctx.state;
+  Mapping& mapping = ctx.mapping;
+  Step4Trace& trace = ctx.trace.step4;
+
   FeasibilityReport report;
   trace.ran = true;
 

@@ -4,13 +4,8 @@
 #include <optional>
 #include <string>
 
-#include "arch/platform.hpp"
-#include "core/feedback.hpp"
-#include "core/mapping.hpp"
-#include "core/resource_state.hpp"
-#include "core/trace.hpp"
+#include "core/mapping_context.hpp"
 #include "csdf/simulator.hpp"
-#include "kpn/application.hpp"
 
 namespace rtsm::core {
 
@@ -43,13 +38,11 @@ struct FeasibilityReport {
 /// the period constraint (the role of Wiggers et al. [11]), verifies the
 /// buffers fit the consuming tiles' memory, and checks the latency bound.
 ///
-/// On success the buffer capacities are written into @p mapping and the
-/// buffer memory is reserved in @p state. On failure a feedback constraint
-/// is attached when one can be derived.
-[[nodiscard]] FeasibilityReport run_step4(const kpn::Application& app,
-                                          const arch::Platform& platform,
-                                          ResourceState& state,
-                                          const FeasibilityOptions& options,
-                                          Mapping& mapping, Step4Trace& trace);
+/// On success the buffer capacities are written into ctx.mapping and the
+/// buffer memory is reserved in ctx.state. On failure a feedback constraint
+/// is attached when one can be derived. The analysis summary is logged to
+/// ctx.trace.step4.
+[[nodiscard]] FeasibilityReport run_step4(MappingContext& ctx,
+                                          const FeasibilityOptions& options = {});
 
 }  // namespace rtsm::core

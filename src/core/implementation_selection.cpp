@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -21,70 +22,68 @@ struct TypeOption {
 
 /// Communication estimate: cheapest placed-neighbour distance cost if the
 /// process were put on @p tile.
-double comm_estimate(const kpn::Application& app,
-                     const arch::Platform& platform, const Mapping& mapping,
-                     const energy::EnergyModel& energy, ProcessId pid,
-                     TileId tile) {
+double comm_estimate(const MappingContext& ctx, ProcessId pid, TileId tile) {
   double cost = 0.0;
   auto add = [&](ChannelId cid, ProcessId other) {
-    if (!mapping.is_assigned(other)) return;
-    const std::uint32_t hops = platform.manhattan(tile, mapping.tile_of(other));
-    cost += energy.comm_nj(app.channel(cid).tokens_per_symbol, hops);
+    if (!ctx.mapping.is_assigned(other)) return;
+    const std::uint32_t hops =
+        ctx.platform.manhattan(tile, ctx.mapping.tile_of(other));
+    cost += ctx.energy.comm_nj(ctx.app.channel(cid).tokens_per_symbol, hops);
   };
-  for (const ChannelId cid : app.in_channels(pid)) add(cid, app.channel(cid).src);
-  for (const ChannelId cid : app.out_channels(pid)) add(cid, app.channel(cid).dst);
+  for (const ChannelId cid : ctx.app.in_channels(pid)) {
+    add(cid, ctx.app.channel(cid).src);
+  }
+  for (const ChannelId cid : ctx.app.out_channels(pid)) {
+    add(cid, ctx.app.channel(cid).dst);
+  }
   return cost;
 }
 
 /// All tile-type options still open to @p pid, cheapest first.
-std::vector<TypeOption> type_options(const kpn::Application& app,
-                                     const arch::Platform& platform,
-                                     const ResourceState& state,
-                                     const FeedbackSet& feedback,
+std::vector<TypeOption> type_options(const MappingContext& ctx,
                                      const Step1Options& options,
-                                     const energy::EnergyModel& energy,
-                                     const Mapping& mapping, ProcessId pid) {
-  const kpn::Process& p = app.process(pid);
+                                     ProcessId pid) {
+  const kpn::Process& p = ctx.app.process(pid);
   std::vector<TypeOption> result;
 
   for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
     const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
-    if (feedback.impl_forbidden(pid, impl)) continue;
+    if (ctx.feedback.impl_forbidden(pid, impl)) continue;
     const kpn::Implementation& im = p.implementations[ii];
 
     TileTypeId type;
     try {
-      type = platform.type_by_name(im.tile_type);
+      type = ctx.platform.type_by_name(im.tile_type);
     } catch (const Error&) {
       continue;  // platform has no tile of this type at all
     }
 
-    const double util =
-        impl_utilization(app, pid, impl, platform.tile_type(type).clock_hz);
+    const double util = impl_utilization(ctx.app, pid, impl,
+                                         ctx.platform.tile_type(type).clock_hz);
     if (options.utilization_screen && util > 1.0) continue;
 
     // Find the candidate tiles with capacity; remember the first (first-fit)
     // and the cheapest communication estimate (for ranking).
     TileId first_fit;
     double best_cost = std::numeric_limits<double>::infinity();
-    for (const TileId tile : platform.tiles_of_type(type)) {
-      if (feedback.tile_forbidden(pid, tile)) continue;
-      if (!state.tile_fits(tile, claimed_utilization(util), im.memory_bytes)) {
+    for (const TileId tile : ctx.platform.tiles_of_type(type)) {
+      if (ctx.feedback.tile_forbidden(pid, tile)) continue;
+      if (!ctx.state.tile_fits(tile, claimed_utilization(util),
+                               im.memory_bytes)) {
         continue;
       }
       if (!first_fit.valid()) first_fit = tile;
       const double cost =
-          energy.processing_nj(im) +
-          (options.comm_aware
-               ? comm_estimate(app, platform, mapping, energy, pid, tile)
-               : 0.0);
+          ctx.energy.processing_nj(im) +
+          (options.comm_aware ? comm_estimate(ctx, pid, tile) : 0.0);
       best_cost = std::min(best_cost, cost);
     }
     if (!first_fit.valid()) continue;  // no tile of this type can host it
 
     // Keep the cheapest implementation per tile type.
-    auto existing = std::find_if(result.begin(), result.end(),
-                                 [&](const TypeOption& o) { return o.type == type; });
+    auto existing =
+        std::find_if(result.begin(), result.end(),
+                     [&](const TypeOption& o) { return o.type == type; });
     if (existing == result.end()) {
       result.push_back(TypeOption{impl, type, best_cost, first_fit});
     } else if (best_cost < existing->cost) {
@@ -100,27 +99,21 @@ std::vector<TypeOption> type_options(const kpn::Application& app,
   return result;
 }
 
-}  // namespace
-
-Step1Outcome run_step1(const kpn::Application& app,
-                       const arch::Platform& platform, ResourceState& state,
-                       const FeedbackSet& feedback, const Step1Options& options,
-                       const energy::EnergyModel& energy, Mapping& mapping,
-                       std::vector<Step1Record>& trace) {
-  // Bind fixtures to their pinned tiles first: they are boundary conditions
-  // of the optimisation, not decision variables.
-  for (const ProcessId pid : app.process_ids()) {
-    const kpn::Process& p = app.process(pid);
+/// Binds fixtures to their pinned tiles: they are boundary conditions of the
+/// optimisation, not decision variables.
+Step1Outcome place_fixtures(MappingContext& ctx) {
+  for (const ProcessId pid : ctx.app.process_ids()) {
+    const kpn::Process& p = ctx.app.process(pid);
     if (!p.is_fixture()) continue;
     TileId tile;
     try {
-      tile = platform.tile_by_name(*p.pinned_tile);
+      tile = ctx.platform.tile_by_name(*p.pinned_tile);
     } catch (const Error&) {
       return {false, "fixture '" + p.name + "' pins unknown tile '" +
                          *p.pinned_tile + "'"};
     }
     const std::string& tile_type =
-        platform.tile_type(platform.tile(tile).type).name;
+        ctx.platform.tile_type(ctx.platform.tile(tile).type).name;
     std::optional<ImplementationId> impl;
     for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
       if (p.implementations[ii].tile_type == tile_type) {
@@ -132,23 +125,30 @@ Step1Outcome run_step1(const kpn::Application& app,
       return {false, "fixture '" + p.name + "' has no implementation for its "
                      "pinned tile type '" + tile_type + "'"};
     }
-    const double util = claimed_utilization(
-        impl_utilization(app, pid, *impl, platform.tile_clock_hz(tile)));
-    const std::uint64_t mem =
-        app.implementation(pid, *impl).memory_bytes;
-    if (!state.tile_fits(tile, util, mem)) {
+    const double util = claimed_utilization(impl_utilization(
+        ctx.app, pid, *impl, ctx.platform.tile_clock_hz(tile)));
+    const std::uint64_t mem = ctx.app.implementation(pid, *impl).memory_bytes;
+    if (!ctx.state.tile_fits(tile, util, mem)) {
       return {false, "pinned tile '" + *p.pinned_tile +
                          "' lacks capacity for fixture '" + p.name + "'"};
     }
-    state.reserve_tile(tile, util, mem);
-    mapping.assign(pid, *impl, tile);
+    ctx.state.reserve_tile(tile, util, mem);
+    ctx.mapping.assign(pid, *impl, tile);
   }
+  return {true, ""};
+}
+
+}  // namespace
+
+Step1Outcome run_step1(MappingContext& ctx, const Step1Options& options) {
+  const Step1Outcome fixtures = place_fixtures(ctx);
+  if (!fixtures.success) return fixtures;
 
   // Iteratively place the most desirable process.
   while (true) {
     std::vector<ProcessId> open;
-    for (const ProcessId pid : app.process_ids()) {
-      if (!mapping.is_assigned(pid)) open.push_back(pid);
+    for (const ProcessId pid : ctx.app.process_ids()) {
+      if (!ctx.mapping.is_assigned(pid)) open.push_back(pid);
     }
     if (open.empty()) break;
 
@@ -157,10 +157,9 @@ Step1Outcome run_step1(const kpn::Application& app,
     double chosen_desirability = -1.0;
 
     for (const ProcessId pid : open) {
-      auto opts = type_options(app, platform, state, feedback, options, energy,
-                               mapping, pid);
+      auto opts = type_options(ctx, options, pid);
       if (opts.empty()) {
-        return {false, "process '" + app.process(pid).name +
+        return {false, "process '" + ctx.app.process(pid).name +
                            "' has no admissible implementation left"};
       }
       const double desirability =
@@ -179,21 +178,21 @@ Step1Outcome run_step1(const kpn::Application& app,
     }
 
     const TypeOption& pick = chosen_options.front();
-    const kpn::Implementation& im = app.implementation(chosen, pick.impl);
+    const kpn::Implementation& im = ctx.app.implementation(chosen, pick.impl);
     const TileId tile = pick.first_fit_tile;
-    const double util = claimed_utilization(
-        impl_utilization(app, chosen, pick.impl, platform.tile_clock_hz(tile)));
-    if (!state.tile_fits(tile, util, im.memory_bytes)) {
+    const double util = claimed_utilization(impl_utilization(
+        ctx.app, chosen, pick.impl, ctx.platform.tile_clock_hz(tile)));
+    if (!ctx.state.tile_fits(tile, util, im.memory_bytes)) {
       // Only possible with utilization_screen off; surfaced to the driver.
-      return {false, "first-fit tile '" + platform.tile(tile).name +
+      return {false, "first-fit tile '" + ctx.platform.tile(tile).name +
                          "' cannot host '" + im.name + "'"};
     }
-    state.reserve_tile(tile, util, im.memory_bytes);
-    mapping.assign(chosen, pick.impl, tile);
+    ctx.state.reserve_tile(tile, util, im.memory_bytes);
+    ctx.mapping.assign(chosen, pick.impl, tile);
 
-    trace.push_back(Step1Record{
-        app.process(chosen).name, im.name, im.tile_type,
-        platform.tile(tile).name, chosen_desirability,
+    ctx.trace.step1.push_back(Step1Record{
+        ctx.app.process(chosen).name, im.name, im.tile_type,
+        ctx.platform.tile(tile).name, chosen_desirability,
         std::isinf(chosen_desirability)});
   }
   return {true, ""};

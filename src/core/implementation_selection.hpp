@@ -1,15 +1,8 @@
 #pragma once
 
 #include <string>
-#include <vector>
 
-#include "arch/platform.hpp"
-#include "core/feedback.hpp"
-#include "core/mapping.hpp"
-#include "core/resource_state.hpp"
-#include "core/trace.hpp"
-#include "energy/model.hpp"
-#include "kpn/application.hpp"
+#include "core/mapping_context.hpp"
 
 namespace rtsm::core {
 
@@ -42,15 +35,10 @@ struct Step1Outcome {
 /// packs it first-fit onto a concrete tile (insertion order). Fixtures
 /// (pinned processes) are bound to their tiles first.
 ///
-/// On success every process of @p app is assigned in @p mapping and its
-/// compute/memory demand reserved in @p state.
-[[nodiscard]] Step1Outcome run_step1(const kpn::Application& app,
-                                     const arch::Platform& platform,
-                                     ResourceState& state,
-                                     const FeedbackSet& feedback,
-                                     const Step1Options& options,
-                                     const energy::EnergyModel& energy,
-                                     Mapping& mapping,
-                                     std::vector<Step1Record>& trace);
+/// On success every process is assigned in ctx.mapping with its
+/// compute/memory demand reserved in ctx.state; decisions are appended to
+/// ctx.trace.step1.
+[[nodiscard]] Step1Outcome run_step1(MappingContext& ctx,
+                                     const Step1Options& options = {});
 
 }  // namespace rtsm::core

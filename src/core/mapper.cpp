@@ -1,0 +1,94 @@
+#include "core/mapper.hpp"
+
+#include "util/error.hpp"
+
+namespace rtsm::core {
+
+MappingResult Mapper::map(const kpn::Application& app,
+                          const arch::Platform& platform) const {
+  return map(app, ResourceState(platform));
+}
+
+void commit_mapping(ResourceState& state, const kpn::Application& app,
+                    const Mapping& mapping) {
+  const arch::Platform& platform = state.platform();
+  for (const ProcessId pid : app.process_ids()) {
+    const TileId tile = mapping.tile_of(pid);
+    const ImplementationId impl = mapping.impl_of(pid);
+    const double util = claimed_utilization(
+        impl_utilization(app, pid, impl, platform.tile_clock_hz(tile)));
+    state.reserve_tile(tile, util, app.implementation(pid, impl).memory_bytes);
+  }
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& c = app.channel(cid);
+    const auto& path = mapping.path(cid);
+    require(path.has_value(), "commit of an unrouted mapping");
+    state.links().reserve_path(*path, app.tokens_per_second(cid));
+    if (const auto tokens = mapping.buffer_tokens(cid)) {
+      state.reserve_tile(mapping.tile_of(c.dst), 0.0,
+                         static_cast<std::uint64_t>(*tokens) * c.token_bytes,
+                         0);
+    }
+  }
+}
+
+void release_mapping(ResourceState& state, const kpn::Application& app,
+                     const Mapping& mapping) {
+  const arch::Platform& platform = state.platform();
+  for (const ProcessId pid : app.process_ids()) {
+    const TileId tile = mapping.tile_of(pid);
+    const ImplementationId impl = mapping.impl_of(pid);
+    const double util = claimed_utilization(
+        impl_utilization(app, pid, impl, platform.tile_clock_hz(tile)));
+    state.release_tile(tile, util, app.implementation(pid, impl).memory_bytes);
+  }
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& c = app.channel(cid);
+    const auto& path = mapping.path(cid);
+    if (!path) continue;
+    state.links().release_path(*path, app.tokens_per_second(cid));
+    if (const auto tokens = mapping.buffer_tokens(cid)) {
+      state.release_tile(mapping.tile_of(c.dst), 0.0,
+                         static_cast<std::uint64_t>(*tokens) * c.token_bytes,
+                         0);
+    }
+  }
+}
+
+bool mapping_fits(const ResourceState& base, const kpn::Application& app,
+                  const Mapping& mapping) {
+  if (!mapping.all_assigned() || !mapping.all_routed()) return false;
+
+  // Probe on a private copy so accumulation across this application's own
+  // processes (several on one tile, several channels per link) is counted.
+  ResourceState probe = base;
+  const arch::Platform& platform = base.platform();
+  for (const ProcessId pid : app.process_ids()) {
+    const TileId tile = mapping.tile_of(pid);
+    const ImplementationId impl = mapping.impl_of(pid);
+    const double util = claimed_utilization(
+        impl_utilization(app, pid, impl, platform.tile_clock_hz(tile)));
+    const std::uint64_t mem = app.implementation(pid, impl).memory_bytes;
+    if (!probe.tile_fits(tile, util, mem)) return false;
+    probe.reserve_tile(tile, util, mem);
+  }
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& c = app.channel(cid);
+    const auto& path = mapping.path(cid);
+    const double demand = app.tokens_per_second(cid);
+    for (const LinkId link : path->links) {
+      if (!probe.links().fits(link, demand)) return false;
+    }
+    probe.links().reserve_path(*path, demand);
+    if (const auto tokens = mapping.buffer_tokens(cid)) {
+      const std::uint64_t bytes =
+          static_cast<std::uint64_t>(*tokens) * c.token_bytes;
+      const TileId consumer = mapping.tile_of(c.dst);
+      if (!probe.tile_fits(consumer, 0.0, bytes, 0)) return false;
+      probe.reserve_tile(consumer, 0.0, bytes, 0);
+    }
+  }
+  return true;
+}
+
+}  // namespace rtsm::core

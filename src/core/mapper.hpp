@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/platform.hpp"
+#include "core/mapping.hpp"
+#include "core/resource_state.hpp"
+#include "core/trace.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::core {
+
+/// Result of a mapping request.
+struct MappingResult {
+  /// True when a feasible (or, for mappers that skip dataflow verification,
+  /// adherent) mapping was found.
+  bool success = false;
+
+  Mapping mapping{0, 0};
+
+  /// Total energy per symbol of the returned mapping (processing +
+  /// communication), nanojoule.
+  double energy_nj_per_symbol = 0.0;
+
+  /// Verified sustained period / latency from step 4, ps (0 when the mapper
+  /// does not run the dataflow analysis).
+  std::uint64_t achieved_period_ps = 0;
+  std::uint64_t latency_ps = 0;
+
+  /// Refinement rounds (or attempts) executed.
+  std::uint32_t rounds = 0;
+
+  std::string failure;
+
+  MappingTrace trace;
+};
+
+/// Strategy interface of every spatial mapper in the repository: the paper's
+/// run-time heuristic (SpatialMapper) and all design-time baselines
+/// implement it, so benchmarks, the runtime manager, and tests can select
+/// mappers interchangeably (by name via MapperRegistry).
+///
+/// Contract: map() plans @p app against the residual resources in @p base
+/// without modifying @p base. A successful result's mapping must be
+/// committable into @p base (see mapping_fits()); commit_mapping() performs
+/// the actual reservation.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Stable registry name, e.g. "spatial" or "annealing".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-line human-readable description of the strategy.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Maps @p app against the residual resources in @p base (the run-time
+  /// scenario: other applications are already running). @p base is not
+  /// modified; commit the result with commit_mapping() to admit the
+  /// application.
+  [[nodiscard]] virtual MappingResult map(const kpn::Application& app,
+                                          const ResourceState& base) const = 0;
+
+  /// Maps @p app onto an otherwise idle @p platform.
+  [[nodiscard]] MappingResult map(const kpn::Application& app,
+                                  const arch::Platform& platform) const;
+};
+
+/// Books a successful mapping's resources (tile utilisation, implementation
+/// and buffer memory, link reservations) into @p state.
+void commit_mapping(ResourceState& state, const kpn::Application& app,
+                    const Mapping& mapping);
+
+/// Releases everything commit_mapping() booked.
+void release_mapping(ResourceState& state, const kpn::Application& app,
+                     const Mapping& mapping);
+
+/// True when @p mapping's demands (compute, memory, process slots, link
+/// throughput) all fit the residual capacity of @p base, i.e.
+/// commit_mapping() would succeed. Used to screen plans from design-time
+/// mappers that ignore the residual state, and as a commit precondition by
+/// the runtime manager.
+[[nodiscard]] bool mapping_fits(const ResourceState& base,
+                                const kpn::Application& app,
+                                const Mapping& mapping);
+
+}  // namespace rtsm::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+
+namespace rtsm::core {
+
+/// Name-indexed factory of Mapper strategies.
+///
+/// Benchmarks, examples and tests select mappers by string instead of
+/// hard-coded types: the built-in set lives in baselines::builtin_mappers(),
+/// and a bench may populate its own registry with ad-hoc variants (e.g. the
+/// X3 ablations). Registration order is preserved, which keeps bench tables
+/// stable.
+class MapperRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Mapper>()>;
+
+  /// Registers @p factory under @p name. Throws rtsm::Error on duplicates.
+  void add(const std::string& name, std::string description, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Instantiates the mapper registered under @p name. Throws rtsm::Error
+  /// listing the known names when @p name is unknown.
+  [[nodiscard]] std::unique_ptr<Mapper> create(const std::string& name) const;
+
+  /// Description given at registration. Throws rtsm::Error when unknown.
+  [[nodiscard]] const std::string& description(const std::string& name) const;
+
+  /// All registered names, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string description;
+    Factory factory;
+  };
+
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rtsm::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "arch/platform.hpp"
+#include "core/feedback.hpp"
+#include "core/mapping.hpp"
+#include "core/resource_state.hpp"
+#include "core/trace.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+
+namespace rtsm::core {
+
+/// Shared working set of one mapping-pipeline round.
+///
+/// The four pipeline stages (steps 1-4) operate on the same application,
+/// platform, residual resources, feedback constraints, partial mapping and
+/// trace; the context passes them once instead of through long per-step
+/// parameter lists. All members are references: the owner — a SpatialMapper
+/// refinement round, a baseline, or a test — keeps the objects and controls
+/// their lifetime.
+struct MappingContext {
+  const kpn::Application& app;
+  const arch::Platform& platform;
+
+  /// Residual resources this round maps against; stages reserve into it as
+  /// they make decisions, so a later stage sees what earlier ones booked.
+  ResourceState& state;
+
+  /// Constraints accumulated by earlier refinement rounds (empty on the
+  /// first round).
+  const FeedbackSet& feedback;
+
+  const energy::EnergyModel& energy;
+
+  /// The mapping under construction.
+  Mapping& mapping;
+
+  /// Trace sink of the current round.
+  MappingTrace::Round& trace;
+};
+
+}  // namespace rtsm::core

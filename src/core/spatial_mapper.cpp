@@ -2,21 +2,90 @@
 
 #include "core/cost.hpp"
 #include "core/criteria.hpp"
+#include "core/mapping_context.hpp"
 #include "util/error.hpp"
 
 namespace rtsm::core {
 
+namespace {
+
+/// Verdict of one pipeline stage within a refinement round.
+enum class StageStatus {
+  /// Stage succeeded; continue with the next stage.
+  Proceed,
+  /// Stage failed and emitted feedback; start the next refinement round.
+  Refine,
+  /// Stage failed without usable feedback; the search space is exhausted.
+  Abort,
+};
+
+/// Stage 1: assign implementations to processes (greedy by desirability).
+StageStatus select_implementations(MappingContext& ctx,
+                                   const MapperConfig& config,
+                                   MappingResult& result) {
+  const Step1Outcome s1 = run_step1(ctx, config.step1);
+  if (s1.success) return StageStatus::Proceed;
+  ctx.trace.outcome = "step 1 failed: " + s1.failure;
+  result.failure = ctx.trace.outcome;
+  // Step 1 exhausts options monotonically; more rounds cannot help unless
+  // feedback shrinks elsewhere, so stop here.
+  return StageStatus::Abort;
+}
+
+/// Stage 2: refine the placement by local search (optional).
+StageStatus refine_placement(MappingContext& ctx, const MapperConfig& config) {
+  if (config.run_step2) {
+    run_step2(ctx, config.step2);
+  } else {
+    ctx.trace.step2.initial_cost = ctx.trace.step2.final_cost =
+        placement_cost(ctx.app, ctx.platform, ctx.mapping,
+                       config.step2.cost_model, config.energy);
+  }
+  return StageStatus::Proceed;
+}
+
+/// Stage 3: assign channels to NoC paths.
+StageStatus route_channels(MappingContext& ctx, const MapperConfig& config,
+                           MappingResult& result, FeedbackSet& feedback) {
+  const Step3Outcome s3 = run_step3(ctx, config.step3);
+  if (s3.success) return StageStatus::Proceed;
+  ctx.trace.outcome = "step 3 failed: " + s3.failure;
+  result.failure = ctx.trace.outcome;
+  if (!s3.feedback) return StageStatus::Abort;
+  feedback.add(*s3.feedback);
+  return StageStatus::Refine;
+}
+
+/// Stage 4: verify application constraints via dataflow analysis (optional).
+StageStatus verify_constraints(MappingContext& ctx, const MapperConfig& config,
+                               MappingResult& result, FeedbackSet& feedback) {
+  if (!config.run_step4) return StageStatus::Proceed;
+  const FeasibilityReport report = run_step4(ctx, config.step4);
+  if (report.feasible) {
+    result.achieved_period_ps = report.achieved_period_ps;
+    result.latency_ps = report.latency_ps;
+    return StageStatus::Proceed;
+  }
+  ctx.trace.outcome = "step 4 failed: " + report.failure;
+  result.failure = ctx.trace.outcome;
+  if (!report.feedback) return StageStatus::Abort;
+  feedback.add(*report.feedback);
+  return StageStatus::Refine;
+}
+
+}  // namespace
+
 SpatialMapper::SpatialMapper(MapperConfig config) : config_(std::move(config)) {}
 
-MappingResult SpatialMapper::map(const kpn::Application& app,
-                                 const arch::Platform& platform) const {
-  return map(app, ResourceState(platform));
+std::string SpatialMapper::describe() const {
+  return "paper's four-step run-time heuristic: desirability-ordered "
+         "implementation selection, local-search placement, incremental "
+         "routing, dataflow verification, with iterative refinement";
 }
 
 MappingResult SpatialMapper::map(const kpn::Application& app,
                                  const ResourceState& base) const {
   app.validate();
-  const arch::Platform& platform = base.platform();
 
   MappingResult result;
   result.mapping = Mapping(app.process_count(), app.channel_count());
@@ -26,66 +95,33 @@ MappingResult SpatialMapper::map(const kpn::Application& app,
   for (std::uint32_t round = 0; round < config_.max_refinement_rounds;
        ++round) {
     result.rounds = round + 1;
-    MappingTrace::Round& rt = result.trace.rounds.emplace_back();
 
-    // Each round works on a private copy of the residual resources, so a
-    // failed round leaves no partial reservations behind.
+    // Each round works on a private copy of the residual resources and a
+    // fresh mapping, so a failed round leaves no partial reservations.
     ResourceState state = base;
     Mapping mapping(app.process_count(), app.channel_count());
+    MappingTrace::Round& rt = result.trace.rounds.emplace_back();
+    MappingContext ctx{app,    base.platform(), state,  feedback,
+                       config_.energy, mapping, rt};
 
-    // Step 1: assign implementations to processes.
-    const Step1Outcome s1 =
-        run_step1(app, platform, state, feedback, config_.step1,
-                  config_.energy, mapping, rt.step1);
-    if (!s1.success) {
-      rt.outcome = "step 1 failed: " + s1.failure;
-      result.failure = rt.outcome;
-      // Step 1 exhausts options monotonically; more rounds cannot help
-      // unless feedback shrinks elsewhere, so stop here.
-      return result;
+    StageStatus status = select_implementations(ctx, config_, result);
+    if (status == StageStatus::Proceed) status = refine_placement(ctx, config_);
+    if (status == StageStatus::Proceed) {
+      status = route_channels(ctx, config_, result, feedback);
+    }
+    if (status == StageStatus::Proceed) {
+      status = verify_constraints(ctx, config_, result, feedback);
     }
 
-    // Step 2: assign processes to tiles (local search refinement).
-    if (config_.run_step2) {
-      run_step2(app, platform, state, feedback, config_.step2, config_.energy,
-                mapping, rt.step2);
-    } else {
-      rt.step2.initial_cost = rt.step2.final_cost = placement_cost(
-          app, platform, mapping, config_.step2.cost_model, config_.energy);
-    }
-
-    // Step 3: assign channels to paths.
-    const Step3Outcome s3 = run_step3(app, platform, state, config_.step3,
-                                      mapping, rt.step3);
-    if (!s3.success) {
-      rt.outcome = "step 3 failed: " + s3.failure;
-      result.failure = rt.outcome;
-      if (!s3.feedback) return result;
-      feedback.add(*s3.feedback);
-      continue;
-    }
-
-    // Step 4: check application constraints via dataflow analysis.
-    if (config_.run_step4) {
-      const FeasibilityReport report = run_step4(
-          app, platform, state, config_.step4, mapping, rt.step4);
-      if (!report.feasible) {
-        rt.outcome = "step 4 failed: " + report.failure;
-        result.failure = rt.outcome;
-        if (!report.feedback) return result;
-        feedback.add(*report.feedback);
-        continue;
-      }
-      result.achieved_period_ps = report.achieved_period_ps;
-      result.latency_ps = report.latency_ps;
-    }
+    if (status == StageStatus::Abort) return result;
+    if (status == StageStatus::Refine) continue;
 
     rt.outcome = "feasible";
     result.success = true;
     result.failure.clear();
     result.mapping = std::move(mapping);
     result.energy_nj_per_symbol = total_energy_nj_per_symbol(
-        app, platform, result.mapping, config_.energy);
+        app, base.platform(), result.mapping, config_.energy);
     return result;
   }
 
@@ -93,52 +129,6 @@ MappingResult SpatialMapper::map(const kpn::Application& app,
     result.failure = "refinement round limit reached";
   }
   return result;
-}
-
-void commit_mapping(ResourceState& state, const kpn::Application& app,
-                    const Mapping& mapping) {
-  const arch::Platform& platform = state.platform();
-  for (const ProcessId pid : app.process_ids()) {
-    const TileId tile = mapping.tile_of(pid);
-    const ImplementationId impl = mapping.impl_of(pid);
-    const double util = claimed_utilization(
-        impl_utilization(app, pid, impl, platform.tile_clock_hz(tile)));
-    state.reserve_tile(tile, util, app.implementation(pid, impl).memory_bytes);
-  }
-  for (const ChannelId cid : app.channel_ids()) {
-    const kpn::Channel& c = app.channel(cid);
-    const auto& path = mapping.path(cid);
-    require(path.has_value(), "commit of an unrouted mapping");
-    state.links().reserve_path(*path, app.tokens_per_second(cid));
-    if (const auto tokens = mapping.buffer_tokens(cid)) {
-      state.reserve_tile(mapping.tile_of(c.dst), 0.0,
-                         static_cast<std::uint64_t>(*tokens) * c.token_bytes,
-                         0);
-    }
-  }
-}
-
-void release_mapping(ResourceState& state, const kpn::Application& app,
-                     const Mapping& mapping) {
-  const arch::Platform& platform = state.platform();
-  for (const ProcessId pid : app.process_ids()) {
-    const TileId tile = mapping.tile_of(pid);
-    const ImplementationId impl = mapping.impl_of(pid);
-    const double util = claimed_utilization(
-        impl_utilization(app, pid, impl, platform.tile_clock_hz(tile)));
-    state.release_tile(tile, util, app.implementation(pid, impl).memory_bytes);
-  }
-  for (const ChannelId cid : app.channel_ids()) {
-    const kpn::Channel& c = app.channel(cid);
-    const auto& path = mapping.path(cid);
-    if (!path) continue;
-    state.links().release_path(*path, app.tokens_per_second(cid));
-    if (const auto tokens = mapping.buffer_tokens(cid)) {
-      state.release_tile(mapping.tile_of(c.dst), 0.0,
-                         static_cast<std::uint64_t>(*tokens) * c.token_bytes,
-                         0);
-    }
-  }
 }
 
 }  // namespace rtsm::core

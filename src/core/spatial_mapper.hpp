@@ -3,15 +3,12 @@
 #include <cstdint>
 #include <string>
 
-#include "arch/platform.hpp"
 #include "core/channel_routing.hpp"
 #include "core/feasibility.hpp"
 #include "core/implementation_selection.hpp"
-#include "core/mapping.hpp"
+#include "core/mapper.hpp"
 #include "core/tile_assignment.hpp"
-#include "core/trace.hpp"
 #include "energy/model.hpp"
-#include "kpn/application.hpp"
 
 namespace rtsm::core {
 
@@ -37,62 +34,26 @@ struct MapperConfig {
   energy::EnergyModel energy;
 };
 
-/// Result of a mapping request.
-struct MappingResult {
-  /// True when a feasible (or, with run_step4 off, adherent) mapping was
-  /// found.
-  bool success = false;
-
-  Mapping mapping{0, 0};
-
-  /// Total energy per symbol of the returned mapping (processing +
-  /// communication), nanojoule.
-  double energy_nj_per_symbol = 0.0;
-
-  /// Verified sustained period / latency from step 4, ps.
-  std::uint64_t achieved_period_ps = 0;
-  std::uint64_t latency_ps = 0;
-
-  /// Refinement rounds executed.
-  std::uint32_t rounds = 0;
-
-  std::string failure;
-
-  MappingTrace trace;
-};
-
 /// The paper's run-time spatial mapping algorithm: hierarchical search with
-/// iterative refinement. Runs steps 1-4; when a step fails it emits feedback
-/// constraints and the driver re-runs from step 1 with the reduced search
-/// space, up to max_refinement_rounds.
-class SpatialMapper {
+/// iterative refinement. Each round runs the four pipeline stages over a
+/// shared MappingContext; when a stage fails it emits feedback constraints
+/// and the driver re-runs from step 1 with the reduced search space, up to
+/// max_refinement_rounds.
+class SpatialMapper final : public Mapper {
  public:
   explicit SpatialMapper(MapperConfig config = {});
 
   [[nodiscard]] const MapperConfig& config() const { return config_; }
 
-  /// Maps @p app onto an otherwise idle @p platform.
-  [[nodiscard]] MappingResult map(const kpn::Application& app,
-                                  const arch::Platform& platform) const;
+  [[nodiscard]] std::string name() const override { return "spatial"; }
+  [[nodiscard]] std::string describe() const override;
 
-  /// Maps @p app against the residual resources in @p base (the run-time
-  /// scenario: other applications are already running). @p base is not
-  /// modified; commit the result with commit_mapping() to admit the
-  /// application.
+  using Mapper::map;
   [[nodiscard]] MappingResult map(const kpn::Application& app,
-                                  const ResourceState& base) const;
+                                  const ResourceState& base) const override;
 
  private:
   MapperConfig config_;
 };
-
-/// Books a successful mapping's resources (tile utilisation, implementation
-/// and buffer memory, link reservations) into @p state.
-void commit_mapping(ResourceState& state, const kpn::Application& app,
-                    const Mapping& mapping);
-
-/// Releases everything commit_mapping() booked.
-void release_mapping(ResourceState& state, const kpn::Application& app,
-                     const Mapping& mapping);
 
 }  // namespace rtsm::core

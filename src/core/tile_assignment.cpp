@@ -48,12 +48,10 @@ Load load_of(const kpn::Application& app, const arch::Platform& platform,
 
 class Search {
  public:
-  Search(const kpn::Application& app, const arch::Platform& platform,
-         ResourceState& state, const FeedbackSet& feedback,
-         const Step2Options& options, const energy::EnergyModel& energy,
-         Mapping& mapping, Step2Trace& trace)
-      : app_(app), platform_(platform), state_(state), feedback_(feedback),
-        options_(options), energy_(energy), mapping_(mapping), trace_(trace) {
+  Search(MappingContext& ctx, const Step2Options& options)
+      : app_(ctx.app), platform_(ctx.platform), state_(ctx.state),
+        feedback_(ctx.feedback), options_(options), energy_(ctx.energy),
+        mapping_(ctx.mapping), trace_(ctx.trace.step2) {
     for (const ProcessId pid : app_.process_ids()) {
       if (!app_.process(pid).is_fixture()) movable_.push_back(pid);
     }
@@ -277,13 +275,10 @@ class Search {
 
 }  // namespace
 
-void run_step2(const kpn::Application& app, const arch::Platform& platform,
-               ResourceState& state, const FeedbackSet& feedback,
-               const Step2Options& options, const energy::EnergyModel& energy,
-               Mapping& mapping, Step2Trace& trace) {
-  require(mapping.all_assigned(), "step 2 requires a complete step-1 mapping");
-  Search search(app, platform, state, feedback, options, energy, mapping,
-                trace);
+void run_step2(MappingContext& ctx, const Step2Options& options) {
+  require(ctx.mapping.all_assigned(),
+          "step 2 requires a complete step-1 mapping");
+  Search search(ctx, options);
   search.run();
 }
 

@@ -2,14 +2,8 @@
 
 #include <cstdint>
 
-#include "arch/platform.hpp"
 #include "core/cost.hpp"
-#include "core/feedback.hpp"
-#include "core/mapping.hpp"
-#include "core/resource_state.hpp"
-#include "core/trace.hpp"
-#include "energy/model.hpp"
-#include "kpn/application.hpp"
+#include "core/mapping_context.hpp"
 
 namespace rtsm::core {
 
@@ -44,11 +38,8 @@ struct Step2Options {
 /// relocate a process to another tile of the *same type* with spare
 /// capacity; swaps exchange two processes sitting on distinct tiles of the
 /// same type. Same-type reassignment preserves adequacy by construction.
-/// Fixtures never move. Tile/NoC reservations in @p state are updated to
-/// follow the placement.
-void run_step2(const kpn::Application& app, const arch::Platform& platform,
-               ResourceState& state, const FeedbackSet& feedback,
-               const Step2Options& options, const energy::EnergyModel& energy,
-               Mapping& mapping, Step2Trace& trace);
+/// Fixtures never move. Tile reservations in ctx.state are updated to
+/// follow the placement; the search is logged to ctx.trace.step2.
+void run_step2(MappingContext& ctx, const Step2Options& options = {});
 
 }  // namespace rtsm::core

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/mapper.hpp"
+
+namespace rtsm::runtime {
+
+/// Verdict of an admission policy after a failed mapping attempt.
+enum class FailureAction {
+  /// Give up on the request immediately.
+  Reject,
+  /// Park the request; the manager retries it after resources are next
+  /// released.
+  Retry,
+};
+
+/// Admission-control strategy of the RuntimeManager: decides what happens
+/// to a request the mapper could not place against the current residual
+/// resources.
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called after mapping attempt @p attempt (1-based) of a request failed
+  /// with @p result; the failed MappingResult carries the mapper's feedback
+  /// (failure reason, refinement trace) for policies that want it.
+  [[nodiscard]] virtual FailureAction on_failure(
+      const core::MappingResult& result, std::uint32_t attempt) const = 0;
+};
+
+/// First-fit admission: one mapping attempt against the current residual
+/// state; failure rejects the application outright (the paper's base
+/// scenario — an application that does not fit now is refused).
+class FirstFitAdmission final : public AdmissionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "first-fit"; }
+
+  [[nodiscard]] FailureAction on_failure(const core::MappingResult&,
+                                         std::uint32_t) const override {
+    return FailureAction::Reject;
+  }
+};
+
+/// Retry-with-feedback admission: a failed request is parked and retried —
+/// against the then-current residual state — whenever a release returns
+/// resources, up to @p max_attempts total mapping attempts. Models admission
+/// control that queues arrivals instead of dropping them.
+class RetryAdmission final : public AdmissionPolicy {
+ public:
+  explicit RetryAdmission(std::uint32_t max_attempts = 4)
+      : max_attempts_(max_attempts) {}
+
+  [[nodiscard]] std::string name() const override { return "retry"; }
+
+  [[nodiscard]] FailureAction on_failure(const core::MappingResult&,
+                                         std::uint32_t attempt) const override {
+    return attempt < max_attempts_ ? FailureAction::Retry
+                                   : FailureAction::Reject;
+  }
+
+ private:
+  std::uint32_t max_attempts_;
+};
+
+}  // namespace rtsm::runtime

@@ -1,0 +1,230 @@
+#include "runtime/runtime_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rtsm::runtime {
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(now - since).count();
+}
+
+}  // namespace
+
+double AdmissionStats::latency_percentile_us(double p) const {
+  if (latencies_us.empty()) return 0.0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(latencies_us.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  // O(n) selection on a scratch copy; bounding the sample set itself is the
+  // ROADMAP's runtime-scaling item.
+  std::vector<double> scratch = latencies_us;
+  std::nth_element(scratch.begin(), scratch.begin() + index, scratch.end());
+  return scratch[index];
+}
+
+double AdmissionStats::mean_latency_us() const {
+  if (latencies_us.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : latencies_us) sum += v;
+  return sum / static_cast<double>(latencies_us.size());
+}
+
+RuntimeManager::RuntimeManager(const arch::Platform& platform,
+                               std::shared_ptr<const core::Mapper> mapper,
+                               std::shared_ptr<const AdmissionPolicy> policy)
+    : state_(platform), mapper_(std::move(mapper)), policy_(std::move(policy)) {
+  require(mapper_ != nullptr, "RuntimeManager needs a mapper");
+  require(policy_ != nullptr, "RuntimeManager needs an admission policy");
+}
+
+RequestId RuntimeManager::submit(std::shared_ptr<const kpn::Application> app,
+                                 double deadline_us) {
+  require(app != nullptr, "admission request without an application");
+  Pending pending;
+  pending.kind = Pending::Kind::Admit;
+  pending.request = next_request_++;
+  pending.app = std::move(app);
+  pending.deadline_us = deadline_us;
+  queue_.push_back(std::move(pending));
+  ++stats_.offered;
+  return queue_.back().request;
+}
+
+void RuntimeManager::submit_release(AppId id) {
+  Pending pending;
+  pending.kind = Pending::Kind::Release;
+  pending.target = id;
+  queue_.push_back(std::move(pending));
+}
+
+std::vector<AdmitOutcome> RuntimeManager::drain() {
+  // Outcomes accumulate in resolved_ (not a local) so nothing is lost when
+  // a release of an unknown id throws mid-drain, or when an admit()/
+  // release() convenience call resolves requests that are not its own.
+  while (!queue_.empty()) {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+
+    if (pending.kind == Pending::Kind::Release) {
+      process_release(pending.target);
+      // Freed capacity: wake parked requests ahead of later arrivals,
+      // oldest first. When further releases are queued back-to-back, defer
+      // the wake until after the last one — retrying between releases of a
+      // batch would burn retry attempts against capacity that is about to
+      // grow anyway.
+      const bool more_releases_first =
+          !queue_.empty() && queue_.front().kind == Pending::Kind::Release;
+      if (!waiting_.empty() && !more_releases_first) {
+        stats_.retries += waiting_.size();
+        queue_.insert(queue_.begin(),
+                      std::make_move_iterator(waiting_.begin()),
+                      std::make_move_iterator(waiting_.end()));
+        waiting_.clear();
+      }
+      continue;
+    }
+
+    if (auto outcome = process_admit(std::move(pending))) {
+      resolved_.push_back(std::move(*outcome));
+    }
+  }
+  return std::exchange(resolved_, {});
+}
+
+std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
+  const auto start = std::chrono::steady_clock::now();
+  core::MappingResult result = mapper_->map(*pending.app, state_);
+  pending.mapping_us += elapsed_us(start);
+  ++pending.attempts;
+
+  AdmitOutcome outcome;
+  outcome.request = pending.request;
+  outcome.attempts = pending.attempts;
+  outcome.mapping_us = pending.mapping_us;
+
+  // A successful plan may still not fit: design-time baselines ignore the
+  // residual state. Screen before committing and treat a misfit as a
+  // mapper failure.
+  if (result.success && !core::mapping_fits(state_, *pending.app,
+                                            result.mapping)) {
+    result.success = false;
+    result.failure = "mapping does not fit the residual resources";
+  }
+
+  if (pending.deadline_us > 0.0 && pending.mapping_us > pending.deadline_us) {
+    outcome.status = AdmitStatus::DeadlineMiss;
+    outcome.mapping = std::move(result);
+    ++stats_.deadline_misses;
+    stats_.latencies_us.push_back(pending.mapping_us);
+    return outcome;
+  }
+
+  if (result.success) {
+    core::commit_mapping(state_, *pending.app, result.mapping);
+    const AppId id{next_app_++};
+    running_.emplace(id, Running{pending.app, result.mapping,
+                                 result.energy_nj_per_symbol});
+    outcome.status = AdmitStatus::Admitted;
+    outcome.app_id = id;
+    outcome.mapping = std::move(result);
+    ++stats_.admitted;
+    stats_.latencies_us.push_back(pending.mapping_us);
+    return outcome;
+  }
+
+  if (policy_->on_failure(result, pending.attempts) == FailureAction::Retry) {
+    waiting_.push_back(std::move(pending));
+    return std::nullopt;
+  }
+
+  outcome.status = AdmitStatus::Rejected;
+  outcome.mapping = std::move(result);
+  ++stats_.rejected;
+  stats_.latencies_us.push_back(pending.mapping_us);
+  return outcome;
+}
+
+void RuntimeManager::process_release(AppId id) {
+  const auto it = running_.find(id);
+  require(it != running_.end(), "release of unknown application id");
+  core::release_mapping(state_, *it->second.app, it->second.mapping);
+  running_.erase(it);
+  ++stats_.releases;
+}
+
+AdmitOutcome RuntimeManager::admit(const kpn::Application& app,
+                                   double deadline_us) {
+  const RequestId request =
+      submit(std::make_shared<kpn::Application>(app), deadline_us);
+  std::optional<AdmitOutcome> mine;
+  // Other requests resolved by this drain go back into resolved_ so the
+  // next drain() reports them.
+  for (AdmitOutcome& outcome : drain()) {
+    if (outcome.request == request) {
+      mine = std::move(outcome);
+    } else {
+      resolved_.push_back(std::move(outcome));
+    }
+  }
+  if (mine) return std::move(*mine);
+  // Parked by a retry policy: report it as waiting.
+  AdmitOutcome waiting;
+  waiting.request = request;
+  waiting.status = AdmitStatus::Waiting;
+  return waiting;
+}
+
+void RuntimeManager::release(AppId id) {
+  submit_release(id);
+  // Outcomes of requests this release wakes are kept for the next drain().
+  for (AdmitOutcome& outcome : drain()) {
+    resolved_.push_back(std::move(outcome));
+  }
+}
+
+std::vector<AdmitOutcome> RuntimeManager::reject_waiting() {
+  std::vector<AdmitOutcome> resolved;
+  for (Pending& pending : waiting_) {
+    AdmitOutcome outcome;
+    outcome.request = pending.request;
+    outcome.status = AdmitStatus::Rejected;
+    outcome.attempts = pending.attempts;
+    outcome.mapping_us = pending.mapping_us;
+    outcome.mapping.failure = "still waiting at end of scenario";
+    ++stats_.rejected;
+    stats_.latencies_us.push_back(pending.mapping_us);
+    resolved.push_back(std::move(outcome));
+  }
+  waiting_.clear();
+  return resolved;
+}
+
+double RuntimeManager::total_energy_nj_per_symbol() const {
+  double total = 0.0;
+  for (const auto& [id, run] : running_) total += run.energy_nj;
+  return total;
+}
+
+std::vector<AppId> RuntimeManager::running_ids() const {
+  std::vector<AppId> ids;
+  ids.reserve(running_.size());
+  for (const auto& [id, run] : running_) ids.push_back(id);
+  return ids;
+}
+
+const core::Mapping& RuntimeManager::mapping_of(AppId id) const {
+  const auto it = running_.find(id);
+  require(it != running_.end(), "mapping_of unknown application id");
+  return it->second.mapping;
+}
+
+}  // namespace rtsm::runtime

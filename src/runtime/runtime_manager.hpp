@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "core/mapper.hpp"
+#include "runtime/admission.hpp"
+
+namespace rtsm::runtime {
+
+/// Identifier of a submitted admission request.
+using RequestId = std::uint64_t;
+
+/// How a processed admission request ended.
+enum class AdmitStatus {
+  /// Mapped and committed; the application is running.
+  Admitted,
+  /// The mapper found no placement and the policy gave up.
+  Rejected,
+  /// The mapper exceeded the request's wall-clock deadline; the application
+  /// was not admitted (a run-time mapper that misses its budget is useless
+  /// to a stream that has already started).
+  DeadlineMiss,
+  /// Parked by a retry policy; resolved after a future release.
+  Waiting,
+};
+
+/// Outcome of one admission request.
+struct AdmitOutcome {
+  RequestId request = 0;
+  AdmitStatus status = AdmitStatus::Rejected;
+  /// Handle of the running application; valid when status == Admitted.
+  AppId app_id;
+  core::MappingResult mapping;
+  /// Wall-clock time the mapper spent on this request, microseconds
+  /// (summed over retry attempts).
+  double mapping_us = 0.0;
+  std::uint32_t attempts = 0;
+};
+
+/// Counters and latency distribution of the admission stream.
+struct AdmissionStats {
+  std::uint64_t offered = 0;    ///< Admit requests submitted.
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t retries = 0;    ///< Extra mapping attempts by a retry policy.
+  std::uint64_t releases = 0;   ///< Release requests processed.
+
+  /// Mapper wall-clock latency of every resolved admit request, us.
+  std::vector<double> latencies_us;
+
+  /// Latency percentile @p p in [0, 100] over resolved requests (0 when no
+  /// request resolved yet).
+  [[nodiscard]] double latency_percentile_us(double p) const;
+  [[nodiscard]] double mean_latency_us() const;
+};
+
+/// Run-time admission manager: the paper's run-time scenario as a subsystem.
+///
+/// Owns the platform's ResourceState and processes a FIFO stream of
+/// admit/release requests. Every admission is planned by the pluggable
+/// Mapper strategy against the *current* residual resources, screened by
+/// mapping_fits(), and booked with commit_mapping(); releases return the
+/// reservation with release_mapping(). A pluggable AdmissionPolicy decides
+/// whether failed requests are dropped (first-fit) or parked and retried
+/// when capacity is next released (retry-with-feedback).
+class RuntimeManager {
+ public:
+  RuntimeManager(const arch::Platform& platform,
+                 std::shared_ptr<const core::Mapper> mapper,
+                 std::shared_ptr<const AdmissionPolicy> policy =
+                     std::make_shared<FirstFitAdmission>());
+
+  /// Queues an admission request. @p deadline_us > 0 bounds the mapper's
+  /// wall-clock budget; exceeding it counts as a deadline miss. The request
+  /// is processed by the next drain().
+  RequestId submit(std::shared_ptr<const kpn::Application> app,
+                   double deadline_us = 0.0);
+
+  /// Queues the release of a running application (processed in FIFO order
+  /// with the admissions around it).
+  void submit_release(AppId id);
+
+  /// Processes all queued requests in FIFO order. A release wakes parked
+  /// requests: they re-enter the queue ahead of later arrivals, oldest
+  /// first. Returns the outcomes of every resolved request not yet reported
+  /// — including requests resolved inside an admit()/release() convenience
+  /// call that were not that call's own, and outcomes stranded by an
+  /// exception in an earlier drain. No outcome is ever silently dropped.
+  std::vector<AdmitOutcome> drain();
+
+  /// submit() + drain() convenience for interactive callers. Returns this
+  /// request's outcome (status Waiting when a retry policy parked it);
+  /// outcomes of *other* requests resolved along the way are held for the
+  /// next drain().
+  AdmitOutcome admit(const kpn::Application& app, double deadline_us = 0.0);
+
+  /// submit_release() + drain() convenience. Throws rtsm::Error for unknown
+  /// ids. Outcomes of parked requests this release resolves are held for
+  /// the next drain().
+  void release(AppId id);
+
+  /// Force-resolves all parked requests as rejected (end of a scenario).
+  std::vector<AdmitOutcome> reject_waiting();
+
+  [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+  [[nodiscard]] std::size_t waiting_count() const { return waiting_.size(); }
+  [[nodiscard]] std::size_t queued_count() const { return queue_.size(); }
+
+  /// Residual resource view (what the next admission will see).
+  [[nodiscard]] const core::ResourceState& state() const { return state_; }
+
+  [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
+
+  [[nodiscard]] const core::Mapper& mapper() const { return *mapper_; }
+  [[nodiscard]] const AdmissionPolicy& policy() const { return *policy_; }
+
+  /// Total energy per symbol across running applications, nJ.
+  [[nodiscard]] double total_energy_nj_per_symbol() const;
+
+  /// Ids of all running applications, ascending.
+  [[nodiscard]] std::vector<AppId> running_ids() const;
+
+  /// Committed mapping of a running application; throws for unknown ids.
+  [[nodiscard]] const core::Mapping& mapping_of(AppId id) const;
+
+ private:
+  struct Pending {
+    enum class Kind { Admit, Release };
+    Kind kind = Kind::Admit;
+    RequestId request = 0;
+    std::shared_ptr<const kpn::Application> app;  // Admit
+    AppId target;                                 // Release
+    double deadline_us = 0.0;
+    std::uint32_t attempts = 0;
+    double mapping_us = 0.0;
+  };
+
+  struct Running {
+    std::shared_ptr<const kpn::Application> app;
+    core::Mapping mapping;
+    double energy_nj = 0.0;
+  };
+
+  /// Runs one mapping attempt for @p pending; returns the outcome, or
+  /// nothing when the policy parked the request for a retry.
+  [[nodiscard]] std::optional<AdmitOutcome> process_admit(Pending pending);
+  void process_release(AppId id);
+
+  core::ResourceState state_;
+  std::shared_ptr<const core::Mapper> mapper_;
+  std::shared_ptr<const AdmissionPolicy> policy_;
+
+  std::deque<Pending> queue_;
+  std::vector<Pending> waiting_;
+  std::map<AppId, Running> running_;
+  /// Resolved-but-unreported outcomes; handed out by the next drain().
+  std::vector<AdmitOutcome> resolved_;
+  AdmissionStats stats_;
+
+  RequestId next_request_ = 1;
+  AppId::value_type next_app_ = 0;
+};
+
+}  // namespace rtsm::runtime

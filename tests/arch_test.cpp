@@ -74,9 +74,9 @@ TEST(Platform, TileLookups) {
   const Platform p = small();
   EXPECT_EQ(p.tile_count(), 3u);
   EXPECT_EQ(p.tile(p.tile_by_name("d0")).x, 1u);
-  EXPECT_THROW(p.tile_by_name("nope"), Error);
+  EXPECT_THROW((void)p.tile_by_name("nope"), Error);
   EXPECT_EQ(p.type_by_name("DSP").value(), 1u);
-  EXPECT_THROW(p.type_by_name("nope"), Error);
+  EXPECT_THROW((void)p.type_by_name("nope"), Error);
 }
 
 TEST(Platform, TilesOfTypePreservesInsertionOrder) {

@@ -10,12 +10,12 @@ struct Step1Fixture {
   arch::Platform platform = test::small_platform();
   energy::EnergyModel energy;
   FeedbackSet feedback;
-  std::vector<Step1Record> trace;
+  MappingTrace::Round round;
 
   Step1Outcome run(const kpn::Application& app, ResourceState& state,
                    Mapping& mapping, Step1Options options = {}) {
-    return run_step1(app, platform, state, feedback, options, energy, mapping,
-                     trace);
+    MappingContext ctx{app, platform, state, feedback, energy, mapping, round};
+    return run_step1(ctx, options);
   }
 };
 
@@ -159,8 +159,8 @@ TEST(Step1, TraceRecordsDecisions) {
   ResourceState state(f.platform);
   Mapping mapping(app.process_count(), app.channel_count());
   ASSERT_TRUE(f.run(app, state, mapping).success);
-  EXPECT_EQ(f.trace.size(), 2u);  // fixtures are not traced
-  for (const auto& r : f.trace) {
+  EXPECT_EQ(f.round.step1.size(), 2u);  // fixtures are not traced
+  for (const auto& r : f.round.step1) {
     EXPECT_FALSE(r.process.empty());
     EXPECT_FALSE(r.tile.empty());
   }
@@ -177,7 +177,7 @@ TEST(Step1, DesirabilityOrderPicksWidestMarginFirst) {
     Mapping mapping(app.process_count(), app.channel_count());
     Step1Options options;
     options.desirability_order = desirability;
-    f.trace.clear();
+    f.round.step1.clear();
     ASSERT_TRUE(f.run(app, state, mapping, options).success);
     EXPECT_TRUE(mapping.all_assigned());
   }

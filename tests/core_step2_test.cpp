@@ -16,19 +16,20 @@ struct Step2Fixture {
   /// Runs step 1 to get a complete initial placement.
   void place(const kpn::Application& app, ResourceState& state,
              Mapping& mapping) {
-    std::vector<Step1Record> trace;
+    MappingTrace::Round round;
+    MappingContext ctx{app, platform, state, feedback, energy, mapping, round};
     Step1Options options;
     options.comm_aware = false;  // deliberately naive initial placement
-    const auto outcome = run_step1(app, platform, state, feedback, options,
-                                   energy, mapping, trace);
+    const auto outcome = run_step1(ctx, options);
     ASSERT_TRUE(outcome.success) << outcome.failure;
   }
 
   Step2Trace improve(const kpn::Application& app, ResourceState& state,
                      Mapping& mapping, Step2Options options = {}) {
-    Step2Trace trace;
-    run_step2(app, platform, state, feedback, options, energy, mapping, trace);
-    return trace;
+    MappingTrace::Round round;
+    MappingContext ctx{app, platform, state, feedback, energy, mapping, round};
+    run_step2(ctx, options);
+    return round.step2;
   }
 };
 
@@ -37,10 +38,10 @@ TEST(Step2, RequiresCompleteMapping) {
   const auto app = test::pipeline_app({.stages = 2});
   ResourceState state(f.platform);
   Mapping mapping(app.process_count(), app.channel_count());
-  Step2Trace trace;
-  EXPECT_THROW(run_step2(app, f.platform, state, f.feedback, Step2Options{},
-                         f.energy, mapping, trace),
-               Error);
+  MappingTrace::Round round;
+  MappingContext ctx{app,      f.platform, state,   f.feedback,
+                     f.energy, mapping,    round};
+  EXPECT_THROW(run_step2(ctx), Error);
 }
 
 TEST(Step2, NeverIncreasesCost) {

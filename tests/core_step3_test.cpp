@@ -12,13 +12,19 @@ struct Step3Fixture {
   arch::Platform platform = test::small_platform();
   energy::EnergyModel energy;
   FeedbackSet feedback;
+  MappingTrace::Round round;
 
   void place(const kpn::Application& app, ResourceState& state,
              Mapping& mapping) {
-    std::vector<Step1Record> trace;
-    const auto outcome = run_step1(app, platform, state, feedback,
-                                   Step1Options{}, energy, mapping, trace);
+    MappingContext ctx{app, platform, state, feedback, energy, mapping, round};
+    const auto outcome = run_step1(ctx);
     ASSERT_TRUE(outcome.success) << outcome.failure;
+  }
+
+  Step3Outcome route(const kpn::Application& app, ResourceState& state,
+                     Mapping& mapping, Step3Options options = {}) {
+    MappingContext ctx{app, platform, state, feedback, energy, mapping, round};
+    return run_step3(ctx, options);
   }
 };
 
@@ -28,12 +34,10 @@ TEST(Step3, RoutesAllChannels) {
   ResourceState state(f.platform);
   Mapping mapping(app.process_count(), app.channel_count());
   f.place(app, state, mapping);
-  std::vector<Step3Record> trace;
-  const auto outcome =
-      run_step3(app, f.platform, state, Step3Options{}, mapping, trace);
+  const auto outcome = f.route(app, state, mapping);
   ASSERT_TRUE(outcome.success) << outcome.failure;
   EXPECT_TRUE(mapping.all_routed());
-  EXPECT_EQ(trace.size(), app.channel_count());
+  EXPECT_EQ(f.round.step3.size(), app.channel_count());
 }
 
 TEST(Step3, RoutedPathsPassStructuralCheck) {
@@ -42,9 +46,7 @@ TEST(Step3, RoutedPathsPassStructuralCheck) {
   ResourceState state(f.platform);
   Mapping mapping(app.process_count(), app.channel_count());
   f.place(app, state, mapping);
-  std::vector<Step3Record> trace;
-  ASSERT_TRUE(run_step3(app, f.platform, state, Step3Options{}, mapping, trace)
-                  .success);
+  ASSERT_TRUE(f.route(app, state, mapping).success);
   for (const ChannelId cid : app.channel_ids()) {
     const auto verdict = check_path_structure(app, f.platform, mapping, cid);
     EXPECT_TRUE(verdict.ok) << verdict.reason;
@@ -59,9 +61,8 @@ TEST(Step3, HeaviestChannelRoutedFirst) {
   ResourceState state(f.platform);
   Mapping mapping(app.process_count(), app.channel_count());
   f.place(app, state, mapping);
-  std::vector<Step3Record> trace;
-  ASSERT_TRUE(run_step3(app, f.platform, state, Step3Options{}, mapping, trace)
-                  .success);
+  ASSERT_TRUE(f.route(app, state, mapping).success);
+  const auto& trace = f.round.step3;
   for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
     EXPECT_GE(trace[i].demand_tokens_per_s, trace[i + 1].demand_tokens_per_s);
   }
@@ -73,11 +74,10 @@ TEST(Step3, UnsortedOptionKeepsChannelOrder) {
   ResourceState state(f.platform);
   Mapping mapping(app.process_count(), app.channel_count());
   f.place(app, state, mapping);
-  std::vector<Step3Record> trace;
   Step3Options options;
   options.sort_by_throughput = false;
-  ASSERT_TRUE(run_step3(app, f.platform, state, options, mapping, trace)
-                  .success);
+  ASSERT_TRUE(f.route(app, state, mapping, options).success);
+  const auto& trace = f.round.step3;
   ASSERT_EQ(trace.size(), app.channel_count());
   for (std::size_t i = 0; i < trace.size(); ++i) {
     EXPECT_EQ(trace[i].channel, app.channel(ChannelId{
@@ -93,9 +93,7 @@ TEST(Step3, ReservesDemandOnLinks) {
   Mapping mapping(app.process_count(), app.channel_count());
   f.place(app, state, mapping);
   const double before = state.links().total_reserved();
-  std::vector<Step3Record> trace;
-  ASSERT_TRUE(run_step3(app, f.platform, state, Step3Options{}, mapping, trace)
-                  .success);
+  ASSERT_TRUE(f.route(app, state, mapping).success);
   EXPECT_GT(state.links().total_reserved(), before);
 }
 
@@ -116,13 +114,10 @@ TEST(Step3, FailureProducesFeedbackOnMovableEndpoint) {
   Mapping mapping(app.process_count(), app.channel_count());
   energy::EnergyModel energy;
   FeedbackSet feedback;
-  std::vector<Step1Record> s1trace;
-  ASSERT_TRUE(run_step1(app, platform, state, feedback, Step1Options{}, energy,
-                        mapping, s1trace)
-                  .success);
-  std::vector<Step3Record> trace;
-  const auto outcome =
-      run_step3(app, platform, state, Step3Options{}, mapping, trace);
+  MappingTrace::Round round;
+  MappingContext ctx{app, platform, state, feedback, energy, mapping, round};
+  ASSERT_TRUE(run_step1(ctx).success);
+  const auto outcome = run_step3(ctx);
   EXPECT_FALSE(outcome.success);
   ASSERT_TRUE(outcome.feedback.has_value());
   EXPECT_EQ(outcome.feedback->kind, FeedbackConstraint::Kind::ForbidTile);
@@ -136,10 +131,9 @@ TEST(Step3, XyRoutingOptionWorksOnFreeNetwork) {
   ResourceState state(f.platform);
   Mapping mapping(app.process_count(), app.channel_count());
   f.place(app, state, mapping);
-  std::vector<Step3Record> trace;
   Step3Options options;
   options.xy_routing = true;
-  const auto outcome = run_step3(app, f.platform, state, options, mapping, trace);
+  const auto outcome = f.route(app, state, mapping, options);
   ASSERT_TRUE(outcome.success) << outcome.failure;
   for (const ChannelId cid : app.channel_ids()) {
     EXPECT_TRUE(check_path_structure(app, f.platform, mapping, cid).ok);

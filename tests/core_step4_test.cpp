@@ -15,19 +15,22 @@ struct Step4Fixture {
   arch::Platform platform = test::small_platform();
   energy::EnergyModel energy;
   FeedbackSet feedback;
+  MappingTrace::Round round;
 
   /// Runs steps 1 and 3 so the mapping is placed and routed.
   void place_and_route(const kpn::Application& app, ResourceState& state,
                        Mapping& mapping, bool screen = true) {
-    std::vector<Step1Record> s1;
+    MappingContext ctx{app, platform, state, feedback, energy, mapping, round};
     Step1Options options;
     options.utilization_screen = screen;
-    ASSERT_TRUE(run_step1(app, platform, state, feedback, options, energy,
-                          mapping, s1)
-                    .success);
-    std::vector<Step3Record> s3;
-    ASSERT_TRUE(run_step3(app, platform, state, Step3Options{}, mapping, s3)
-                    .success);
+    ASSERT_TRUE(run_step1(ctx, options).success);
+    ASSERT_TRUE(run_step3(ctx).success);
+  }
+
+  FeasibilityReport verify(const kpn::Application& app, ResourceState& state,
+                           Mapping& mapping) {
+    MappingContext ctx{app, platform, state, feedback, energy, mapping, round};
+    return run_step4(ctx);
   }
 };
 
@@ -119,9 +122,7 @@ TEST(Step4, FeasiblePipelineVerifies) {
   ResourceState state(f.platform);
   Mapping mapping(app.process_count(), app.channel_count());
   f.place_and_route(app, state, mapping);
-  Step4Trace trace;
-  const auto report = run_step4(app, f.platform, state, FeasibilityOptions{},
-                                mapping, trace);
+  const auto report = f.verify(app, state, mapping);
   ASSERT_TRUE(report.feasible) << report.failure;
   EXPECT_LE(report.achieved_period_ps, 4000u * 1000u);
   EXPECT_GT(report.latency_ps, 0u);
@@ -143,9 +144,7 @@ TEST(Step4, TooSlowImplementationRejectedWithFeedback) {
   ResourceState state(f.platform);
   Mapping mapping(app.process_count(), app.channel_count());
   f.place_and_route(app, state, mapping, /*screen=*/false);
-  Step4Trace trace;
-  const auto report = run_step4(app, f.platform, state, FeasibilityOptions{},
-                                mapping, trace);
+  const auto report = f.verify(app, state, mapping);
   EXPECT_FALSE(report.feasible);
   ASSERT_TRUE(report.feedback.has_value());
   EXPECT_EQ(report.feedback->kind,
@@ -162,10 +161,7 @@ TEST(Step4, BufferMemoryChargedToConsumerTile) {
   const ProcessId s1 = app.process_by_name("S1");
   const TileId consumer = mapping.tile_of(s1);
   const std::uint64_t before = state.memory_used(consumer);
-  Step4Trace trace;
-  ASSERT_TRUE(run_step4(app, f.platform, state, FeasibilityOptions{}, mapping,
-                        trace)
-                  .feasible);
+  ASSERT_TRUE(f.verify(app, state, mapping).feasible);
   EXPECT_GT(state.memory_used(consumer), before);
 }
 
@@ -181,9 +177,7 @@ TEST(Step4, BufferThatCannotFitProducesTileFeedback) {
   ResourceState state(f.platform);
   Mapping mapping(app.process_count(), app.channel_count());
   f.place_and_route(app, state, mapping);
-  Step4Trace trace;
-  const auto report = run_step4(app, f.platform, state, FeasibilityOptions{},
-                                mapping, trace);
+  const auto report = f.verify(app, state, mapping);
   EXPECT_FALSE(report.feasible);
   ASSERT_TRUE(report.feedback.has_value());
   EXPECT_EQ(report.feedback->kind, FeedbackConstraint::Kind::ForbidTile);
@@ -224,9 +218,7 @@ TEST(Step4, LatencyBoundViolationDetected) {
   ResourceState state(f.platform);
   Mapping mapping(strict.process_count(), strict.channel_count());
   f.place_and_route(strict, state, mapping);
-  Step4Trace trace;
-  const auto report = run_step4(strict, f.platform, state,
-                                FeasibilityOptions{}, mapping, trace);
+  const auto report = f.verify(strict, state, mapping);
   EXPECT_FALSE(report.feasible);
   EXPECT_NE(report.failure.find("latency"), std::string::npos);
 }

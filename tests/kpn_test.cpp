@@ -71,7 +71,7 @@ TEST(Application, ChannelBookkeeping) {
 
 TEST(Application, UnknownProcessByNameThrows) {
   const Application app = two_stage();
-  EXPECT_THROW(app.process_by_name("nope"), Error);
+  EXPECT_THROW((void)app.process_by_name("nope"), Error);
 }
 
 TEST(Application, ValidatePasses) {

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "baselines/registry.hpp"
+#include "core/criteria.hpp"
+#include "core/mapper_registry.hpp"
+#include "core/spatial_mapper.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "workload/hiperlan2.hpp"
+
+namespace rtsm {
+namespace {
+
+TEST(MapperRegistry, BuiltinsArePresent) {
+  const core::MapperRegistry registry = baselines::builtin_mappers();
+  EXPECT_EQ(registry.size(), 5u);
+  for (const char* name :
+       {"spatial", "annealing", "clustering", "exhaustive", "random"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_FALSE(registry.description(name).empty()) << name;
+  }
+}
+
+TEST(MapperRegistry, CreateReturnsMapperWithMatchingName) {
+  const core::MapperRegistry registry = baselines::builtin_mappers();
+  for (const std::string& name : registry.names()) {
+    const auto mapper = registry.create(name);
+    ASSERT_NE(mapper, nullptr);
+    EXPECT_EQ(mapper->name(), name);
+    EXPECT_FALSE(mapper->describe().empty());
+  }
+}
+
+TEST(MapperRegistry, UnknownNameFailsCleanly) {
+  const core::MapperRegistry registry = baselines::builtin_mappers();
+  EXPECT_FALSE(registry.contains("does-not-exist"));
+  try {
+    (void)registry.create("does-not-exist");
+    FAIL() << "create() of an unknown mapper must throw";
+  } catch (const Error& e) {
+    // The error names the offender and lists what is available.
+    EXPECT_NE(std::string(e.what()).find("does-not-exist"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("spatial"), std::string::npos);
+  }
+}
+
+TEST(MapperRegistry, DuplicateRegistrationThrows) {
+  core::MapperRegistry registry;
+  registry.add("m", "a mapper",
+               [] { return std::make_unique<core::SpatialMapper>(); });
+  EXPECT_THROW(registry.add("m", "again",
+                            [] { return std::make_unique<core::SpatialMapper>(); }),
+               Error);
+}
+
+TEST(MapperRegistry, NamesKeepRegistrationOrder) {
+  core::MapperRegistry registry;
+  for (const char* name : {"c", "a", "b"}) {
+    registry.add(name, "",
+                 [] { return std::make_unique<core::SpatialMapper>(); });
+  }
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"c", "a", "b"}));
+}
+
+TEST(MapperRegistry, EveryBuiltinMapsHiperlan2Adherently) {
+  // The shared contract: every registered mapper must produce an adherent
+  // mapping of the paper's HIPERLAN/2 receiver on the paper platform.
+  const auto app = workload::make_hiperlan2_receiver();
+  const auto platform = workload::make_paper_platform();
+  const core::MapperRegistry registry = baselines::builtin_mappers();
+  for (const std::string& name : registry.names()) {
+    const auto mapper = registry.create(name);
+    const auto result = mapper->map(app, platform);
+    ASSERT_TRUE(result.success) << name << ": " << result.failure;
+    EXPECT_TRUE(result.mapping.all_assigned()) << name;
+    EXPECT_TRUE(result.mapping.all_routed()) << name;
+    const auto adherent = core::check_adherent(app, platform, result.mapping);
+    EXPECT_TRUE(adherent.ok) << name << ": " << adherent.reason;
+    EXPECT_GT(result.energy_nj_per_symbol, 0.0) << name;
+  }
+}
+
+TEST(MapperRegistry, EveryBuiltinRespectsResidualState) {
+  // Residual-state contract: a mapper must not place work on resources that
+  // are already booked. Saturate both BIG tiles; every mapper must either
+  // fail or produce a plan that avoids them.
+  const auto platform =
+      test::small_platform(200'000'000, 200'000'000, 64 * 1024, /*io_slots=*/4);
+  const auto app = test::pipeline_app({.stages = 1, .little_wcet_cc = 0});
+  core::ResourceState state(platform);
+  state.reserve_tile(platform.tile_by_name("BIG0"), 1.0, 0);
+  state.reserve_tile(platform.tile_by_name("BIG1"), 1.0, 0);
+
+  const core::MapperRegistry registry = baselines::builtin_mappers();
+  for (const std::string& name : registry.names()) {
+    const auto result = registry.create(name)->map(app, state);
+    if (!result.success) continue;  // honest rejection is fine
+    EXPECT_TRUE(core::mapping_fits(state, app, result.mapping))
+        << name << " over-subscribed a saturated tile";
+  }
+}
+
+TEST(MapperRegistry, SpatialMapperSucceedsOnResidualStateOthersMayNot) {
+  // With one BIG tile blocked the run-time mapper re-plans around it.
+  const auto platform =
+      test::small_platform(200'000'000, 200'000'000, 64 * 1024, /*io_slots=*/4);
+  const auto app = test::pipeline_app({.stages = 1, .little_wcet_cc = 0});
+  core::ResourceState state(platform);
+  state.reserve_tile(platform.tile_by_name("BIG0"), 1.0, 0);
+
+  const auto result =
+      baselines::builtin_mappers().create("spatial")->map(app, state);
+  ASSERT_TRUE(result.success) << result.failure;
+  EXPECT_EQ(result.mapping.tile_of(app.process_by_name("S0")),
+            platform.tile_by_name("BIG1"));
+}
+
+}  // namespace
+}  // namespace rtsm

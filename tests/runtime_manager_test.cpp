@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/spatial_mapper.hpp"
+#include "runtime/runtime_manager.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rtsm::runtime {
+namespace {
+
+std::shared_ptr<const core::SpatialMapper> paper_mapper() {
+  return std::make_shared<core::SpatialMapper>();
+}
+
+RuntimeManager make_manager(
+    const arch::Platform& platform,
+    std::shared_ptr<const AdmissionPolicy> policy =
+        std::make_shared<FirstFitAdmission>()) {
+  return RuntimeManager(platform, paper_mapper(), std::move(policy));
+}
+
+TEST(RuntimeManager, AdmitsAndReleases) {
+  const auto platform = test::small_platform();
+  auto manager = make_manager(platform);
+  const auto app = test::pipeline_app({.stages = 2});
+
+  const auto started = manager.admit(app);
+  ASSERT_EQ(started.status, AdmitStatus::Admitted) << started.mapping.failure;
+  EXPECT_EQ(manager.running_count(), 1u);
+  EXPECT_GT(manager.total_energy_nj_per_symbol(), 0.0);
+  EXPECT_GT(started.mapping_us, 0.0);
+
+  manager.release(started.app_id);
+  EXPECT_EQ(manager.running_count(), 0u);
+  EXPECT_DOUBLE_EQ(manager.total_energy_nj_per_symbol(), 0.0);
+  for (const TileId tid : platform.tile_ids()) {
+    EXPECT_DOUBLE_EQ(manager.state().utilization(tid), 0.0);
+  }
+}
+
+TEST(RuntimeManager, AdmitAdmitReleaseReadmitRestoresResources) {
+  // IO tiles accept several fixtures; each app then contends for one of
+  // the two single-slot BIG tiles.
+  const auto platform =
+      test::small_platform(200'000'000, 200'000'000, 64 * 1024, /*io_slots=*/4);
+  auto manager = make_manager(platform);
+  test::PipelineSpec spec;
+  spec.stages = 1;
+  spec.little_wcet_cc = 0;
+  const auto app = test::pipeline_app(spec);
+
+  const auto first = manager.admit(app);
+  ASSERT_EQ(first.status, AdmitStatus::Admitted) << first.mapping.failure;
+  const auto second = manager.admit(app);
+  ASSERT_EQ(second.status, AdmitStatus::Admitted) << second.mapping.failure;
+  // Both BIG tiles occupied now: a third must be rejected.
+  const auto third = manager.admit(app);
+  EXPECT_EQ(third.status, AdmitStatus::Rejected);
+  EXPECT_EQ(manager.running_count(), 2u);
+
+  // The two running instances use distinct BIG tiles.
+  const ProcessId s0 = app.process_by_name("S0");
+  EXPECT_NE(first.mapping.mapping.tile_of(s0),
+            second.mapping.mapping.tile_of(s0));
+
+  // Snapshot the loaded state, release one instance, verify its tile's
+  // resources are fully restored, and re-admit.
+  const TileId freed = first.mapping.mapping.tile_of(s0);
+  EXPECT_GT(manager.state().utilization(freed), 0.0);
+  manager.release(first.app_id);
+  EXPECT_DOUBLE_EQ(manager.state().utilization(freed), 0.0);
+  EXPECT_EQ(manager.state().memory_used(freed), 0u);
+  EXPECT_EQ(manager.state().processes_hosted(freed), 0u);
+
+  const auto fourth = manager.admit(app);
+  EXPECT_EQ(fourth.status, AdmitStatus::Admitted);
+  EXPECT_EQ(fourth.mapping.mapping.tile_of(s0), freed);
+}
+
+TEST(RuntimeManager, StatsCountersAreExact) {
+  const auto platform =
+      test::small_platform(200'000'000, 200'000'000, 64 * 1024, /*io_slots=*/4);
+  auto manager = make_manager(platform);
+  test::PipelineSpec spec;
+  spec.stages = 1;
+  spec.little_wcet_cc = 0;
+  const auto app = test::pipeline_app(spec);
+
+  const auto a = manager.admit(app);   // admitted
+  const auto b = manager.admit(app);   // admitted
+  manager.admit(app);                  // rejected: both BIG tiles full
+  manager.release(a.app_id);
+  manager.admit(app);                  // admitted again
+
+  const AdmissionStats& stats = manager.stats();
+  EXPECT_EQ(stats.offered, 4u);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.deadline_misses, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.releases, 1u);
+  EXPECT_EQ(stats.latencies_us.size(), 4u);
+  EXPECT_GT(stats.latency_percentile_us(50), 0.0);
+  EXPECT_GE(stats.latency_percentile_us(100), stats.latency_percentile_us(1));
+  (void)b;
+}
+
+TEST(RuntimeManager, RejectedAppLeavesNoResidue) {
+  const auto platform = test::small_platform();
+  auto manager = make_manager(platform);
+  // Impossible: 5 BIG-only stages on 2 BIG tiles.
+  const auto app = test::pipeline_app({.stages = 5, .little_wcet_cc = 0});
+  const auto result = manager.admit(app);
+  EXPECT_EQ(result.status, AdmitStatus::Rejected);
+  EXPECT_EQ(manager.running_count(), 0u);
+  for (const TileId tid : platform.tile_ids()) {
+    EXPECT_DOUBLE_EQ(manager.state().utilization(tid), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(manager.state().links().total_reserved(), 0.0);
+}
+
+TEST(RuntimeManager, RetryPolicyParksAndReadmitsAfterRelease) {
+  const auto platform =
+      test::small_platform(200'000'000, 200'000'000, 64 * 1024, /*io_slots=*/4);
+  auto manager = make_manager(platform, std::make_shared<RetryAdmission>(3));
+  test::PipelineSpec spec;
+  spec.stages = 1;
+  spec.little_wcet_cc = 0;
+  const auto app = test::pipeline_app(spec);
+
+  const auto a = manager.admit(app);
+  const auto b = manager.admit(app);
+  ASSERT_EQ(a.status, AdmitStatus::Admitted);
+  ASSERT_EQ(b.status, AdmitStatus::Admitted);
+
+  // Saturated: the third request is parked, not rejected.
+  const auto parked = manager.admit(app);
+  EXPECT_EQ(parked.status, AdmitStatus::Waiting);
+  EXPECT_EQ(manager.waiting_count(), 1u);
+  EXPECT_EQ(manager.stats().rejected, 0u);
+
+  // A release wakes the parked request; it must now be admitted.
+  manager.submit_release(a.app_id);
+  const auto resolved = manager.drain();
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].request, parked.request);
+  EXPECT_EQ(resolved[0].status, AdmitStatus::Admitted);
+  EXPECT_EQ(resolved[0].attempts, 2u);
+  EXPECT_EQ(manager.waiting_count(), 0u);
+  EXPECT_EQ(manager.stats().retries, 1u);
+  EXPECT_EQ(manager.running_count(), 2u);
+}
+
+TEST(RuntimeManager, ReleaseConvenienceKeepsWokenOutcomesForNextDrain) {
+  // release(id) resolves a parked request as a side effect; its outcome —
+  // with the new app id — must surface from the next drain(), not vanish.
+  const auto platform =
+      test::small_platform(200'000'000, 200'000'000, 64 * 1024, /*io_slots=*/4);
+  auto manager = make_manager(platform, std::make_shared<RetryAdmission>(3));
+  test::PipelineSpec spec;
+  spec.stages = 1;
+  spec.little_wcet_cc = 0;
+  const auto app = test::pipeline_app(spec);
+
+  const auto a = manager.admit(app);
+  const auto b = manager.admit(app);
+  ASSERT_EQ(a.status, AdmitStatus::Admitted);
+  ASSERT_EQ(b.status, AdmitStatus::Admitted);
+  const auto parked = manager.admit(app);
+  ASSERT_EQ(parked.status, AdmitStatus::Waiting);
+
+  manager.release(a.app_id);  // wakes and admits the parked request
+  EXPECT_EQ(manager.running_count(), 2u);
+  const auto resolved = manager.drain();
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].request, parked.request);
+  EXPECT_EQ(resolved[0].status, AdmitStatus::Admitted);
+  EXPECT_TRUE(resolved[0].app_id.valid());
+}
+
+TEST(RuntimeManager, OutcomesSurviveThrowingReleaseMidDrain) {
+  // An unknown-id release throws mid-drain; the admission resolved before
+  // it must not be lost — the next drain() reports it.
+  const auto platform = test::small_platform();
+  auto manager = make_manager(platform);
+  const auto app =
+      std::make_shared<kpn::Application>(test::pipeline_app({.stages = 1}));
+  const RequestId request = manager.submit(app);
+  manager.submit_release(AppId{99});
+  EXPECT_THROW(manager.drain(), Error);
+  EXPECT_EQ(manager.running_count(), 1u);  // the commit did happen
+  const auto resolved = manager.drain();
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].request, request);
+  EXPECT_EQ(resolved[0].status, AdmitStatus::Admitted);
+}
+
+TEST(RuntimeManager, RetryPolicyGivesUpAfterMaxAttempts) {
+  const auto platform = test::small_platform();
+  auto manager = make_manager(
+      platform, std::make_shared<RetryAdmission>(/*max_attempts=*/2));
+  // Never fits: 5 BIG-only stages on 2 BIG tiles.
+  const auto impossible = test::pipeline_app({.stages = 5, .little_wcet_cc = 0});
+  const auto fits = test::pipeline_app({.stages = 1, .little_wcet_cc = 0});
+
+  const auto parked = manager.admit(impossible);
+  EXPECT_EQ(parked.status, AdmitStatus::Waiting);
+
+  // Admit + release a small app to trigger a retry; the second (= max)
+  // attempt fails and the request is finally rejected.
+  const auto small = manager.admit(fits);
+  ASSERT_EQ(small.status, AdmitStatus::Admitted);
+  manager.submit_release(small.app_id);
+  const auto resolved = manager.drain();
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].request, parked.request);
+  EXPECT_EQ(resolved[0].status, AdmitStatus::Rejected);
+  EXPECT_EQ(resolved[0].attempts, 2u);
+  EXPECT_EQ(manager.waiting_count(), 0u);
+}
+
+TEST(RuntimeManager, BatchedReleasesWakeParkedRequestsOnlyOnce) {
+  // A parked request needing BOTH BIG tiles must not burn its last retry
+  // attempt between two back-to-back releases: the wake is deferred until
+  // the end of the release batch.
+  const auto platform =
+      test::small_platform(200'000'000, 200'000'000, 64 * 1024, /*io_slots=*/4);
+  auto manager = make_manager(
+      platform, std::make_shared<RetryAdmission>(/*max_attempts=*/2));
+  test::PipelineSpec small_spec;
+  small_spec.stages = 1;
+  small_spec.little_wcet_cc = 0;
+  const auto small = test::pipeline_app(small_spec);
+  const auto big = test::pipeline_app({.stages = 2, .little_wcet_cc = 0});
+
+  const auto a = manager.admit(small);
+  const auto b = manager.admit(small);
+  ASSERT_EQ(a.status, AdmitStatus::Admitted);
+  ASSERT_EQ(b.status, AdmitStatus::Admitted);
+  const auto parked = manager.admit(big);  // needs both BIG tiles
+  ASSERT_EQ(parked.status, AdmitStatus::Waiting);
+
+  manager.submit_release(a.app_id);
+  manager.submit_release(b.app_id);
+  const auto resolved = manager.drain();
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].request, parked.request);
+  EXPECT_EQ(resolved[0].status, AdmitStatus::Admitted);
+  EXPECT_EQ(resolved[0].attempts, 2u);  // one retry, after the whole batch
+}
+
+TEST(RuntimeManager, FifoEventStreamProcessedInOrder) {
+  const auto platform =
+      test::small_platform(200'000'000, 200'000'000, 64 * 1024, /*io_slots=*/4);
+  auto manager = make_manager(platform);
+  test::PipelineSpec spec;
+  spec.stages = 1;
+  spec.little_wcet_cc = 0;
+  const auto app = std::make_shared<kpn::Application>(test::pipeline_app(spec));
+
+  const RequestId r1 = manager.submit(app);
+  const RequestId r2 = manager.submit(app);
+  const RequestId r3 = manager.submit(app);  // no capacity by its turn
+  EXPECT_EQ(manager.queued_count(), 3u);
+  const auto outcomes = manager.drain();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].request, r1);
+  EXPECT_EQ(outcomes[1].request, r2);
+  EXPECT_EQ(outcomes[2].request, r3);
+  EXPECT_EQ(outcomes[0].status, AdmitStatus::Admitted);
+  EXPECT_EQ(outcomes[1].status, AdmitStatus::Admitted);
+  EXPECT_EQ(outcomes[2].status, AdmitStatus::Rejected);
+}
+
+TEST(RuntimeManager, DeadlineMissNotAdmitted) {
+  const auto platform = test::small_platform();
+  auto manager = make_manager(platform);
+  const auto app = test::pipeline_app({.stages = 2});
+  // An absurdly small wall-clock budget: any real mapping run exceeds it.
+  const auto result = manager.admit(app, /*deadline_us=*/1e-3);
+  EXPECT_EQ(result.status, AdmitStatus::DeadlineMiss);
+  EXPECT_EQ(manager.running_count(), 0u);
+  EXPECT_EQ(manager.stats().deadline_misses, 1u);
+  for (const TileId tid : platform.tile_ids()) {
+    EXPECT_DOUBLE_EQ(manager.state().utilization(tid), 0.0);
+  }
+}
+
+TEST(RuntimeManager, ReleaseUnknownIdThrows) {
+  const auto platform = test::small_platform();
+  auto manager = make_manager(platform);
+  EXPECT_THROW(manager.release(AppId{99}), Error);
+}
+
+TEST(RuntimeManager, IdsAreUniqueAcrossRestarts) {
+  const auto platform = test::small_platform();
+  auto manager = make_manager(platform);
+  test::PipelineSpec spec;
+  spec.stages = 1;
+  const auto app = test::pipeline_app(spec);
+  const auto a = manager.admit(app);
+  ASSERT_EQ(a.status, AdmitStatus::Admitted);
+  manager.release(a.app_id);
+  const auto b = manager.admit(app);
+  ASSERT_EQ(b.status, AdmitStatus::Admitted);
+  EXPECT_NE(a.app_id, b.app_id);
+}
+
+TEST(RuntimeManager, MappingOfAndRunningIds) {
+  const auto platform = test::small_platform();
+  auto manager = make_manager(platform);
+  const auto app = test::pipeline_app({.stages = 2});
+  const auto started = manager.admit(app);
+  ASSERT_EQ(started.status, AdmitStatus::Admitted);
+  const auto ids = manager.running_ids();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], started.app_id);
+  EXPECT_TRUE(manager.mapping_of(ids[0]).all_assigned());
+  EXPECT_THROW((void)manager.mapping_of(AppId{1234}), Error);
+}
+
+TEST(RuntimeManager, RejectWaitingResolvesParkedRequests) {
+  const auto platform = test::small_platform();
+  auto manager = make_manager(platform, std::make_shared<RetryAdmission>(5));
+  const auto impossible = test::pipeline_app({.stages = 5, .little_wcet_cc = 0});
+  const auto parked = manager.admit(impossible);
+  ASSERT_EQ(parked.status, AdmitStatus::Waiting);
+  const auto resolved = manager.reject_waiting();
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].request, parked.request);
+  EXPECT_EQ(resolved[0].status, AdmitStatus::Rejected);
+  EXPECT_EQ(manager.stats().rejected, 1u);
+  EXPECT_EQ(manager.waiting_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rtsm::runtime
