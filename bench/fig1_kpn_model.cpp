@@ -12,7 +12,7 @@
 int main() {
   using namespace rtsm;
 
-  std::printf("== Figure 1: HIPERLAN/2 receiver KPN =========================\n\n");
+  std::printf("== Figure 1: HIPERLAN/2 receiver KPN =====================\n\n");
 
   for (const workload::ModeInfo& mode : workload::kHiperlan2Modes) {
     workload::Hiperlan2Config config;

@@ -13,7 +13,7 @@
 int main() {
   using namespace rtsm;
 
-  std::printf("== Figure 2: MPSoC layout ====================================\n\n");
+  std::printf("== Figure 2: MPSoC layout ================================\n\n");
   const arch::Platform platform = workload::make_paper_platform();
 
   std::printf("%s\n", io::platform_ascii(platform).c_str());

@@ -18,7 +18,7 @@
 int main() {
   using namespace rtsm;
 
-  std::printf("== Figure 3: final CSDF graph of the mapped receiver =========\n\n");
+  std::printf("== Figure 3: final CSDF graph of the mapped receiver =====\n\n");
 
   const kpn::Application app = workload::make_hiperlan2_receiver();
   const arch::Platform platform = workload::make_paper_platform();

@@ -12,7 +12,7 @@
 int main() {
   using namespace rtsm;
 
-  std::printf("== Table 1: available implementations (b = 12, QPSK) =========\n\n");
+  std::printf("== Table 1: available implementations (b = 12, QPSK) =====\n\n");
   const kpn::Application app = workload::make_hiperlan2_receiver();
   std::printf("%s\n", io::render_table1(app).c_str());
 
@@ -27,7 +27,8 @@ int main() {
     const kpn::Process& p = app.process(pid);
     if (p.is_fixture()) continue;
     for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
-      const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+      const ImplementationId impl{
+          static_cast<ImplementationId::value_type>(ii)};
       const kpn::Implementation& im = p.implementations[ii];
       const std::uint64_t cycles =
           app.cycles_per_symbol(pid, impl) * im.cycle_wcet_cc();

@@ -19,7 +19,7 @@
 int main() {
   using namespace rtsm;
 
-  std::printf("== Table 2: processor assignment iterations in step 2 ========\n\n");
+  std::printf("== Table 2: processor assignment iterations in step 2 ====\n\n");
 
   const kpn::Application app = workload::make_hiperlan2_receiver();
   const arch::Platform platform = workload::make_paper_platform();

@@ -65,7 +65,7 @@ SweepPoint run_point(std::uint32_t processes, std::uint32_t mesh,
 }  // namespace
 
 int main() {
-  std::printf("== X1: scalability of run-time mapping =======================\n\n");
+  std::printf("== X1: scalability of run-time mapping ===================\n\n");
   std::printf("Each row: %u random (app, platform) instances.\n\n", 10u);
 
   io::TablePrinter table({"Processes", "Mesh", "Tiles", "Success", "Mean [us]",

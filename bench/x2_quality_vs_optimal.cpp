@@ -62,7 +62,7 @@ core::MapperRegistry trial_registry(std::uint32_t seed) {
 }  // namespace
 
 int main() {
-  std::printf("== X2: mapper energies vs. exhaustive optimum ================\n\n");
+  std::printf("== X2: mapper energies vs. exhaustive optimum ============\n\n");
 
   // Part 1: the paper's own case, every built-in registry mapper with its
   // default options.
@@ -157,9 +157,11 @@ int main() {
       std::printf("  %-10s mean gap %5.1f%% (%u successful runs)%s\n",
                   name.c_str(), sum / count, count,
                   name == "spatial"
-                      ? (" — max " + rtsm::format_double(heuristic_gap_max, 1) +
-                         "%, optimum hit " + std::to_string(heuristic_hits_opt) +
-                         "/" + std::to_string(comparable) + " times")
+                      ? (" — max " +
+                         rtsm::format_double(heuristic_gap_max, 1) +
+                         "%, optimum hit " +
+                         std::to_string(heuristic_hits_opt) + "/" +
+                         std::to_string(comparable) + " times")
                             .c_str()
                       : "");
     }

@@ -80,7 +80,7 @@ struct Aggregate {
 }  // namespace
 
 int main() {
-  std::printf("== X3: ablation of the heuristic's design choices ============\n\n");
+  std::printf("== X3: ablation of the heuristic's design choices ========\n\n");
 
   // Stress the NoC so routing order matters: modest link capacity.
   const std::uint32_t trials = 16;

@@ -5,15 +5,31 @@
 // bench replays arrival/departure scenarios through the RuntimeManager,
 // compares admissions and energy, reports the admission statistics the
 // manager collects, and proves that releases restore the resource state.
+//
+// The burst section measures the concurrent admission path: the same
+// 64-application arrival burst is pushed through the serial RuntimeManager
+// and through the ConcurrentRuntimeManager's worker pool, reporting
+// throughput and admission-latency percentiles, and verifying that the
+// concurrent bookkeeping is exact (serial replay + full-release restore).
+// Results are also emitted as BENCH_x4.json for the CI perf trail.
+//
+// Flags: --short (CI smoke: smaller burst, fewer scenarios),
+//        --json PATH (default BENCH_x4.json).
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/spatial_mapper.hpp"
 #include "io/table.hpp"
+#include "runtime/concurrent_manager.hpp"
 #include "runtime/runtime_manager.hpp"
+#include "util/clock.hpp"
 #include "util/strings.hpp"
 #include "workload/hiperlan2.hpp"
 #include "workload/synthetic.hpp"
@@ -31,7 +47,9 @@ class DesignTimeAllocator {
  public:
   DesignTimeAllocator(const arch::Platform& platform,
                       const core::Mapper& mapper)
-      : platform_(platform), mapper_(mapper), tile_used_(platform.tile_count(), false) {}
+      : platform_(platform),
+        mapper_(mapper),
+        tile_used_(platform.tile_count(), false) {}
 
   bool try_admit(const kpn::Application& app) {
     const auto result = mapper_.map(app, platform_);  // idle-platform plan
@@ -59,44 +77,165 @@ class DesignTimeAllocator {
   double energy_ = 0.0;
 };
 
-/// Flat snapshot of a ResourceState for exact restore comparison.
-struct Snapshot {
-  std::vector<double> utilization;
-  std::vector<std::uint64_t> memory;
-  std::vector<std::uint32_t> processes;
-  double links_reserved = 0.0;
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return elapsed_us(start) / 1000.0;
+}
 
-  static Snapshot of(const core::ResourceState& state) {
-    Snapshot snap;
-    for (const TileId tid : state.platform().tile_ids()) {
-      snap.utilization.push_back(state.utilization(tid));
-      snap.memory.push_back(state.memory_used(tid));
-      snap.processes.push_back(state.processes_hosted(tid));
-    }
-    snap.links_reserved = state.links().total_reserved();
-    return snap;
-  }
-
-  [[nodiscard]] bool matches(const Snapshot& other) const {
-    if (memory != other.memory || processes != other.processes) return false;
-    for (std::size_t i = 0; i < utilization.size(); ++i) {
-      if (std::abs(utilization[i] - other.utilization[i]) > 1e-9) return false;
-    }
-    return std::abs(links_reserved - other.links_reserved) < 1e-6;
-  }
+/// One burst run's figures (serial or concurrent).
+struct BurstFigures {
+  double wall_ms = 0.0;
+  double throughput_per_s = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t conflicts = 0;
+  bool replay_ok = true;   ///< final state == serial replay of commits
+  bool restore_ok = true;  ///< releasing everything restores pristine
 };
+
+void fill_percentiles(BurstFigures& figures,
+                      const runtime::AdmissionStats& stats) {
+  figures.p50_us = stats.latency_percentile_us(50);
+  figures.p95_us = stats.latency_percentile_us(95);
+  figures.p99_us = stats.latency_percentile_us(99);
+  figures.admitted = stats.admitted;
+  figures.rejected = stats.rejected;
+  figures.conflicts = stats.conflicts;
+}
+
+/// Pushes the burst through the serial FIFO manager, one admit at a time.
+BurstFigures run_serial_burst(
+    const arch::Platform& platform,
+    const std::vector<std::shared_ptr<const kpn::Application>>& apps) {
+  runtime::RuntimeManager manager(platform,
+                                  std::make_shared<core::SpatialMapper>());
+  BurstFigures figures;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& app : apps) manager.submit(app);
+  manager.drain();
+  figures.wall_ms = wall_ms_since(start);
+  figures.throughput_per_s =
+      static_cast<double>(apps.size()) / (figures.wall_ms / 1000.0);
+  fill_percentiles(figures, manager.stats());
+
+  for (const AppId id : manager.running_ids()) manager.release(id);
+  figures.restore_ok =
+      manager.state().approx_equals(core::ResourceState(platform));
+  return figures;
+}
+
+/// Pushes the burst through the concurrent manager: @p clients submitter
+/// threads feed the bounded queue, @p workers workers admit.
+BurstFigures run_concurrent_burst(
+    const arch::Platform& platform,
+    const std::vector<std::shared_ptr<const kpn::Application>>& apps,
+    std::uint32_t workers, std::uint32_t clients) {
+  runtime::ConcurrentOptions options;
+  options.workers = workers;
+  options.queue_capacity = 128;
+  options.max_batch = 8;
+  // One shard per worker: concurrent planners start in disjoint mesh
+  // stripes, which avoids the burst-start thundering herd (every worker
+  // planning the same tiles of an empty platform and colliding at commit).
+  options.shards = workers;
+  runtime::ConcurrentRuntimeManager manager(
+      platform, std::make_shared<core::SpatialMapper>(), options);
+
+  BurstFigures figures;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> submitters;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    submitters.emplace_back([&, c] {
+      for (std::size_t i = c; i < apps.size(); i += clients) {
+        (void)manager.submit(apps[i]);
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  manager.wait_idle();
+  figures.wall_ms = wall_ms_since(start);
+  figures.throughput_per_s =
+      static_cast<double>(apps.size()) / (figures.wall_ms / 1000.0);
+  fill_percentiles(figures, manager.stats());
+
+  // Exactness check 1: the live state must equal a serial replay of the
+  // surviving commits — no interleaving may corrupt the bookkeeping.
+  core::ResourceState replayed(platform);
+  for (const AppId id : manager.running_ids()) {
+    core::commit_mapping(replayed, *manager.app_of(id), manager.mapping_of(id));
+  }
+  figures.replay_ok = manager.state_snapshot().approx_equals(replayed);
+
+  // Exactness check 2: releasing everything restores the pristine state.
+  for (const AppId id : manager.running_ids()) manager.release(id);
+  figures.restore_ok =
+      manager.state_snapshot().approx_equals(core::ResourceState(platform));
+  return figures;
+}
+
+void write_json(const std::string& path, std::size_t burst_size,
+                std::uint32_t workers, const BurstFigures& serial,
+                const BurstFigures& concurrent) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const double speedup =
+      concurrent.wall_ms > 0.0 ? serial.wall_ms / concurrent.wall_ms : 0.0;
+  auto one = [&](const char* name, const BurstFigures& b) {
+    std::fprintf(f,
+                 "  \"%s\": {\"wall_ms\": %.3f, \"throughput_per_s\": %.2f, "
+                 "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+                 "\"admitted\": %llu, \"rejected\": %llu, "
+                 "\"conflicts\": %llu, \"replay_ok\": %s, "
+                 "\"restore_ok\": %s}",
+                 name, b.wall_ms, b.throughput_per_s, b.p50_us, b.p95_us,
+                 b.p99_us, static_cast<unsigned long long>(b.admitted),
+                 static_cast<unsigned long long>(b.rejected),
+                 static_cast<unsigned long long>(b.conflicts),
+                 b.replay_ok ? "true" : "false",
+                 b.restore_ok ? "true" : "false");
+  };
+  std::fprintf(f, "{\n  \"bench\": \"x4_multi_app_runtime\",\n");
+  std::fprintf(f, "  \"burst_apps\": %zu,\n  \"workers\": %u,\n",
+               burst_size, workers);
+  one("serial", serial);
+  std::fprintf(f, ",\n");
+  one("concurrent", concurrent);
+  std::fprintf(f, ",\n  \"speedup\": %.2f,\n  \"state_check\": \"%s\"\n}\n",
+               speedup,
+               serial.restore_ok && concurrent.replay_ok &&
+                       concurrent.restore_ok
+                   ? "identical"
+                   : "MISMATCH");
+  std::fclose(f);
+  std::printf("Wrote %s\n", path.c_str());
+}
 
 }  // namespace
 
-int main() {
-  std::printf("== X4: run-time vs. design-time allocation ===================\n\n");
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  std::string json_path = "BENCH_x4.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) short_mode = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  std::printf("== X4: run-time vs. design-time allocation ===============\n\n");
 
   io::TablePrinter table({"Scenario", "Apps offered", "Run-time admits",
                           "Design-time admits", "Run-time nJ/app",
                           "Design-time nJ/app"});
   for (std::size_t c = 1; c < 6; ++c) table.align_right(c);
 
-  for (std::uint32_t scenario = 0; scenario < 6; ++scenario) {
+  const std::uint32_t scenario_count = short_mode ? 2 : 6;
+  for (std::uint32_t scenario = 0; scenario < scenario_count; ++scenario) {
     Rng rng(scenario * 101 + 13);
     workload::SyntheticPlatformParams pp;
     pp.width = 4;
@@ -208,24 +347,81 @@ int main() {
                                     std::make_shared<core::SpatialMapper>());
     const auto app = workload::make_hiperlan2_receiver();
 
-    const Snapshot before = Snapshot::of(manager.state());
+    const core::ResourceState before = manager.state().snapshot();
     const auto admitted = manager.admit(app);
     const bool ok = admitted.status == runtime::AdmitStatus::Admitted;
-    const Snapshot loaded = Snapshot::of(manager.state());
-    const bool changed = !loaded.matches(before);
+    const bool changed = !manager.state().approx_equals(before);
     if (ok) manager.release(admitted.app_id);
-    const Snapshot after = Snapshot::of(manager.state());
     std::printf(
         "Restore proof (HIPERLAN/2 on the paper platform): admitted=%s, "
         "state changed on admit=%s, state restored on release=%s\n\n",
         ok ? "yes" : "no", changed ? "yes" : "NO (bug)",
-        ok && after.matches(before) ? "yes" : "NO (bug)");
+        ok && manager.state().approx_equals(before) ? "yes" : "NO (bug)");
+  }
+
+  // Arrival burst, serial vs. concurrent: the same burst through the FIFO
+  // manager and through a 4-worker pool fed by 4 client threads. The
+  // concurrent path must win on throughput and lose nothing on
+  // bookkeeping exactness.
+  {
+    const std::size_t burst_size = short_mode ? 16 : 64;
+    const std::uint32_t workers = 4;
+    Rng rng(4242);
+    workload::SyntheticPlatformParams pp;
+    pp.width = 6;
+    pp.height = 6;
+    pp.type_counts = {{"ARM", 16}, {"DSP", 16}};
+    pp.process_slots = 4;
+    const auto platform = workload::make_synthetic_platform(rng, pp, "burst");
+
+    std::vector<std::shared_ptr<const kpn::Application>> apps;
+    for (std::size_t i = 0; i < burst_size; ++i) {
+      workload::SyntheticAppParams ap;
+      ap.process_count = 3;
+      ap.max_preferred_utilization = 0.25;
+      ap.with_fixtures = false;
+      apps.push_back(std::make_shared<kpn::Application>(
+          workload::make_synthetic_app(rng, ap, "b" + std::to_string(i))));
+    }
+
+    const BurstFigures serial = run_serial_burst(platform, apps);
+    const BurstFigures concurrent =
+        run_concurrent_burst(platform, apps, workers, /*clients=*/4);
+
+    std::printf(
+        "Burst (%zu apps): serial %7.1f ms (%6.1f apps/s, p50 %.0f us, p95 "
+        "%.0f us, p99 %.0f us), admitted %llu\n",
+        apps.size(), serial.wall_ms, serial.throughput_per_s, serial.p50_us,
+        serial.p95_us, serial.p99_us,
+        static_cast<unsigned long long>(serial.admitted));
+    std::printf(
+        "          %u workers %7.1f ms (%6.1f apps/s, p50 %.0f us, p95 %.0f "
+        "us, p99 %.0f us), admitted %llu, conflicts %llu\n",
+        workers, concurrent.wall_ms, concurrent.throughput_per_s,
+        concurrent.p50_us, concurrent.p95_us, concurrent.p99_us,
+        static_cast<unsigned long long>(concurrent.admitted),
+        static_cast<unsigned long long>(concurrent.conflicts));
+    const double speedup = concurrent.wall_ms > 0.0
+                               ? serial.wall_ms / concurrent.wall_ms
+                               : 0.0;
+    const bool state_ok =
+        serial.restore_ok && concurrent.replay_ok && concurrent.restore_ok;
+    std::printf(
+        "Speedup %.2fx (%s); residual-state check: replay=%s, restore=%s "
+        "-> %s\n\n",
+        speedup, speedup > 1.0 ? "concurrent wins" : "NO speedup",
+        concurrent.replay_ok ? "identical" : "MISMATCH",
+        concurrent.restore_ok && serial.restore_ok ? "identical" : "MISMATCH",
+        state_ok ? "identical" : "MISMATCH");
+
+    write_json(json_path, apps.size(), workers, serial, concurrent);
   }
 
   std::printf(
       "Reading: with identical hardware and applications, run-time mapping\n"
       "admits more applications than a worst-case static allocation, reuses\n"
-      "capacity as applications stop, and a retry policy turns rejected\n"
-      "arrivals into deferred admissions — the motivation of Section 1.\n");
+      "capacity as applications stop, re-admits deferred arrivals after a\n"
+      "release, and scales admission throughput with a worker pool while\n"
+      "keeping the resource bookkeeping exact.\n");
   return 0;
 }

@@ -63,7 +63,7 @@ Row run(std::uint32_t hop_buffer, std::uint32_t router_cc) {
 }  // namespace
 
 int main() {
-  std::printf("== X5: NoC buffer depth and router latency vs. B_i ===========\n\n");
+  std::printf("== X5: NoC buffer depth and router latency vs. B_i =======\n\n");
 
   io::TablePrinter table({"Hop buffer", "Router [cc]", "Feasible", "B1", "B2",
                           "B3", "B4", "B(sink)", "Period [us]",
@@ -77,7 +77,9 @@ int main() {
                                      std::to_string(router_cc),
                                      row.feasible ? "yes" : "NO"};
       if (row.feasible) {
-        for (const std::uint32_t b : row.buffers) cells.push_back(std::to_string(b));
+        for (const std::uint32_t b : row.buffers) {
+          cells.push_back(std::to_string(b));
+        }
         cells.push_back(rtsm::format_double(row.period_ps / 1e6, 3));
         cells.push_back(rtsm::format_double(row.latency_ps / 1e6, 3));
       } else {

@@ -1,0 +1,89 @@
+// Concurrent run-time admission: many clients start applications on the
+// same MPSoC at once. The ConcurrentRuntimeManager runs the expensive
+// spatial-mapper planning on resource-state snapshots outside any lock
+// (optimistic map -> validate -> commit), feeds a worker pool from a
+// bounded MPMC queue, reorders each drained burst by a priority policy,
+// and optionally partitions the mesh into shards so parallel planners
+// start in disjoint tile regions.
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/spatial_mapper.hpp"
+#include "runtime/concurrent_manager.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace rtsm;
+
+  // A 4x4 shared platform, as in the serial multi_app_scenario example.
+  Rng rng(77);
+  workload::SyntheticPlatformParams pp;
+  pp.width = 4;
+  pp.height = 4;
+  pp.type_counts = {{"ARM", 6}, {"DSP", 6}};
+  pp.process_slots = 4;
+  const arch::Platform platform =
+      workload::make_synthetic_platform(rng, pp, "shared 4x4 MPSoC");
+
+  runtime::ConcurrentOptions options;
+  options.workers = 4;
+  options.queue_capacity = 64;
+  options.max_batch = 8;
+  options.shards = 2;  // two vertical mesh stripes with per-shard locks
+  runtime::ConcurrentRuntimeManager manager(
+      platform, std::make_shared<core::SpatialMapper>(), options,
+      std::make_shared<runtime::FirstFitAdmission>(),
+      std::make_shared<runtime::SmallestFirstPriority>());
+
+  std::printf("== 4 clients submit a burst of 16 applications ==============\n");
+  std::vector<std::shared_ptr<const kpn::Application>> apps;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    workload::SyntheticAppParams ap;
+    ap.process_count = 2 + i % 3;  // mixed sizes: priority order matters
+    ap.max_preferred_utilization = 0.3;
+    ap.with_fixtures = false;
+    apps.push_back(std::make_shared<kpn::Application>(
+        workload::make_synthetic_app(rng, ap, "app" + std::to_string(i))));
+  }
+
+  std::vector<std::thread> clients;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = c; i < apps.size(); i += 4) {
+        (void)manager.submit(apps[i]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  manager.wait_idle();
+
+  const runtime::AdmissionStats stats = manager.stats();
+  std::printf(
+      "  offered=%llu admitted=%llu rejected=%llu conflicts=%llu\n"
+      "  running=%zu, idle tiles=%zu, total energy=%.1f nJ/symbol\n"
+      "  mapping latency p50=%.0f us p95=%.0f us (batch policy: %s)\n\n",
+      static_cast<unsigned long long>(stats.offered),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.conflicts),
+      manager.running_count(), manager.state_snapshot().idle_tile_count(),
+      manager.total_energy_nj_per_symbol(), stats.latency_percentile_us(50),
+      stats.latency_percentile_us(95), manager.priority_policy().name().c_str());
+
+  std::printf("== everything stops: releases restore the platform ==========\n");
+  for (const AppId id : manager.running_ids()) manager.release(id);
+  const bool pristine =
+      manager.state_snapshot().approx_equals(core::ResourceState(platform));
+  std::printf("  running=%zu, state restored=%s\n\n", manager.running_count(),
+              pristine ? "yes" : "NO (bug)");
+
+  std::printf(
+      "The admission path is the paper's run-time argument made concurrent:\n"
+      "mapping runs on snapshots outside the lock, only the fit-check and\n"
+      "reservation are serialized, and a full release leaves the platform\n"
+      "exactly as it started.\n");
+  return 0;
+}

@@ -34,19 +34,19 @@ int main() {
   }
   const auto& round = result.trace.rounds.back();
 
-  std::printf("--- Step 1: assign implementations to processes -------------\n");
+  std::printf("--- Step 1: assign implementations to processes ------------\n");
   std::printf("%s\n", io::render_step1(round.step1).c_str());
 
-  std::printf("--- Step 2: assign processes to tiles (paper Table 2) -------\n");
+  std::printf("--- Step 2: assign processes to tiles (paper Table 2) ------\n");
   std::printf("%s\n",
               io::render_table2(app, round.step2,
                                 {"ARM1", "ARM2", "MONTIUM1", "MONTIUM2"})
                   .c_str());
 
-  std::printf("--- Step 3: assign channels to paths -------------------------\n");
+  std::printf("--- Step 3: assign channels to paths -----------------------\n");
   std::printf("%s\n", io::render_step3(round.step3).c_str());
 
-  std::printf("--- Step 4: check application constraints --------------------\n");
+  std::printf("--- Step 4: check application constraints ------------------\n");
   std::printf("feasible: %s; sustained period %.3f us; latency %.3f us\n",
               round.step4.feasible ? "yes" : "no",
               round.step4.achieved_period_ps / 1e6,
@@ -58,7 +58,7 @@ int main() {
   }
   std::printf("\n\n");
 
-  std::printf("--- Result ---------------------------------------------------\n");
+  std::printf("--- Result -------------------------------------------------\n");
   const double processing =
       core::processing_energy_nj_per_symbol(app, result.mapping);
   std::printf("energy: %.1f nJ/symbol processing + %.1f nJ/symbol NoC "
@@ -67,7 +67,8 @@ int main() {
               result.energy_nj_per_symbol);
   std::printf("(paper Table 1 sum for the chosen implementations: "
               "60 + 62 + 143 + 76 = 341 nJ/symbol)\n\n");
-  std::printf("%s\n", io::platform_ascii(platform, &app, &result.mapping).c_str());
+  std::printf("%s\n",
+              io::platform_ascii(platform, &app, &result.mapping).c_str());
 
   const auto expanded = core::expand_mapping(app, platform, result.mapping);
   std::printf("final CSDF graph (Figure 3): %zu actors, %zu edges\n",

@@ -45,10 +45,10 @@ int main() {
       platform, std::make_shared<core::SpatialMapper>(),
       std::make_shared<runtime::RetryAdmission>(/*max_attempts=*/4));
 
-  std::printf("== t0: platform boots idle ====================================\n");
+  std::printf("== t0: platform boots idle =================================\n");
   show(manager);
 
-  std::printf("== t1: video decoder starts ===================================\n");
+  std::printf("== t1: video decoder starts ================================\n");
   workload::SyntheticAppParams video;
   video.process_count = 5;
   video.topology = workload::Topology::ForkJoin;
@@ -60,7 +60,7 @@ int main() {
               video_run.mapping.energy_nj_per_symbol, video_run.mapping_us);
   show(manager);
 
-  std::printf("== t2: audio pipeline starts (sees residual resources) =======\n");
+  std::printf("== t2: audio pipeline starts (sees residual resources) =====\n");
   workload::SyntheticAppParams audio;
   audio.process_count = 3;
   audio.tile_types = {"DSP", "ARM"};
@@ -72,7 +72,8 @@ int main() {
               audio_run.mapping.energy_nj_per_symbol);
   show(manager);
 
-  std::printf("== t3: a greedy application is parked by the retry policy ====\n");
+  std::printf(
+      "== t3: a greedy application is parked by the retry policy ====\n");
   workload::SyntheticAppParams big;
   big.process_count = 14;
   big.tile_types = {"ARM", "DSP"};
@@ -84,7 +85,9 @@ int main() {
     case runtime::AdmitStatus::Waiting:
       big_status = "parked until resources free up";
       break;
-    case runtime::AdmitStatus::DeadlineMiss: big_status = "deadline miss"; break;
+    case runtime::AdmitStatus::DeadlineMiss:
+      big_status = "deadline miss";
+      break;
     case runtime::AdmitStatus::Rejected: break;
   }
   std::printf("  admitted=%s (status: %s)\n",
@@ -92,7 +95,8 @@ int main() {
               big_status);
   show(manager);
 
-  std::printf("== t4: video stops; the parked application is re-admitted ====\n");
+  std::printf(
+      "== t4: video stops; the parked application is re-admitted ====\n");
   manager.submit_release(video_run.app_id);
   for (const auto& outcome : manager.drain()) {
     std::printf("  deferred request %llu resolved: admitted=%s, energy=%.1f "

@@ -106,6 +106,7 @@ int main() {
     std::printf("%s=%u tokens  ", app.channel(cid).name.c_str(),
                 *result.mapping.buffer_tokens(cid));
   }
-  std::printf("\n\n%s\n", io::platform_ascii(platform, &app, &result.mapping).c_str());
+  std::printf("\n\n%s\n",
+              io::platform_ascii(platform, &app, &result.mapping).c_str());
   return 0;
 }

@@ -69,8 +69,8 @@ struct NocParams {
 
   /// Router latency in picoseconds.
   [[nodiscard]] std::uint64_t router_latency_ps() const {
-    return static_cast<std::uint64_t>(router_latency_cc) * 1'000'000'000'000ull /
-           noc_clock_hz;
+    return static_cast<std::uint64_t>(router_latency_cc) *
+           1'000'000'000'000ull / noc_clock_hz;
   }
 };
 

@@ -84,7 +84,8 @@ AnnealingResult anneal_map(const kpn::Application& app,
         platform.tile_type(platform.tile(tile).type).name;
     for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
       if (p.implementations[ii].tile_type != type_name) continue;
-      const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+      const ImplementationId impl{
+          static_cast<ImplementationId::value_type>(ii)};
       const double util = core::claimed_utilization(core::impl_utilization(
           app, pid, impl, platform.tile_clock_hz(tile)));
       state.reserve_tile(tile, util, p.implementations[ii].memory_bytes);
@@ -141,17 +142,19 @@ AnnealingResult anneal_map(const kpn::Application& app,
     }
   }
 
-  double current_cost = estimated_energy(app, platform, current, options.energy);
+  double current_cost =
+      estimated_energy(app, platform, current, options.energy);
   Mapping best = current;
   double best_cost = current_cost;
 
   const double t0 = options.temperature_start;
   const double t1 = options.temperature_end;
   for (std::uint64_t it = 0; it < options.iterations; ++it) {
-    const double progress = options.iterations <= 1
-                                ? 1.0
-                                : static_cast<double>(it) /
-                                      static_cast<double>(options.iterations - 1);
+    const double progress =
+        options.iterations <= 1
+            ? 1.0
+            : static_cast<double>(it) /
+                  static_cast<double>(options.iterations - 1);
     const double temperature = t0 * std::pow(t1 / t0, progress);
 
     const ProcessId pid = movable[rng.pick_index(movable.size())];
@@ -171,7 +174,8 @@ AnnealingResult anneal_map(const kpn::Application& app,
     }
 
     current.assign(pid, opt.impl, opt.tile);
-    const double cost = estimated_energy(app, platform, current, options.energy);
+    const double cost =
+        estimated_energy(app, platform, current, options.energy);
     const double delta = cost - current_cost;
     if (delta <= 0.0 ||
         rng.uniform01() < std::exp(-delta / std::max(temperature, 1e-9))) {
@@ -224,8 +228,8 @@ std::string AnnealingMapper::describe() const {
          "configurations with Metropolis acceptance on estimated energy";
 }
 
-core::MappingResult AnnealingMapper::map(const kpn::Application& app,
-                                         const core::ResourceState& base) const {
+core::MappingResult AnnealingMapper::map(
+    const kpn::Application& app, const core::ResourceState& base) const {
   AnnealingResult annealed = anneal_map(app, base.platform(), options_);
   return detail::screen_design_time_plan(
       base, app, annealed.success, std::move(annealed.mapping),

@@ -212,10 +212,13 @@ ClusteringResult cluster_map(const kpn::Application& app,
     bool bound = false;
     for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
       if (p.implementations[ii].tile_type != type_name) continue;
-      const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+      const ImplementationId impl{
+          static_cast<ImplementationId::value_type>(ii)};
       const double util = core::claimed_utilization(core::impl_utilization(
           app, pid, impl, platform.tile_clock_hz(tile)));
-      if (!state.tile_fits(tile, util, p.implementations[ii].memory_bytes)) break;
+      if (!state.tile_fits(tile, util, p.implementations[ii].memory_bytes)) {
+        break;
+      }
       state.reserve_tile(tile, util, p.implementations[ii].memory_bytes);
       result.mapping.assign(pid, impl, tile);
       bound = true;
@@ -255,7 +258,9 @@ ClusteringResult cluster_map(const kpn::Application& app,
             app, pid, *impl, platform.tile_type(type).clock_hz);
         variant.memory += app.implementation(pid, *impl).memory_bytes;
       }
-      if (ok && variant.utilization <= 1.0) variants.push_back(std::move(variant));
+      if (ok && variant.utilization <= 1.0) {
+        variants.push_back(std::move(variant));
+      }
     }
     std::sort(variants.begin(), variants.end(),
               [&](const Cluster& x, const Cluster& y) {
@@ -273,8 +278,9 @@ ClusteringResult cluster_map(const kpn::Application& app,
     bool placed = false;
     for (const Cluster& variant : variants) {
       for (const TileId tile : platform.tiles_of_type(variant.type)) {
-        if (!state.tile_fits(tile, variant.utilization, variant.memory,
-                             static_cast<std::uint32_t>(variant.members.size()))) {
+        if (!state.tile_fits(
+                tile, variant.utilization, variant.memory,
+                static_cast<std::uint32_t>(variant.members.size()))) {
           continue;
         }
         state.reserve_tile(tile, variant.utilization, variant.memory,
@@ -323,8 +329,8 @@ std::string ClusteringMapper::describe() const {
          "decreasing bin-packing onto tiles of a common type";
 }
 
-core::MappingResult ClusteringMapper::map(const kpn::Application& app,
-                                          const core::ResourceState& base) const {
+core::MappingResult ClusteringMapper::map(
+    const kpn::Application& app, const core::ResourceState& base) const {
   ClusteringResult clustered = cluster_map(app, base.platform(), options_);
   return detail::screen_design_time_plan(
       base, app, clustered.success, std::move(clustered.mapping),

@@ -44,9 +44,9 @@ struct ClusteringResult {
 /// cheapest common type is used. On heterogeneous platforms this is exactly
 /// the limitation the paper's per-process implementation selection removes,
 /// which bench X2/X3 makes measurable.
-[[nodiscard]] ClusteringResult cluster_map(const kpn::Application& app,
-                                           const arch::Platform& platform,
-                                           const ClusteringOptions& options = {});
+[[nodiscard]] ClusteringResult cluster_map(
+    const kpn::Application& app, const arch::Platform& platform,
+    const ClusteringOptions& options = {});
 
 /// Mapper-strategy adapter around cluster_map(). Plans against the idle
 /// platform; fails when the plan does not fit the residual state.

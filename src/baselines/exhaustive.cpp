@@ -85,7 +85,8 @@ class Search {
     const ProcessId pid = order_[depth];
     const kpn::Process& p = app_.process(pid);
     for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
-      const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+      const ImplementationId impl{
+          static_cast<ImplementationId::value_type>(ii)};
       const kpn::Implementation& im = p.implementations[ii];
 
       TileTypeId type;
@@ -139,8 +140,9 @@ class Search {
     Mapping candidate = mapping_;
     const core::FeedbackSet no_feedback;
     core::MappingTrace::Round scratch;
-    core::MappingContext ctx{app_,    platform_,       routed_state, no_feedback,
-                             options_.energy, candidate, scratch};
+    core::MappingContext ctx{app_,           platform_, routed_state,
+                             no_feedback,    options_.energy,
+                             candidate,      scratch};
     const core::Step3Outcome s3 = core::run_step3(ctx);
     if (!s3.success) return;
 
@@ -198,8 +200,8 @@ std::string ExhaustiveMapper::describe() const {
          "configurations; provably energy-optimal on small instances";
 }
 
-core::MappingResult ExhaustiveMapper::map(const kpn::Application& app,
-                                          const core::ResourceState& base) const {
+core::MappingResult ExhaustiveMapper::map(
+    const kpn::Application& app, const core::ResourceState& base) const {
   ExhaustiveResult enumerated = exhaustive_map(app, base.platform(), options_);
   return detail::screen_design_time_plan(
       base, app, enumerated.success, std::move(enumerated.mapping),

@@ -46,9 +46,9 @@ struct ExhaustiveResult {
 ///
 /// Ground truth for bench X2 (quality gap of the run-time heuristic).
 /// Exponential: intended for small instances only.
-[[nodiscard]] ExhaustiveResult exhaustive_map(const kpn::Application& app,
-                                              const arch::Platform& platform,
-                                              const ExhaustiveOptions& options = {});
+[[nodiscard]] ExhaustiveResult exhaustive_map(
+    const kpn::Application& app, const arch::Platform& platform,
+    const ExhaustiveOptions& options = {});
 
 /// Mapper-strategy adapter around exhaustive_map(). Plans against the idle
 /// platform (ground-truth optimum); fails when the optimum does not fit the

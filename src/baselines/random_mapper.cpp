@@ -48,7 +48,8 @@ RandomMapperResult random_map(const kpn::Application& app,
               static_cast<ImplementationId::value_type>(ii)};
           const double util = core::claimed_utilization(core::impl_utilization(
               app, pid, impl, platform.tile_clock_hz(tile)));
-          if (!state.tile_fits(tile, util, p.implementations[ii].memory_bytes)) {
+          if (!state.tile_fits(tile, util,
+                               p.implementations[ii].memory_bytes)) {
             break;
           }
           state.reserve_tile(tile, util, p.implementations[ii].memory_bytes);
@@ -73,7 +74,8 @@ RandomMapperResult random_map(const kpn::Application& app,
         } catch (const Error&) {
           continue;
         }
-        const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+        const ImplementationId impl{
+            static_cast<ImplementationId::value_type>(ii)};
         const double raw_util = core::impl_utilization(
             app, pid, impl, platform.tile_type(type).clock_hz);
         if (raw_util > 1.0) continue;
@@ -118,8 +120,9 @@ RandomMapperResult random_map(const kpn::Application& app,
   if (options.verify_step4) {
     const core::FeedbackSet no_feedback;
     core::MappingTrace::Round scratch;
-    core::MappingContext ctx{app,    platform,       best_state,     no_feedback,
-                             options.energy, result.mapping, scratch};
+    core::MappingContext ctx{app,            platform,  best_state,
+                             no_feedback,    options.energy,
+                             result.mapping, scratch};
     const core::FeasibilityReport report = core::run_step4(ctx, options.step4);
     if (!report.feasible) {
       result.success = false;

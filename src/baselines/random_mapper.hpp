@@ -36,9 +36,9 @@ struct RandomMapperResult {
 /// configurations and keeps the cheapest. The expected quality gap versus
 /// the heuristic quantifies what the paper's desirability ordering and local
 /// search actually buy.
-[[nodiscard]] RandomMapperResult random_map(const kpn::Application& app,
-                                            const arch::Platform& platform,
-                                            const RandomMapperOptions& options = {});
+[[nodiscard]] RandomMapperResult random_map(
+    const kpn::Application& app, const arch::Platform& platform,
+    const RandomMapperOptions& options = {});
 
 /// Mapper-strategy adapter around random_map(). Plans against the idle
 /// platform; fails when the best sample does not fit the residual state.

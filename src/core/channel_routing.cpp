@@ -29,9 +29,10 @@ Step3Outcome run_step3(MappingContext& ctx, const Step3Options& options) {
     const TileId dst = mapping.tile_of(c.dst);
     const double demand = app.tokens_per_second(cid);
 
-    const auto path = options.xy_routing
-                          ? noc::route_xy(state.links(), src, dst, demand)
-                          : noc::route_shortest(state.links(), src, dst, demand);
+    const auto path =
+        options.xy_routing
+            ? noc::route_xy(state.links(), src, dst, demand)
+            : noc::route_shortest(state.links(), src, dst, demand);
 
     Step3Record record;
     record.channel = c.name;

@@ -40,13 +40,12 @@ enum class CommCostModel {
     const Mapping& mapping, const energy::EnergyModel& energy);
 
 /// Processing-only energy per symbol of the chosen implementations.
-[[nodiscard]] double processing_energy_nj_per_symbol(const kpn::Application& app,
-                                                     const Mapping& mapping);
+[[nodiscard]] double processing_energy_nj_per_symbol(
+    const kpn::Application& app, const Mapping& mapping);
 
 /// Communication-only energy per symbol over the routed paths.
-[[nodiscard]] double comm_energy_nj_per_symbol(const kpn::Application& app,
-                                               const arch::Platform& platform,
-                                               const Mapping& mapping,
-                                               const energy::EnergyModel& energy);
+[[nodiscard]] double comm_energy_nj_per_symbol(
+    const kpn::Application& app, const arch::Platform& platform,
+    const Mapping& mapping, const energy::EnergyModel& energy);
 
 }  // namespace rtsm::core

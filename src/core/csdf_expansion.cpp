@@ -34,7 +34,8 @@ ExpandedGraph expand_mapping(const kpn::Application& app,
   const std::uint64_t hop_wcet_ps = platform.noc().router_latency_ps();
   const std::uint32_t hop_buffer = platform.noc().hop_buffer_tokens;
 
-  auto output_rates = [&](ProcessId pid, ChannelId cid) -> const kpn::PhaseRates& {
+  auto output_rates = [&](ProcessId pid,
+                          ChannelId cid) -> const kpn::PhaseRates& {
     const kpn::Implementation& im =
         app.implementation(pid, mapping.impl_of(pid));
     for (const kpn::PortSpec& port : im.outputs) {
@@ -43,7 +44,8 @@ ExpandedGraph expand_mapping(const kpn::Application& app,
     throw Error("implementation '" + im.name + "' lacks output port for '" +
                 app.channel(cid).name + "'");
   };
-  auto input_rates = [&](ProcessId pid, ChannelId cid) -> const kpn::PhaseRates& {
+  auto input_rates = [&](ProcessId pid,
+                         ChannelId cid) -> const kpn::PhaseRates& {
     const kpn::Implementation& im =
         app.implementation(pid, mapping.impl_of(pid));
     for (const kpn::PortSpec& port : im.inputs) {

@@ -42,7 +42,7 @@ struct FeasibilityReport {
 /// buffer memory is reserved in ctx.state. On failure a feedback constraint
 /// is attached when one can be derived. The analysis summary is logged to
 /// ctx.trace.step4.
-[[nodiscard]] FeasibilityReport run_step4(MappingContext& ctx,
-                                          const FeasibilityOptions& options = {});
+[[nodiscard]] FeasibilityReport run_step4(
+    MappingContext& ctx, const FeasibilityOptions& options = {});
 
 }  // namespace rtsm::core

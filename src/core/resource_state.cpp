@@ -1,5 +1,6 @@
 #include "core/resource_state.hpp"
 
+#include "util/approx.hpp"
 #include "util/error.hpp"
 
 namespace rtsm::core {
@@ -73,6 +74,27 @@ void ResourceState::release_tile(TileId tile, double utilization,
   m = m > memory ? m - memory : 0;
   std::uint32_t& p = processes_[tile.value()];
   p = p > processes ? p - processes : 0;
+}
+
+void ResourceState::saturate_tile(TileId tile) {
+  check_tile(tile);
+  utilization_[tile.value()] = 1.0;
+  memory_used_[tile.value()] = platform_->tile(tile).memory_bytes;
+  processes_[tile.value()] = platform_->tile(tile).process_slots;
+}
+
+bool ResourceState::approx_equals(const ResourceState& other,
+                                  double rel_eps) const {
+  if (platform_ != other.platform_) return false;
+  if (memory_used_ != other.memory_used_ || processes_ != other.processes_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < utilization_.size(); ++i) {
+    if (!approx_equal(utilization_[i], other.utilization_[i], rel_eps)) {
+      return false;
+    }
+  }
+  return links_.approx_equals(other.links_, rel_eps);
 }
 
 std::size_t ResourceState::idle_tile_count() const {

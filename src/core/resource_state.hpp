@@ -55,6 +55,25 @@ class ResourceState {
   /// reporting: unused tiles can be power-gated).
   [[nodiscard]] std::size_t idle_tile_count() const;
 
+  /// Value copy of the residual state. The copy is what optimistic
+  /// concurrent admission plans against: a mapper runs on the snapshot
+  /// outside any lock, and the plan is re-validated against the live state
+  /// (mapping_fits) before commit. Cheap — four flat vectors.
+  [[nodiscard]] ResourceState snapshot() const { return *this; }
+
+  /// Marks @p tile as completely occupied (full utilisation, no free
+  /// memory, no free process slots). Used on snapshots to mask tiles
+  /// outside a shard so a mapper can only place within the shard's region.
+  void saturate_tile(TileId tile);
+
+  /// True when @p other books the same residual resources within a relative
+  /// tolerance of @p rel_eps per tile/link quantity. Utilisation and link
+  /// reservations are floating-point sums whose rounding depends on commit
+  /// order, so concurrent histories are compared approximately; memory and
+  /// process counts must match exactly.
+  [[nodiscard]] bool approx_equals(const ResourceState& other,
+                                   double rel_eps = 1e-9) const;
+
  private:
   void check_tile(TileId tile) const;
 

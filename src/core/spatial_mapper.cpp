@@ -75,7 +75,8 @@ StageStatus verify_constraints(MappingContext& ctx, const MapperConfig& config,
 
 }  // namespace
 
-SpatialMapper::SpatialMapper(MapperConfig config) : config_(std::move(config)) {}
+SpatialMapper::SpatialMapper(MapperConfig config)
+    : config_(std::move(config)) {}
 
 std::string SpatialMapper::describe() const {
   return "paper's four-step run-time heuristic: desirability-ordered "

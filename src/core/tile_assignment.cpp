@@ -101,8 +101,8 @@ class Search {
     const Load lb = load_of(app_, platform_, mapping_, b);
     state_.release_tile(ta, la.util, la.mem);
     state_.release_tile(tb, lb.util, lb.mem);
-    const bool ok =
-        state_.tile_fits(tb, la.util, la.mem) && state_.tile_fits(ta, lb.util, lb.mem);
+    const bool ok = state_.tile_fits(tb, la.util, la.mem) &&
+                    state_.tile_fits(ta, lb.util, lb.mem);
     state_.reserve_tile(ta, la.util, la.mem);
     state_.reserve_tile(tb, lb.util, lb.mem);
     return ok;
@@ -151,7 +151,8 @@ class Search {
   /// All admissible candidates for @p pid; swaps with partners in
   /// @p skip_pairs are omitted (sweep-level deduplication).
   std::vector<Candidate> candidates_for(
-      ProcessId pid, const std::set<std::pair<ProcessId, ProcessId>>& skip_pairs) {
+      ProcessId pid,
+      const std::set<std::pair<ProcessId, ProcessId>>& skip_pairs) {
     std::vector<Candidate> result;
     const TileId current = mapping_.tile_of(pid);
     const TileTypeId type = platform_.tile(current).type;
@@ -242,11 +243,14 @@ class Search {
         if (iteration >= options_.max_iterations) break;
         auto cands = candidates_for(pid, evaluated_pairs);
         for (const Candidate& cand : cands) {
-          if (cand.b.valid()) evaluated_pairs.insert(ordered_pair(cand.a, cand.b));
+          if (cand.b.valid()) {
+            evaluated_pairs.insert(ordered_pair(cand.a, cand.b));
+          }
         }
         if (cands.empty()) continue;
         const auto best = std::min_element(
-            cands.begin(), cands.end(), [](const Candidate& x, const Candidate& y) {
+            cands.begin(), cands.end(),
+            [](const Candidate& x, const Candidate& y) {
               return x.cost_after < y.cost_after;
             });
         const double before = cost();

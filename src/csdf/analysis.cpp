@@ -58,7 +58,8 @@ std::optional<RepetitionVector> repetition_vector(const Graph& graph) {
     const Edge& e = graph.edge(eid);
     const auto prod = static_cast<std::int64_t>(e.tokens_per_src_cycle());
     const auto cons = static_cast<std::int64_t>(e.tokens_per_dst_cycle());
-    if (q[e.src.value()] * Rational{prod} != q[e.dst.value()] * Rational{cons}) {
+    if (q[e.src.value()] * Rational{prod} !=
+        q[e.dst.value()] * Rational{cons}) {
       return std::nullopt;
     }
   }
@@ -79,8 +80,10 @@ std::optional<RepetitionVector> repetition_vector(const Graph& graph) {
   rv.firings.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     rv.cycles[i] = static_cast<std::uint64_t>(scaled[i] / num_gcd);
-    rv.firings[i] = rv.cycles[i] * graph.actor(ActorId{static_cast<ActorId::value_type>(i)})
-                                       .phase_count();
+    rv.firings[i] =
+        rv.cycles[i] *
+        graph.actor(ActorId{static_cast<ActorId::value_type>(i)})
+            .phase_count();
   }
   return rv;
 }

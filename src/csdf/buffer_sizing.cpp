@@ -54,9 +54,8 @@ BufferSizingResult size_buffers(Graph& graph, const std::vector<EdgeId>& edges,
   for (std::size_t i = 0; i < edges.size(); ++i) {
     lower[i] = capacity_lower_bound(graph, edges[i]);
     const std::uint64_t per_iter = tokens_per_iteration(graph, *rv, edges[i]);
-    const std::uint64_t ub =
-        std::max<std::uint64_t>(lower[i], 4 * per_iter +
-                                              graph.edge(edges[i]).initial_tokens);
+    const std::uint64_t ub = std::max<std::uint64_t>(
+        lower[i], 4 * per_iter + graph.edge(edges[i]).initial_tokens);
     upper[i] = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(ub, config.capacity_limit));
   }

@@ -235,7 +235,8 @@ SimulationResult simulate(const Graph& graph, const RepetitionVector& rv,
   const std::uint64_t t_begin = w == 0 ? ref_iter_end[0] : ref_iter_end[w - 1];
   const std::uint64_t t_end = ref_iter_end[w + m - 1];
   const std::uint32_t spans = w == 0 ? m - 1 : m;
-  result.period_ps = spans == 0 ? t_begin : (t_end - t_begin + spans - 1) / spans;
+  result.period_ps =
+      spans == 0 ? t_begin : (t_end - t_begin + spans - 1) / spans;
 
   std::uint64_t max_span = 0;
   for (std::uint32_t i = (w == 0 ? 1 : w); i < w + m; ++i) {

@@ -48,7 +48,9 @@ std::optional<std::vector<NodeId>> Digraph::topological_order() const {
 
   std::queue<NodeId> ready;
   for (std::size_t n = 0; n < node_count(); ++n) {
-    if (indegree[n] == 0) ready.push(NodeId{static_cast<NodeId::value_type>(n)});
+    if (indegree[n] == 0) {
+      ready.push(NodeId{static_cast<NodeId::value_type>(n)});
+    }
   }
 
   std::vector<NodeId> order;
@@ -113,7 +115,9 @@ std::vector<NodeId> Digraph::reachable_from(NodeId start) const {
 std::vector<NodeId> Digraph::sources() const {
   std::vector<NodeId> result;
   for (std::size_t n = 0; n < node_count(); ++n) {
-    if (in_[n].empty()) result.push_back(NodeId{static_cast<NodeId::value_type>(n)});
+    if (in_[n].empty()) {
+      result.push_back(NodeId{static_cast<NodeId::value_type>(n)});
+    }
   }
   return result;
 }
@@ -121,7 +125,9 @@ std::vector<NodeId> Digraph::sources() const {
 std::vector<NodeId> Digraph::sinks() const {
   std::vector<NodeId> result;
   for (std::size_t n = 0; n < node_count(); ++n) {
-    if (out_[n].empty()) result.push_back(NodeId{static_cast<NodeId::value_type>(n)});
+    if (out_[n].empty()) {
+      result.push_back(NodeId{static_cast<NodeId::value_type>(n)});
+    }
   }
   return result;
 }

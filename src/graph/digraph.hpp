@@ -48,7 +48,9 @@ class Digraph {
   [[nodiscard]] std::optional<std::vector<NodeId>> topological_order() const;
 
   /// True when no directed cycle exists.
-  [[nodiscard]] bool is_acyclic() const { return topological_order().has_value(); }
+  [[nodiscard]] bool is_acyclic() const {
+    return topological_order().has_value();
+  }
 
   /// True when the underlying undirected graph is connected
   /// (vacuously true for the empty graph).

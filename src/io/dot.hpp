@@ -23,8 +23,8 @@ namespace rtsm::io {
 
 /// ASCII-art layout of the mesh (Figure 2 style); when @p mapping and
 /// @p app are given, each tile is annotated with the processes it hosts.
-[[nodiscard]] std::string platform_ascii(const arch::Platform& platform,
-                                         const kpn::Application* app = nullptr,
-                                         const core::Mapping* mapping = nullptr);
+[[nodiscard]] std::string platform_ascii(
+    const arch::Platform& platform, const kpn::Application* app = nullptr,
+    const core::Mapping* mapping = nullptr);
 
 }  // namespace rtsm::io

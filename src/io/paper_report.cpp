@@ -94,7 +94,8 @@ std::string render_table2(const kpn::Application& app,
 }
 
 std::string render_step1(const std::vector<core::Step1Record>& records) {
-  TablePrinter table({"#", "Process", "Implementation", "Tile", "Desirability"});
+  TablePrinter table(
+      {"#", "Process", "Implementation", "Tile", "Desirability"});
   table.align_right(4);
   std::size_t i = 0;
   for (const core::Step1Record& r : records) {

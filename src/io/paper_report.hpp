@@ -18,15 +18,17 @@ namespace rtsm::io {
 /// and the keep/revert remark. Trailing non-improving evaluations (the
 /// stopping check) are collapsed into the final "No further choices" row,
 /// exactly as the paper's table does.
-[[nodiscard]] std::string render_table2(const kpn::Application& app,
-                                        const core::Step2Trace& trace,
-                                        const std::vector<std::string>& tile_columns);
+[[nodiscard]] std::string render_table2(
+    const kpn::Application& app, const core::Step2Trace& trace,
+    const std::vector<std::string>& tile_columns);
 
 /// Renders the step-1 decisions (process order, chosen implementation,
 /// desirability margin) as a table; "default" marks single-option picks.
-[[nodiscard]] std::string render_step1(const std::vector<core::Step1Record>& records);
+[[nodiscard]] std::string render_step1(
+    const std::vector<core::Step1Record>& records);
 
 /// Renders the step-3 routing log (channel order, demand, routers, hops).
-[[nodiscard]] std::string render_step3(const std::vector<core::Step3Record>& records);
+[[nodiscard]] std::string render_step3(
+    const std::vector<core::Step3Record>& records);
 
 }  // namespace rtsm::io

@@ -195,8 +195,9 @@ void Application::validate() const {
       check_ports(im.outputs, out_channels_[pi], "output");
 
       // Rate consistency: integral, identical cycles-per-symbol across ports.
-      (void)cycles_per_symbol(pid, ImplementationId{
-                                       static_cast<ImplementationId::value_type>(ii)});
+      (void)cycles_per_symbol(
+          pid,
+          ImplementationId{static_cast<ImplementationId::value_type>(ii)});
     }
   }
 }

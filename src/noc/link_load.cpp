@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "util/approx.hpp"
 #include "util/error.hpp"
 
 namespace rtsm::noc {
@@ -82,6 +83,16 @@ void LinkLoad::release_path(const Path& path, double demand) {
 
 double LinkLoad::total_reserved() const {
   return std::accumulate(reserved_.begin(), reserved_.end(), 0.0);
+}
+
+bool LinkLoad::approx_equals(const LinkLoad& other, double rel_eps) const {
+  if (platform_ != other.platform_) return false;
+  for (std::size_t i = 0; i < reserved_.size(); ++i) {
+    if (!approx_equal(reserved_[i], other.reserved_[i], rel_eps)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace rtsm::noc

@@ -65,6 +65,12 @@ class LinkLoad {
   /// Sum of reserved rate over all links (a congestion metric).
   [[nodiscard]] double total_reserved() const;
 
+  /// True when every link's reservation matches @p other within a relative
+  /// tolerance (see ResourceState::approx_equals for why reservations made
+  /// in different orders can only be compared approximately).
+  [[nodiscard]] bool approx_equals(const LinkLoad& other,
+                                   double rel_eps = 1e-9) const;
+
  private:
   const arch::Platform* platform_;
   std::vector<double> reserved_;

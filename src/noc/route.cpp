@@ -46,7 +46,8 @@ std::optional<Path> route_shortest(const LinkLoad& load, TileId src,
   std::vector<std::uint32_t> dist(n, kInf);
   std::vector<LinkId> parent_link(n);
 
-  using Entry = std::pair<std::uint32_t, RouterId::value_type>;  // (dist, router)
+  // (dist, router)
+  using Entry = std::pair<std::uint32_t, RouterId::value_type>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
   dist[start.value()] = 0;
   open.emplace(0, start.value());

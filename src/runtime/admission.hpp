@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "core/mapper.hpp"
+#include "kpn/application.hpp"
 
 namespace rtsm::runtime {
 
@@ -64,6 +66,58 @@ class RetryAdmission final : public AdmissionPolicy {
 
  private:
   std::uint32_t max_attempts_;
+};
+
+/// Orders the arrivals of one drained burst before they are admitted
+/// greedily (ConcurrentRuntimeManager batching). Higher priority is
+/// admitted first; ties fall back to arrival (request id) order, so the
+/// default policy degenerates to FIFO.
+class PriorityPolicy {
+ public:
+  virtual ~PriorityPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Priority of an arrival; larger = earlier in the batch. @p deadline_us
+  /// is the request's mapper budget (0 = none).
+  [[nodiscard]] virtual double priority(const kpn::Application& app,
+                                        double deadline_us) const = 0;
+};
+
+/// All arrivals equal: batches are admitted in arrival order.
+class FifoPriority final : public PriorityPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "fifo"; }
+
+  [[nodiscard]] double priority(const kpn::Application&,
+                                double) const override {
+    return 0.0;
+  }
+};
+
+/// Earliest-deadline-first: tighter mapper budgets go first; requests
+/// without a deadline go last (in arrival order).
+class DeadlinePriority final : public PriorityPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "deadline"; }
+
+  [[nodiscard]] double priority(const kpn::Application&,
+                                double deadline_us) const override {
+    return deadline_us > 0.0 ? -deadline_us
+                             : -std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Smallest-application-first: admitting small applications before large
+/// ones maximises the admitted count of a burst (greedy knapsack order).
+class SmallestFirstPriority final : public PriorityPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "smallest-first"; }
+
+  [[nodiscard]] double priority(const kpn::Application& app,
+                                double) const override {
+    return -static_cast<double>(app.process_count());
+  }
 };
 
 }  // namespace rtsm::runtime

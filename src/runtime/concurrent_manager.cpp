@@ -1,0 +1,456 @@
+#include "runtime/concurrent_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace rtsm::runtime {
+
+ConcurrentRuntimeManager::ConcurrentRuntimeManager(
+    const arch::Platform& platform, std::shared_ptr<const core::Mapper> mapper,
+    ConcurrentOptions options, std::shared_ptr<const AdmissionPolicy> policy,
+    std::shared_ptr<const PriorityPolicy> priority)
+    : platform_(&platform),
+      mapper_(std::move(mapper)),
+      policy_(std::move(policy)),
+      priority_(std::move(priority)),
+      options_(options),
+      state_(platform),
+      queue_(options.queue_capacity) {
+  require(mapper_ != nullptr, "ConcurrentRuntimeManager needs a mapper");
+  require(policy_ != nullptr, "ConcurrentRuntimeManager needs a policy");
+  require(priority_ != nullptr,
+          "ConcurrentRuntimeManager needs a priority policy");
+  require(options_.shards >= 1, "shards must be >= 1");
+  require(options_.max_batch >= 1, "max_batch must be >= 1");
+
+  // Shards partition the mesh into vertical stripes; a tile belongs to the
+  // stripe its router column falls in.
+  const std::uint32_t shard_count = options_.shards;
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->owns_tile.assign(platform.tile_count(), false);
+    shards_.push_back(std::move(shard));
+  }
+  for (const TileId tid : platform.tile_ids()) {
+    shards_[shard_of(tid)]->owns_tile[tid.value()] = true;
+  }
+
+  workers_.reserve(options_.workers);
+  for (std::uint32_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ConcurrentRuntimeManager::~ConcurrentRuntimeManager() { shutdown(); }
+
+std::size_t ConcurrentRuntimeManager::shard_of(TileId tile) const {
+  const std::uint32_t x = platform_->tile(tile).x;
+  const std::uint32_t width = std::max(platform_->mesh_width(), 1u);
+  const std::size_t shard =
+      static_cast<std::size_t>(x) * options_.shards / width;
+  return std::min<std::size_t>(shard, options_.shards - 1);
+}
+
+std::future<AdmitOutcome> ConcurrentRuntimeManager::submit(
+    std::shared_ptr<const kpn::Application> app, double deadline_us) {
+  require(app != nullptr, "admission request without an application");
+  Request request;
+  request.id = next_request_.fetch_add(1);
+  request.priority = priority_->priority(*app, deadline_us);
+  request.app = std::move(app);
+  request.deadline_us = deadline_us;
+  std::future<AdmitOutcome> future = request.promise.get_future();
+
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.offered;
+  }
+  in_flight_.fetch_add(1);
+  if (options_.workers == 0) {
+    // Inline mode: the caller is the only consumer, so a blocking push on
+    // a full queue would deadlock this thread. Make room by pumping.
+    while (!queue_.try_push(std::move(request))) {
+      if (queue_.closed()) {
+        reject_shut_down(std::move(request));
+        return future;
+      }
+      pump();
+    }
+    return future;
+  }
+  if (!queue_.push(std::move(request))) {
+    reject_shut_down(std::move(request));
+  }
+  return future;
+}
+
+void ConcurrentRuntimeManager::reject_shut_down(Request request) {
+  AdmitOutcome outcome;
+  outcome.request = request.id;
+  outcome.status = AdmitStatus::Rejected;
+  outcome.attempts = request.attempts;
+  outcome.mapping_us = request.mapping_us;
+  outcome.mapping.failure = "manager is shut down";
+  resolve(std::move(request), std::move(outcome));
+}
+
+AdmitOutcome ConcurrentRuntimeManager::admit(const kpn::Application& app,
+                                             double deadline_us) {
+  auto future = submit(std::make_shared<kpn::Application>(app), deadline_us);
+  if (options_.workers == 0) pump();
+  return future.get();
+}
+
+void ConcurrentRuntimeManager::pump() {
+  while (true) {
+    std::vector<Request> batch = queue_.try_pop_batch(options_.max_batch);
+    if (batch.empty()) return;
+    process_batch(std::move(batch));
+  }
+}
+
+void ConcurrentRuntimeManager::worker_loop() {
+  while (true) {
+    std::vector<Request> batch = queue_.pop_batch(options_.max_batch);
+    if (batch.empty()) return;  // closed and drained
+    process_batch(std::move(batch));
+  }
+}
+
+void ConcurrentRuntimeManager::process_batch(std::vector<Request> batch) {
+  // One drained burst: admit in priority order, ties in arrival order.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Request& a, const Request& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority > b.priority;
+                     }
+                     return a.id < b.id;
+                   });
+  for (Request& request : batch) {
+    process_request(std::move(request));
+  }
+}
+
+core::MappingResult ConcurrentRuntimeManager::run_mapper(
+    Request& request, const core::ResourceState& base) {
+  const auto start = std::chrono::steady_clock::now();
+  core::MappingResult result = mapper_->map(*request.app, base);
+  request.mapping_us += elapsed_us(start);
+  ++request.attempts;
+  return result;
+}
+
+bool ConcurrentRuntimeManager::validate_and_commit(
+    Request& request, core::MappingResult& result) {
+  AppId id;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (!core::mapping_fits(state_, *request.app, result.mapping)) {
+      return false;
+    }
+    core::commit_mapping(state_, *request.app, result.mapping);
+    id = AppId{next_app_.fetch_add(1)};
+    running_.emplace(
+        id, Running{request.app, result.mapping, result.energy_nj_per_symbol});
+  }
+  AdmitOutcome outcome;
+  outcome.request = request.id;
+  outcome.status = AdmitStatus::Admitted;
+  outcome.app_id = id;
+  outcome.attempts = request.attempts;
+  outcome.mapping_us = request.mapping_us;
+  outcome.mapping = std::move(result);
+  resolve(std::move(request), std::move(outcome));
+  return true;
+}
+
+core::ResourceState ConcurrentRuntimeManager::masked_snapshot(
+    std::size_t shard) const {
+  core::ResourceState snap = state_snapshot();
+  const std::vector<bool>& owns = shards_[shard]->owns_tile;
+  for (const TileId tid : snap.platform().tile_ids()) {
+    if (!owns[tid.value()]) snap.saturate_tile(tid);
+  }
+  return snap;
+}
+
+void ConcurrentRuntimeManager::process_request(Request request) {
+  auto miss = [&](Request r) {
+    AdmitOutcome outcome;
+    outcome.request = r.id;
+    outcome.status = AdmitStatus::DeadlineMiss;
+    outcome.attempts = r.attempts;
+    outcome.mapping_us = r.mapping_us;
+    resolve(std::move(r), std::move(outcome));
+  };
+
+  // Phase 1 — sharded admission: plan confined to one stripe of the mesh.
+  // The shard lock serializes planners per region (two workers never plan
+  // into the same stripe at once), so shard-local plans almost never hit a
+  // validation conflict; foreign-tile traffic can still conflict and is
+  // caught by validate_and_commit.
+  if (options_.shards >= 2) {
+    const std::size_t s = next_shard_.fetch_add(1) % options_.shards;
+    std::unique_lock shard_lock(shards_[s]->mutex);
+    core::MappingResult result = run_mapper(request, masked_snapshot(s));
+    if (request.deadline_us > 0.0 && request.mapping_us > request.deadline_us) {
+      shard_lock.unlock();
+      miss(std::move(request));
+      return;
+    }
+    if (result.success) {
+      if (validate_and_commit(request, result)) return;
+      // The shard plan got outraced (shared NoC links, foreign commits).
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.conflicts;
+    }
+    // Shard full or outraced: phase 2 falls back to the whole platform.
+  }
+
+  // Phase 2 — whole-platform optimistic loop: map on a snapshot outside
+  // any lock, re-validate + commit under the state lock, re-map on
+  // conflict.
+  std::uint32_t conflicts = 0;
+  while (true) {
+    // Epoch before the snapshot: if a release advances it while this
+    // attempt runs, the attempt's failure verdict may be stale and the
+    // request must not park on it (it would miss that release's wake).
+    const std::uint64_t epoch_seen = release_epoch_.load();
+    core::MappingResult result = run_mapper(request, state_snapshot());
+    if (request.deadline_us > 0.0 && request.mapping_us > request.deadline_us) {
+      miss(std::move(request));
+      return;
+    }
+    if (result.success) {
+      if (validate_and_commit(request, result)) return;
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.conflicts;
+      }
+      if (++conflicts <= options_.validation_retries) continue;
+      result.success = false;
+      result.failure = "optimistic validation kept conflicting (" +
+                       std::to_string(conflicts) + " attempts)";
+    }
+    if (policy_->on_failure(result, request.attempts) ==
+        FailureAction::Retry) {
+      if (try_park(request, epoch_seen)) return;
+      continue;  // a release raced this attempt: retry on the fresh state
+    }
+    AdmitOutcome outcome;
+    outcome.request = request.id;
+    outcome.status = AdmitStatus::Rejected;
+    outcome.attempts = request.attempts;
+    outcome.mapping_us = request.mapping_us;
+    outcome.mapping = std::move(result);
+    resolve(std::move(request), std::move(outcome));
+    return;
+  }
+}
+
+void ConcurrentRuntimeManager::record_outcome(RequestId request,
+                                              const AdmitOutcome& outcome) {
+  std::lock_guard lock(stats_mutex_);
+  switch (outcome.status) {
+    case AdmitStatus::Admitted:
+      ++stats_.admitted;
+      break;
+    case AdmitStatus::Rejected:
+      ++stats_.rejected;
+      break;
+    case AdmitStatus::DeadlineMiss:
+      ++stats_.deadline_misses;
+      break;
+    case AdmitStatus::Waiting:
+      break;
+  }
+  stats_.latencies_us.push_back(outcome.mapping_us);
+  resolution_order_.push_back(request);
+}
+
+void ConcurrentRuntimeManager::resolve(Request request, AdmitOutcome outcome) {
+  record_outcome(request.id, outcome);
+  request.promise.set_value(std::move(outcome));
+  finish_one();
+}
+
+bool ConcurrentRuntimeManager::try_park(Request& request,
+                                        std::uint64_t epoch_seen) {
+  {
+    std::lock_guard lock(waiting_mutex_);
+    // requeue_waiting() bumps the epoch and drains the list under this
+    // same mutex, so either this request makes it into the list before
+    // the wake (and is woken), or it observes the bumped epoch here and
+    // retries instead — a release can never fall between the two.
+    if (release_epoch_.load() != epoch_seen) return false;
+    waiting_.push_back(std::move(request));
+  }
+  // Parked requests wait for a future release, not for a worker.
+  finish_one();
+  return true;
+}
+
+void ConcurrentRuntimeManager::requeue_waiting() {
+  std::vector<Request> woken;
+  {
+    std::lock_guard lock(waiting_mutex_);
+    release_epoch_.fetch_add(1);
+    woken.swap(waiting_);
+  }
+  if (woken.empty()) return;
+  for (Request& request : woken) {
+    in_flight_.fetch_add(1);
+    if (!queue_.push(std::move(request))) {
+      // Shutting down: the queue refused (request untouched) — give up.
+      // No retry is counted: no further mapping attempt will run.
+      reject_shut_down(std::move(request));
+      continue;
+    }
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.retries;
+  }
+}
+
+void ConcurrentRuntimeManager::finish_one() {
+  if (in_flight_.fetch_sub(1) == 1) {
+    // Empty critical section pairs with the predicate check in
+    // wait_idle(): a waiter is either not yet blocked (re-checks) or
+    // blocked (receives the notify).
+    std::lock_guard lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+bool ConcurrentRuntimeManager::release(AppId id) {
+  {
+    std::lock_guard lock(state_mutex_);
+    const auto it = running_.find(id);
+    if (it == running_.end()) {
+      std::lock_guard stats_lock(stats_mutex_);
+      ++stats_.release_errors;
+      release_errors_.push_back(
+          {id, "release of unknown or already-released application id " +
+                   std::to_string(id.value())});
+      return false;
+    }
+    core::release_mapping(state_, *it->second.app, it->second.mapping);
+    running_.erase(it);
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.releases;
+  }
+  requeue_waiting();
+  return true;
+}
+
+void ConcurrentRuntimeManager::wait_idle() {
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] { return in_flight_.load() == 0; });
+}
+
+std::vector<AdmitOutcome> ConcurrentRuntimeManager::reject_waiting() {
+  std::vector<Request> parked;
+  {
+    std::lock_guard lock(waiting_mutex_);
+    // Same epoch discipline as requeue_waiting(): a request about to park
+    // concurrently must not strand itself in a list that was just
+    // resolved — it observes the bump and retries instead.
+    release_epoch_.fetch_add(1);
+    parked.swap(waiting_);
+  }
+  std::vector<AdmitOutcome> outcomes;
+  outcomes.reserve(parked.size());
+  for (Request& request : parked) {
+    AdmitOutcome outcome;
+    outcome.request = request.id;
+    outcome.status = AdmitStatus::Rejected;
+    outcome.attempts = request.attempts;
+    outcome.mapping_us = request.mapping_us;
+    outcome.mapping.failure = "still waiting at end of scenario";
+    // Shares resolve()'s bookkeeping but not its finish_one(): a parked
+    // request already left the in-flight count when it parked.
+    record_outcome(request.id, outcome);
+    outcomes.push_back(outcome);
+    request.promise.set_value(std::move(outcome));
+  }
+  return outcomes;
+}
+
+void ConcurrentRuntimeManager::shutdown() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  queue_.close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Without a pool the closed queue may still hold requests: drain them
+  // inline so every future resolves.
+  pump();
+  reject_waiting();
+}
+
+core::ResourceState ConcurrentRuntimeManager::state_snapshot() const {
+  std::lock_guard lock(state_mutex_);
+  return state_.snapshot();
+}
+
+AdmissionStats ConcurrentRuntimeManager::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+std::size_t ConcurrentRuntimeManager::running_count() const {
+  std::lock_guard lock(state_mutex_);
+  return running_.size();
+}
+
+std::size_t ConcurrentRuntimeManager::waiting_count() const {
+  std::lock_guard lock(waiting_mutex_);
+  return waiting_.size();
+}
+
+std::vector<AppId> ConcurrentRuntimeManager::running_ids() const {
+  std::lock_guard lock(state_mutex_);
+  std::vector<AppId> ids;
+  ids.reserve(running_.size());
+  for (const auto& [id, run] : running_) ids.push_back(id);
+  return ids;
+}
+
+core::Mapping ConcurrentRuntimeManager::mapping_of(AppId id) const {
+  std::lock_guard lock(state_mutex_);
+  const auto it = running_.find(id);
+  require(it != running_.end(), "mapping_of unknown application id");
+  return it->second.mapping;
+}
+
+std::shared_ptr<const kpn::Application> ConcurrentRuntimeManager::app_of(
+    AppId id) const {
+  std::lock_guard lock(state_mutex_);
+  const auto it = running_.find(id);
+  require(it != running_.end(), "app_of unknown application id");
+  return it->second.app;
+}
+
+double ConcurrentRuntimeManager::total_energy_nj_per_symbol() const {
+  std::lock_guard lock(state_mutex_);
+  double total = 0.0;
+  for (const auto& [id, run] : running_) total += run.energy_nj;
+  return total;
+}
+
+std::vector<ReleaseError> ConcurrentRuntimeManager::drain_release_errors() {
+  std::lock_guard lock(stats_mutex_);
+  return std::exchange(release_errors_, {});
+}
+
+std::vector<RequestId> ConcurrentRuntimeManager::resolution_order() const {
+  std::lock_guard lock(stats_mutex_);
+  return resolution_order_;
+}
+
+}  // namespace rtsm::runtime

@@ -1,0 +1,254 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "core/mapper.hpp"
+#include "runtime/admission.hpp"
+#include "runtime/request_queue.hpp"
+#include "runtime/runtime_manager.hpp"
+
+namespace rtsm::runtime {
+
+/// Tuning knobs of the ConcurrentRuntimeManager.
+struct ConcurrentOptions {
+  /// Worker threads consuming the arrival queue. 0 = no pool: requests
+  /// queue up and are processed inline by pump() (or admit()) on the
+  /// caller's thread — deterministic, used by tests and for embedding the
+  /// manager into an external event loop.
+  std::uint32_t workers = 4;
+
+  /// Bound of the arrival queue. submit() blocks while the queue is full,
+  /// back-pressuring arrival sources instead of growing without limit.
+  std::size_t queue_capacity = 256;
+
+  /// Arrivals drained per worker wake: one burst batch. The batch is
+  /// reordered by the PriorityPolicy and admitted greedily, so a burst is
+  /// admitted in priority order even though arrivals raced.
+  std::size_t max_batch = 8;
+
+  /// Re-map attempts after an optimistic validation conflict (the residual
+  /// state changed between snapshot and commit so the plan no longer
+  /// fits). Each retry plans against a fresh snapshot.
+  std::uint32_t validation_retries = 3;
+
+  /// Number of tile-region shards (vertical mesh stripes). >= 2 enables
+  /// two-phase sharded admission: a request first plans confined to one
+  /// shard (per-shard lock, tiles outside the shard masked as saturated),
+  /// and falls back to whole-platform optimistic admission when the shard
+  /// cannot host it.
+  std::uint32_t shards = 1;
+};
+
+/// Thread-safe run-time admission manager: concurrent arrivals, a worker
+/// pool, and optimistic map-then-validate-then-commit booking.
+///
+/// The expensive part of an admission — running the spatial mapper — is
+/// executed on a value snapshot of the ResourceState *outside* any lock;
+/// only the fit re-check (mapping_fits) and the reservation
+/// (commit_mapping) are serialized on the state mutex. When the residual
+/// state changed in between and the plan no longer fits, the request is
+/// re-mapped against a fresh snapshot (a bounded number of times) — the
+/// classic optimistic-concurrency loop, which works because admissions
+/// rarely contend for the same tiles on a large platform.
+///
+/// Semantics relative to the serial RuntimeManager:
+/// - submit() returns a std::future<AdmitOutcome> instead of feeding a
+///   drain() stream; resolution order across racing requests is
+///   nondeterministic (within one drained batch it follows the
+///   PriorityPolicy).
+/// - release() applies immediately (it only takes the state lock) and
+///   wakes parked requests by re-queueing them.
+/// - A retry policy parks failed requests exactly like the serial manager;
+///   a parked request's future resolves after a later release readmits it,
+///   or when reject_waiting()/shutdown() gives up on it.
+class ConcurrentRuntimeManager {
+ public:
+  ConcurrentRuntimeManager(
+      const arch::Platform& platform,
+      std::shared_ptr<const core::Mapper> mapper,
+      ConcurrentOptions options = {},
+      std::shared_ptr<const AdmissionPolicy> policy =
+          std::make_shared<FirstFitAdmission>(),
+      std::shared_ptr<const PriorityPolicy> priority =
+          std::make_shared<FifoPriority>());
+
+  ConcurrentRuntimeManager(const ConcurrentRuntimeManager&) = delete;
+  ConcurrentRuntimeManager& operator=(const ConcurrentRuntimeManager&) =
+      delete;
+
+  /// Joins the workers; queued requests are still processed, parked ones
+  /// are rejected (see shutdown()).
+  ~ConcurrentRuntimeManager();
+
+  /// Enqueues an admission request from any thread; blocks while the
+  /// arrival queue is full. The future resolves when the request is
+  /// admitted, rejected or misses its deadline; with a retry policy it
+  /// stays pending while the request is parked.
+  std::future<AdmitOutcome> submit(
+      std::shared_ptr<const kpn::Application> app, double deadline_us = 0.0);
+
+  /// submit() + future wait. With workers == 0 the caller's thread pumps
+  /// the queue first. Do not combine with a retry policy when nothing else
+  /// drives releases — a parked request would block forever.
+  AdmitOutcome admit(const kpn::Application& app, double deadline_us = 0.0);
+
+  /// Releases a running application immediately (thread-safe) and wakes
+  /// parked requests. Returns false — and records a ReleaseError — when
+  /// the id is unknown or already released.
+  bool release(AppId id);
+
+  /// Processes queued requests inline on the caller's thread until the
+  /// queue is empty. The workers == 0 mode's event loop; also safe to call
+  /// concurrently with a running pool (the caller just becomes an extra
+  /// worker for a while).
+  void pump();
+
+  /// Blocks until every submitted request has been resolved or parked.
+  /// (Parked requests are waiting for a future release, not for a worker —
+  /// counting them as in-flight would deadlock the caller.)
+  void wait_idle();
+
+  /// Force-resolves all parked requests as rejected; returns their
+  /// outcomes (their futures resolve too).
+  std::vector<AdmitOutcome> reject_waiting();
+
+  /// Stops accepting new requests, drains the queue, joins the workers and
+  /// rejects everything still parked. Idempotent; called by the
+  /// destructor.
+  void shutdown();
+
+  // -- thread-safe observers (values are copied out under the lock) -------
+
+  /// Residual resource snapshot (what a new admission would see).
+  [[nodiscard]] core::ResourceState state_snapshot() const;
+
+  [[nodiscard]] AdmissionStats stats() const;
+  [[nodiscard]] std::size_t running_count() const;
+  [[nodiscard]] std::size_t waiting_count() const;
+  [[nodiscard]] std::size_t queued_count() const { return queue_.size(); }
+
+  [[nodiscard]] std::vector<AppId> running_ids() const;
+  [[nodiscard]] core::Mapping mapping_of(AppId id) const;
+  [[nodiscard]] std::shared_ptr<const kpn::Application> app_of(AppId id) const;
+  [[nodiscard]] double total_energy_nj_per_symbol() const;
+
+  /// Hands out (and clears) recorded release errors.
+  [[nodiscard]] std::vector<ReleaseError> drain_release_errors();
+
+  /// Request ids in the order they were resolved (admitted / rejected /
+  /// deadline-missed) — the observable effect of batch reordering.
+  [[nodiscard]] std::vector<RequestId> resolution_order() const;
+
+  [[nodiscard]] const core::Mapper& mapper() const { return *mapper_; }
+  [[nodiscard]] const AdmissionPolicy& policy() const { return *policy_; }
+  [[nodiscard]] const PriorityPolicy& priority_policy() const {
+    return *priority_;
+  }
+  [[nodiscard]] const ConcurrentOptions& options() const { return options_; }
+
+  /// Shard index hosting @p tile (tiles are partitioned into vertical mesh
+  /// stripes); always 0 when sharding is off.
+  [[nodiscard]] std::size_t shard_of(TileId tile) const;
+
+ private:
+  struct Request {
+    RequestId id = 0;
+    std::shared_ptr<const kpn::Application> app;
+    double deadline_us = 0.0;
+    double priority = 0.0;
+    std::uint32_t attempts = 0;
+    double mapping_us = 0.0;
+    std::promise<AdmitOutcome> promise;
+  };
+
+  struct Running {
+    std::shared_ptr<const kpn::Application> app;
+    core::Mapping mapping;
+    double energy_nj = 0.0;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::vector<bool> owns_tile;  // indexed by TileId::value()
+  };
+
+  void worker_loop();
+  void process_batch(std::vector<Request> batch);
+  void process_request(Request request);
+
+  /// One mapping attempt against @p base; updates attempt counters.
+  core::MappingResult run_mapper(Request& request,
+                                 const core::ResourceState& base);
+
+  /// Fit re-check + reservation under the state lock. False on conflict.
+  bool validate_and_commit(Request& request, core::MappingResult& result);
+
+  /// Snapshot with all tiles outside @p shard saturated.
+  [[nodiscard]] core::ResourceState masked_snapshot(std::size_t shard) const;
+
+  /// Outcome bookkeeping shared by every resolution path: counters,
+  /// latency sample, resolution order.
+  void record_outcome(RequestId request, const AdmitOutcome& outcome);
+  void resolve(Request request, AdmitOutcome outcome);
+  /// Resolves @p request as rejected because the manager is shut down.
+  void reject_shut_down(Request request);
+
+  /// Parks @p request — unless a release advanced the epoch past
+  /// @p epoch_seen since the failed attempt planned its snapshot, in which
+  /// case parking would miss that release's wake-up (the lost-wakeup race)
+  /// and the caller must retry against the fresh state instead. Returns
+  /// whether the request was parked.
+  [[nodiscard]] bool try_park(Request& request, std::uint64_t epoch_seen);
+
+  /// Moves parked requests back into the queue after a release.
+  void requeue_waiting();
+  /// Decrements the in-flight count and wakes wait_idle().
+  void finish_one();
+
+  const arch::Platform* platform_;
+  std::shared_ptr<const core::Mapper> mapper_;
+  std::shared_ptr<const AdmissionPolicy> policy_;
+  std::shared_ptr<const PriorityPolicy> priority_;
+  ConcurrentOptions options_;
+
+  /// Guards state_ and running_ (commit + bookkeeping are one atomic
+  /// step). Never held while the mapper runs.
+  mutable std::mutex state_mutex_;
+  core::ResourceState state_;
+  std::map<AppId, Running> running_;
+
+  mutable std::mutex stats_mutex_;
+  AdmissionStats stats_;
+  std::vector<ReleaseError> release_errors_;
+  std::vector<RequestId> resolution_order_;
+
+  mutable std::mutex waiting_mutex_;
+  std::vector<Request> waiting_;
+  /// Bumped (under waiting_mutex_) by every wake of the parked list; a
+  /// worker re-checks it under the same lock before parking so a release
+  /// cannot slip between a failed attempt and the park (see try_park).
+  std::atomic<std::uint64_t> release_epoch_{0};
+
+  BoundedQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> next_request_{1};
+  std::atomic<std::uint32_t> next_app_{0};
+  std::atomic<std::uint64_t> next_shard_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<bool> stopped_{false};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace rtsm::runtime

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rtsm::runtime {
+
+/// Bounded multi-producer multi-consumer queue feeding the admission worker
+/// pool.
+///
+/// Producers block in push() while the queue is full (back-pressure towards
+/// arrival sources); consumers block in pop_batch() while it is empty.
+/// pop_batch() drains up to @p max items per wake, which is what turns an
+/// arrival burst into one batch the manager can reorder by priority before
+/// admitting greedily. close() releases all waiters: producers fail fast,
+/// consumers drain the remaining items and then see end-of-stream.
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    require(capacity > 0, "BoundedQueue needs a nonzero capacity");
+  }
+
+  /// Blocks while full. Returns false when the queue is closed — @p item
+  /// is NOT moved from in that case, so the caller can still resolve it.
+  bool push(T&& item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false (item untouched) when full or closed.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available, then drains up to @p max
+  /// items. Returns an empty vector only when the queue is closed and
+  /// empty (end of stream).
+  std::vector<T> pop_batch(std::size_t max) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return drain_locked(max, lock);
+  }
+
+  /// Drains up to @p max items without blocking; empty when none queued.
+  std::vector<T> try_pop_batch(std::size_t max) {
+    std::unique_lock lock(mutex_);
+    return drain_locked(max, lock);
+  }
+
+  /// Wakes all waiters; push() fails from now on, pops drain the rest.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::vector<T> drain_locked(std::size_t max,
+                              std::unique_lock<std::mutex>& lock) {
+    std::vector<T> batch;
+    const std::size_t take = std::min(max, items_.size());
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (take > 0) {
+      lock.unlock();
+      not_full_.notify_all();
+    }
+    return batch;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace rtsm::runtime

@@ -5,18 +5,10 @@
 #include <cmath>
 #include <utility>
 
+#include "util/clock.hpp"
 #include "util/error.hpp"
 
 namespace rtsm::runtime {
-
-namespace {
-
-double elapsed_us(std::chrono::steady_clock::time_point since) {
-  const auto now = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::micro>(now - since).count();
-}
-
-}  // namespace
 
 double AdmissionStats::latency_percentile_us(double p) const {
   if (latencies_us.empty()) return 0.0;
@@ -59,11 +51,13 @@ RequestId RuntimeManager::submit(std::shared_ptr<const kpn::Application> app,
   return queue_.back().request;
 }
 
-void RuntimeManager::submit_release(AppId id) {
+RequestId RuntimeManager::submit_release(AppId id) {
   Pending pending;
   pending.kind = Pending::Kind::Release;
+  pending.request = next_request_++;
   pending.target = id;
   queue_.push_back(std::move(pending));
+  return queue_.back().request;
 }
 
 std::vector<AdmitOutcome> RuntimeManager::drain() {
@@ -75,7 +69,7 @@ std::vector<AdmitOutcome> RuntimeManager::drain() {
     queue_.pop_front();
 
     if (pending.kind == Pending::Kind::Release) {
-      process_release(pending.target);
+      process_release(pending.target, pending.request);
       // Freed capacity: wake parked requests ahead of later arrivals,
       // oldest first. When further releases are queued back-to-back, defer
       // the wake until after the last one — retrying between releases of a
@@ -153,9 +147,19 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
   return outcome;
 }
 
-void RuntimeManager::process_release(AppId id) {
+void RuntimeManager::process_release(AppId id, RequestId request) {
   const auto it = running_.find(id);
-  require(it != running_.end(), "release of unknown application id");
+  if (it == running_.end()) {
+    // A client bug (unknown id or double release) must not kill the event
+    // stream of every other client: record it and keep draining.
+    ++stats_.release_errors;
+    release_errors_.push_back(
+        {id,
+         "release of unknown or already-released application id " +
+             std::to_string(id.value()),
+         request});
+    return;
+  }
   core::release_mapping(state_, *it->second.app, it->second.mapping);
   running_.erase(it);
   ++stats_.releases;
@@ -184,11 +188,27 @@ AdmitOutcome RuntimeManager::admit(const kpn::Application& app,
 }
 
 void RuntimeManager::release(AppId id) {
-  submit_release(id);
+  const RequestId request = submit_release(id);
   // Outcomes of requests this release wakes are kept for the next drain().
   for (AdmitOutcome& outcome : drain()) {
     resolved_.push_back(std::move(outcome));
   }
+  // The synchronous caller is the one who passed the bad id: report THIS
+  // call's failure as an exception (and take its record back out — it has
+  // been reported). Errors of other queued releases the drain processed
+  // stay recorded for drain_release_errors().
+  const auto mine = std::find_if(
+      release_errors_.begin(), release_errors_.end(),
+      [&](const ReleaseError& e) { return e.request == request; });
+  if (mine != release_errors_.end()) {
+    const std::string message = mine->message;
+    release_errors_.erase(mine);
+    throw Error(message);
+  }
+}
+
+std::vector<ReleaseError> RuntimeManager::drain_release_errors() {
+  return std::exchange(release_errors_, {});
 }
 
 std::vector<AdmitOutcome> RuntimeManager::reject_waiting() {

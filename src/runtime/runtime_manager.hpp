@@ -44,6 +44,17 @@ struct AdmitOutcome {
   std::uint32_t attempts = 0;
 };
 
+/// A release request that could not be honoured: the id was never admitted
+/// or was already released. Reported (not silently dropped, not fatal to
+/// the event stream) so operators can spot double-release bugs in clients.
+struct ReleaseError {
+  AppId id;
+  std::string message;
+  /// Id of the submit_release() call that failed (0 when the release was
+  /// applied directly, e.g. ConcurrentRuntimeManager::release()).
+  RequestId request = 0;
+};
+
 /// Counters and latency distribution of the admission stream.
 struct AdmissionStats {
   std::uint64_t offered = 0;    ///< Admit requests submitted.
@@ -52,6 +63,10 @@ struct AdmissionStats {
   std::uint64_t deadline_misses = 0;
   std::uint64_t retries = 0;    ///< Extra mapping attempts by a retry policy.
   std::uint64_t releases = 0;   ///< Release requests processed.
+  std::uint64_t release_errors = 0;  ///< Unknown-id / double releases.
+  /// Optimistic validation conflicts: a plan stopped fitting between
+  /// snapshot and commit and was re-mapped (concurrent manager only).
+  std::uint64_t conflicts = 0;
 
   /// Mapper wall-clock latency of every resolved admit request, us.
   std::vector<double> latencies_us;
@@ -85,8 +100,11 @@ class RuntimeManager {
                    double deadline_us = 0.0);
 
   /// Queues the release of a running application (processed in FIFO order
-  /// with the admissions around it).
-  void submit_release(AppId id);
+  /// with the admissions around it). Releasing an id that was never
+  /// admitted — or already released — is NOT fatal to the stream: drain()
+  /// records a ReleaseError (see drain_release_errors()) and continues.
+  /// Returns the request id, which a failed release's ReleaseError carries.
+  RequestId submit_release(AppId id);
 
   /// Processes all queued requests in FIFO order. A release wakes parked
   /// requests: they re-enter the queue ahead of later arrivals, oldest
@@ -102,10 +120,16 @@ class RuntimeManager {
   /// next drain().
   AdmitOutcome admit(const kpn::Application& app, double deadline_us = 0.0);
 
-  /// submit_release() + drain() convenience. Throws rtsm::Error for unknown
-  /// ids. Outcomes of parked requests this release resolves are held for
-  /// the next drain().
+  /// submit_release() + drain() convenience. Throws rtsm::Error when the
+  /// release itself failed (unknown or already-released id) — the
+  /// synchronous caller made the error, so it is reported synchronously.
+  /// Outcomes of parked requests this release resolves are held for the
+  /// next drain().
   void release(AppId id);
+
+  /// Hands out (and clears) the release errors recorded since the last
+  /// call, in stream order.
+  [[nodiscard]] std::vector<ReleaseError> drain_release_errors();
 
   /// Force-resolves all parked requests as rejected (end of a scenario).
   std::vector<AdmitOutcome> reject_waiting();
@@ -152,7 +176,7 @@ class RuntimeManager {
   /// Runs one mapping attempt for @p pending; returns the outcome, or
   /// nothing when the policy parked the request for a retry.
   [[nodiscard]] std::optional<AdmitOutcome> process_admit(Pending pending);
-  void process_release(AppId id);
+  void process_release(AppId id, RequestId request);
 
   core::ResourceState state_;
   std::shared_ptr<const core::Mapper> mapper_;
@@ -163,6 +187,8 @@ class RuntimeManager {
   std::map<AppId, Running> running_;
   /// Resolved-but-unreported outcomes; handed out by the next drain().
   std::vector<AdmitOutcome> resolved_;
+  /// Failed releases; handed out by drain_release_errors().
+  std::vector<ReleaseError> release_errors_;
   AdmissionStats stats_;
 
   RequestId next_request_ = 1;

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtsm {
+
+/// Scale-relative floating-point comparison used by the residual-state
+/// equality checks: floating-point sums depend on the order reservations
+/// were committed, so states produced by different (e.g. concurrent)
+/// histories can only be compared within a relative tolerance. The scale
+/// floor of 1.0 makes the comparison absolute for small magnitudes.
+[[nodiscard]] inline bool approx_equal(double a, double b, double rel_eps) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= rel_eps * scale;
+}
+
+}  // namespace rtsm

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <chrono>
+
+namespace rtsm {
+
+/// Microseconds of wall clock elapsed since @p since (steady clock; used
+/// for mapper-latency accounting and bench timing).
+[[nodiscard]] inline double elapsed_us(
+    std::chrono::steady_clock::time_point since) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(now - since).count();
+}
+
+}  // namespace rtsm

@@ -93,11 +93,14 @@ Rational Rational::operator-(const Rational& rhs) const {
 
 Rational Rational::operator*(const Rational& rhs) const {
   // Cross-reduce before multiplying to keep intermediates small.
-  const std::int64_t g1 = num_ == 0 ? 1 : std::max<std::int64_t>(gcd64(num_, rhs.den_), 1);
-  const std::int64_t g2 = rhs.num_ == 0 ? 1 : std::max<std::int64_t>(gcd64(rhs.num_, den_), 1);
+  const std::int64_t g1 =
+      num_ == 0 ? 1 : std::max<std::int64_t>(gcd64(num_, rhs.den_), 1);
+  const std::int64_t g2 =
+      rhs.num_ == 0 ? 1 : std::max<std::int64_t>(gcd64(rhs.num_, den_), 1);
   const Int128 n = static_cast<Int128>(num_ / g1) * (rhs.num_ / g2);
   const Int128 d = static_cast<Int128>(den_ / g2) * (rhs.den_ / g1);
-  return {checked_narrow(n, "multiplication"), checked_narrow(d, "multiplication")};
+  return {checked_narrow(n, "multiplication"),
+          checked_narrow(d, "multiplication")};
 }
 
 Rational Rational::operator/(const Rational& rhs) const {

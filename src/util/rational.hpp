@@ -19,7 +19,7 @@ class Rational {
   constexpr Rational() = default;
 
   /// Whole number @p n.
-  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT
 
   /// @p num / @p den, normalised. Throws rtsm::Error if den == 0.
   Rational(std::int64_t num, std::int64_t den);

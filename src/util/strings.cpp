@@ -41,7 +41,8 @@ std::string group_digits(std::uint64_t value) {
   std::string digits = std::to_string(value);
   std::string out;
   out.reserve(digits.size() + digits.size() / 3);
-  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  const std::size_t first_group =
+      digits.size() % 3 == 0 ? 3 : digits.size() % 3;
   for (std::size_t i = 0; i < digits.size(); ++i) {
     if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out += ',';
     out += digits[i];

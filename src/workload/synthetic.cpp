@@ -94,15 +94,17 @@ kpn::Application make_synthetic_app(Rng& rng, const SyntheticAppParams& params,
     // Preferred type plus a random subset of alternates.
     std::vector<std::string> types = params.tile_types;
     rng.shuffle(types);
-    const std::uint32_t count = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
-        rng.uniform_int(params.impls_min, params.impls_max), 1,
-        static_cast<std::int64_t>(types.size())));
+    const std::uint32_t count =
+        static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+            rng.uniform_int(params.impls_min, params.impls_max), 1,
+            static_cast<std::int64_t>(types.size())));
 
     const double pref_util =
         rng.uniform(0.05, params.max_preferred_utilization);
     const std::uint32_t pref_cc = std::max<std::uint32_t>(
         4, static_cast<std::uint32_t>(pref_util * period_cc));
-    const double pref_energy = rng.uniform(params.energy_min, params.energy_max);
+    const double pref_energy =
+        rng.uniform(params.energy_min, params.energy_max);
     const std::uint64_t memory = static_cast<std::uint64_t>(
         rng.uniform_int(static_cast<std::int64_t>(params.memory_min),
                         static_cast<std::int64_t>(params.memory_max)));
@@ -110,8 +112,9 @@ kpn::Application make_synthetic_app(Rng& rng, const SyntheticAppParams& params,
     for (std::uint32_t k = 0; k < count; ++k) {
       const bool preferred = k == 0;
       const double slowdown =
-          preferred ? 1.0
-                    : rng.uniform(params.alt_slowdown_min, params.alt_slowdown_max);
+          preferred
+              ? 1.0
+              : rng.uniform(params.alt_slowdown_min, params.alt_slowdown_max);
       const double energy_factor =
           preferred ? 1.0
                     : rng.uniform(params.alt_energy_min, params.alt_energy_max);

@@ -75,9 +75,8 @@ struct SyntheticAppParams {
 
 /// Generates a random but always *valid* streaming application
 /// (Application::validate() holds by construction).
-[[nodiscard]] kpn::Application make_synthetic_app(Rng& rng,
-                                                  const SyntheticAppParams& params,
-                                                  const std::string& name);
+[[nodiscard]] kpn::Application make_synthetic_app(
+    Rng& rng, const SyntheticAppParams& params, const std::string& name);
 
 /// Parameters of the synthetic platform generator.
 struct SyntheticPlatformParams {

@@ -121,7 +121,8 @@ TEST(Hiperlan2App, PerSymbolTokenTotalsMatchKpnAnnotations) {
   for (const ProcessId pid : app.process_ids()) {
     const kpn::Process& p = app.process(pid);
     for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
-      const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+      const ImplementationId impl{
+          static_cast<ImplementationId::value_type>(ii)};
       const std::uint64_t cycles = app.cycles_per_symbol(pid, impl);
       for (const kpn::PortSpec& port : p.implementations[ii].inputs) {
         EXPECT_EQ(kpn::Implementation::tokens_per_cycle(port) * cycles,
@@ -353,7 +354,8 @@ TEST(Hiperlan2, DefaultMapperConfigAgreesWithPaperConfig) {
   // must find a mapping that is at least as cheap as the paper walkthrough.
   const auto app = make_hiperlan2_receiver();
   const auto platform = make_paper_platform();
-  const auto paper = core::SpatialMapper(paper_mapper_config()).map(app, platform);
+  const auto paper =
+      core::SpatialMapper(paper_mapper_config()).map(app, platform);
   const auto modern = core::SpatialMapper().map(app, platform);
   ASSERT_TRUE(paper.success);
   ASSERT_TRUE(modern.success);

@@ -51,9 +51,10 @@ TEST(MapperRegistry, DuplicateRegistrationThrows) {
   core::MapperRegistry registry;
   registry.add("m", "a mapper",
                [] { return std::make_unique<core::SpatialMapper>(); });
-  EXPECT_THROW(registry.add("m", "again",
-                            [] { return std::make_unique<core::SpatialMapper>(); }),
-               Error);
+  EXPECT_THROW(
+      registry.add("m", "again",
+                   [] { return std::make_unique<core::SpatialMapper>(); }),
+      Error);
 }
 
 TEST(MapperRegistry, NamesKeepRegistrationOrder) {

@@ -54,8 +54,10 @@ TEST_P(NocProperty, RoutesAreStructurallyValidAndMinimal) {
   const arch::Platform p = random_mesh(rng);
   LinkLoad load(p);
   for (int trial = 0; trial < 20; ++trial) {
-    const TileId a{static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
-    const TileId b{static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
+    const TileId a{
+        static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
+    const TileId b{
+        static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
     const auto path = route_shortest(load, a, b, 1.0);
     ASSERT_TRUE(path);
     expect_structurally_valid(p, *path);
@@ -68,8 +70,10 @@ TEST_P(NocProperty, XyAgreesWithShortestOnEmptyNetwork) {
   const arch::Platform p = random_mesh(rng);
   LinkLoad load(p);
   for (int trial = 0; trial < 20; ++trial) {
-    const TileId a{static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
-    const TileId b{static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
+    const TileId a{
+        static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
+    const TileId b{
+        static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
     const auto xy = route_xy(load, a, b, 1.0);
     const auto sp = route_shortest(load, a, b, 1.0);
     ASSERT_TRUE(xy);
@@ -87,8 +91,10 @@ TEST_P(NocProperty, ReservationsRestoreExactlyOnRelease) {
 
   std::vector<std::pair<Path, double>> routed;
   for (int trial = 0; trial < 30; ++trial) {
-    const TileId a{static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
-    const TileId b{static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
+    const TileId a{
+        static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
+    const TileId b{
+        static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
     const double demand = rng.uniform(0.01, 0.2) * cap;
     const auto path = route_shortest(load, a, b, demand);
     if (!path) continue;
@@ -109,8 +115,10 @@ TEST_P(NocProperty, IncrementalRoutingNeverOverbooks) {
   const double cap = p.link(LinkId{0}).capacity_tokens_per_s;
 
   for (int trial = 0; trial < 60; ++trial) {
-    const TileId a{static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
-    const TileId b{static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
+    const TileId a{
+        static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
+    const TileId b{
+        static_cast<TileId::value_type>(rng.pick_index(p.tile_count()))};
     const double demand = rng.uniform(0.05, 0.5) * cap;
     const auto path = route_shortest(load, a, b, demand);
     if (path) load.reserve_path(*path, demand);

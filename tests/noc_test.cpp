@@ -183,10 +183,12 @@ TEST(Route, DemandAwareRouting) {
       load.reserve(l, cap * 0.6);
     }
   }
-  const auto heavy = route_shortest(load, f.tile(0, 0), f.tile(1, 0), cap * 0.5);
+  const auto heavy =
+      route_shortest(load, f.tile(0, 0), f.tile(1, 0), cap * 0.5);
   ASSERT_TRUE(heavy);
   EXPECT_EQ(heavy->rr_hops(f.platform), 3u);
-  const auto light = route_shortest(load, f.tile(0, 0), f.tile(1, 0), cap * 0.3);
+  const auto light =
+      route_shortest(load, f.tile(0, 0), f.tile(1, 0), cap * 0.3);
   ASSERT_TRUE(light);
   EXPECT_EQ(light->rr_hops(f.platform), 1u);
 }

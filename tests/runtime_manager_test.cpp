@@ -180,21 +180,66 @@ TEST(RuntimeManager, ReleaseConvenienceKeepsWokenOutcomesForNextDrain) {
   EXPECT_TRUE(resolved[0].app_id.valid());
 }
 
-TEST(RuntimeManager, OutcomesSurviveThrowingReleaseMidDrain) {
-  // An unknown-id release throws mid-drain; the admission resolved before
-  // it must not be lost — the next drain() reports it.
+TEST(RuntimeManager, UnknownReleaseMidDrainIsReportedNotFatal) {
+  // An unknown-id release must not kill the event stream: the drain
+  // continues, the admission around it resolves normally, and the failed
+  // release surfaces as a recorded ReleaseError.
   const auto platform = test::small_platform();
   auto manager = make_manager(platform);
   const auto app =
       std::make_shared<kpn::Application>(test::pipeline_app({.stages = 1}));
   const RequestId request = manager.submit(app);
   manager.submit_release(AppId{99});
-  EXPECT_THROW(manager.drain(), Error);
-  EXPECT_EQ(manager.running_count(), 1u);  // the commit did happen
   const auto resolved = manager.drain();
   ASSERT_EQ(resolved.size(), 1u);
   EXPECT_EQ(resolved[0].request, request);
   EXPECT_EQ(resolved[0].status, AdmitStatus::Admitted);
+  EXPECT_EQ(manager.running_count(), 1u);
+
+  EXPECT_EQ(manager.stats().release_errors, 1u);
+  const auto errors = manager.drain_release_errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].id, AppId{99});
+  EXPECT_FALSE(errors[0].message.empty());
+  EXPECT_TRUE(manager.drain_release_errors().empty());  // drained once
+}
+
+TEST(RuntimeManager, ReleaseConvenienceIgnoresOtherQueuedReleaseErrors) {
+  // A bad release queued by someone else must not make an unrelated --
+  // and successful -- synchronous release() throw, nor lose its record.
+  const auto platform = test::small_platform();
+  auto manager = make_manager(platform);
+  const auto started = manager.admit(test::pipeline_app({.stages = 1}));
+  ASSERT_EQ(started.status, AdmitStatus::Admitted);
+
+  manager.submit_release(AppId{99});       // someone else's blunder
+  manager.release(started.app_id);         // processes both; must not throw
+  EXPECT_EQ(manager.running_count(), 0u);  // this release did happen
+  const auto errors = manager.drain_release_errors();
+  ASSERT_EQ(errors.size(), 1u);  // the stream error is still reported
+  EXPECT_EQ(errors[0].id, AppId{99});
+}
+
+TEST(RuntimeManager, DoubleReleaseIsReportedError) {
+  const auto platform = test::small_platform();
+  auto manager = make_manager(platform);
+  const auto started = manager.admit(test::pipeline_app({.stages = 1}));
+  ASSERT_EQ(started.status, AdmitStatus::Admitted);
+
+  manager.release(started.app_id);  // first release is fine
+  // Second release through the event stream: reported, not fatal.
+  manager.submit_release(started.app_id);
+  manager.drain();
+  EXPECT_EQ(manager.stats().releases, 1u);
+  EXPECT_EQ(manager.stats().release_errors, 1u);
+  const auto errors = manager.drain_release_errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].id, started.app_id);
+
+  // The synchronous convenience still throws at the caller who blundered —
+  // and does not double-record the error it just reported.
+  EXPECT_THROW(manager.release(started.app_id), Error);
+  EXPECT_TRUE(manager.drain_release_errors().empty());
 }
 
 TEST(RuntimeManager, RetryPolicyGivesUpAfterMaxAttempts) {
@@ -202,7 +247,8 @@ TEST(RuntimeManager, RetryPolicyGivesUpAfterMaxAttempts) {
   auto manager = make_manager(
       platform, std::make_shared<RetryAdmission>(/*max_attempts=*/2));
   // Never fits: 5 BIG-only stages on 2 BIG tiles.
-  const auto impossible = test::pipeline_app({.stages = 5, .little_wcet_cc = 0});
+  const auto impossible =
+      test::pipeline_app({.stages = 5, .little_wcet_cc = 0});
   const auto fits = test::pipeline_app({.stages = 1, .little_wcet_cc = 0});
 
   const auto parked = manager.admit(impossible);
@@ -324,7 +370,8 @@ TEST(RuntimeManager, MappingOfAndRunningIds) {
 TEST(RuntimeManager, RejectWaitingResolvesParkedRequests) {
   const auto platform = test::small_platform();
   auto manager = make_manager(platform, std::make_shared<RetryAdmission>(5));
-  const auto impossible = test::pipeline_app({.stages = 5, .little_wcet_cc = 0});
+  const auto impossible =
+      test::pipeline_app({.stages = 5, .little_wcet_cc = 0});
   const auto parked = manager.admit(impossible);
   ASSERT_EQ(parked.status, AdmitStatus::Waiting);
   const auto resolved = manager.reject_waiting();
