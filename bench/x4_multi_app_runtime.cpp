@@ -31,6 +31,7 @@
 #include "runtime/runtime_manager.hpp"
 #include "util/clock.hpp"
 #include "util/strings.hpp"
+#include "verify/engine.hpp"
 #include "workload/hiperlan2.hpp"
 #include "workload/synthetic.hpp"
 
@@ -93,6 +94,8 @@ struct BurstFigures {
   std::uint64_t conflicts = 0;
   bool replay_ok = true;   ///< final state == serial replay of commits
   bool restore_ok = true;  ///< releasing everything restores pristine
+  /// Step-4 verification engine counters of the run's mapper.
+  verify::EngineStats verify;
 };
 
 void fill_percentiles(BurstFigures& figures,
@@ -123,6 +126,7 @@ BurstFigures run_serial_burst(
   for (const AppId id : manager.running_ids()) manager.release(id);
   figures.restore_ok =
       manager.state().approx_equals(core::ResourceState(platform));
+  figures.verify = manager.verification_stats();
   return figures;
 }
 
@@ -172,6 +176,7 @@ BurstFigures run_concurrent_burst(
   for (const AppId id : manager.running_ids()) manager.release(id);
   figures.restore_ok =
       manager.state_snapshot().approx_equals(core::ResourceState(platform));
+  figures.verify = manager.verification_stats();
   return figures;
 }
 
@@ -191,13 +196,15 @@ void write_json(const std::string& path, std::size_t burst_size,
                  "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
                  "\"admitted\": %llu, \"rejected\": %llu, "
                  "\"conflicts\": %llu, \"replay_ok\": %s, "
-                 "\"restore_ok\": %s}",
+                 "\"restore_ok\": %s, \"verify_hit_rate\": %.4f, "
+                 "\"verify_events_saved\": %llu}",
                  name, b.wall_ms, b.throughput_per_s, b.p50_us, b.p95_us,
                  b.p99_us, static_cast<unsigned long long>(b.admitted),
                  static_cast<unsigned long long>(b.rejected),
                  static_cast<unsigned long long>(b.conflicts),
                  b.replay_ok ? "true" : "false",
-                 b.restore_ok ? "true" : "false");
+                 b.restore_ok ? "true" : "false", b.verify.hit_rate(),
+                 static_cast<unsigned long long>(b.verify.events_saved));
   };
   std::fprintf(f, "{\n  \"bench\": \"x4_multi_app_runtime\",\n");
   std::fprintf(f, "  \"burst_apps\": %zu,\n  \"workers\": %u,\n",
@@ -401,6 +408,13 @@ int main(int argc, char** argv) {
         concurrent.p50_us, concurrent.p95_us, concurrent.p99_us,
         static_cast<unsigned long long>(concurrent.admitted),
         static_cast<unsigned long long>(concurrent.conflicts));
+    std::printf(
+        "Verification engine: serial hit rate %.2f (%llu events saved), "
+        "concurrent hit rate %.2f (%llu events saved)\n",
+        serial.verify.hit_rate(),
+        static_cast<unsigned long long>(serial.verify.events_saved),
+        concurrent.verify.hit_rate(),
+        static_cast<unsigned long long>(concurrent.verify.events_saved));
     const double speedup = concurrent.wall_ms > 0.0
                                ? serial.wall_ms / concurrent.wall_ms
                                : 0.0;

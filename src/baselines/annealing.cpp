@@ -202,7 +202,8 @@ AnnealingResult anneal_map(const kpn::Application& app,
   const core::FeedbackSet no_feedback;
   core::MappingTrace::Round scratch;
   core::MappingContext ctx{app,    platform,       final_state, no_feedback,
-                           options.energy, best,   scratch};
+                           options.energy, best,   scratch,
+                           options.engine.get()};
   const core::Step3Outcome s3 = core::run_step3(ctx);
   if (!s3.success) {
     result.failure = "annealed placement unroutable: " + s3.failure;

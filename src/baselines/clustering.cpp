@@ -305,7 +305,8 @@ ClusteringResult cluster_map(const kpn::Application& app,
   const core::FeedbackSet no_feedback;
   core::MappingTrace::Round scratch;
   core::MappingContext ctx{app,    platform,       state,          no_feedback,
-                           options.energy, result.mapping, scratch};
+                           options.energy, result.mapping, scratch,
+                           options.engine.get()};
   const core::Step3Outcome s3 = core::run_step3(ctx);
   if (!s3.success) {
     result.failure = "clustered placement unroutable: " + s3.failure;

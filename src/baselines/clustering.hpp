@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "arch/platform.hpp"
@@ -9,6 +10,7 @@
 #include "core/mapping.hpp"
 #include "energy/model.hpp"
 #include "kpn/application.hpp"
+#include "verify/engine.hpp"
 
 namespace rtsm::baselines {
 
@@ -23,6 +25,10 @@ struct ClusteringOptions {
   /// Verify the result with the step-4 dataflow analysis.
   bool verify_step4 = true;
   core::FeasibilityOptions step4;
+
+  /// Shared step-4 verification engine (see core::MapperConfig::engine);
+  /// null = verify without caching.
+  std::shared_ptr<verify::Engine> engine;
 };
 
 /// Result of the clustering mapper.
@@ -53,10 +59,18 @@ struct ClusteringResult {
 class ClusteringMapper final : public core::Mapper {
  public:
   explicit ClusteringMapper(ClusteringOptions options = {})
-      : options_(std::move(options)) {}
+      : options_(std::move(options)) {
+    options_.engine = verify::ensure_engine(options_.verify_step4,
+                                            std::move(options_.engine));
+  }
 
   [[nodiscard]] std::string name() const override { return "clustering"; }
   [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::shared_ptr<verify::Engine> verification_engine()
+      const override {
+    return options_.engine;
+  }
 
   using core::Mapper::map;
   [[nodiscard]] core::MappingResult map(

@@ -142,7 +142,8 @@ class Search {
     core::MappingTrace::Round scratch;
     core::MappingContext ctx{app_,           platform_, routed_state,
                              no_feedback,    options_.energy,
-                             candidate,      scratch};
+                             candidate,      scratch,
+                             options_.engine.get()};
     const core::Step3Outcome s3 = core::run_step3(ctx);
     if (!s3.success) return;
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "arch/platform.hpp"
@@ -9,6 +10,7 @@
 #include "core/mapping.hpp"
 #include "energy/model.hpp"
 #include "kpn/application.hpp"
+#include "verify/engine.hpp"
 
 namespace rtsm::baselines {
 
@@ -24,6 +26,11 @@ struct ExhaustiveOptions {
 
   /// Safety cap on search-tree nodes.
   std::uint64_t node_limit = 20'000'000;
+
+  /// Shared step-4 verification engine. Leaves of the search that differ
+  /// only in equal-clock tile choices (or repeat a signature across
+  /// branches) then reuse one sizing. Null = verify without caching.
+  std::shared_ptr<verify::Engine> engine;
 };
 
 /// Result of the exhaustive search.
@@ -56,10 +63,18 @@ struct ExhaustiveResult {
 class ExhaustiveMapper final : public core::Mapper {
  public:
   explicit ExhaustiveMapper(ExhaustiveOptions options = {})
-      : options_(std::move(options)) {}
+      : options_(std::move(options)) {
+    options_.engine = verify::ensure_engine(options_.verify_step4,
+                                            std::move(options_.engine));
+  }
 
   [[nodiscard]] std::string name() const override { return "exhaustive"; }
   [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::shared_ptr<verify::Engine> verification_engine()
+      const override {
+    return options_.engine;
+  }
 
   using core::Mapper::map;
   [[nodiscard]] core::MappingResult map(

@@ -122,7 +122,8 @@ RandomMapperResult random_map(const kpn::Application& app,
     core::MappingTrace::Round scratch;
     core::MappingContext ctx{app,            platform,  best_state,
                              no_feedback,    options.energy,
-                             result.mapping, scratch};
+                             result.mapping, scratch,
+                             options.engine.get()};
     const core::FeasibilityReport report = core::run_step4(ctx, options.step4);
     if (!report.feasible) {
       result.success = false;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "arch/platform.hpp"
@@ -9,6 +10,7 @@
 #include "core/mapping.hpp"
 #include "energy/model.hpp"
 #include "kpn/application.hpp"
+#include "verify/engine.hpp"
 
 namespace rtsm::baselines {
 
@@ -21,6 +23,10 @@ struct RandomMapperOptions {
   /// Verify the winning sample with the step-4 dataflow analysis.
   bool verify_step4 = true;
   core::FeasibilityOptions step4;
+
+  /// Shared step-4 verification engine (see core::MapperConfig::engine);
+  /// null = verify without caching.
+  std::shared_ptr<verify::Engine> engine;
 };
 
 /// Result of the random mapper.
@@ -45,10 +51,18 @@ struct RandomMapperResult {
 class RandomSamplingMapper final : public core::Mapper {
  public:
   explicit RandomSamplingMapper(RandomMapperOptions options = {})
-      : options_(std::move(options)) {}
+      : options_(std::move(options)) {
+    options_.engine = verify::ensure_engine(options_.verify_step4,
+                                            std::move(options_.engine));
+  }
 
   [[nodiscard]] std::string name() const override { return "random"; }
   [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::shared_ptr<verify::Engine> verification_engine()
+      const override {
+    return options_.engine;
+  }
 
   using core::Mapper::map;
   [[nodiscard]] core::MappingResult map(

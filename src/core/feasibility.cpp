@@ -1,64 +1,11 @@
 #include "core/feasibility.hpp"
 
-#include <algorithm>
+#include <utility>
 
-#include "core/csdf_expansion.hpp"
-#include "csdf/buffer_sizing.hpp"
 #include "util/error.hpp"
+#include "verify/engine.hpp"
 
 namespace rtsm::core {
-
-namespace {
-
-/// The stream endpoints: first KPN source process and first KPN sink
-/// process (by id). The sink's iterations define the period.
-struct Endpoints {
-  ProcessId source;
-  ProcessId sink;
-};
-
-Endpoints find_endpoints(const kpn::Application& app) {
-  Endpoints ep;
-  for (const ProcessId pid : app.process_ids()) {
-    if (!ep.source.valid() && app.in_channels(pid).empty()) ep.source = pid;
-    if (!ep.sink.valid() && app.out_channels(pid).empty()) ep.sink = pid;
-  }
-  require(ep.source.valid() && ep.sink.valid(),
-          "application has no stream source/sink process");
-  return ep;
-}
-
-/// When the period is unreachable, blame the slowest implementation: the
-/// mapped process whose per-symbol work occupies the largest fraction of
-/// the period on its tile.
-std::optional<FeedbackConstraint> blame_slowest(const kpn::Application& app,
-                                                const arch::Platform& platform,
-                                                const Mapping& mapping) {
-  ProcessId worst;
-  double worst_util = 0.0;
-  for (const ProcessId pid : app.process_ids()) {
-    if (app.process(pid).is_fixture()) continue;
-    const double util =
-        impl_utilization(app, pid, mapping.impl_of(pid),
-                         platform.tile_clock_hz(mapping.tile_of(pid)));
-    if (util > worst_util) {
-      worst_util = util;
-      worst = pid;
-    }
-  }
-  if (!worst.valid()) return std::nullopt;
-  FeedbackConstraint fc;
-  fc.kind = FeedbackConstraint::Kind::ForbidImplementation;
-  fc.process = worst;
-  fc.impl = mapping.impl_of(worst);
-  fc.reason = "implementation '" +
-              app.implementation(worst, mapping.impl_of(worst)).name +
-              "' cannot sustain the period (utilization " +
-              std::to_string(worst_util) + ")";
-  return fc;
-}
-
-}  // namespace
 
 FeasibilityReport run_step4(MappingContext& ctx,
                             const FeasibilityOptions& options) {
@@ -71,45 +18,56 @@ FeasibilityReport run_step4(MappingContext& ctx,
   FeasibilityReport report;
   trace.ran = true;
 
-  ExpandedGraph expanded = expand_mapping(app, platform, mapping);
-  const Endpoints ep = find_endpoints(app);
-
-  csdf::BufferSizingConfig cfg;
-  cfg.target_period_ps =
+  verify::SizingKey key;
+  key.target_period_ps =
       static_cast<std::uint64_t>(app.qos().symbol_period_ns) * 1000ull;
-  cfg.reference = expanded.process_actor[ep.sink.value()];
-  cfg.probe = csdf::LatencyProbe{expanded.process_actor[ep.source.value()],
-                                 expanded.process_actor[ep.sink.value()]};
-  cfg.simulation = options.simulation;
-  cfg.capacity_limit = options.capacity_limit;
+  key.capacity_limit = options.capacity_limit;
+  key.simulation = options.simulation;
 
-  const auto sizing =
-      csdf::size_buffers(expanded.graph, expanded.consumer_edge, cfg);
+  // The structural part — CSDF expansion, self-timed buffer sizing, blame
+  // derivation — goes through the shared verification engine when one is
+  // attached; the engine serves repeated signatures from its cache. The
+  // state-dependent checks below always run.
+  std::shared_ptr<const verify::VerificationOutcome> outcome =
+      ctx.engine != nullptr
+          ? ctx.engine->verify(app, platform, mapping, key)
+          : std::make_shared<const verify::VerificationOutcome>(
+                verify::compute_verification(app, platform, mapping, key));
 
-  report.achieved_period_ps = sizing.achieved_period_ps;
-  report.latency_ps = sizing.latency_ps;
+  report.achieved_period_ps = outcome->achieved_period_ps;
+  report.latency_ps = outcome->latency_ps;
+  trace.achieved_period_ps = outcome->achieved_period_ps;
+  trace.latency_ps = outcome->latency_ps;
 
-  if (!sizing.feasible) {
-    report.failure = "throughput constraint violated: " + sizing.message;
-    report.feedback = blame_slowest(app, platform, mapping);
+  if (!outcome->feasible) {
+    report.failure = "throughput constraint violated: " + outcome->failure;
+    report.feedback = outcome->feedback;
     trace.feasible = false;
     trace.message = report.failure;
-    trace.achieved_period_ps = sizing.achieved_period_ps;
     return report;
   }
 
-  // Record buffers and charge their memory to the consuming tiles.
-  trace.buffer_tokens.assign(app.channel_count(), 0);
+  // Record buffers and charge their memory to the consuming tiles. A later
+  // channel's misfit must roll the earlier reservations back: the caller
+  // retries on the same state, which a partial booking would corrupt.
+  trace.buffer_tokens = outcome->buffer_tokens;
+  std::vector<std::pair<TileId, std::uint64_t>> reserved;
+  reserved.reserve(app.channel_count());
+  auto roll_back = [&] {
+    for (const auto& [tile, bytes] : reserved) {
+      state.release_tile(tile, 0.0, bytes, 0);
+    }
+  };
   for (const ChannelId cid : app.channel_ids()) {
-    const std::uint32_t tokens = sizing.capacities[cid.value()];
+    const std::uint32_t tokens = outcome->buffer_tokens[cid.value()];
     mapping.set_buffer_tokens(cid, tokens);
-    trace.buffer_tokens[cid.value()] = tokens;
 
     const kpn::Channel& c = app.channel(cid);
     const TileId consumer_tile = mapping.tile_of(c.dst);
     const std::uint64_t bytes =
         static_cast<std::uint64_t>(tokens) * c.token_bytes;
     if (!state.tile_fits(consumer_tile, 0.0, bytes, 0)) {
+      roll_back();
       report.failure = "buffer of channel '" + c.name + "' (" +
                        std::to_string(bytes) + " B) does not fit tile '" +
                        platform.tile(consumer_tile).name + "'";
@@ -124,27 +82,26 @@ FeasibilityReport run_step4(MappingContext& ctx,
       return report;
     }
     state.reserve_tile(consumer_tile, 0.0, bytes, 0);
+    reserved.emplace_back(consumer_tile, bytes);
   }
 
   // Latency bound, when the ALS specifies one.
   if (app.qos().max_latency_ns) {
     const std::uint64_t bound_ps = *app.qos().max_latency_ns * 1000ull;
-    if (sizing.latency_ps > bound_ps) {
-      report.failure = "latency " + std::to_string(sizing.latency_ps / 1000) +
+    if (outcome->latency_ps > bound_ps) {
+      roll_back();
+      report.failure = "latency " +
+                       std::to_string(outcome->latency_ps / 1000) +
                        "ns exceeds bound " +
                        std::to_string(*app.qos().max_latency_ns) + "ns";
       trace.feasible = false;
       trace.message = report.failure;
-      trace.achieved_period_ps = sizing.achieved_period_ps;
-      trace.latency_ps = sizing.latency_ps;
       return report;
     }
   }
 
   report.feasible = true;
   trace.feasible = true;
-  trace.achieved_period_ps = sizing.achieved_period_ps;
-  trace.latency_ps = sizing.latency_ps;
   trace.message = "feasible";
   return report;
 }

@@ -38,10 +38,16 @@ struct FeasibilityReport {
 /// the period constraint (the role of Wiggers et al. [11]), verifies the
 /// buffers fit the consuming tiles' memory, and checks the latency bound.
 ///
+/// When ctx.engine is set, the expansion + sizing part is served through
+/// the shared verify::Engine (structural-signature cache, warm-started
+/// sizing) — behaviourally identical to the direct computation.
+///
 /// On success the buffer capacities are written into ctx.mapping and the
 /// buffer memory is reserved in ctx.state. On failure a feedback constraint
-/// is attached when one can be derived. The analysis summary is logged to
-/// ctx.trace.step4.
+/// is attached when one can be derived and ctx.state is left exactly as it
+/// was (partial buffer reservations are rolled back). The analysis summary
+/// — including achieved period and latency on every outcome path — is
+/// logged to ctx.trace.step4.
 [[nodiscard]] FeasibilityReport run_step4(
     MappingContext& ctx, const FeasibilityOptions& options = {});
 

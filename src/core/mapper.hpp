@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "arch/platform.hpp"
@@ -8,6 +9,10 @@
 #include "core/resource_state.hpp"
 #include "core/trace.hpp"
 #include "kpn/application.hpp"
+
+namespace rtsm::verify {
+class Engine;
+}  // namespace rtsm::verify
 
 namespace rtsm::core {
 
@@ -65,6 +70,15 @@ class Mapper {
   /// Maps @p app onto an otherwise idle @p platform.
   [[nodiscard]] MappingResult map(const kpn::Application& app,
                                   const arch::Platform& platform) const;
+
+  /// The step-4 verification engine this mapper runs its dataflow checks
+  /// through, when it has one — lets runtime managers and benches surface
+  /// cache hit/miss/events-saved statistics without knowing the concrete
+  /// mapper. Null for mappers that never run step 4.
+  [[nodiscard]] virtual std::shared_ptr<verify::Engine> verification_engine()
+      const {
+    return nullptr;
+  }
 };
 
 /// Books a successful mapping's resources (tile utilisation, implementation

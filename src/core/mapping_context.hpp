@@ -8,6 +8,10 @@
 #include "energy/model.hpp"
 #include "kpn/application.hpp"
 
+namespace rtsm::verify {
+class Engine;
+}  // namespace rtsm::verify
+
 namespace rtsm::core {
 
 /// Shared working set of one mapping-pipeline round.
@@ -37,6 +41,11 @@ struct MappingContext {
 
   /// Trace sink of the current round.
   MappingTrace::Round& trace;
+
+  /// Optional shared step-4 verification engine (cached CSDF expansion +
+  /// warm-started buffer sizing). Null = every run_step4 recomputes from
+  /// scratch; results are identical either way.
+  verify::Engine* engine = nullptr;
 };
 
 }  // namespace rtsm::core

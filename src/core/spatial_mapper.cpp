@@ -76,7 +76,14 @@ StageStatus verify_constraints(MappingContext& ctx, const MapperConfig& config,
 }  // namespace
 
 SpatialMapper::SpatialMapper(MapperConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)) {
+  // cache_verification=false means exactly that — even an explicitly
+  // passed engine is dropped, so every step 4 recomputes from scratch.
+  config_.engine = config_.cache_verification
+                       ? verify::ensure_engine(config_.run_step4,
+                                               std::move(config_.engine))
+                       : nullptr;
+}
 
 std::string SpatialMapper::describe() const {
   return "paper's four-step run-time heuristic: desirability-ordered "
@@ -103,7 +110,8 @@ MappingResult SpatialMapper::map(const kpn::Application& app,
     Mapping mapping(app.process_count(), app.channel_count());
     MappingTrace::Round& rt = result.trace.rounds.emplace_back();
     MappingContext ctx{app,    base.platform(), state,  feedback,
-                       config_.energy, mapping, rt};
+                       config_.energy, mapping, rt,
+                       config_.engine.get()};
 
     StageStatus status = select_implementations(ctx, config_, result);
     if (status == StageStatus::Proceed) status = refine_placement(ctx, config_);

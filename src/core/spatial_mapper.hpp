@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/channel_routing.hpp"
@@ -9,6 +10,7 @@
 #include "core/mapper.hpp"
 #include "core/tile_assignment.hpp"
 #include "energy/model.hpp"
+#include "verify/engine.hpp"
 
 namespace rtsm::core {
 
@@ -32,6 +34,17 @@ struct MapperConfig {
   std::uint32_t max_refinement_rounds = 8;
 
   energy::EnergyModel energy;
+
+  /// Shared step-4 verification engine. When null and cache_verification
+  /// is true the mapper builds a private engine at construction, so every
+  /// map() call of this instance — each refinement round, each admission
+  /// of a runtime manager holding it — shares one cache. Pass an engine
+  /// explicitly to share it across mappers. Thread-safe.
+  std::shared_ptr<verify::Engine> engine;
+
+  /// Disable step-4 caching/warm-starting entirely (every verification
+  /// recomputes from scratch; results are identical, only slower).
+  bool cache_verification = true;
 };
 
 /// The paper's run-time spatial mapping algorithm: hierarchical search with
@@ -51,6 +64,11 @@ class SpatialMapper final : public Mapper {
   using Mapper::map;
   [[nodiscard]] MappingResult map(const kpn::Application& app,
                                   const ResourceState& base) const override;
+
+  [[nodiscard]] std::shared_ptr<verify::Engine> verification_engine()
+      const override {
+    return config_.engine;
+  }
 
  private:
   MapperConfig config_;

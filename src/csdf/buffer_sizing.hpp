@@ -26,6 +26,20 @@ struct BufferSizingConfig {
 
   /// Upper bound on any single capacity considered (divergence guard).
   std::uint32_t capacity_limit = 1u << 16;
+
+  /// Optional warm-start hint, parallel to the sized edges: the capacities
+  /// of a previous feasible solution of this or a structurally similar
+  /// graph. The hint is clamped into the structural bounds and verified by
+  /// ONE simulation on this graph; its verified verdict then seeds the
+  /// monotone dominance oracle (throughput is non-decreasing in every
+  /// capacity), letting the search skip simulations whose outcome the
+  /// verdict already implies. The chosen capacities are identical with
+  /// and without the hint whenever the windowed period measurement is
+  /// monotone in the capacities — the normal case, asserted by the
+  /// equivalence property test; if the final re-check ever catches a
+  /// window artefact breaking that, the search transparently re-runs
+  /// fully simulated, so a hint can never make a feasible graph fail.
+  std::optional<std::vector<std::uint32_t>> warm_start;
 };
 
 /// Result of buffer sizing.
@@ -44,6 +58,20 @@ struct BufferSizingResult {
 
   /// Failure explanation when !feasible.
   std::string message;
+
+  /// Self-timed simulations actually executed.
+  std::uint64_t simulations = 0;
+
+  /// Feasibility verdicts implied by monotone dominance instead of a
+  /// simulation (see BufferSizingConfig::warm_start).
+  std::uint64_t dominance_skips = 0;
+
+  /// Total firings across all executed simulations (the cost metric the
+  /// verification engine reports as saved on a cache hit).
+  std::uint64_t events_simulated = 0;
+
+  /// True when a warm-start hint was applied.
+  bool warm_started = false;
 };
 
 /// Computes small buffer capacities for @p edges such that @p graph sustains

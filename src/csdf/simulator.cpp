@@ -1,6 +1,8 @@
 #include "csdf/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <queue>
 
 #include "util/error.hpp"
@@ -9,19 +11,129 @@ namespace rtsm::csdf {
 
 namespace {
 
-struct ActorState {
-  std::size_t phase = 0;          // next phase to fire
-  bool busy = false;
-  std::uint64_t cycles_done = 0;  // completed full phase sweeps
+constexpr std::uint64_t kUnbounded = std::numeric_limits<std::uint64_t>::max();
+
+/// Flat structure-of-arrays image of the graph. The hot loop of the
+/// simulator touches only these dense integer arrays: Edge/Actor structs
+/// carry strings and optionals that spread the per-event working set over
+/// many cache lines, and Graph accessors bounds-check every call.
+struct FlatGraph {
+  std::size_t num_actors = 0;
+  std::size_t num_edges = 0;
+
+  // Actors.
+  std::vector<std::uint32_t> phase_count;
+  std::vector<std::size_t> wcet_off;
+  std::vector<std::uint64_t> wcet_ps;
+
+  // Edges: endpoints, capacity (kUnbounded = no bound) and per-phase rates
+  // (production indexed by the source actor's phase, consumption by the
+  // destination actor's phase).
+  std::vector<std::uint32_t> src, dst;
+  std::vector<std::uint64_t> capacity;
+  std::vector<std::size_t> prod_off;
+  std::vector<std::uint32_t> prod;
+  std::vector<std::size_t> cons_off;
+  std::vector<std::uint32_t> cons;
+
+  // CSR adjacency: edge indices per actor.
+  std::vector<std::size_t> in_off;
+  std::vector<std::uint32_t> in_edge;
+  std::vector<std::size_t> out_off;
+  std::vector<std::uint32_t> out_edge;
+
+  explicit FlatGraph(const Graph& g)
+      : num_actors(g.actor_count()), num_edges(g.edge_count()) {
+    auto actor_of = [&](std::size_t a) -> const Actor& {
+      return g.actor(ActorId{static_cast<ActorId::value_type>(a)});
+    };
+    phase_count.resize(num_actors);
+    wcet_off.resize(num_actors + 1, 0);
+    for (std::size_t a = 0; a < num_actors; ++a) {
+      const Actor& actor = actor_of(a);
+      phase_count[a] = static_cast<std::uint32_t>(actor.phase_count());
+      wcet_off[a + 1] = wcet_off[a] + actor.phase_count();
+    }
+    wcet_ps.reserve(wcet_off[num_actors]);
+    for (std::size_t a = 0; a < num_actors; ++a) {
+      const Actor& actor = actor_of(a);
+      wcet_ps.insert(wcet_ps.end(), actor.wcet_ps.begin(), actor.wcet_ps.end());
+    }
+
+    src.resize(num_edges);
+    dst.resize(num_edges);
+    capacity.resize(num_edges);
+    prod_off.resize(num_edges + 1, 0);
+    cons_off.resize(num_edges + 1, 0);
+    in_off.assign(num_actors + 1, 0);
+    out_off.assign(num_actors + 1, 0);
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      const Edge& edge = g.edge(EdgeId{static_cast<EdgeId::value_type>(e)});
+      src[e] = edge.src.value();
+      dst[e] = edge.dst.value();
+      capacity[e] = edge.capacity ? *edge.capacity : kUnbounded;
+      prod_off[e + 1] = prod_off[e] + edge.production.size();
+      cons_off[e + 1] = cons_off[e] + edge.consumption.size();
+      ++out_off[edge.src.value() + 1];
+      ++in_off[edge.dst.value() + 1];
+    }
+    prod.reserve(prod_off[num_edges]);
+    cons.reserve(cons_off[num_edges]);
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      const Edge& edge = g.edge(EdgeId{static_cast<EdgeId::value_type>(e)});
+      prod.insert(prod.end(), edge.production.begin(), edge.production.end());
+      cons.insert(cons.end(), edge.consumption.begin(), edge.consumption.end());
+    }
+    for (std::size_t a = 0; a < num_actors; ++a) {
+      in_off[a + 1] += in_off[a];
+      out_off[a + 1] += out_off[a];
+    }
+    in_edge.resize(num_edges);
+    out_edge.resize(num_edges);
+    std::vector<std::size_t> in_fill(in_off.begin(), in_off.end() - 1);
+    std::vector<std::size_t> out_fill(out_off.begin(), out_off.end() - 1);
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      in_edge[in_fill[dst[e]]++] = static_cast<std::uint32_t>(e);
+      out_edge[out_fill[src[e]]++] = static_cast<std::uint32_t>(e);
+    }
+  }
+};
+
+/// Indexed ready-set: a stack of candidate actors with O(1) membership
+/// dedup, so each event only (re)examines the actors its tokens or freed
+/// space could actually have enabled.
+class ReadySet {
+ public:
+  explicit ReadySet(std::size_t n) : queued_(n, 0) { stack_.reserve(n); }
+
+  void push(std::uint32_t a) {
+    if (!queued_[a]) {
+      queued_[a] = 1;
+      stack_.push_back(a);
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return stack_.empty(); }
+
+  std::uint32_t pop() {
+    const std::uint32_t a = stack_.back();
+    stack_.pop_back();
+    queued_[a] = 0;
+    return a;
+  }
+
+ private:
+  std::vector<std::uint32_t> stack_;
+  std::vector<char> queued_;
 };
 
 struct Firing {
   std::uint64_t end_ps;
-  ActorId actor;
+  std::uint32_t actor;
   // Deterministic ordering: earliest end first, then lowest actor id.
   bool operator>(const Firing& rhs) const {
     if (end_ps != rhs.end_ps) return end_ps > rhs.end_ps;
-    return actor.value() > rhs.actor.value();
+    return actor > rhs.actor;
   }
 };
 
@@ -37,10 +149,14 @@ SimulationResult simulate(const Graph& graph, const RepetitionVector& rv,
   require(config.measured_iterations > 0,
           "simulate: need at least one measured iteration");
 
-  const std::size_t num_actors = graph.actor_count();
-  const std::size_t num_edges = graph.edge_count();
+  const FlatGraph fg(graph);
+  const std::size_t num_actors = fg.num_actors;
+  const std::size_t num_edges = fg.num_edges;
+  const std::uint32_t ref = reference.value();
 
-  std::vector<ActorState> actors(num_actors);
+  std::vector<std::uint32_t> phase(num_actors, 0);
+  std::vector<char> busy(num_actors, 0);
+  std::vector<std::uint64_t> cycles_done(num_actors, 0);
   std::vector<std::uint64_t> tokens(num_edges);
   std::vector<std::uint64_t> reserved(num_edges, 0);
   for (std::size_t e = 0; e < num_edges; ++e) {
@@ -48,9 +164,10 @@ SimulationResult simulate(const Graph& graph, const RepetitionVector& rv,
                     .initial_tokens;
   }
 
-  const std::uint64_t ref_cycles_per_iter = rv.cycles[reference.value()];
-  const std::uint64_t total_iters =
-      config.warmup_iterations + config.measured_iterations;
+  const std::uint64_t ref_cycles_per_iter = rv.cycles[ref];
+  const std::uint32_t w = config.warmup_iterations;
+  const std::uint32_t m = config.measured_iterations;
+  const std::uint64_t total_iters = static_cast<std::uint64_t>(w) + m;
 
   // Completion time of each reference iteration (index 0 .. total_iters-1).
   std::vector<std::uint64_t> ref_iter_end(total_iters, 0);
@@ -69,41 +186,42 @@ SimulationResult simulate(const Graph& graph, const RepetitionVector& rv,
   std::priority_queue<Firing, std::vector<Firing>, std::greater<>> in_flight;
 
   SimulationResult result;
+  result.measured_iterations_used = 0;
   std::uint64_t now = 0;
 
-  auto can_start = [&](ActorId a) -> bool {
-    const ActorState& st = actors[a.value()];
-    if (st.busy) return false;
-    const std::size_t k = st.phase;
-    for (const EdgeId eid : graph.in_edges(a)) {
-      const Edge& e = graph.edge(eid);
-      if (tokens[eid.value()] < e.consumption[k]) return false;
+  auto can_start = [&](std::uint32_t a) -> bool {
+    if (busy[a]) return false;
+    const std::uint32_t k = phase[a];
+    for (std::size_t i = fg.in_off[a]; i < fg.in_off[a + 1]; ++i) {
+      const std::uint32_t e = fg.in_edge[i];
+      if (tokens[e] < fg.cons[fg.cons_off[e] + k]) return false;
     }
-    for (const EdgeId eid : graph.out_edges(a)) {
-      const Edge& e = graph.edge(eid);
-      if (!e.capacity) continue;
-      const std::uint64_t used = tokens[eid.value()] + reserved[eid.value()];
-      if (used + e.production[k] > *e.capacity) return false;
+    for (std::size_t i = fg.out_off[a]; i < fg.out_off[a + 1]; ++i) {
+      const std::uint32_t e = fg.out_edge[i];
+      if (fg.capacity[e] == kUnbounded) continue;
+      const std::uint64_t used = tokens[e] + reserved[e];
+      if (used + fg.prod[fg.prod_off[e] + k] > fg.capacity[e]) return false;
     }
     return true;
   };
 
-  auto start_firing = [&](ActorId a) {
-    ActorState& st = actors[a.value()];
-    const std::size_t k = st.phase;
-    for (const EdgeId eid : graph.in_edges(a)) {
-      tokens[eid.value()] -= graph.edge(eid).consumption[k];
+  auto start_firing = [&](std::uint32_t a) {
+    const std::uint32_t k = phase[a];
+    for (std::size_t i = fg.in_off[a]; i < fg.in_off[a + 1]; ++i) {
+      const std::uint32_t e = fg.in_edge[i];
+      tokens[e] -= fg.cons[fg.cons_off[e] + k];
     }
-    for (const EdgeId eid : graph.out_edges(a)) {
-      reserved[eid.value()] += graph.edge(eid).production[k];
+    for (std::size_t i = fg.out_off[a]; i < fg.out_off[a + 1]; ++i) {
+      const std::uint32_t e = fg.out_edge[i];
+      reserved[e] += fg.prod[fg.prod_off[e] + k];
     }
-    if (probe && a == probe->source && k == 0 &&
-        st.cycles_done % src_cycles_per_iter == 0) {
-      const std::uint64_t iter = st.cycles_done / src_cycles_per_iter;
+    if (probe && a == probe->source.value() && k == 0 &&
+        cycles_done[a] % src_cycles_per_iter == 0) {
+      const std::uint64_t iter = cycles_done[a] / src_cycles_per_iter;
       if (iter < src_iter_start.size()) src_iter_start[iter] = now;
     }
-    st.busy = true;
-    in_flight.push(Firing{now + graph.actor(a).wcet_ps[k], a});
+    busy[a] = 1;
+    in_flight.push(Firing{now + fg.wcet_ps[fg.wcet_off[a] + k], a});
   };
 
   // Worklist-driven enabling. Only two events can enable an actor:
@@ -111,56 +229,44 @@ SimulationResult simulate(const Graph& graph, const RepetitionVector& rv,
   // appearing on an output edge (its consumer started and removed tokens).
   // Starting an actor therefore propagates to the producers of its input
   // edges; completing one propagates to the consumers of its output edges.
-  std::vector<ActorId> worklist;
-  std::vector<bool> queued(num_actors, false);
-  auto enqueue = [&](ActorId a) {
-    if (!queued[a.value()]) {
-      queued[a.value()] = true;
-      worklist.push_back(a);
-    }
-  };
-  auto drain_worklist = [&] {
-    while (!worklist.empty()) {
-      const ActorId a = worklist.back();
-      worklist.pop_back();
-      queued[a.value()] = false;
+  ReadySet ready(num_actors);
+  auto drain_ready = [&] {
+    while (!ready.empty()) {
+      const std::uint32_t a = ready.pop();
       if (!can_start(a)) continue;
       start_firing(a);
       // Consumption freed space: producers into this actor may now fit.
-      for (const EdgeId eid : graph.in_edges(a)) {
-        const ActorId producer = graph.edge(eid).src;
-        if (!actors[producer.value()].busy) enqueue(producer);
+      for (std::size_t i = fg.in_off[a]; i < fg.in_off[a + 1]; ++i) {
+        const std::uint32_t producer = fg.src[fg.in_edge[i]];
+        if (!busy[producer]) ready.push(producer);
       }
     }
-  };
-  auto start_all_enabled = [&] {
-    for (std::size_t i = 0; i < num_actors; ++i) {
-      enqueue(ActorId{static_cast<ActorId::value_type>(i)});
-    }
-    drain_worklist();
   };
 
   auto describe_block = [&]() -> std::string {
     std::string info = "deadlock; blocked actors:";
-    for (std::size_t i = 0; i < num_actors; ++i) {
-      const ActorId a{static_cast<ActorId::value_type>(i)};
-      const ActorState& st = actors[i];
-      if (st.busy) continue;
-      const std::size_t k = st.phase;
-      for (const EdgeId eid : graph.in_edges(a)) {
-        const Edge& e = graph.edge(eid);
-        if (tokens[eid.value()] < e.consumption[k]) {
-          info += " " + graph.actor(a).name + "(needs " +
-                  std::to_string(e.consumption[k]) + " on '" + e.name + "')";
+    for (std::size_t a = 0; a < num_actors; ++a) {
+      if (busy[a]) continue;
+      const ActorId aid{static_cast<ActorId::value_type>(a)};
+      const std::uint32_t k = phase[a];
+      for (std::size_t i = fg.in_off[a]; i < fg.in_off[a + 1]; ++i) {
+        const std::uint32_t e = fg.in_edge[i];
+        if (tokens[e] < fg.cons[fg.cons_off[e] + k]) {
+          const Edge& edge = graph.edge(EdgeId{e});
+          info += " " + graph.actor(aid).name + "(needs " +
+                  std::to_string(edge.consumption[k]) + " on '" + edge.name +
+                  "')";
           break;
         }
       }
-      for (const EdgeId eid : graph.out_edges(a)) {
-        const Edge& e = graph.edge(eid);
-        if (!e.capacity) continue;
-        if (tokens[eid.value()] + reserved[eid.value()] + e.production[k] >
-            *e.capacity) {
-          info += " " + graph.actor(a).name + "(no space on '" + e.name + "')";
+      for (std::size_t i = fg.out_off[a]; i < fg.out_off[a + 1]; ++i) {
+        const std::uint32_t e = fg.out_edge[i];
+        if (fg.capacity[e] == kUnbounded) continue;
+        if (tokens[e] + reserved[e] + fg.prod[fg.prod_off[e] + k] >
+            fg.capacity[e]) {
+          const Edge& edge = graph.edge(EdgeId{e});
+          info += " " + graph.actor(aid).name + "(no space on '" + edge.name +
+                  "')";
           break;
         }
       }
@@ -168,8 +274,23 @@ SimulationResult simulate(const Graph& graph, const RepetitionVector& rv,
     return info;
   };
 
-  start_all_enabled();
+  // Running period estimate after m_done measured iterations. With
+  // warmup == 0 the window starts at iteration 0, whose "previous
+  // completion" is time 0.
+  auto estimate = [&](std::uint32_t m_done) -> std::uint64_t {
+    const std::uint64_t t_begin =
+        w == 0 ? ref_iter_end[0] : ref_iter_end[w - 1];
+    const std::uint64_t t_end = ref_iter_end[w + m_done - 1];
+    const std::uint32_t spans = w == 0 ? m_done - 1 : m_done;
+    return spans == 0 ? t_begin : (t_end - t_begin + spans - 1) / spans;
+  };
 
+  for (std::size_t a = 0; a < num_actors; ++a) {
+    ready.push(static_cast<std::uint32_t>(a));
+  }
+  drain_ready();
+
+  std::uint32_t convergence_streak = 0;
   while (true) {
     if (in_flight.empty()) {
       result.status = SimulationStatus::Deadlock;
@@ -182,28 +303,53 @@ SimulationResult simulate(const Graph& graph, const RepetitionVector& rv,
     now = f.end_ps;
     ++result.events;
 
-    ActorState& st = actors[f.actor.value()];
-    const std::size_t k = st.phase;
-    for (const EdgeId eid : graph.out_edges(f.actor)) {
-      const std::uint32_t produced = graph.edge(eid).production[k];
-      reserved[eid.value()] -= produced;
-      tokens[eid.value()] += produced;
+    const std::uint32_t a = f.actor;
+    const std::uint32_t k = phase[a];
+    for (std::size_t i = fg.out_off[a]; i < fg.out_off[a + 1]; ++i) {
+      const std::uint32_t e = fg.out_edge[i];
+      const std::uint32_t produced = fg.prod[fg.prod_off[e] + k];
+      reserved[e] -= produced;
+      tokens[e] += produced;
     }
-    st.busy = false;
-    st.phase = (st.phase + 1) % graph.actor(f.actor).phase_count();
-    if (st.phase == 0) {
-      ++st.cycles_done;
-      if (f.actor == reference && st.cycles_done % ref_cycles_per_iter == 0) {
-        const std::uint64_t iter = st.cycles_done / ref_cycles_per_iter - 1;
+    busy[a] = 0;
+    phase[a] = (k + 1 == fg.phase_count[a]) ? 0 : k + 1;
+    if (phase[a] == 0) {
+      ++cycles_done[a];
+      if (a == ref && cycles_done[a] % ref_cycles_per_iter == 0) {
+        const std::uint64_t iter = cycles_done[a] / ref_cycles_per_iter - 1;
         if (iter < total_iters) ref_iter_end[iter] = now;
-        if (iter + 1 >= total_iters) {
-          // Target reached; fall through to measurement below.
-          break;
+        if (iter + 1 > w) {
+          const auto m_done = static_cast<std::uint32_t>(iter + 1 - w);
+          result.measured_iterations_used = m_done;
+          if (m_done >= m) break;  // full window executed
+          if (config.adaptive() && m_done >= 2) {
+            // Converged when each new iteration's OWN span stays within
+            // epsilon of the running average. Comparing successive
+            // cumulative means instead would always shrink as 1/n and
+            // declare any run "converged" after enough iterations, even
+            // while the period is still oscillating.
+            const std::uint64_t span = ref_iter_end[w + m_done - 1] -
+                                       ref_iter_end[w + m_done - 2];
+            const std::uint64_t cur = estimate(m_done);
+            const std::uint64_t diff = span > cur ? span - cur : cur - span;
+            const double bound = config.convergence_epsilon *
+                                 static_cast<double>(std::max<std::uint64_t>(
+                                     cur, 1));
+            if (static_cast<double>(diff) <= bound) {
+              ++convergence_streak;
+            } else {
+              convergence_streak = 0;
+            }
+            if (convergence_streak >= config.convergence_window) {
+              result.converged_early = true;
+              break;
+            }
+          }
         }
       }
-      if (probe && f.actor == probe->sink &&
-          st.cycles_done % sink_cycles_per_iter == 0) {
-        const std::uint64_t iter = st.cycles_done / sink_cycles_per_iter - 1;
+      if (probe && a == probe->sink.value() &&
+          cycles_done[a] % sink_cycles_per_iter == 0) {
+        const std::uint64_t iter = cycles_done[a] / sink_cycles_per_iter - 1;
         if (iter < sink_iter_end.size()) sink_iter_end[iter] = now;
       }
     }
@@ -217,36 +363,29 @@ SimulationResult simulate(const Graph& graph, const RepetitionVector& rv,
 
     // The completion can enable the actor itself and the consumers of the
     // tokens it just delivered; everything else is unaffected.
-    enqueue(f.actor);
-    for (const EdgeId eid : graph.out_edges(f.actor)) {
-      const ActorId consumer = graph.edge(eid).dst;
-      if (!actors[consumer.value()].busy) enqueue(consumer);
+    ready.push(a);
+    for (std::size_t i = fg.out_off[a]; i < fg.out_off[a + 1]; ++i) {
+      const std::uint32_t consumer = fg.dst[fg.out_edge[i]];
+      if (!busy[consumer]) ready.push(consumer);
     }
-    drain_worklist();
+    drain_ready();
   }
 
   result.status = SimulationStatus::Completed;
   result.end_time_ps = now;
 
-  const std::uint32_t w = config.warmup_iterations;
-  const std::uint32_t m = config.measured_iterations;
-  // Average period over the measured window. With warmup == 0 the window
-  // starts at iteration 0, whose "previous completion" is time 0.
-  const std::uint64_t t_begin = w == 0 ? ref_iter_end[0] : ref_iter_end[w - 1];
-  const std::uint64_t t_end = ref_iter_end[w + m - 1];
-  const std::uint32_t spans = w == 0 ? m - 1 : m;
-  result.period_ps =
-      spans == 0 ? t_begin : (t_end - t_begin + spans - 1) / spans;
+  const std::uint32_t m_used = result.measured_iterations_used;
+  result.period_ps = estimate(m_used);
 
   std::uint64_t max_span = 0;
-  for (std::uint32_t i = (w == 0 ? 1 : w); i < w + m; ++i) {
+  for (std::uint32_t i = (w == 0 ? 1 : w); i < w + m_used; ++i) {
     max_span = std::max(max_span, ref_iter_end[i] - ref_iter_end[i - 1]);
   }
   result.max_period_ps = max_span;
 
   if (probe) {
     std::uint64_t worst = 0;
-    for (std::uint32_t i = w; i < w + m; ++i) {
+    for (std::uint32_t i = w; i < w + m_used; ++i) {
       if (sink_iter_end[i] == 0) continue;  // sink lagging behind reference
       if (sink_iter_end[i] > src_iter_start[i]) {
         worst = std::max(worst, sink_iter_end[i] - src_iter_start[i]);

@@ -403,6 +403,11 @@ AdmissionStats ConcurrentRuntimeManager::stats() const {
   return stats_;
 }
 
+verify::EngineStats ConcurrentRuntimeManager::verification_stats() const {
+  const auto engine = mapper_->verification_engine();
+  return engine ? engine->stats() : verify::EngineStats{};
+}
+
 std::size_t ConcurrentRuntimeManager::running_count() const {
   std::lock_guard lock(state_mutex_);
   return running_.size();

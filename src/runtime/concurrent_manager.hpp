@@ -132,6 +132,12 @@ class ConcurrentRuntimeManager {
   [[nodiscard]] core::ResourceState state_snapshot() const;
 
   [[nodiscard]] AdmissionStats stats() const;
+
+  /// Step-4 verification-engine counters of the underlying mapper — the
+  /// engine is thread-safe, so this is just a snapshot of its stats.
+  /// Zeros when the mapper runs without an engine.
+  [[nodiscard]] verify::EngineStats verification_stats() const;
+
   [[nodiscard]] std::size_t running_count() const;
   [[nodiscard]] std::size_t waiting_count() const;
   [[nodiscard]] std::size_t queued_count() const { return queue_.size(); }

@@ -211,6 +211,11 @@ std::vector<ReleaseError> RuntimeManager::drain_release_errors() {
   return std::exchange(release_errors_, {});
 }
 
+verify::EngineStats RuntimeManager::verification_stats() const {
+  const auto engine = mapper_->verification_engine();
+  return engine ? engine->stats() : verify::EngineStats{};
+}
+
 std::vector<AdmitOutcome> RuntimeManager::reject_waiting() {
   std::vector<AdmitOutcome> resolved;
   for (Pending& pending : waiting_) {

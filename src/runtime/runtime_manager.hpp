@@ -11,6 +11,7 @@
 #include "arch/platform.hpp"
 #include "core/mapper.hpp"
 #include "runtime/admission.hpp"
+#include "verify/engine.hpp"
 
 namespace rtsm::runtime {
 
@@ -142,6 +143,11 @@ class RuntimeManager {
   [[nodiscard]] const core::ResourceState& state() const { return state_; }
 
   [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
+
+  /// Step-4 verification-engine counters of the underlying mapper (cache
+  /// hits/misses across admissions, simulations and events saved). Zeros
+  /// when the mapper runs without an engine.
+  [[nodiscard]] verify::EngineStats verification_stats() const;
 
   [[nodiscard]] const core::Mapper& mapper() const { return *mapper_; }
   [[nodiscard]] const AdmissionPolicy& policy() const { return *policy_; }

@@ -1,0 +1,49 @@
+#include "verify/expansion_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace rtsm::verify {
+
+ExpansionCache::ExpansionCache(std::size_t max_entries)
+    : max_entries_(max_entries) {
+  require(max_entries_ > 0, "ExpansionCache needs room for at least 1 entry");
+}
+
+std::shared_ptr<const VerificationOutcome> ExpansionCache::find(
+    const MappingSignature& signature) const {
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(signature);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+void ExpansionCache::insert(
+    const MappingSignature& signature,
+    std::shared_ptr<const VerificationOutcome> outcome) {
+  std::lock_guard lock(mutex_);
+  const auto [it, inserted] = map_.emplace(signature, std::move(outcome));
+  if (!inserted) return;  // a racing computation of the same key won
+  insertion_order_.push_back(signature);
+  while (map_.size() > max_entries_) {
+    map_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+    ++evictions_;
+  }
+}
+
+void ExpansionCache::clear() {
+  std::lock_guard lock(mutex_);
+  map_.clear();
+  insertion_order_.clear();
+}
+
+std::size_t ExpansionCache::size() const {
+  std::lock_guard lock(mutex_);
+  return map_.size();
+}
+
+std::uint64_t ExpansionCache::evictions() const {
+  std::lock_guard lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace rtsm::verify

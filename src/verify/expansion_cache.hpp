@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/feedback.hpp"
+#include "verify/signature.hpp"
+
+namespace rtsm::verify {
+
+/// The mapping-independent part of a step-4 verification: everything the
+/// CSDF expansion + buffer sizing derive from the structural mapping alone.
+/// The state-dependent parts — do the buffers fit the consuming tiles'
+/// residual memory, does the latency meet this application's bound — are
+/// recomputed by run_step4 on every call, so one cached outcome serves any
+/// number of admissions, refinement rounds and annealing candidates.
+struct VerificationOutcome {
+  /// True when the target period is sustainable with finite buffers.
+  bool feasible = false;
+
+  /// Minimal consumer-side buffer capacity per channel (parallel to the
+  /// application's channel ids). Empty when !feasible.
+  std::vector<std::uint32_t> buffer_tokens;
+
+  /// Sustained iteration period with the chosen buffers, ps.
+  std::uint64_t achieved_period_ps = 0;
+
+  /// Worst source-start to sink-completion time of one symbol, ps.
+  std::uint64_t latency_ps = 0;
+
+  /// Sizing failure explanation when !feasible.
+  std::string failure;
+
+  /// Blame feedback for the refinement loop when !feasible (the slowest
+  /// implementation on its tile), when derivable.
+  std::optional<core::FeedbackConstraint> feedback;
+
+  /// Cost of computing this outcome: simulations run and firings executed.
+  /// On a cache hit the engine credits these as saved.
+  std::uint64_t simulations = 0;
+  std::uint64_t events_simulated = 0;
+
+  /// True when the computation was warm-started from a previous feasible
+  /// solution's capacities.
+  bool warm_started = false;
+};
+
+/// Thread-safe memo of the step-4 expansion pipeline, keyed by the
+/// structural MappingSignature and shared across admissions, refinement
+/// rounds and search candidates. Entries hold the sized outcome rather
+/// than the raw ExpandedGraph: the signature pins every input of the
+/// sizing as well, so the outcome subsumes the expansion and nothing ever
+/// needs to re-simulate a cached graph. Bounded FIFO eviction keeps the
+/// footprint flat under endless admission churn.
+class ExpansionCache {
+ public:
+  explicit ExpansionCache(std::size_t max_entries = 1024);
+
+  /// Cached outcome of @p signature, or nullptr.
+  [[nodiscard]] std::shared_ptr<const VerificationOutcome> find(
+      const MappingSignature& signature) const;
+
+  /// Inserts (first writer wins on a race; later identical computations
+  /// are simply dropped). Evicts the oldest entry beyond max_entries.
+  void insert(const MappingSignature& signature,
+              std::shared_ptr<const VerificationOutcome> outcome);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
+  [[nodiscard]] std::uint64_t evictions() const;
+
+ private:
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<MappingSignature,
+                     std::shared_ptr<const VerificationOutcome>, SignatureHash>
+      map_;
+  std::deque<MappingSignature> insertion_order_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace rtsm::verify

@@ -183,6 +183,106 @@ TEST(Step4, BufferThatCannotFitProducesTileFeedback) {
   EXPECT_EQ(report.feedback->kind, FeedbackConstraint::Kind::ForbidTile);
 }
 
+/// SRC -> A -> B -> DST where the final channel carries a burst whose
+/// consumer-side buffer cannot fit DST's tile, while the earlier channels'
+/// buffers fit fine — the shape that used to leak partial reservations.
+kpn::Application tail_heavy_app() {
+  kpn::QosConstraints qos;
+  qos.symbol_period_ns = 4000;
+  kpn::Application app("tail-heavy", qos);
+  const ProcessId src = app.add_fixture("SRC", "SRC");
+  const ProcessId a = app.add_process("A");
+  const ProcessId b = app.add_process("B");
+  const ProcessId dst = app.add_fixture("DST", "DST");
+  const ChannelId c0 = app.connect(src, a, 8);
+  const ChannelId c1 = app.connect(a, b, 8);
+  const ChannelId c2 = app.connect(b, dst, 64);
+
+  auto impl = [&](ProcessId pid, const char* type,
+                  std::vector<kpn::PortSpec> in,
+                  std::vector<kpn::PortSpec> out, std::uint64_t memory) {
+    kpn::Implementation im;
+    im.name = app.process(pid).name + "@" + type;
+    im.tile_type = type;
+    im.wcet_cc = {100};
+    im.inputs = std::move(in);
+    im.outputs = std::move(out);
+    im.memory_bytes = memory;
+    app.add_implementation(pid, std::move(im));
+  };
+  impl(src, "IO", {}, {{c0, {8}}}, 64);
+  impl(a, "BIG", {{c0, {8}}}, {{c1, {8}}}, 128);
+  impl(b, "BIG", {{c1, {8}}}, {{c2, {64}}}, 128);
+  impl(dst, "IO", {{c2, {64}}}, {}, 64);
+  app.validate();
+  return app;
+}
+
+TEST(Step4, BufferMisfitRollsBackPartialReservations) {
+  Step4Fixture f;
+  // 280 B per tile: each stage implementation (128 B) plus its small
+  // 8-token buffer fits, but DST's 64-token eject buffer (256 B on top of
+  // the 64 B fixture implementation) does not.
+  f.platform = test::small_platform(200'000'000, 200'000'000, 280);
+  const auto app = tail_heavy_app();
+  ResourceState state(f.platform);
+  Mapping mapping(app.process_count(), app.channel_count());
+  f.place_and_route(app, state, mapping);
+
+  std::vector<std::uint64_t> before;
+  for (const TileId tid : f.platform.tile_ids()) {
+    before.push_back(state.memory_used(tid));
+  }
+
+  const auto report = f.verify(app, state, mapping);
+  ASSERT_FALSE(report.feasible);
+  ASSERT_TRUE(report.feedback.has_value());
+  EXPECT_EQ(report.feedback->kind, FeedbackConstraint::Kind::ForbidTile);
+  // The misfit must be the LAST channel — the two earlier channels were
+  // reserved before it, which is exactly the leaking shape.
+  EXPECT_NE(report.failure.find("B->DST"), std::string::npos)
+      << report.failure;
+
+  // The failed step must leave the residual state exactly as it found it:
+  // the buffers reserved for the earlier channels are rolled back.
+  for (const TileId tid : f.platform.tile_ids()) {
+    EXPECT_EQ(state.memory_used(tid), before[tid.value()])
+        << "leaked reservation on tile "
+        << f.platform.tile(tid).name;
+  }
+}
+
+TEST(Step4, TraceCarriesPeriodAndLatencyOnEveryOutcome) {
+  // Buffer-misfit path: the sizing succeeded, so the trace must still
+  // report the achieved period and latency of the sized graph.
+  {
+    Step4Fixture f;
+    f.platform = test::small_platform(200'000'000, 200'000'000, 280);
+    const auto app = tail_heavy_app();
+    ResourceState state(f.platform);
+    Mapping mapping(app.process_count(), app.channel_count());
+    f.place_and_route(app, state, mapping);
+    ASSERT_FALSE(f.verify(app, state, mapping).feasible);
+    EXPECT_TRUE(f.round.step4.ran);
+    EXPECT_GT(f.round.step4.achieved_period_ps, 0u);
+    EXPECT_GT(f.round.step4.latency_ps, 0u);
+  }
+  // Throughput-failure path: the achieved (too slow) period is traced.
+  {
+    Step4Fixture f;
+    test::PipelineSpec spec;
+    spec.stages = 1;
+    spec.big_wcet_cc = 3200;
+    spec.little_wcet_cc = 0;
+    const auto app = test::pipeline_app(spec);
+    ResourceState state(f.platform);
+    Mapping mapping(app.process_count(), app.channel_count());
+    f.place_and_route(app, state, mapping, /*screen=*/false);
+    ASSERT_FALSE(f.verify(app, state, mapping).feasible);
+    EXPECT_GT(f.round.step4.achieved_period_ps, 0u);
+  }
+}
+
 TEST(Step4, LatencyBoundViolationDetected) {
   Step4Fixture f;
   kpn::QosConstraints qos;

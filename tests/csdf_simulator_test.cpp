@@ -174,6 +174,45 @@ TEST(Simulator, PeriodNeverBeatsStructuralBound) {
   EXPECT_GE(sim.period_ps, min_period_bound_ps(g, *rv));
 }
 
+TEST(Simulator, AdaptiveWindowStopsEarlyWithSamePeriod) {
+  // A two-actor pipeline settles into its steady state immediately, so an
+  // adaptive window converges long before the fixed 64-iteration budget —
+  // with the identical period estimate.
+  Graph g;
+  const ActorId p = g.add_actor("P", {100});
+  const ActorId c = g.add_actor("C", {250});
+  g.add_edge(make_edge("e", p, c, {1}, {1}, 4));
+  const auto rv = repetition_vector(g);
+  ASSERT_TRUE(rv);
+
+  SimulationConfig fixed;
+  fixed.warmup_iterations = 4;
+  fixed.measured_iterations = 64;
+  const auto full = simulate(g, *rv, c, fixed);
+  ASSERT_EQ(full.status, SimulationStatus::Completed);
+  EXPECT_EQ(full.measured_iterations_used, 64u);
+  EXPECT_FALSE(full.converged_early);
+
+  SimulationConfig adaptive = fixed;
+  adaptive.convergence_window = 3;
+  adaptive.convergence_epsilon = 0.01;
+  const auto early = simulate(g, *rv, c, adaptive);
+  ASSERT_EQ(early.status, SimulationStatus::Completed);
+  EXPECT_TRUE(early.converged_early);
+  EXPECT_LT(early.measured_iterations_used, 64u);
+  EXPECT_LT(early.events, full.events);
+  EXPECT_EQ(early.period_ps, full.period_ps);
+}
+
+TEST(Simulator, AdaptiveWindowDisabledByDefault) {
+  SimulationConfig config;
+  EXPECT_FALSE(config.adaptive());
+  config.convergence_window = 3;
+  EXPECT_FALSE(config.adaptive());  // needs a positive epsilon too
+  config.convergence_epsilon = 0.01;
+  EXPECT_TRUE(config.adaptive());
+}
+
 TEST(Simulator, WarmupZeroWorks) {
   Graph g;
   const ActorId p = g.add_actor("P", {100});
