@@ -1,0 +1,212 @@
+#include "core/migration.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rtsm::core {
+
+namespace {
+
+bool paths_equal(const std::optional<noc::Path>& a,
+                 const std::optional<noc::Path>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  return a->src_tile == b->src_tile && a->dst_tile == b->dst_tile &&
+         a->links == b->links;
+}
+
+/// Bytes of the sized input buffers of @p process as booked right now —
+/// they live on the consumer's (= this process's) tile and move with it.
+std::uint64_t in_buffer_bytes(const kpn::Application& app,
+                              const Mapping& mapping, ProcessId process) {
+  std::uint64_t bytes = 0;
+  for (const ChannelId cid : app.in_channels(process)) {
+    if (const auto tokens = mapping.buffer_tokens(cid)) {
+      bytes += static_cast<std::uint64_t>(*tokens) *
+               app.channel(cid).token_bytes;
+    }
+  }
+  return bytes;
+}
+
+bool apply_move(ResourceState& state, const kpn::Application& app,
+                Mapping& mapping, const MappingDelta& d) {
+  const arch::Platform& platform = state.platform();
+  const double util_before = claimed_utilization(impl_utilization(
+      app, d.process, d.impl_before, platform.tile_clock_hz(d.tile_before)));
+  const double util_after = claimed_utilization(impl_utilization(
+      app, d.process, d.impl_after, platform.tile_clock_hz(d.tile_after)));
+  const std::uint64_t mem_before =
+      app.implementation(d.process, d.impl_before).memory_bytes;
+  const std::uint64_t mem_after =
+      app.implementation(d.process, d.impl_after).memory_bytes;
+  const std::uint64_t buffers = in_buffer_bytes(app, mapping, d.process);
+
+  state.release_tile(d.tile_before, util_before, mem_before + buffers, 1);
+  if (!state.tile_fits(d.tile_after, util_after, mem_after + buffers, 1)) {
+    state.reserve_tile(d.tile_before, util_before, mem_before + buffers, 1);
+    return false;
+  }
+  state.reserve_tile(d.tile_after, util_after, mem_after + buffers, 1);
+  mapping.assign(d.process, d.impl_after, d.tile_after);
+  return true;
+}
+
+bool apply_reroute(ResourceState& state, const kpn::Application& app,
+                   Mapping& mapping, const MappingDelta& d) {
+  const kpn::Channel& c = app.channel(d.channel);
+  const double demand = app.tokens_per_second(d.channel);
+  const TileId consumer = mapping.tile_of(c.dst);
+  const std::uint64_t bytes_before =
+      d.buffer_before
+          ? static_cast<std::uint64_t>(*d.buffer_before) * c.token_bytes
+          : 0;
+  const std::uint64_t bytes_after =
+      d.buffer_after
+          ? static_cast<std::uint64_t>(*d.buffer_after) * c.token_bytes
+          : 0;
+
+  if (d.path_before) state.links().release_path(*d.path_before, demand);
+  state.release_tile(consumer, 0.0, bytes_before, 0);
+
+  bool fits = state.tile_fits(consumer, 0.0, bytes_after, 0);
+  if (fits && d.path_after) {
+    for (const LinkId link : d.path_after->links) {
+      if (!state.links().fits(link, demand)) {
+        fits = false;
+        break;
+      }
+    }
+  }
+  if (!fits) {
+    state.reserve_tile(consumer, 0.0, bytes_before, 0);
+    if (d.path_before) state.links().reserve_path(*d.path_before, demand);
+    return false;
+  }
+
+  if (d.path_after) {
+    state.links().reserve_path(*d.path_after, demand);
+    mapping.set_path(d.channel, *d.path_after);
+  }
+  state.reserve_tile(consumer, 0.0, bytes_after, 0);
+  if (d.buffer_after) mapping.set_buffer_tokens(d.channel, *d.buffer_after);
+  return true;
+}
+
+}  // namespace
+
+MappingDelta MappingDelta::inverse() const {
+  MappingDelta inv = *this;
+  std::swap(inv.impl_before, inv.impl_after);
+  std::swap(inv.tile_before, inv.tile_after);
+  std::swap(inv.path_before, inv.path_after);
+  std::swap(inv.buffer_before, inv.buffer_after);
+  return inv;
+}
+
+std::vector<MappingDelta> diff_mappings(const kpn::Application& app,
+                                        const Mapping& before,
+                                        const Mapping& after) {
+  require(before.all_assigned() && before.all_routed() &&
+              after.all_assigned() && after.all_routed(),
+          "diff_mappings needs two complete mappings");
+  std::vector<MappingDelta> deltas;
+
+  for (const ProcessId pid : app.process_ids()) {
+    if (before.tile_of(pid) == after.tile_of(pid) &&
+        before.impl_of(pid) == after.impl_of(pid)) {
+      continue;
+    }
+    MappingDelta d;
+    d.kind = MappingDelta::Kind::MoveProcess;
+    d.process = pid;
+    d.impl_before = before.impl_of(pid);
+    d.impl_after = after.impl_of(pid);
+    d.tile_before = before.tile_of(pid);
+    d.tile_after = after.tile_of(pid);
+    deltas.push_back(std::move(d));
+  }
+
+  for (const ChannelId cid : app.channel_ids()) {
+    const bool same_path = paths_equal(before.path(cid), after.path(cid));
+    const bool same_buffer =
+        before.buffer_tokens(cid) == after.buffer_tokens(cid);
+    if (same_path && same_buffer) continue;
+    MappingDelta d;
+    d.kind = MappingDelta::Kind::RerouteChannel;
+    d.channel = cid;
+    d.path_before = before.path(cid);
+    d.path_after = after.path(cid);
+    d.buffer_before = before.buffer_tokens(cid);
+    d.buffer_after = after.buffer_tokens(cid);
+    deltas.push_back(std::move(d));
+  }
+  return deltas;
+}
+
+bool apply_delta(ResourceState& state, const kpn::Application& app,
+                 Mapping& mapping, const MappingDelta& delta) {
+  switch (delta.kind) {
+    case MappingDelta::Kind::MoveProcess:
+      return apply_move(state, app, mapping, delta);
+    case MappingDelta::Kind::RerouteChannel:
+      return apply_reroute(state, app, mapping, delta);
+  }
+  return false;
+}
+
+void rollback_delta(ResourceState& state, const kpn::Application& app,
+                    Mapping& mapping, const MappingDelta& delta) {
+  require(apply_delta(state, app, mapping, delta.inverse()),
+          "migration rollback no longer fits — deltas must be rolled back "
+          "in reverse application order");
+}
+
+double MigrationCostModel::migration_us(const kpn::Application& app,
+                                        const arch::Platform& platform,
+                                        const Mapping& before,
+                                        const Mapping& after) const {
+  const double hop_us =
+      static_cast<double>(platform.noc().router_latency_ps()) * 1e-6;
+  double us = 0.0;
+  for (const ProcessId pid : app.process_ids()) {
+    if (before.tile_of(pid) == after.tile_of(pid) &&
+        before.impl_of(pid) == after.impl_of(pid)) {
+      continue;
+    }
+    const std::uint64_t bytes =
+        app.implementation(pid, after.impl_of(pid)).memory_bytes +
+        in_buffer_bytes(app, before, pid);
+    const auto tokens = static_cast<double>(
+        (bytes + token_bytes - 1) / std::max<std::uint32_t>(token_bytes, 1));
+    const auto hops = static_cast<double>(
+        platform.manhattan(before.tile_of(pid), after.tile_of(pid)));
+    us += pause_us + tokens * hops * hop_us;
+  }
+  return us;
+}
+
+double MigrationCostModel::migration_energy_nj(const kpn::Application& app,
+                                               const arch::Platform& platform,
+                                               const Mapping& before,
+                                               const Mapping& after) const {
+  double nj = 0.0;
+  for (const ProcessId pid : app.process_ids()) {
+    if (before.tile_of(pid) == after.tile_of(pid) &&
+        before.impl_of(pid) == after.impl_of(pid)) {
+      continue;
+    }
+    const std::uint64_t bytes =
+        app.implementation(pid, after.impl_of(pid)).memory_bytes +
+        in_buffer_bytes(app, before, pid);
+    const auto tokens = static_cast<std::uint32_t>(
+        (bytes + token_bytes - 1) / std::max<std::uint32_t>(token_bytes, 1));
+    nj += energy.comm_nj(
+        tokens, platform.manhattan(before.tile_of(pid), after.tile_of(pid)));
+  }
+  return nj;
+}
+
+}  // namespace rtsm::core

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <utility>
 
+#include "core/fragmentation.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 
@@ -26,6 +28,7 @@ ConcurrentRuntimeManager::ConcurrentRuntimeManager(
           "ConcurrentRuntimeManager needs a priority policy");
   require(options_.shards >= 1, "shards must be >= 1");
   require(options_.max_batch >= 1, "max_batch must be >= 1");
+  planner_ = std::make_unique<DefragPlanner>(mapper_, options_.defrag);
 
   // Shards partition the mesh into vertical stripes; a tile belongs to the
   // stripe its router column falls in.
@@ -154,8 +157,8 @@ bool ConcurrentRuntimeManager::validate_and_commit(
     }
     core::commit_mapping(state_, *request.app, result.mapping);
     id = AppId{next_app_.fetch_add(1)};
-    running_.emplace(
-        id, Running{request.app, result.mapping, result.energy_nj_per_symbol});
+    running_.emplace(id, RunningApp{request.app, result.mapping,
+                                    result.energy_nj_per_symbol});
   }
   AdmitOutcome outcome;
   outcome.request = request.id;
@@ -188,13 +191,13 @@ void ConcurrentRuntimeManager::process_request(Request request) {
     resolve(std::move(r), std::move(outcome));
   };
 
-  // Phase 1 — sharded admission: plan confined to one stripe of the mesh.
-  // The shard lock serializes planners per region (two workers never plan
-  // into the same stripe at once), so shard-local plans almost never hit a
-  // validation conflict; foreign-tile traffic can still conflict and is
-  // caught by validate_and_commit.
+  // Phase 1 — sharded admission: plan confined to the least-loaded stripe
+  // of the mesh. The shard lock serializes planners per region (two
+  // workers never plan into the same stripe at once), so shard-local
+  // plans almost never hit a validation conflict; foreign-tile traffic
+  // can still conflict and is caught by validate_and_commit.
   if (options_.shards >= 2) {
-    const std::size_t s = next_shard_.fetch_add(1) % options_.shards;
+    const std::size_t s = pick_shard();
     std::unique_lock shard_lock(shards_[s]->mutex);
     core::MappingResult result = run_mapper(request, masked_snapshot(s));
     if (request.deadline_us > 0.0 && request.mapping_us > request.deadline_us) {
@@ -209,6 +212,9 @@ void ConcurrentRuntimeManager::process_request(Request request) {
       ++stats_.conflicts;
     }
     // Shard full or outraced: phase 2 falls back to the whole platform.
+    shard_lock.unlock();
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.shard_fallbacks;
   }
 
   // Phase 2 — whole-platform optimistic loop: map on a snapshot outside
@@ -235,6 +241,18 @@ void ConcurrentRuntimeManager::process_request(Request request) {
       result.success = false;
       result.failure = "optimistic validation kept conflicting (" +
                        std::to_string(conflicts) + " attempts)";
+    }
+    // OnReject: compact once per request, then retry against the
+    // defragmented state (fresh snapshot, fresh epoch, and a fresh
+    // validation-conflict budget — the pre-defrag conflicts say nothing
+    // about the compacted state).
+    if (options_.defrag.policy == DefragPolicy::OnReject &&
+        !request.defragged) {
+      request.defragged = true;
+      if (defrag_pass_locked().migrations > 0) {
+        conflicts = 0;
+        continue;
+      }
     }
     if (policy_->on_failure(result, request.attempts) ==
         FailureAction::Retry) {
@@ -294,7 +312,7 @@ bool ConcurrentRuntimeManager::try_park(Request& request,
   return true;
 }
 
-void ConcurrentRuntimeManager::requeue_waiting() {
+void ConcurrentRuntimeManager::requeue_waiting(bool after_defrag_migration) {
   std::vector<Request> woken;
   {
     std::lock_guard lock(waiting_mutex_);
@@ -312,6 +330,7 @@ void ConcurrentRuntimeManager::requeue_waiting() {
     }
     std::lock_guard lock(stats_mutex_);
     ++stats_.retries;
+    if (after_defrag_migration) ++stats_.parked_woken_by_defrag;
   }
 }
 
@@ -344,8 +363,85 @@ bool ConcurrentRuntimeManager::release(AppId id) {
     std::lock_guard lock(stats_mutex_);
     ++stats_.releases;
   }
-  requeue_waiting();
+  // Compact *before* waking parked requests so their retry plans against
+  // the defragmented capacity.
+  requeue_waiting(maybe_defrag_after_release());
   return true;
+}
+
+bool ConcurrentRuntimeManager::maybe_defrag_after_release() {
+  if (options_.defrag.policy != DefragPolicy::OnReleaseThreshold) {
+    return false;
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    const double score =
+        core::measure_fragmentation(state_, options_.defrag.fragmentation)
+            .score();
+    if (!planner_->triggers_after_release(score)) return false;
+  }
+  return defrag_pass_locked().migrations > 0;
+}
+
+DefragPassResult ConcurrentRuntimeManager::defrag_pass_locked() {
+  DefragPassResult pass;
+  {
+    // The pass re-plans and commits under the state lock: migrations are
+    // atomic against concurrent admissions (their validate_and_commit
+    // serializes behind the pass and re-validates its own plan after).
+    std::lock_guard lock(state_mutex_);
+    pass = planner_->run_pass(state_, running_);
+  }
+  std::lock_guard lock(stats_mutex_);
+  ++stats_.defrag_passes;
+  stats_.migrations += pass.migrations;
+  stats_.migration_failures += pass.migration_failures;
+  stats_.last_fragmentation_before = pass.fragmentation_before;
+  stats_.last_fragmentation_after = pass.fragmentation_after;
+  stats_.migration_cost_us += pass.migration_cost_us;
+  return pass;
+}
+
+DefragPassResult ConcurrentRuntimeManager::defrag_now() {
+  return defrag_pass_locked();
+}
+
+std::size_t ConcurrentRuntimeManager::pick_shard() const {
+  if (options_.shards < 2) return 0;
+  std::vector<double> load(options_.shards, 0.0);
+  std::vector<std::size_t> tiles(options_.shards, 0);
+  {
+    // One O(tiles) scan under the state lock per sharded admission. The
+    // lock is taken by validate_and_commit right after anyway, and tile
+    // counts are small; incrementally maintained per-shard occupancy
+    // counters are the upgrade path if this scan ever shows up in a
+    // profile.
+    std::lock_guard lock(state_mutex_);
+    for (const TileId tid : platform_->tile_ids()) {
+      const std::size_t s = shard_of(tid);
+      load[s] += core::tile_occupancy(state_, tid);
+      ++tiles[s];
+    }
+  }
+  double best_load = std::numeric_limits<double>::infinity();
+  std::vector<double> mean(load.size());
+  for (std::size_t s = 0; s < load.size(); ++s) {
+    mean[s] = tiles[s] == 0 ? std::numeric_limits<double>::infinity()
+                            : load[s] / static_cast<double>(tiles[s]);
+    best_load = std::min(best_load, mean[s]);
+  }
+  // Near-ties rotate: on an empty or evenly loaded platform every worker
+  // would otherwise compute the same winner and serialize on one stripe's
+  // mutex — the burst-start herd sharding exists to avoid. Stripes within
+  // a small band of the minimum are treated as equals and dealt out
+  // round-robin.
+  constexpr double kTieBand = 0.05;
+  std::vector<std::size_t> candidates;
+  for (std::size_t s = 0; s < mean.size(); ++s) {
+    if (mean[s] <= best_load + kTieBand) candidates.push_back(s);
+  }
+  if (candidates.size() == 1) return candidates.front();
+  return candidates[tie_break_.fetch_add(1) % candidates.size()];
 }
 
 void ConcurrentRuntimeManager::wait_idle() {

@@ -41,11 +41,19 @@ struct ConcurrentOptions {
   std::uint32_t validation_retries = 3;
 
   /// Number of tile-region shards (vertical mesh stripes). >= 2 enables
-  /// two-phase sharded admission: a request first plans confined to one
-  /// shard (per-shard lock, tiles outside the shard masked as saturated),
-  /// and falls back to whole-platform optimistic admission when the shard
-  /// cannot host it.
+  /// two-phase sharded admission: a request first plans confined to the
+  /// least-loaded shard (per-shard lock, tiles outside the shard masked as
+  /// saturated), and falls back to whole-platform optimistic admission
+  /// when the shard cannot host it (counted in stats().shard_fallbacks).
   std::uint32_t shards = 1;
+
+  /// Defragmentation policy (see runtime/defrag.hpp). A pass runs under
+  /// the state lock — after a release and before parked requests wake, or
+  /// reactively before a request is rejected — and migrates running
+  /// applications with two-phase-committed MappingDeltas. On a sharded
+  /// manager the pass plans whole-platform, so it also rebalances
+  /// applications across stripes.
+  DefragOptions defrag = {};
 };
 
 /// Thread-safe run-time admission manager: concurrent arrivals, a worker
@@ -165,6 +173,11 @@ class ConcurrentRuntimeManager {
   /// stripes); always 0 when sharding is off.
   [[nodiscard]] std::size_t shard_of(TileId tile) const;
 
+  /// Runs one defragmentation pass right now (regardless of policy) under
+  /// the state lock and merges its result into stats(). For operators,
+  /// benches and tests.
+  DefragPassResult defrag_now();
+
  private:
   struct Request {
     RequestId id = 0;
@@ -173,13 +186,9 @@ class ConcurrentRuntimeManager {
     double priority = 0.0;
     std::uint32_t attempts = 0;
     double mapping_us = 0.0;
+    /// An OnReject defrag pass was already spent on this request.
+    bool defragged = false;
     std::promise<AdmitOutcome> promise;
-  };
-
-  struct Running {
-    std::shared_ptr<const kpn::Application> app;
-    core::Mapping mapping;
-    double energy_nj = 0.0;
   };
 
   struct Shard {
@@ -201,6 +210,18 @@ class ConcurrentRuntimeManager {
   /// Snapshot with all tiles outside @p shard saturated.
   [[nodiscard]] core::ResourceState masked_snapshot(std::size_t shard) const;
 
+  /// Least-loaded shard by live occupancy (mean tile_occupancy of the
+  /// stripe's tiles). Stripes within a small band of the minimum are
+  /// dealt out round-robin so concurrent planners on an evenly loaded
+  /// platform still start in disjoint stripes.
+  [[nodiscard]] std::size_t pick_shard() const;
+
+  /// One defrag pass under the state lock; stats merged afterwards.
+  DefragPassResult defrag_pass_locked();
+  /// OnReleaseThreshold trigger: pass when the score is over threshold.
+  /// Returns whether a pass migrated anything.
+  bool maybe_defrag_after_release();
+
   /// Outcome bookkeeping shared by every resolution path: counters,
   /// latency sample, resolution order.
   void record_outcome(RequestId request, const AdmitOutcome& outcome);
@@ -216,7 +237,9 @@ class ConcurrentRuntimeManager {
   [[nodiscard]] bool try_park(Request& request, std::uint64_t epoch_seen);
 
   /// Moves parked requests back into the queue after a release.
-  void requeue_waiting();
+  /// @p after_defrag_migration marks the wake as following a defrag pass
+  /// that moved something (counted in parked_woken_by_defrag).
+  void requeue_waiting(bool after_defrag_migration = false);
   /// Decrements the in-flight count and wakes wait_idle().
   void finish_one();
 
@@ -225,12 +248,15 @@ class ConcurrentRuntimeManager {
   std::shared_ptr<const AdmissionPolicy> policy_;
   std::shared_ptr<const PriorityPolicy> priority_;
   ConcurrentOptions options_;
+  std::unique_ptr<DefragPlanner> planner_;
 
   /// Guards state_ and running_ (commit + bookkeeping are one atomic
-  /// step). Never held while the mapper runs.
+  /// step). Never held while an *admission* mapper runs; a defrag pass
+  /// does hold it while re-planning, serializing compaction against
+  /// commits (see docs/architecture.md, migration safety).
   mutable std::mutex state_mutex_;
   core::ResourceState state_;
-  std::map<AppId, Running> running_;
+  std::map<AppId, RunningApp> running_;
 
   mutable std::mutex stats_mutex_;
   AdmissionStats stats_;
@@ -250,7 +276,8 @@ class ConcurrentRuntimeManager {
 
   std::atomic<std::uint64_t> next_request_{1};
   std::atomic<std::uint32_t> next_app_{0};
-  std::atomic<std::uint64_t> next_shard_{0};
+  /// Rotates pick_shard()'s choice among equally-loaded stripes.
+  mutable std::atomic<std::uint64_t> tie_break_{0};
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<bool> stopped_{false};
   std::mutex idle_mutex_;

@@ -32,9 +32,13 @@ double AdmissionStats::mean_latency_us() const {
 
 RuntimeManager::RuntimeManager(const arch::Platform& platform,
                                std::shared_ptr<const core::Mapper> mapper,
-                               std::shared_ptr<const AdmissionPolicy> policy)
-    : state_(platform), mapper_(std::move(mapper)), policy_(std::move(policy)) {
-  require(mapper_ != nullptr, "RuntimeManager needs a mapper");
+                               std::shared_ptr<const AdmissionPolicy> policy,
+                               DefragOptions defrag)
+    : state_(platform),
+      mapper_((require(mapper != nullptr, "RuntimeManager needs a mapper"),
+               std::move(mapper))),
+      policy_(std::move(policy)),
+      planner_(mapper_, defrag) {
   require(policy_ != nullptr, "RuntimeManager needs an admission policy");
 }
 
@@ -77,12 +81,18 @@ std::vector<AdmitOutcome> RuntimeManager::drain() {
       // grow anyway.
       const bool more_releases_first =
           !queue_.empty() && queue_.front().kind == Pending::Kind::Release;
-      if (!waiting_.empty() && !more_releases_first) {
-        stats_.retries += waiting_.size();
-        queue_.insert(queue_.begin(),
-                      std::make_move_iterator(waiting_.begin()),
-                      std::make_move_iterator(waiting_.end()));
-        waiting_.clear();
+      if (!more_releases_first) {
+        // Compact *before* waking parked requests so the retry sees the
+        // defragmented capacity.
+        const bool defragged = maybe_defrag_after_release();
+        if (!waiting_.empty()) {
+          stats_.retries += waiting_.size();
+          if (defragged) stats_.parked_woken_by_defrag += waiting_.size();
+          queue_.insert(queue_.begin(),
+                        std::make_move_iterator(waiting_.begin()),
+                        std::make_move_iterator(waiting_.end()));
+          waiting_.clear();
+        }
       }
       continue;
     }
@@ -95,24 +105,43 @@ std::vector<AdmitOutcome> RuntimeManager::drain() {
 }
 
 std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
-  const auto start = std::chrono::steady_clock::now();
-  core::MappingResult result = mapper_->map(*pending.app, state_);
-  pending.mapping_us += elapsed_us(start);
-  ++pending.attempts;
+  core::MappingResult result;
+  while (true) {
+    const auto start = std::chrono::steady_clock::now();
+    result = mapper_->map(*pending.app, state_);
+    pending.mapping_us += elapsed_us(start);
+    ++pending.attempts;
+
+    // A successful plan may still not fit: design-time baselines ignore
+    // the residual state. Screen before committing and treat a misfit as
+    // a mapper failure.
+    if (result.success && !core::mapping_fits(state_, *pending.app,
+                                              result.mapping)) {
+      result.success = false;
+      result.failure = "mapping does not fit the residual resources";
+    }
+
+    // OnReject: compact once per request — the flag survives parking, so
+    // a retried request does not re-trigger a pass on every wake — then
+    // give it a second attempt against the defragmented state (unless
+    // its deadline is spent).
+    if (!result.success &&
+        planner_.options().policy == DefragPolicy::OnReject &&
+        !pending.defragged &&
+        (pending.deadline_us <= 0.0 ||
+         pending.mapping_us <= pending.deadline_us)) {
+      pending.defragged = true;
+      const DefragPassResult pass = planner_.run_pass(state_, running_);
+      merge_defrag(pass);
+      if (pass.migrations > 0) continue;
+    }
+    break;
+  }
 
   AdmitOutcome outcome;
   outcome.request = pending.request;
   outcome.attempts = pending.attempts;
   outcome.mapping_us = pending.mapping_us;
-
-  // A successful plan may still not fit: design-time baselines ignore the
-  // residual state. Screen before committing and treat a misfit as a
-  // mapper failure.
-  if (result.success && !core::mapping_fits(state_, *pending.app,
-                                            result.mapping)) {
-    result.success = false;
-    result.failure = "mapping does not fit the residual resources";
-  }
 
   if (pending.deadline_us > 0.0 && pending.mapping_us > pending.deadline_us) {
     outcome.status = AdmitStatus::DeadlineMiss;
@@ -125,8 +154,8 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
   if (result.success) {
     core::commit_mapping(state_, *pending.app, result.mapping);
     const AppId id{next_app_++};
-    running_.emplace(id, Running{pending.app, result.mapping,
-                                 result.energy_nj_per_symbol});
+    running_.emplace(id, RunningApp{pending.app, result.mapping,
+                                    result.energy_nj_per_symbol});
     outcome.status = AdmitStatus::Admitted;
     outcome.app_id = id;
     outcome.mapping = std::move(result);
@@ -211,6 +240,34 @@ std::vector<ReleaseError> RuntimeManager::drain_release_errors() {
   return std::exchange(release_errors_, {});
 }
 
+bool RuntimeManager::maybe_defrag_after_release() {
+  if (planner_.options().policy != DefragPolicy::OnReleaseThreshold) {
+    return false;
+  }
+  const double score =
+      core::measure_fragmentation(state_, planner_.options().fragmentation)
+          .score();
+  if (!planner_.triggers_after_release(score)) return false;
+  const DefragPassResult pass = planner_.run_pass(state_, running_);
+  merge_defrag(pass);
+  return pass.migrations > 0;
+}
+
+void RuntimeManager::merge_defrag(const DefragPassResult& pass) {
+  ++stats_.defrag_passes;
+  stats_.migrations += pass.migrations;
+  stats_.migration_failures += pass.migration_failures;
+  stats_.last_fragmentation_before = pass.fragmentation_before;
+  stats_.last_fragmentation_after = pass.fragmentation_after;
+  stats_.migration_cost_us += pass.migration_cost_us;
+}
+
+DefragPassResult RuntimeManager::defrag_now() {
+  const DefragPassResult pass = planner_.run_pass(state_, running_);
+  merge_defrag(pass);
+  return pass;
+}
+
 verify::EngineStats RuntimeManager::verification_stats() const {
   const auto engine = mapper_->verification_engine();
   return engine ? engine->stats() : verify::EngineStats{};
@@ -250,6 +307,13 @@ const core::Mapping& RuntimeManager::mapping_of(AppId id) const {
   const auto it = running_.find(id);
   require(it != running_.end(), "mapping_of unknown application id");
   return it->second.mapping;
+}
+
+std::shared_ptr<const kpn::Application> RuntimeManager::app_of(
+    AppId id) const {
+  const auto it = running_.find(id);
+  require(it != running_.end(), "app_of unknown application id");
+  return it->second.app;
 }
 
 }  // namespace rtsm::runtime

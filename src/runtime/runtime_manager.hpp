@@ -11,6 +11,7 @@
 #include "arch/platform.hpp"
 #include "core/mapper.hpp"
 #include "runtime/admission.hpp"
+#include "runtime/defrag.hpp"
 #include "verify/engine.hpp"
 
 namespace rtsm::runtime {
@@ -69,6 +70,23 @@ struct AdmissionStats {
   /// snapshot and commit and was re-mapped (concurrent manager only).
   std::uint64_t conflicts = 0;
 
+  /// Sharded-mode requests that fell back to whole-platform admission
+  /// after their stripe could not host them (concurrent manager only).
+  std::uint64_t shard_fallbacks = 0;
+
+  // -- defragmentation (see runtime/defrag.hpp) ----------------------------
+  std::uint64_t defrag_passes = 0;        ///< Passes that ran.
+  std::uint64_t migrations = 0;           ///< Applications relocated.
+  std::uint64_t migration_failures = 0;   ///< Rolled-back commit attempts.
+  /// Parked requests whose wake-up followed a defrag pass that migrated
+  /// at least one application in the same release event.
+  std::uint64_t parked_woken_by_defrag = 0;
+  /// Fragmentation score around the most recent pass.
+  double last_fragmentation_before = 0.0;
+  double last_fragmentation_after = 0.0;
+  /// Summed modelled migration cost, microseconds.
+  double migration_cost_us = 0.0;
+
   /// Mapper wall-clock latency of every resolved admit request, us.
   std::vector<double> latencies_us;
 
@@ -86,13 +104,17 @@ struct AdmissionStats {
 /// mapping_fits(), and booked with commit_mapping(); releases return the
 /// reservation with release_mapping(). A pluggable AdmissionPolicy decides
 /// whether failed requests are dropped (first-fit) or parked and retried
-/// when capacity is next released (retry-with-feedback).
+/// when capacity is next released (retry-with-feedback). An optional
+/// DefragPolicy compacts the platform by migrating running applications:
+/// after releases (before parked requests are woken) or reactively when an
+/// admission fails — see runtime/defrag.hpp.
 class RuntimeManager {
  public:
   RuntimeManager(const arch::Platform& platform,
                  std::shared_ptr<const core::Mapper> mapper,
                  std::shared_ptr<const AdmissionPolicy> policy =
-                     std::make_shared<FirstFitAdmission>());
+                     std::make_shared<FirstFitAdmission>(),
+                 DefragOptions defrag = {});
 
   /// Queues an admission request. @p deadline_us > 0 bounds the mapper's
   /// wall-clock budget; exceeding it counts as a deadline miss. The request
@@ -151,6 +173,14 @@ class RuntimeManager {
 
   [[nodiscard]] const core::Mapper& mapper() const { return *mapper_; }
   [[nodiscard]] const AdmissionPolicy& policy() const { return *policy_; }
+  [[nodiscard]] const DefragOptions& defrag_options() const {
+    return planner_.options();
+  }
+
+  /// Runs one defragmentation pass right now, regardless of policy, and
+  /// merges its result into stats(). For operators, benches and tests;
+  /// the policy-driven passes run inside drain().
+  DefragPassResult defrag_now();
 
   /// Total energy per symbol across running applications, nJ.
   [[nodiscard]] double total_energy_nj_per_symbol() const;
@@ -160,6 +190,11 @@ class RuntimeManager {
 
   /// Committed mapping of a running application; throws for unknown ids.
   [[nodiscard]] const core::Mapping& mapping_of(AppId id) const;
+
+  /// Application of a running id; throws for unknown ids. With mapping_of
+  /// this lets callers replay the surviving commits (the bookkeeping
+  /// oracle of the defrag bench and tests).
+  [[nodiscard]] std::shared_ptr<const kpn::Application> app_of(AppId id) const;
 
  private:
   struct Pending {
@@ -171,12 +206,10 @@ class RuntimeManager {
     double deadline_us = 0.0;
     std::uint32_t attempts = 0;
     double mapping_us = 0.0;
-  };
-
-  struct Running {
-    std::shared_ptr<const kpn::Application> app;
-    core::Mapping mapping;
-    double energy_nj = 0.0;
+    /// An OnReject defrag pass was already spent on this request (the
+    /// flag survives parking, matching the concurrent manager's
+    /// one-pass-per-request contract).
+    bool defragged = false;
   };
 
   /// Runs one mapping attempt for @p pending; returns the outcome, or
@@ -184,13 +217,19 @@ class RuntimeManager {
   [[nodiscard]] std::optional<AdmitOutcome> process_admit(Pending pending);
   void process_release(AppId id, RequestId request);
 
+  /// Runs a pass when the policy is OnReleaseThreshold and the score
+  /// triggers; returns whether a pass migrated anything.
+  bool maybe_defrag_after_release();
+  void merge_defrag(const DefragPassResult& pass);
+
   core::ResourceState state_;
   std::shared_ptr<const core::Mapper> mapper_;
   std::shared_ptr<const AdmissionPolicy> policy_;
+  DefragPlanner planner_;
 
   std::deque<Pending> queue_;
   std::vector<Pending> waiting_;
-  std::map<AppId, Running> running_;
+  std::map<AppId, RunningApp> running_;
   /// Resolved-but-unreported outcomes; handed out by the next drain().
   std::vector<AdmitOutcome> resolved_;
   /// Failed releases; handed out by drain_release_errors().

@@ -30,7 +30,8 @@ kpn::Application make_hiperlan2_receiver(const Hiperlan2Config& config) {
   qos.symbol_period_ns = 4000;  // one OFDM symbol every 4 us
   qos.frame_symbols = 500;      // 500 symbols per MAC frame
 
-  kpn::Application app("HIPERLAN/2 receiver", qos);
+  kpn::Application app(
+      config.name.empty() ? "HIPERLAN/2 receiver" : config.name, qos);
 
   const ProcessId ad = app.add_fixture(names::kAd, names::kAd);
   const ProcessId pfx = app.add_process(names::kPrefixRemoval);
@@ -182,6 +183,16 @@ kpn::Application make_hiperlan2_receiver(const Hiperlan2Config& config) {
 
   app.validate();
   return app;
+}
+
+kpn::Application hiperlan2_mode_variant(Hiperlan2Mode mode,
+                                        Hiperlan2Config config) {
+  config.mode = mode;
+  if (config.name.empty()) {
+    config.name = std::string("HIPERLAN/2 receiver [") +
+                  std::string(mode_info(mode).name) + "]";
+  }
+  return make_hiperlan2_receiver(config);
 }
 
 arch::Platform make_paper_platform(const Hiperlan2Config& config) {

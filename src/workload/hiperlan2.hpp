@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "arch/platform.hpp"
 #include "core/spatial_mapper.hpp"
@@ -21,6 +22,9 @@ struct Hiperlan2Config {
 
   /// Local memory per tile, bytes.
   std::uint64_t tile_memory_bytes = 64 * 1024;
+
+  /// Application name; empty = "HIPERLAN/2 receiver".
+  std::string name;
 };
 
 /// Builds the HIPERLAN/2 receiver application of Figure 1 with the
@@ -30,6 +34,16 @@ struct Hiperlan2Config {
 /// 32-bit samples per symbol, one symbol per 4 us.
 [[nodiscard]] kpn::Application make_hiperlan2_receiver(
     const Hiperlan2Config& config = {});
+
+/// The receiver in demapping mode @p mode: the same KPN skeleton with the
+/// per-mode token geometry of kHiperlan2Modes (the demapper's output
+/// volume b and the matching Rem. phase shapes), named after the mode so
+/// run-time scenarios can mix several mode variants as distinct
+/// applications — the paper's mode switch expressed as admit/release of
+/// mode variants. @p config provides the remaining parameters; its `mode`
+/// field is overridden.
+[[nodiscard]] kpn::Application hiperlan2_mode_variant(
+    Hiperlan2Mode mode, Hiperlan2Config config = {});
 
 /// Builds the paper's 3x3-mesh MPSoC of Figure 2: two ARM tiles, two
 /// MONTIUM tiles, the A/D source and Sink tiles, and three tiles of

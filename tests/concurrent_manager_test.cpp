@@ -19,6 +19,37 @@ std::shared_ptr<const core::SpatialMapper> paper_mapper() {
   return std::make_shared<core::SpatialMapper>();
 }
 
+/// A row of four single-slot compute tiles with IO tiles at the ends (the
+/// same fragmentation fixture as defrag_test): one-stage apps occupy one
+/// compute tile each, so releases leave scattered holes a defrag pass can
+/// compact.
+arch::Platform row_platform() {
+  arch::Platform p("defrag 4x2", 4, 2);
+  const TileTypeId big = p.add_tile_type("BIG", 200'000'000);
+  const TileTypeId io = p.add_tile_type("IO", 200'000'000);
+  p.add_tile("C0", big, 0, 0, 64 * 1024);
+  p.add_tile("C1", big, 1, 0, 64 * 1024);
+  p.add_tile("C2", big, 2, 0, 64 * 1024);
+  p.add_tile("C3", big, 3, 0, 64 * 1024);
+  p.add_tile("SRC", io, 0, 1, 64 * 1024, /*process_slots=*/8);
+  p.add_tile("DST", io, 3, 1, 64 * 1024, /*process_slots=*/8);
+  return p;
+}
+
+kpn::Application fixture_app(std::uint32_t stages) {
+  test::PipelineSpec spec;
+  spec.stages = stages;
+  spec.little_wcet_cc = 0;  // BIG only
+  return test::pipeline_app(spec);
+}
+
+DefragOptions on_release_defrag(double threshold = 0.3) {
+  DefragOptions defrag;
+  defrag.policy = DefragPolicy::OnReleaseThreshold;
+  defrag.fragmentation_threshold = threshold;
+  return defrag;
+}
+
 kpn::Application compute_app(std::uint32_t stages,
                              std::uint32_t little_wcet_cc = 400) {
   test::PipelineSpec spec;
@@ -280,6 +311,9 @@ TEST(ConcurrentRuntimeManager, ShardedModeAdmitsWithFallback) {
   }
   // 2 BIG + 2 LITTLE single-slot tiles: two 2-stage apps fill them.
   EXPECT_EQ(ok, 2u);
+  // Least-loaded dispatch spread the first two admissions over both
+  // stripes; the failing ones fell back to the whole platform.
+  EXPECT_GE(manager.stats().shard_fallbacks, 1u);
   expect_state_equals_serial_replay(platform, manager);
 }
 
@@ -383,6 +417,186 @@ TEST(ConcurrentRuntimeManager, ShutdownResolvesEverything) {
     // Destructor shuts down: the parked future must still resolve.
   }
   EXPECT_EQ(parked.get().status, AdmitStatus::Rejected);
+}
+
+TEST(ConcurrentRuntimeManager, ParkedRequestIsReattemptedAfterDefragPass) {
+  // Deterministic (workers == 0): a two-tile request parks while only
+  // scattered one-tile holes exist; a release-triggered defrag pass
+  // compacts the row into a contiguous hole and the woken retry admits.
+  const auto platform = row_platform();
+  ConcurrentRuntimeManager manager(
+      platform, paper_mapper(),
+      {.workers = 0, .queue_capacity = 16, .defrag = on_release_defrag()},
+      std::make_shared<RetryAdmission>(5));
+
+  const auto one = fixture_app(1);
+  std::vector<AppId> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto outcome = manager.admit(one);
+    ASSERT_EQ(outcome.status, AdmitStatus::Admitted)
+        << outcome.mapping.failure;
+    ids.push_back(outcome.app_id);
+  }
+
+  // Needs two compute tiles: parks while the row is full.
+  auto parked =
+      manager.submit(std::make_shared<kpn::Application>(fixture_app(2)));
+  manager.pump();
+  ASSERT_EQ(manager.waiting_count(), 1u);
+
+  // One scattered hole: the wake retries, fails again, re-parks.
+  ASSERT_TRUE(manager.release(ids[1]));
+  manager.pump();
+  ASSERT_EQ(manager.waiting_count(), 1u);
+
+  // Second scattered hole: the pass migrates the C2 resident into the C1
+  // hole, the woken retry plans onto the contiguous C2+C3 pair.
+  ASSERT_TRUE(manager.release(ids[3]));
+  manager.pump();
+  const auto outcome = parked.get();
+  EXPECT_EQ(outcome.status, AdmitStatus::Admitted)
+      << outcome.mapping.failure;
+  EXPECT_GE(outcome.attempts, 3u);
+
+  const AdmissionStats stats = manager.stats();
+  EXPECT_GE(stats.defrag_passes, 1u);
+  EXPECT_GE(stats.migrations, 1u);
+  EXPECT_GE(stats.parked_woken_by_defrag, 1u);
+  EXPECT_EQ(stats.migration_failures, 0u);
+  expect_state_equals_serial_replay(platform, manager);
+}
+
+TEST(ConcurrentRuntimeManager, OnRejectDefragGivesTheRequestASecondChance) {
+  // Two dual-slot tiles, residents smeared one per tile at 0.3
+  // utilisation each: a 0.8-utilisation app fits neither tile until the
+  // on-reject pass consolidates the residents onto one tile.
+  arch::Platform platform("pair 2x2", 2, 2);
+  const TileTypeId big = platform.add_tile_type("BIG", 200'000'000);
+  const TileTypeId io = platform.add_tile_type("IO", 200'000'000);
+  platform.add_tile("C0", big, 0, 0, 64 * 1024, /*process_slots=*/2);
+  platform.add_tile("C1", big, 1, 0, 64 * 1024, /*process_slots=*/2);
+  platform.add_tile("SRC", io, 0, 1, 64 * 1024, 8);
+  platform.add_tile("DST", io, 1, 1, 64 * 1024, 8);
+
+  test::PipelineSpec small;
+  small.stages = 1;
+  small.little_wcet_cc = 0;
+  small.big_wcet_cc = 240;  // util 0.3 at 200 MHz / 4 us
+  test::PipelineSpec large = small;
+  large.big_wcet_cc = 640;  // util 0.8
+
+  DefragOptions defrag;
+  defrag.policy = DefragPolicy::OnReject;
+  ConcurrentRuntimeManager manager(
+      platform, paper_mapper(),
+      {.workers = 0, .queue_capacity = 16, .defrag = defrag});
+
+  std::vector<AppId> ids;
+  for (int i = 0; i < 3; ++i) {
+    const auto outcome = manager.admit(test::pipeline_app(small));
+    ASSERT_EQ(outcome.status, AdmitStatus::Admitted)
+        << outcome.mapping.failure;
+    ids.push_back(outcome.app_id);
+  }
+  ASSERT_TRUE(manager.release(ids[0]));  // leave one resident per tile
+
+  const auto outcome = manager.admit(test::pipeline_app(large));
+  EXPECT_EQ(outcome.status, AdmitStatus::Admitted)
+      << outcome.mapping.failure;
+  EXPECT_GE(outcome.attempts, 2u);
+  const AdmissionStats stats = manager.stats();
+  EXPECT_GE(stats.defrag_passes, 1u);
+  EXPECT_GE(stats.migrations, 1u);
+  expect_state_equals_serial_replay(platform, manager);
+}
+
+TEST(ConcurrentRuntimeManager, EightThreadStressWithDefragOn) {
+  // The defrag TSan target: admit/release churn from 8 clients while
+  // release-triggered passes migrate running applications under the state
+  // lock. Counters must balance and the final state must replay serially.
+  const auto platform = test::small_platform();
+  ConcurrentRuntimeManager manager(
+      platform, paper_mapper(),
+      {.workers = 4,
+       .queue_capacity = 32,
+       .max_batch = 4,
+       .defrag = on_release_defrag(0.1)});
+  const auto app = compute_app(2);
+
+  constexpr std::uint32_t kThreads = 8;
+  constexpr std::uint32_t kIterations = 8;
+  std::atomic<std::uint64_t> admitted{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<AppId> mine;
+      for (std::uint32_t i = 0; i < kIterations; ++i) {
+        const auto outcome = manager.admit(app);
+        if (outcome.status == AdmitStatus::Admitted) {
+          admitted.fetch_add(1);
+          mine.push_back(outcome.app_id);
+        }
+        if ((t + i) % 2 == 0 && !mine.empty()) {
+          ASSERT_TRUE(manager.release(mine.front()));
+          mine.erase(mine.begin());
+        }
+      }
+      for (const AppId id : mine) ASSERT_TRUE(manager.release(id));
+    });
+  }
+  for (auto& c : clients) c.join();
+  manager.wait_idle();
+
+  const AdmissionStats stats = manager.stats();
+  EXPECT_EQ(stats.offered, kThreads * kIterations);
+  EXPECT_EQ(stats.admitted, admitted.load());
+  EXPECT_EQ(stats.admitted + stats.rejected + stats.deadline_misses,
+            stats.offered);
+  EXPECT_EQ(stats.releases, stats.admitted);  // everything was released
+  EXPECT_EQ(manager.running_count(), 0u);
+  EXPECT_TRUE(
+      manager.state_snapshot().approx_equals(core::ResourceState(platform)));
+  expect_state_equals_serial_replay(platform, manager);
+}
+
+TEST(ConcurrentRuntimeManager, ShardedStressWithDefragRebalances) {
+  // Sharded mode + defrag: passes plan whole-platform, so migrations may
+  // cross stripe boundaries (the work-stealing path). The bookkeeping
+  // must survive the combination under churn.
+  const auto platform = test::small_platform();
+  ConcurrentRuntimeManager manager(
+      platform, paper_mapper(),
+      {.workers = 2,
+       .queue_capacity = 32,
+       .shards = 2,
+       .defrag = on_release_defrag(0.1)});
+  const auto app = compute_app(2);
+
+  std::vector<std::thread> clients;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<AppId> mine;
+      for (std::uint32_t i = 0; i < 6; ++i) {
+        const auto outcome = manager.admit(app);
+        if (outcome.status == AdmitStatus::Admitted) {
+          mine.push_back(outcome.app_id);
+        }
+        if ((t + i) % 2 == 1 && !mine.empty()) {
+          ASSERT_TRUE(manager.release(mine.front()));
+          mine.erase(mine.begin());
+        }
+      }
+      for (const AppId id : mine) ASSERT_TRUE(manager.release(id));
+    });
+  }
+  for (auto& c : clients) c.join();
+  manager.wait_idle();
+
+  EXPECT_EQ(manager.running_count(), 0u);
+  EXPECT_TRUE(
+      manager.state_snapshot().approx_equals(core::ResourceState(platform)));
+  expect_state_equals_serial_replay(platform, manager);
 }
 
 TEST(ConcurrentRuntimeManager, UnknownReleaseIsReportedError) {

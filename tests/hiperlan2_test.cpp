@@ -53,6 +53,26 @@ TEST(Hiperlan2App, ValidatesAtEveryMode) {
   }
 }
 
+TEST(Hiperlan2App, ModeVariantCarriesPerModeTokenGeometry) {
+  for (const ModeInfo& mode : kHiperlan2Modes) {
+    const auto app = hiperlan2_mode_variant(mode.mode);
+    // Distinctly named per mode, so run-time scenarios can mix variants.
+    EXPECT_NE(app.name().find(std::string(mode.name)), std::string::npos)
+        << app.name();
+    // The Rem. -> Sink channel carries the mode's demapper output b.
+    const ProcessId rem = app.process_by_name("Rem.");
+    const auto& out = app.out_channels(rem);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(app.channel(out.front()).tokens_per_symbol,
+              mode.output_tokens);
+  }
+  // An explicit config name wins over the derived one.
+  Hiperlan2Config named;
+  named.name = "custom";
+  EXPECT_EQ(hiperlan2_mode_variant(Hiperlan2Mode::QAM64, named).name(),
+            "custom");
+}
+
 TEST(Hiperlan2App, ModeTableSpansPaperRange) {
   // "minimum output is 12 bytes and the maximum is 384 bytes" (Section 4.1).
   EXPECT_EQ(mode_info(Hiperlan2Mode::BPSK).output_tokens * 4u, 12u);
