@@ -343,7 +343,7 @@ int main(int argc, char** argv) {
         "p90 %.0f us, p99 %.0f us over %zu requests\n\n",
         stats.mean_latency_us(), stats.latency_percentile_us(50),
         stats.latency_percentile_us(90), stats.latency_percentile_us(99),
-        stats.latencies_us.size());
+        static_cast<std::size_t>(stats.latencies.count()));
   }
 
   // Restore proof: admitting and then releasing an application returns the

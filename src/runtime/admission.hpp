@@ -9,6 +9,30 @@
 
 namespace rtsm::runtime {
 
+/// Priority class of an admission request (and of the running application
+/// it becomes). @p priority orders drained bursts — larger is admitted
+/// first — and gates preemption: when a request is about to be rejected,
+/// it may evict running applications of *strictly lower* priority that
+/// declared themselves @p preemptible. The default class (priority 0,
+/// preemptible) never evicts anything and never outranks anyone, so the
+/// pre-class behaviour is unchanged.
+struct RequestClass {
+  std::int32_t priority = 0;
+  bool preemptible = true;
+};
+
+/// Tuning of the preemption path both managers share. Preemption only ever
+/// triggers after the mapper (and, when configured, a defragmentation
+/// pass) failed to place a request the ordinary way.
+struct PreemptionOptions {
+  /// Master switch. Even when enabled, only an arrival whose class
+  /// outranks a running preemptible application can evict.
+  bool enabled = true;
+
+  /// At most this many victims are evicted for one granted arrival.
+  std::uint32_t max_victims = 4;
+};
+
 /// Verdict of an admission policy after a failed mapping attempt.
 enum class FailureAction {
   /// Give up on the request immediately.

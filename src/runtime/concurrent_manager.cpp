@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <optional>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "core/fragmentation.hpp"
+#include "runtime/preemption.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 
@@ -59,11 +63,13 @@ std::size_t ConcurrentRuntimeManager::shard_of(TileId tile) const {
 }
 
 std::future<AdmitOutcome> ConcurrentRuntimeManager::submit(
-    std::shared_ptr<const kpn::Application> app, double deadline_us) {
+    std::shared_ptr<const kpn::Application> app, double deadline_us,
+    RequestClass cls) {
   require(app != nullptr, "admission request without an application");
   Request request;
   request.id = next_request_.fetch_add(1);
   request.priority = priority_->priority(*app, deadline_us);
+  request.cls = cls;
   request.app = std::move(app);
   request.deadline_us = deadline_us;
   std::future<AdmitOutcome> future = request.promise.get_future();
@@ -102,8 +108,10 @@ void ConcurrentRuntimeManager::reject_shut_down(Request request) {
 }
 
 AdmitOutcome ConcurrentRuntimeManager::admit(const kpn::Application& app,
-                                             double deadline_us) {
-  auto future = submit(std::make_shared<kpn::Application>(app), deadline_us);
+                                             double deadline_us,
+                                             RequestClass cls) {
+  auto future =
+      submit(std::make_shared<kpn::Application>(app), deadline_us, cls);
   if (options_.workers == 0) pump();
   return future.get();
 }
@@ -125,9 +133,13 @@ void ConcurrentRuntimeManager::worker_loop() {
 }
 
 void ConcurrentRuntimeManager::process_batch(std::vector<Request> batch) {
-  // One drained burst: admit in priority order, ties in arrival order.
+  // One drained burst: the request class outranks the pluggable priority
+  // policy, which outranks arrival order.
   std::stable_sort(batch.begin(), batch.end(),
                    [](const Request& a, const Request& b) {
+                     if (a.cls.priority != b.cls.priority) {
+                       return a.cls.priority > b.cls.priority;
+                     }
                      if (a.priority != b.priority) {
                        return a.priority > b.priority;
                      }
@@ -158,7 +170,8 @@ bool ConcurrentRuntimeManager::validate_and_commit(
     core::commit_mapping(state_, *request.app, result.mapping);
     id = AppId{next_app_.fetch_add(1)};
     running_.emplace(id, RunningApp{request.app, result.mapping,
-                                    result.energy_nj_per_symbol});
+                                    result.energy_nj_per_symbol, request.cls,
+                                    request.id});
   }
   AdmitOutcome outcome;
   outcome.request = request.id;
@@ -254,6 +267,17 @@ void ConcurrentRuntimeManager::process_request(Request request) {
         continue;
       }
     }
+    // Last resort for an outranking arrival: evict lower-priority
+    // preemptible victims. Plan, eviction and commit share one
+    // state-lock hold, so no racing worker can steal the freed capacity
+    // in between; the victims are re-parked after the lock is dropped.
+    if (!request.reparked) {
+      std::vector<Request> evicted;
+      if (try_preempt_and_commit(request, evicted)) {
+        park_evicted(std::move(evicted));
+        return;
+      }
+    }
     if (policy_->on_failure(result, request.attempts) ==
         FailureAction::Retry) {
       if (try_park(request, epoch_seen)) return;
@@ -286,7 +310,7 @@ void ConcurrentRuntimeManager::record_outcome(RequestId request,
     case AdmitStatus::Waiting:
       break;
   }
-  stats_.latencies_us.push_back(outcome.mapping_us);
+  stats_.latencies.record(outcome.mapping_us);
   resolution_order_.push_back(request);
 }
 
@@ -369,6 +393,75 @@ bool ConcurrentRuntimeManager::release(AppId id) {
   return true;
 }
 
+bool ConcurrentRuntimeManager::try_preempt_and_commit(
+    Request& request, std::vector<Request>& evicted) {
+  if (!options_.preemption.enabled) return false;
+
+  AppId id;
+  AdmitOutcome outcome;
+  {
+    // Victim selection (shared with the serial manager), eviction and
+    // commit share one state-lock hold: the mapper runs under the lock —
+    // preemption is a rare, last-resort path and the lock is what makes
+    // evict+commit atomic against racing admissions (the same trade a
+    // defrag pass makes).
+    std::lock_guard lock(state_mutex_);
+    PreemptionPlan plan = plan_preemption(
+        state_, running_, *request.app, request.cls, request.deadline_us,
+        request.mapping_us, *mapper_, options_.preemption,
+        options_.defrag.fragmentation);
+    request.attempts += plan.attempts;
+    request.mapping_us += plan.mapping_us;
+    if (!plan.admits()) return false;
+
+    for (const AppId vid : plan.victims) {
+      auto it = running_.find(vid);
+      core::release_mapping(state_, *it->second.app, it->second.mapping);
+      Request reparked;
+      reparked.id = next_request_.fetch_add(1);
+      reparked.app = it->second.app;
+      reparked.cls = it->second.cls;
+      // Re-score for burst ordering so a woken victim competes under the
+      // configured PriorityPolicy like any fresh request; no mapper
+      // deadline — the original budget bounded an admission that already
+      // succeeded.
+      reparked.priority = priority_->priority(*reparked.app, 0.0);
+      reparked.reparked = true;
+      evicted.push_back(std::move(reparked));
+      running_.erase(it);
+    }
+    core::commit_mapping(state_, *request.app, plan.plan.mapping);
+    id = AppId{next_app_.fetch_add(1)};
+    running_.emplace(id, RunningApp{request.app, plan.plan.mapping,
+                                    plan.plan.energy_nj_per_symbol,
+                                    request.cls, request.id});
+
+    outcome.request = request.id;
+    outcome.status = AdmitStatus::Admitted;
+    outcome.app_id = id;
+    outcome.attempts = request.attempts;
+    outcome.mapping_us = request.mapping_us;
+    outcome.mapping = std::move(plan.plan);
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.preemption_grants;
+    stats_.preemption_evictions += evicted.size();
+    // Victims re-enter the admission stream as new requests.
+    stats_.offered += evicted.size();
+  }
+  resolve(std::move(request), std::move(outcome));
+  return true;
+}
+
+void ConcurrentRuntimeManager::park_evicted(std::vector<Request> evicted) {
+  if (evicted.empty()) return;
+  std::lock_guard lock(waiting_mutex_);
+  for (Request& victim : evicted) {
+    waiting_.push_back(std::move(victim));
+  }
+}
+
 bool ConcurrentRuntimeManager::maybe_defrag_after_release() {
   if (options_.defrag.policy != DefragPolicy::OnReleaseThreshold) {
     return false;
@@ -393,17 +486,39 @@ DefragPassResult ConcurrentRuntimeManager::defrag_pass_locked() {
     pass = planner_->run_pass(state_, running_);
   }
   std::lock_guard lock(stats_mutex_);
-  ++stats_.defrag_passes;
-  stats_.migrations += pass.migrations;
-  stats_.migration_failures += pass.migration_failures;
-  stats_.last_fragmentation_before = pass.fragmentation_before;
-  stats_.last_fragmentation_after = pass.fragmentation_after;
-  stats_.migration_cost_us += pass.migration_cost_us;
+  merge_defrag_stats(stats_, pass);
   return pass;
 }
 
 DefragPassResult ConcurrentRuntimeManager::defrag_now() {
   return defrag_pass_locked();
+}
+
+SwitchOutcome ConcurrentRuntimeManager::switch_mode(
+    AppId id, std::shared_ptr<const kpn::Application> next) {
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<DefragPassResult> defrag;
+  SwitchOutcome out;
+  {
+    // Plan and commit under the state lock: the switch (including its
+    // pinned replan through the shared verification cache) is atomic
+    // against racing admissions, exactly like a defrag pass.
+    std::lock_guard lock(state_mutex_);
+    out = switch_mode_in_place(state_, running_, id, std::move(next),
+                               *mapper_, planner_.get(),
+                               options_.defrag.cost, &defrag);
+  }
+  out.switch_us = elapsed_us(start);
+
+  bool committed = false;
+  {
+    std::lock_guard lock(stats_mutex_);
+    committed = record_switch_stats(stats_, out);
+    if (defrag.has_value()) merge_defrag_stats(stats_, *defrag);
+  }
+  // A narrower mode frees capacity like a release: wake parked requests.
+  if (committed) requeue_waiting();
+  return out;
 }
 
 std::size_t ConcurrentRuntimeManager::pick_shard() const {
@@ -535,6 +650,13 @@ std::shared_ptr<const kpn::Application> ConcurrentRuntimeManager::app_of(
   const auto it = running_.find(id);
   require(it != running_.end(), "app_of unknown application id");
   return it->second.app;
+}
+
+std::string ConcurrentRuntimeManager::display_name(AppId id) const {
+  std::lock_guard lock(state_mutex_);
+  const auto it = running_.find(id);
+  require(it != running_.end(), "display_name unknown application id");
+  return it->second.app->name() + "#" + std::to_string(it->second.instance);
 }
 
 double ConcurrentRuntimeManager::total_energy_nj_per_symbol() const {

@@ -54,6 +54,11 @@ struct ConcurrentOptions {
   /// manager the pass plans whole-platform, so it also rebalances
   /// applications across stripes.
   DefragOptions defrag = {};
+
+  /// Preemption tuning (see runtime/admission.hpp). The victim scan,
+  /// re-plan and eviction run under the state lock — like a defrag pass —
+  /// so an eviction is atomic against racing admissions.
+  PreemptionOptions preemption = {};
 };
 
 /// Thread-safe run-time admission manager: concurrent arrivals, a worker
@@ -100,19 +105,34 @@ class ConcurrentRuntimeManager {
   /// Enqueues an admission request from any thread; blocks while the
   /// arrival queue is full. The future resolves when the request is
   /// admitted, rejected or misses its deadline; with a retry policy it
-  /// stays pending while the request is parked.
-  std::future<AdmitOutcome> submit(
-      std::shared_ptr<const kpn::Application> app, double deadline_us = 0.0);
+  /// stays pending while the request is parked. @p cls orders the request
+  /// within its drained burst (before the PriorityPolicy tie-break) and
+  /// gates preemption: an otherwise-rejected arrival whose class outranks
+  /// running preemptible applications may evict the cheapest victim set
+  /// (victims are re-parked; see RequestClass).
+  std::future<AdmitOutcome> submit(std::shared_ptr<const kpn::Application> app,
+                                   double deadline_us = 0.0,
+                                   RequestClass cls = {});
 
   /// submit() + future wait. With workers == 0 the caller's thread pumps
   /// the queue first. Do not combine with a retry policy when nothing else
   /// drives releases — a parked request would block forever.
-  AdmitOutcome admit(const kpn::Application& app, double deadline_us = 0.0);
+  AdmitOutcome admit(const kpn::Application& app, double deadline_us = 0.0,
+                     RequestClass cls = {});
 
   /// Releases a running application immediately (thread-safe) and wakes
   /// parked requests. Returns false — and records a ReleaseError — when
-  /// the id is unknown or already released.
+  /// the id is unknown or already released (the one release contract both
+  /// managers share).
   bool release(AppId id);
+
+  /// Switches running instance @p id to graph @p next in place — see
+  /// RuntimeManager::switch_mode for the pin/replan/rollback contract.
+  /// The plan *and* commit run under the state lock (like a defrag pass),
+  /// so the switch is atomic against racing admissions and releases; the
+  /// instance keeps its AppId. A committed switch wakes parked requests.
+  SwitchOutcome switch_mode(AppId id,
+                            std::shared_ptr<const kpn::Application> next);
 
   /// Processes queued requests inline on the caller's thread until the
   /// queue is empty. The workers == 0 mode's event loop; also safe to call
@@ -153,6 +173,8 @@ class ConcurrentRuntimeManager {
   [[nodiscard]] std::vector<AppId> running_ids() const;
   [[nodiscard]] core::Mapping mapping_of(AppId id) const;
   [[nodiscard]] std::shared_ptr<const kpn::Application> app_of(AppId id) const;
+  /// "<graph name>#<instance>" — unique even when graph names collide.
+  [[nodiscard]] std::string display_name(AppId id) const;
   [[nodiscard]] double total_energy_nj_per_symbol() const;
 
   /// Hands out (and clears) recorded release errors.
@@ -184,10 +206,13 @@ class ConcurrentRuntimeManager {
     std::shared_ptr<const kpn::Application> app;
     double deadline_us = 0.0;
     double priority = 0.0;
+    RequestClass cls;
     std::uint32_t attempts = 0;
     double mapping_us = 0.0;
     /// An OnReject defrag pass was already spent on this request.
     bool defragged = false;
+    /// Preemption victim re-entering the stream; never preempts again.
+    bool reparked = false;
     std::promise<AdmitOutcome> promise;
   };
 
@@ -215,6 +240,17 @@ class ConcurrentRuntimeManager {
   /// dealt out round-robin so concurrent planners on an evenly loaded
   /// platform still start in disjoint stripes.
   [[nodiscard]] std::size_t pick_shard() const;
+
+  /// Evicts lower-priority preemptible victims for @p request and commits
+  /// its plan, all under one state-lock hold (atomic against racing
+  /// admissions). On success the outcome is resolved and the evicted
+  /// victims are returned through @p evicted for re-parking (done by the
+  /// caller *outside* the state lock — lock order: state before waiting
+  /// is never taken). False leaves all state untouched.
+  bool try_preempt_and_commit(Request& request,
+                              std::vector<Request>& evicted);
+  /// Re-parks preemption victims (fresh request ids, reparked flag).
+  void park_evicted(std::vector<Request> evicted);
 
   /// One defrag pass under the state lock; stats merged afterwards.
   DefragPassResult defrag_pass_locked();

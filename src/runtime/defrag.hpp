@@ -8,6 +8,7 @@
 #include "core/mapper.hpp"
 #include "core/migration.hpp"
 #include "kpn/application.hpp"
+#include "runtime/admission.hpp"
 
 namespace rtsm::runtime {
 
@@ -54,11 +55,23 @@ struct DefragOptions {
   core::MigrationCostModel cost;
 };
 
-/// A running application as both runtime managers book it.
+/// A running application as both runtime managers book it. The map key
+/// (AppId) — not the application's graph name — is the instance identity:
+/// the same graph admitted twice yields two RunningApp entries that differ
+/// only in their key and @p instance, and a mode switch replaces @p app
+/// while the key stays.
 struct RunningApp {
   std::shared_ptr<const kpn::Application> app;
   core::Mapping mapping{0, 0};
   double energy_nj = 0.0;
+
+  /// Priority class of the admitting request; drives victim selection
+  /// when a higher-priority arrival preempts.
+  RequestClass cls;
+
+  /// Id of the request that admitted this instance (display/bookkeeping
+  /// breadcrumb; unique even when graph names collide).
+  std::uint64_t instance = 0;
 };
 
 /// Outcome of one defragmentation pass.

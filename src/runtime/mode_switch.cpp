@@ -1,0 +1,242 @@
+#include "runtime/mode_switch.hpp"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rtsm::runtime {
+
+namespace {
+
+/// Old-graph process for every name-matched process of the new graph,
+/// indexed by the new graph's process id value (invalid = unmatched).
+/// Duplicate names (parallel workers) match by ordinal among their
+/// duplicates, in id order on both sides, so two processes of the new
+/// graph never pin to the same old booking.
+std::vector<ProcessId> match_by_name(const kpn::Application& old_app,
+                                     const kpn::Application& next) {
+  auto ordinal_key = [](const std::string& name,
+                        std::unordered_map<std::string, int>& ordinals) {
+    return name + '\x1f' + std::to_string(ordinals[name]++);
+  };
+  std::unordered_map<std::string, ProcessId> old_by_name;
+  std::unordered_map<std::string, int> old_ordinals;
+  for (const ProcessId pid : old_app.process_ids()) {
+    old_by_name.emplace(ordinal_key(old_app.process(pid).name, old_ordinals),
+                        pid);
+  }
+  std::vector<ProcessId> matched(next.process_count());
+  std::unordered_map<std::string, int> next_ordinals;
+  for (const ProcessId pid : next.process_ids()) {
+    const auto it = old_by_name.find(
+        ordinal_key(next.process(pid).name, next_ordinals));
+    if (it != old_by_name.end()) matched[pid.value()] = it->second;
+  }
+  return matched;
+}
+
+/// Copy of @p next whose name-matched processes are pinned — as fixtures —
+/// to the tile currently hosting their old-graph counterpart. Processes
+/// and channels are re-added in id order, so the copy shares @p next's id
+/// space and a mapping planned for it is valid for @p next.
+kpn::Application pin_matched(const kpn::Application& next,
+                             const std::vector<ProcessId>& matched,
+                             const core::Mapping& old_mapping,
+                             const arch::Platform& platform) {
+  kpn::Application pinned(next.name(), next.qos());
+  for (const ProcessId pid : next.process_ids()) {
+    const kpn::Process& p = next.process(pid);
+    const ProcessId old_pid = matched[pid.value()];
+    if (old_pid.valid() && old_mapping.is_assigned(old_pid)) {
+      pinned.add_fixture(p.name,
+                         platform.tile(old_mapping.tile_of(old_pid)).name);
+    } else if (p.is_fixture()) {
+      pinned.add_fixture(p.name, *p.pinned_tile);
+    } else {
+      pinned.add_process(p.name);
+    }
+  }
+  for (const ChannelId cid : next.channel_ids()) {
+    const kpn::Channel& c = next.channel(cid);
+    pinned.connect(c.src, c.dst, c.tokens_per_symbol, c.token_bytes);
+  }
+  for (const ProcessId pid : next.process_ids()) {
+    for (const kpn::Implementation& im : next.process(pid).implementations) {
+      pinned.add_implementation(pid, im);
+    }
+  }
+  return pinned;
+}
+
+/// The old booking expressed in the new graph's id space, for the
+/// migration cost model only (never applied). Possible only when every
+/// process and channel of @p next has an old counterpart (match by
+/// process name / channel endpoint names, ordinal among parallels) and
+/// the old implementation indices are valid for @p next.
+std::optional<core::Mapping> translate_old_mapping(
+    const kpn::Application& old_app, const kpn::Application& next,
+    const std::vector<ProcessId>& matched, const core::Mapping& old) {
+  core::Mapping t(next.process_count(), next.channel_count());
+  for (const ProcessId pid : next.process_ids()) {
+    const ProcessId old_pid = matched[pid.value()];
+    if (!old_pid.valid() || !old.is_assigned(old_pid)) return std::nullopt;
+    const ImplementationId impl = old.impl_of(old_pid);
+    if (impl.value() >= next.process(pid).implementations.size()) {
+      return std::nullopt;
+    }
+    t.assign(pid, impl, old.tile_of(old_pid));
+  }
+
+  auto endpoint_key = [](const kpn::Application& app, const kpn::Channel& c,
+                         std::unordered_map<std::string, int>& ordinals) {
+    std::string key = app.process(c.src).name + '\x1f' +
+                      app.process(c.dst).name;
+    key += '\x1f' + std::to_string(ordinals[key]++);
+    return key;
+  };
+  std::unordered_map<std::string, ChannelId> old_channels;
+  std::unordered_map<std::string, int> old_ordinals;
+  for (const ChannelId cid : old_app.channel_ids()) {
+    old_channels.emplace(
+        endpoint_key(old_app, old_app.channel(cid), old_ordinals), cid);
+  }
+  std::unordered_map<std::string, int> next_ordinals;
+  for (const ChannelId cid : next.channel_ids()) {
+    const auto it = old_channels.find(
+        endpoint_key(next, next.channel(cid), next_ordinals));
+    if (it == old_channels.end()) return std::nullopt;
+    const ChannelId old_cid = it->second;
+    if (const auto& path = old.path(old_cid)) t.set_path(cid, *path);
+    if (const auto tokens = old.buffer_tokens(old_cid)) {
+      t.set_buffer_tokens(cid, *tokens);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+SwitchOutcome switch_mode_in_place(core::ResourceState& state,
+                                   std::map<AppId, RunningApp>& running,
+                                   AppId id,
+                                   std::shared_ptr<const kpn::Application> next,
+                                   const core::Mapper& mapper,
+                                   const DefragPlanner* planner,
+                                   const core::MigrationCostModel& cost,
+                                   std::optional<DefragPassResult>* defrag_out,
+                                   const ModeSwitchOptions& options) {
+  require(next != nullptr, "switch_mode without a target application");
+  SwitchOutcome out;
+  out.app_id = id;
+
+  const auto it = running.find(id);
+  if (it == running.end()) {
+    out.status = SwitchStatus::UnknownId;
+    out.message = "switch_mode of unknown or already-released application "
+                  "id " +
+                  std::to_string(id.value());
+    return out;
+  }
+  RunningApp& run = it->second;
+
+  const std::vector<ProcessId> matched = match_by_name(*run.app, *next);
+  std::size_t shared = 0;
+  for (const ProcessId old_pid : matched) {
+    if (old_pid.valid()) ++shared;
+  }
+  out.structural_total = shared == 0;
+
+  // Phase 1 — plan on a scratch snapshot that excludes the instance's own
+  // booking (the capacity the switch itself vacates).
+  auto scratch_without_self = [&] {
+    core::ResourceState scratch = state;
+    core::release_mapping(scratch, *run.app, run.mapping);
+    return scratch;
+  };
+
+  core::MappingResult plan;
+  bool pinned_plan = false;
+  if (!out.structural_total) {
+    const kpn::Application pinned =
+        pin_matched(*next, matched, run.mapping, state.platform());
+    plan = mapper.map(pinned, scratch_without_self());
+    pinned_plan = plan.success;
+  }
+  if (!plan.success) plan = mapper.map(*next, scratch_without_self());
+  if (!plan.success && planner != nullptr && options.defrag_on_misfit) {
+    // Compact by migrating running applications, then retry once. The
+    // pass may also relocate this instance; the retry and the
+    // measurement below read run.mapping fresh, so both stay correct.
+    const DefragPassResult pass = planner->run_pass(state, running);
+    if (defrag_out != nullptr) defrag_out->emplace(pass);
+    if (pass.migrations > 0) {
+      plan = mapper.map(*next, scratch_without_self());
+    }
+  }
+  if (!plan.success) {
+    out.status = SwitchStatus::RolledBack;
+    out.message = plan.failure.empty()
+                      ? "no feasible mapping for the new mode"
+                      : plan.failure;
+    return out;
+  }
+
+  // Phase 2 — two-phase commit: vacate the old mode, re-check, book the
+  // new one. The misfit path re-commits the old booking, which fits by
+  // construction (it was just released), restoring the state exactly.
+  core::release_mapping(state, *run.app, run.mapping);
+  if (!core::mapping_fits(state, *next, plan.mapping)) {
+    core::commit_mapping(state, *run.app, run.mapping);
+    out.status = SwitchStatus::RolledBack;
+    out.message = "new mode stopped fitting at commit; old mode restored";
+    return out;
+  }
+  core::commit_mapping(state, *next, plan.mapping);
+
+  // Measurement: how much of the old placement survived, and what the
+  // state transfer of the moved processes costs. When the whole booking
+  // translates into the new id space the exact MappingDelta/cost-model
+  // path prices it; otherwise only the pause overhead is charged (the
+  // unmatched remainder is new work, not a migration).
+  for (const ProcessId pid : next->process_ids()) {
+    const ProcessId old_pid = matched[pid.value()];
+    if (!old_pid.valid() || !run.mapping.is_assigned(old_pid)) continue;
+    const bool same_tile =
+        run.mapping.tile_of(old_pid) == plan.mapping.tile_of(pid);
+    if (same_tile) {
+      ++out.pinned;
+    } else {
+      ++out.moved;
+    }
+  }
+  const std::optional<core::Mapping> before =
+      translate_old_mapping(*run.app, *next, matched, run.mapping);
+  if (before.has_value() && before->all_routed() &&
+      plan.mapping.all_assigned() && plan.mapping.all_routed()) {
+    const std::vector<core::MappingDelta> deltas =
+        core::diff_mappings(*next, *before, plan.mapping);
+    std::uint32_t moved = 0;
+    for (const core::MappingDelta& d : deltas) {
+      if (d.kind == core::MappingDelta::Kind::MoveProcess) ++moved;
+    }
+    out.moved = moved;
+    out.pinned =
+        static_cast<std::uint32_t>(next->process_count()) - moved;
+    out.migration_cost_us =
+        cost.migration_us(*next, state.platform(), *before, plan.mapping);
+  } else {
+    out.migration_cost_us = cost.pause_us * out.moved;
+  }
+
+  run.app = std::move(next);
+  run.mapping = std::move(plan.mapping);
+  run.energy_nj = plan.energy_nj_per_symbol;
+  out.status = pinned_plan ? SwitchStatus::InPlace : SwitchStatus::Replanned;
+  return out;
+}
+
+}  // namespace rtsm::runtime

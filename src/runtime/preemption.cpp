@@ -1,0 +1,74 @@
+#include "runtime/preemption.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/clock.hpp"
+
+namespace rtsm::runtime {
+
+PreemptionPlan plan_preemption(
+    const core::ResourceState& state,
+    const std::map<AppId, RunningApp>& running, const kpn::Application& app,
+    RequestClass cls, double deadline_us, double mapping_us_spent,
+    const core::Mapper& mapper, const PreemptionOptions& options,
+    const core::FragmentationOptions& fragmentation) {
+  PreemptionPlan result;
+  if (!options.enabled) return result;
+
+  // Candidates: strictly outranked AND willing. Cheapest first — lowest
+  // priority class, then the eviction whose aftermath is the *least*
+  // fragmented platform (free capacity concentrated where it can actually
+  // host the arrival), then the smallest running energy.
+  struct Victim {
+    AppId id;
+    std::int32_t priority;
+    double frag_after;
+    double energy_nj;
+  };
+  std::vector<Victim> victims;
+  for (const auto& [id, run] : running) {
+    if (!run.cls.preemptible || run.cls.priority >= cls.priority) continue;
+    core::ResourceState scratch = state;
+    core::release_mapping(scratch, *run.app, run.mapping);
+    const double frag_after =
+        core::measure_fragmentation(scratch, fragmentation).score();
+    victims.push_back({id, run.cls.priority, frag_after, run.energy_nj});
+  }
+  if (victims.empty()) return result;
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) {
+              if (a.priority != b.priority) return a.priority < b.priority;
+              if (a.frag_after != b.frag_after) {
+                return a.frag_after < b.frag_after;
+              }
+              return a.energy_nj < b.energy_nj;
+            });
+
+  // Greedy: hypothetically evict one victim at a time and re-plan until
+  // the arrival fits (bounded by max_victims). Nothing is committed.
+  core::ResourceState scratch = state;
+  for (const Victim& victim : victims) {
+    if (result.victims.size() >= options.max_victims) break;
+    const RunningApp& run = running.at(victim.id);
+    core::release_mapping(scratch, *run.app, run.mapping);
+    result.victims.push_back(victim.id);
+
+    const auto start = std::chrono::steady_clock::now();
+    result.plan = mapper.map(app, scratch);
+    result.mapping_us += elapsed_us(start);
+    ++result.attempts;
+    if (result.plan.success &&
+        core::mapping_fits(scratch, app, result.plan.mapping)) {
+      break;
+    }
+    result.plan.success = false;
+  }
+  if (deadline_us > 0.0 &&
+      mapping_us_spent + result.mapping_us > deadline_us) {
+    result.plan.success = false;
+  }
+  return result;
+}
+
+}  // namespace rtsm::runtime

@@ -5,51 +5,107 @@
 #include <cmath>
 #include <utility>
 
+#include "runtime/preemption.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 
 namespace rtsm::runtime {
 
-double AdmissionStats::latency_percentile_us(double p) const {
-  if (latencies_us.empty()) return 0.0;
-  const double clamped = std::min(std::max(p, 0.0), 100.0);
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(clamped / 100.0 * static_cast<double>(latencies_us.size())));
-  const std::size_t index = rank == 0 ? 0 : rank - 1;
-  // O(n) selection on a scratch copy; bounding the sample set itself is the
-  // ROADMAP's runtime-scaling item.
-  std::vector<double> scratch = latencies_us;
-  std::nth_element(scratch.begin(), scratch.begin() + index, scratch.end());
-  return scratch[index];
+void LatencyReservoir::record(double value_us) {
+  if (count_ == 0) {
+    min_ = value_us;
+    max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+  sum_ += value_us;
+  ++count_;
+  if (samples_.size() < kCapacity) {
+    samples_.push_back(value_us);
+    return;
+  }
+  // Algorithm R: keep the new value with probability kCapacity / count_,
+  // replacing a uniformly chosen resident — every value recorded so far
+  // ends up retained with equal probability.
+  rng_ ^= rng_ << 13;
+  rng_ ^= rng_ >> 7;
+  rng_ ^= rng_ << 17;
+  const std::uint64_t slot = rng_ % count_;
+  if (slot < kCapacity) samples_[slot] = value_us;
 }
 
-double AdmissionStats::mean_latency_us() const {
-  if (latencies_us.empty()) return 0.0;
-  double sum = 0.0;
-  for (const double v : latencies_us) sum += v;
-  return sum / static_cast<double>(latencies_us.size());
+double LatencyReservoir::mean_us() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void merge_defrag_stats(AdmissionStats& stats, const DefragPassResult& pass) {
+  ++stats.defrag_passes;
+  stats.migrations += pass.migrations;
+  stats.migration_failures += pass.migration_failures;
+  stats.last_fragmentation_before = pass.fragmentation_before;
+  stats.last_fragmentation_after = pass.fragmentation_after;
+  stats.migration_cost_us += pass.migration_cost_us;
+}
+
+bool record_switch_stats(AdmissionStats& stats, const SwitchOutcome& out) {
+  ++stats.mode_switches;
+  stats.switch_latencies.record(out.switch_us);
+  stats.switch_migration_cost_us += out.migration_cost_us;
+  switch (out.status) {
+    case SwitchStatus::InPlace:
+      ++stats.switches_in_place;
+      return true;
+    case SwitchStatus::Replanned:
+      ++stats.switches_replanned;
+      return true;
+    case SwitchStatus::RolledBack:
+      ++stats.switches_rolled_back;
+      return false;
+    case SwitchStatus::UnknownId:
+      ++stats.switch_failures;
+      return false;
+  }
+  return false;
+}
+
+double LatencyReservoir::percentile_us(double p) const {
+  if (samples_.empty()) return 0.0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  // The extremes are tracked exactly and survive reservoir eviction.
+  if (clamped == 0.0) return min_;
+  if (clamped == 100.0) return max_;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  std::vector<double> scratch = samples_;  // bounded by kCapacity
+  std::nth_element(scratch.begin(), scratch.begin() + index, scratch.end());
+  return scratch[index];
 }
 
 RuntimeManager::RuntimeManager(const arch::Platform& platform,
                                std::shared_ptr<const core::Mapper> mapper,
                                std::shared_ptr<const AdmissionPolicy> policy,
-                               DefragOptions defrag)
+                               DefragOptions defrag,
+                               PreemptionOptions preemption)
     : state_(platform),
       mapper_((require(mapper != nullptr, "RuntimeManager needs a mapper"),
                std::move(mapper))),
       policy_(std::move(policy)),
-      planner_(mapper_, defrag) {
+      planner_(mapper_, defrag),
+      preemption_(preemption) {
   require(policy_ != nullptr, "RuntimeManager needs an admission policy");
 }
 
 RequestId RuntimeManager::submit(std::shared_ptr<const kpn::Application> app,
-                                 double deadline_us) {
+                                 double deadline_us, RequestClass cls) {
   require(app != nullptr, "admission request without an application");
   Pending pending;
   pending.kind = Pending::Kind::Admit;
   pending.request = next_request_++;
   pending.app = std::move(app);
   pending.deadline_us = deadline_us;
+  pending.cls = cls;
   queue_.push_back(std::move(pending));
   ++stats_.offered;
   return queue_.back().request;
@@ -84,15 +140,7 @@ std::vector<AdmitOutcome> RuntimeManager::drain() {
       if (!more_releases_first) {
         // Compact *before* waking parked requests so the retry sees the
         // defragmented capacity.
-        const bool defragged = maybe_defrag_after_release();
-        if (!waiting_.empty()) {
-          stats_.retries += waiting_.size();
-          if (defragged) stats_.parked_woken_by_defrag += waiting_.size();
-          queue_.insert(queue_.begin(),
-                        std::make_move_iterator(waiting_.begin()),
-                        std::make_move_iterator(waiting_.end()));
-          waiting_.clear();
-        }
+        wake_waiting(maybe_defrag_after_release());
       }
       continue;
     }
@@ -135,6 +183,13 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
       merge_defrag(pass);
       if (pass.migrations > 0) continue;
     }
+    // Last resort for an outranking arrival: evict the cheapest set of
+    // lower-priority preemptible applications. try_preempt() hands back a
+    // plan that fits the post-eviction state, so the commit path below
+    // admits it like any success. Re-parked victims never preempt again.
+    if (!result.success && !pending.reparked) {
+      try_preempt(pending, result);
+    }
     break;
   }
 
@@ -147,20 +202,22 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
     outcome.status = AdmitStatus::DeadlineMiss;
     outcome.mapping = std::move(result);
     ++stats_.deadline_misses;
-    stats_.latencies_us.push_back(pending.mapping_us);
+    stats_.latencies.record(pending.mapping_us);
     return outcome;
   }
 
   if (result.success) {
     core::commit_mapping(state_, *pending.app, result.mapping);
     const AppId id{next_app_++};
-    running_.emplace(id, RunningApp{pending.app, result.mapping,
-                                    result.energy_nj_per_symbol});
+    running_.emplace(id,
+                     RunningApp{pending.app, result.mapping,
+                                result.energy_nj_per_symbol, pending.cls,
+                                pending.request});
     outcome.status = AdmitStatus::Admitted;
     outcome.app_id = id;
     outcome.mapping = std::move(result);
     ++stats_.admitted;
-    stats_.latencies_us.push_back(pending.mapping_us);
+    stats_.latencies.record(pending.mapping_us);
     return outcome;
   }
 
@@ -172,8 +229,53 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
   outcome.status = AdmitStatus::Rejected;
   outcome.mapping = std::move(result);
   ++stats_.rejected;
-  stats_.latencies_us.push_back(pending.mapping_us);
+  stats_.latencies.record(pending.mapping_us);
   return outcome;
+}
+
+bool RuntimeManager::try_preempt(Pending& pending,
+                                 core::MappingResult& result) {
+  PreemptionPlan plan = plan_preemption(
+      state_, running_, *pending.app, pending.cls, pending.deadline_us,
+      pending.mapping_us, *mapper_, preemption_,
+      planner_.options().fragmentation);
+  pending.attempts += plan.attempts;
+  pending.mapping_us += plan.mapping_us;
+  if (!plan.admits()) return false;
+
+  // Commit the eviction: victims leave the live state and re-enter the
+  // admission stream as parked requests (woken by the next release, or
+  // resolved as rejected by reject_waiting at scenario end). A reparked
+  // victim carries its class but no mapper deadline — the original
+  // budget bounded an admission that already succeeded.
+  for (const AppId id : plan.victims) {
+    auto it = running_.find(id);
+    core::release_mapping(state_, *it->second.app, it->second.mapping);
+    Pending reparked;
+    reparked.kind = Pending::Kind::Admit;
+    reparked.request = next_request_++;
+    reparked.app = it->second.app;
+    reparked.cls = it->second.cls;
+    reparked.reparked = true;
+    waiting_.push_back(std::move(reparked));
+    running_.erase(it);
+    ++stats_.offered;
+    ++stats_.preemption_evictions;
+  }
+  ++stats_.preemption_grants;
+  result = std::move(plan.plan);
+  return true;
+}
+
+void RuntimeManager::wake_waiting(bool after_defrag_migration) {
+  if (waiting_.empty()) return;
+  stats_.retries += waiting_.size();
+  if (after_defrag_migration) {
+    stats_.parked_woken_by_defrag += waiting_.size();
+  }
+  queue_.insert(queue_.begin(), std::make_move_iterator(waiting_.begin()),
+                std::make_move_iterator(waiting_.end()));
+  waiting_.clear();
 }
 
 void RuntimeManager::process_release(AppId id, RequestId request) {
@@ -195,9 +297,9 @@ void RuntimeManager::process_release(AppId id, RequestId request) {
 }
 
 AdmitOutcome RuntimeManager::admit(const kpn::Application& app,
-                                   double deadline_us) {
+                                   double deadline_us, RequestClass cls) {
   const RequestId request =
-      submit(std::make_shared<kpn::Application>(app), deadline_us);
+      submit(std::make_shared<kpn::Application>(app), deadline_us, cls);
   std::optional<AdmitOutcome> mine;
   // Other requests resolved by this drain go back into resolved_ so the
   // next drain() reports them.
@@ -216,24 +318,44 @@ AdmitOutcome RuntimeManager::admit(const kpn::Application& app,
   return waiting;
 }
 
-void RuntimeManager::release(AppId id) {
+bool RuntimeManager::release(AppId id) {
   const RequestId request = submit_release(id);
   // Outcomes of requests this release wakes are kept for the next drain().
   for (AdmitOutcome& outcome : drain()) {
     resolved_.push_back(std::move(outcome));
   }
-  // The synchronous caller is the one who passed the bad id: report THIS
-  // call's failure as an exception (and take its record back out — it has
-  // been reported). Errors of other queued releases the drain processed
-  // stay recorded for drain_release_errors().
-  const auto mine = std::find_if(
+  // One release contract for every entry point of both managers: a bad id
+  // (unknown or double release) is a recorded ReleaseError + counter, not
+  // an exception — a client bug must not look different depending on
+  // whether the release was queued or called synchronously. The record
+  // stays queued for drain_release_errors(); false tells this caller it
+  // was their release that failed.
+  return std::none_of(
       release_errors_.begin(), release_errors_.end(),
       [&](const ReleaseError& e) { return e.request == request; });
-  if (mine != release_errors_.end()) {
-    const std::string message = mine->message;
-    release_errors_.erase(mine);
-    throw Error(message);
+}
+
+SwitchOutcome RuntimeManager::switch_mode(
+    AppId id, std::shared_ptr<const kpn::Application> next) {
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<DefragPassResult> defrag;
+  SwitchOutcome out =
+      switch_mode_in_place(state_, running_, id, std::move(next), *mapper_,
+                           &planner_, planner_.options().cost, &defrag);
+  out.switch_us = elapsed_us(start);
+
+  if (defrag.has_value()) merge_defrag(*defrag);
+  const bool committed = record_switch_stats(stats_, out);
+  if (committed) {
+    // A narrower mode frees capacity exactly like a release does: wake
+    // parked requests against it (their outcomes are held for the next
+    // drain()).
+    wake_waiting(false);
+    for (AdmitOutcome& outcome : drain()) {
+      resolved_.push_back(std::move(outcome));
+    }
   }
+  return out;
 }
 
 std::vector<ReleaseError> RuntimeManager::drain_release_errors() {
@@ -254,12 +376,7 @@ bool RuntimeManager::maybe_defrag_after_release() {
 }
 
 void RuntimeManager::merge_defrag(const DefragPassResult& pass) {
-  ++stats_.defrag_passes;
-  stats_.migrations += pass.migrations;
-  stats_.migration_failures += pass.migration_failures;
-  stats_.last_fragmentation_before = pass.fragmentation_before;
-  stats_.last_fragmentation_after = pass.fragmentation_after;
-  stats_.migration_cost_us += pass.migration_cost_us;
+  merge_defrag_stats(stats_, pass);
 }
 
 DefragPassResult RuntimeManager::defrag_now() {
@@ -283,7 +400,7 @@ std::vector<AdmitOutcome> RuntimeManager::reject_waiting() {
     outcome.mapping_us = pending.mapping_us;
     outcome.mapping.failure = "still waiting at end of scenario";
     ++stats_.rejected;
-    stats_.latencies_us.push_back(pending.mapping_us);
+    stats_.latencies.record(pending.mapping_us);
     resolved.push_back(std::move(outcome));
   }
   waiting_.clear();
@@ -314,6 +431,12 @@ std::shared_ptr<const kpn::Application> RuntimeManager::app_of(
   const auto it = running_.find(id);
   require(it != running_.end(), "app_of unknown application id");
   return it->second.app;
+}
+
+std::string RuntimeManager::display_name(AppId id) const {
+  const auto it = running_.find(id);
+  require(it != running_.end(), "display_name unknown application id");
+  return it->second.app->name() + "#" + std::to_string(it->second.instance);
 }
 
 }  // namespace rtsm::runtime

@@ -12,6 +12,7 @@
 #include "core/mapper.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/defrag.hpp"
+#include "runtime/mode_switch.hpp"
 #include "verify/engine.hpp"
 
 namespace rtsm::runtime {
@@ -57,6 +58,44 @@ struct ReleaseError {
   RequestId request = 0;
 };
 
+/// Bounded latency sample: exact while fewer than kCapacity values were
+/// recorded, an unbiased uniform reservoir (Vitter's algorithm R over a
+/// deterministic xorshift64 stream) beyond that. Replaces the unbounded
+/// per-request vector — which grew without limit and was copied whole on
+/// every percentile query — with O(kCapacity) memory and O(kCapacity)
+/// queries under sustained traffic. count/mean/min/max stay exact via
+/// running accumulators; interior percentiles are exact until the
+/// reservoir first overflows and an estimate thereafter.
+class LatencyReservoir {
+ public:
+  static constexpr std::size_t kCapacity = 2048;
+
+  void record(double value_us);
+
+  /// Values recorded (not the retained sample size).
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Values retained; never exceeds kCapacity.
+  [[nodiscard]] std::size_t sample_size() const { return samples_.size(); }
+
+  [[nodiscard]] double mean_us() const;
+  [[nodiscard]] double min_us() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max_us() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Percentile @p p in [0, 100] (clamped); 0 when nothing was recorded.
+  /// p <= 0 and p >= 100 return the exact stream minimum / maximum even
+  /// after the reservoir overflowed.
+  [[nodiscard]] double percentile_us(double p) const;
+
+ private:
+  std::vector<double> samples_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  /// xorshift64 state; fixed seed so runs are reproducible.
+  std::uint64_t rng_ = 0x2545f4914f6cdd1dull;
+};
+
 /// Counters and latency distribution of the admission stream.
 struct AdmissionStats {
   std::uint64_t offered = 0;    ///< Admit requests submitted.
@@ -87,14 +126,44 @@ struct AdmissionStats {
   /// Summed modelled migration cost, microseconds.
   double migration_cost_us = 0.0;
 
+  // -- preemption (see PreemptionOptions in runtime/admission.hpp) ---------
+  std::uint64_t preemption_grants = 0;     ///< Arrivals admitted by evicting.
+  std::uint64_t preemption_evictions = 0;  ///< Victims evicted (re-parked).
+
+  // -- mode switches (see switch_mode()) -----------------------------------
+  std::uint64_t mode_switches = 0;          ///< switch_mode() calls.
+  std::uint64_t switches_in_place = 0;      ///< Committed with pins held.
+  std::uint64_t switches_replanned = 0;     ///< Committed via full replan.
+  std::uint64_t switches_rolled_back = 0;   ///< Old mode kept on misfit.
+  std::uint64_t switch_failures = 0;        ///< Unknown-id switches.
+  /// Summed modelled migration cost of committed switches, microseconds.
+  double switch_migration_cost_us = 0.0;
+  /// Wall-clock latency of every switch_mode() call, us (bounded sample).
+  LatencyReservoir switch_latencies;
+
   /// Mapper wall-clock latency of every resolved admit request, us.
-  std::vector<double> latencies_us;
+  /// Bounded (see LatencyReservoir) so sustained traffic cannot grow the
+  /// stats without limit.
+  LatencyReservoir latencies;
 
   /// Latency percentile @p p in [0, 100] over resolved requests (0 when no
   /// request resolved yet).
-  [[nodiscard]] double latency_percentile_us(double p) const;
-  [[nodiscard]] double mean_latency_us() const;
+  [[nodiscard]] double latency_percentile_us(double p) const {
+    return latencies.percentile_us(p);
+  }
+  [[nodiscard]] double mean_latency_us() const { return latencies.mean_us(); }
 };
+
+/// Merges one defragmentation pass into @p stats. Shared by both managers
+/// and every trigger path (policy-driven, on-reject, defrag_now, the
+/// mode-switch misfit retry); the caller holds whatever guards @p stats.
+void merge_defrag_stats(AdmissionStats& stats, const DefragPassResult& pass);
+
+/// Counts one switch outcome into @p stats (mode_switches, the per-status
+/// counter, the latency sample and the migration cost) and returns
+/// whether the switch committed. Shared by both managers; the caller
+/// holds whatever guards @p stats.
+bool record_switch_stats(AdmissionStats& stats, const SwitchOutcome& out);
 
 /// Run-time admission manager: the paper's run-time scenario as a subsystem.
 ///
@@ -114,13 +183,18 @@ class RuntimeManager {
                  std::shared_ptr<const core::Mapper> mapper,
                  std::shared_ptr<const AdmissionPolicy> policy =
                      std::make_shared<FirstFitAdmission>(),
-                 DefragOptions defrag = {});
+                 DefragOptions defrag = {},
+                 PreemptionOptions preemption = {});
 
   /// Queues an admission request. @p deadline_us > 0 bounds the mapper's
-  /// wall-clock budget; exceeding it counts as a deadline miss. The request
-  /// is processed by the next drain().
+  /// wall-clock budget; exceeding it counts as a deadline miss. @p cls is
+  /// the request's priority class (see RequestClass): when the mapper and
+  /// the defrag policy both fail the request, a class that outranks
+  /// running preemptible applications may evict the cheapest victim set
+  /// instead of being rejected (victims are re-queued as parked). The
+  /// request is processed by the next drain().
   RequestId submit(std::shared_ptr<const kpn::Application> app,
-                   double deadline_us = 0.0);
+                   double deadline_us = 0.0, RequestClass cls = {});
 
   /// Queues the release of a running application (processed in FIFO order
   /// with the admissions around it). Releasing an id that was never
@@ -141,14 +215,32 @@ class RuntimeManager {
   /// request's outcome (status Waiting when a retry policy parked it);
   /// outcomes of *other* requests resolved along the way are held for the
   /// next drain().
-  AdmitOutcome admit(const kpn::Application& app, double deadline_us = 0.0);
+  AdmitOutcome admit(const kpn::Application& app, double deadline_us = 0.0,
+                     RequestClass cls = {});
 
-  /// submit_release() + drain() convenience. Throws rtsm::Error when the
-  /// release itself failed (unknown or already-released id) — the
-  /// synchronous caller made the error, so it is reported synchronously.
-  /// Outcomes of parked requests this release resolves are held for the
-  /// next drain().
-  void release(AppId id);
+  /// submit_release() + drain() convenience. Releasing an unknown or
+  /// already-released id returns false and records a ReleaseError +
+  /// stats().release_errors — the same non-fatal semantics as the queued
+  /// drain() path and the concurrent manager, so clients observe one
+  /// behaviour regardless of which entry point the release took. Outcomes
+  /// of parked requests this release resolves are held for the next
+  /// drain().
+  bool release(AppId id);
+
+  /// Switches running instance @p id to the graph @p next *in place*: the
+  /// processes of @p next that share a name with the old graph are pinned
+  /// to their current tiles and only the remaining delta is re-planned
+  /// (through the ordinary mapper, so structurally-equal placements hit
+  /// the shared step-4 verification cache). The new mode is committed with
+  /// a two-phase release/fit/commit whose misfit path restores the old
+  /// booking exactly; when no plan fits, one defragmentation pass is
+  /// spent before rolling back to the old mode (so a rolled-back switch
+  /// may still have compacted *other* applications). The instance keeps
+  /// its AppId across the switch. A committed switch may free capacity,
+  /// so it wakes parked requests like a release does (their outcomes are
+  /// held for the next drain()).
+  SwitchOutcome switch_mode(AppId id,
+                            std::shared_ptr<const kpn::Application> next);
 
   /// Hands out (and clears) the release errors recorded since the last
   /// call, in stream order.
@@ -196,6 +288,12 @@ class RuntimeManager {
   /// oracle of the defrag bench and tests).
   [[nodiscard]] std::shared_ptr<const kpn::Application> app_of(AppId id) const;
 
+  /// Display label of a running instance: "<graph name>#<instance>". The
+  /// suffix is the admitting request id, so two admissions of the same
+  /// graph (e.g. the same hiperlan2_mode_variant twice) stay
+  /// distinguishable in bench labels and logs. Throws for unknown ids.
+  [[nodiscard]] std::string display_name(AppId id) const;
+
  private:
   struct Pending {
     enum class Kind { Admit, Release };
@@ -204,18 +302,33 @@ class RuntimeManager {
     std::shared_ptr<const kpn::Application> app;  // Admit
     AppId target;                                 // Release
     double deadline_us = 0.0;
+    RequestClass cls;
     std::uint32_t attempts = 0;
     double mapping_us = 0.0;
     /// An OnReject defrag pass was already spent on this request (the
     /// flag survives parking, matching the concurrent manager's
     /// one-pass-per-request contract).
     bool defragged = false;
+    /// This request is a preemption victim re-entering the stream; it
+    /// never preempts again (no eviction cascades).
+    bool reparked = false;
   };
 
   /// Runs one mapping attempt for @p pending; returns the outcome, or
   /// nothing when the policy parked the request for a retry.
   [[nodiscard]] std::optional<AdmitOutcome> process_admit(Pending pending);
   void process_release(AppId id, RequestId request);
+
+  /// Tries to admit @p pending by evicting lower-priority preemptible
+  /// victims (cheapest set first; see docs/architecture.md). On success
+  /// the victims are released and re-queued as parked, @p result holds
+  /// the arrival's feasible plan against the post-eviction state, and
+  /// true is returned. No state is touched on failure.
+  bool try_preempt(Pending& pending, core::MappingResult& result);
+
+  /// Moves all parked requests to the queue front (a release or a
+  /// committed mode switch freed capacity), oldest first.
+  void wake_waiting(bool after_defrag_migration);
 
   /// Runs a pass when the policy is OnReleaseThreshold and the score
   /// triggers; returns whether a pass migrated anything.
@@ -226,6 +339,7 @@ class RuntimeManager {
   std::shared_ptr<const core::Mapper> mapper_;
   std::shared_ptr<const AdmissionPolicy> policy_;
   DefragPlanner planner_;
+  PreemptionOptions preemption_;
 
   std::deque<Pending> queue_;
   std::vector<Pending> waiting_;

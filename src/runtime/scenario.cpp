@@ -1,0 +1,326 @@
+#include "runtime/scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rtsm::runtime {
+
+// ---------------------------------------------------------------- schedule
+
+Schedule make_mode_churn_schedule(const ScheduleParams& params,
+                                  std::uint64_t seed) {
+  require(params.waves > 0, "schedule needs at least one wave");
+  require(params.lifetime_min >= 1 &&
+              params.lifetime_min <= params.lifetime_max,
+          "schedule lifetime range is invalid");
+  Rng rng(seed);
+  Schedule schedule;
+  schedule.waves = params.waves;
+
+  /// Per-slot bookkeeping while generating (mode churn needs to know
+  /// which hiperlan slots are alive in a wave and their current mode).
+  struct Slot {
+    std::uint32_t depart_wave = 0;  // 0 = never departs
+    bool hiperlan = false;
+    workload::Hiperlan2Mode mode = workload::Hiperlan2Mode::QPSK;
+  };
+  std::vector<Slot> slots;
+
+  // Wave-major generation keeps the event order deterministic: per wave,
+  // departures first, then switches of live hiperlan slots, then the
+  // wave's arrivals.
+  for (std::uint32_t wave = 0; wave < params.waves; ++wave) {
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (slots[s].depart_wave != 0 && slots[s].depart_wave == wave) {
+        ScenarioEvent ev;
+        ev.kind = ScenarioEvent::Kind::Depart;
+        ev.wave = wave;
+        ev.slot = s;
+        schedule.events.push_back(std::move(ev));
+      }
+    }
+
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      Slot& slot = slots[s];
+      const bool alive =
+          slot.depart_wave == 0 || wave < slot.depart_wave;
+      if (!slot.hiperlan || !alive) continue;
+      if (!rng.bernoulli(params.switch_prob)) continue;
+      // A switch to a uniformly drawn *different* demapping mode.
+      const auto& modes = workload::kHiperlan2Modes;
+      workload::Hiperlan2Mode next = slot.mode;
+      while (next == slot.mode) {
+        next = modes[rng.pick_index(modes.size())].mode;
+      }
+      slot.mode = next;
+      ScenarioEvent ev;
+      ev.kind = ScenarioEvent::Kind::SwitchMode;
+      ev.wave = wave;
+      ev.slot = s;
+      ev.next = std::make_shared<kpn::Application>(
+          workload::hiperlan2_mode_variant(next, params.hiperlan));
+      schedule.events.push_back(std::move(ev));
+    }
+
+    for (std::uint32_t a = 0; a < params.arrivals_per_wave; ++a) {
+      Slot slot;
+      const std::uint32_t lifetime = static_cast<std::uint32_t>(
+          rng.uniform_int(params.lifetime_min, params.lifetime_max));
+      if (wave + lifetime < params.waves) slot.depart_wave = wave + lifetime;
+
+      ScenarioEvent ev;
+      ev.kind = ScenarioEvent::Kind::Arrive;
+      ev.wave = wave;
+      ev.slot = slots.size();
+      const std::string name = "s" + std::to_string(slots.size());
+      if (rng.bernoulli(params.hiperlan_fraction)) {
+        slot.hiperlan = true;
+        const auto& modes = workload::kHiperlan2Modes;
+        slot.mode = modes[rng.pick_index(modes.size())].mode;
+        ev.app = std::make_shared<kpn::Application>(
+            workload::hiperlan2_mode_variant(slot.mode, params.hiperlan));
+      } else if (rng.bernoulli(params.big_fraction)) {
+        ev.app = std::make_shared<kpn::Application>(
+            workload::make_synthetic_app(rng, params.big_app, name));
+      } else {
+        ev.app = std::make_shared<kpn::Application>(
+            workload::make_synthetic_app(rng, params.small_app, name));
+      }
+      if (rng.bernoulli(params.high_priority_fraction)) {
+        ev.cls.priority = params.high_priority;
+        ev.cls.preemptible = false;
+      }
+      slots.push_back(slot);
+      schedule.events.push_back(std::move(ev));
+    }
+  }
+  schedule.slots = slots.size();
+  return schedule;
+}
+
+// ----------------------------------------------------------------- targets
+
+bool ScenarioTarget::replay_matches() const {
+  const core::ResourceState live = state_copy();
+  core::ResourceState replayed(live.platform());
+  for (const AppId id : running_ids()) {
+    core::commit_mapping(replayed, *app_of(id), mapping_of(id));
+  }
+  return live.approx_equals(replayed);
+}
+
+std::vector<SettledOutcome> SerialTarget::correlate(
+    std::vector<AdmitOutcome> outcomes,
+    std::vector<SettledOutcome> settled) {
+  for (AdmitOutcome& outcome : outcomes) {
+    SettledOutcome s;
+    const auto it = tickets_.find(outcome.request);
+    if (it != tickets_.end()) {
+      s.ticket = it->second;
+      tickets_.erase(it);
+    }
+    s.outcome = std::move(outcome);
+    settled.push_back(std::move(s));
+  }
+  return settled;
+}
+
+std::vector<SettledOutcome> SerialTarget::settle() {
+  return correlate(manager_->drain(), {});
+}
+
+std::vector<SettledOutcome> SerialTarget::finish() {
+  return correlate(manager_->reject_waiting(), settle());
+}
+
+bool SerialTarget::is_running(AppId id) const {
+  const std::vector<AppId> ids = manager_->running_ids();
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+std::uint64_t ConcurrentTarget::submit(
+    std::shared_ptr<const kpn::Application> app, double deadline_us,
+    RequestClass cls) {
+  std::future<AdmitOutcome> future =
+      manager_->submit(std::move(app), deadline_us, cls);
+  pending_.emplace_back(++next_ticket_, std::move(future));
+  return next_ticket_;
+}
+
+std::vector<SettledOutcome> ConcurrentTarget::settle() {
+  // With workers == 0 nobody else drains the queue; with a pool the
+  // caller just helps out for a moment.
+  manager_->pump();
+  manager_->wait_idle();
+  std::vector<SettledOutcome> settled;
+  auto it = pending_.begin();
+  while (it != pending_.end()) {
+    if (it->second.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      settled.push_back({it->first, it->second.get()});
+      it = pending_.erase(it);
+    } else {
+      ++it;  // parked: resolves after a later release or at finish()
+    }
+  }
+  return settled;
+}
+
+std::vector<SettledOutcome> ConcurrentTarget::finish() {
+  manager_->pump();
+  manager_->wait_idle();
+  manager_->reject_waiting();
+  return settle();
+}
+
+bool ConcurrentTarget::is_running(AppId id) const {
+  const std::vector<AppId> ids = manager_->running_ids();
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+// ------------------------------------------------------------------ driver
+
+ScenarioDriver::ScenarioDriver(ScenarioTarget& target, Schedule schedule,
+                               ScenarioOptions options)
+    : target_(&target),
+      schedule_(std::move(schedule)),
+      options_(options) {}
+
+void ScenarioDriver::handle_outcomes(
+    const std::vector<SettledOutcome>& outcomes) {
+  for (const SettledOutcome& settled : outcomes) {
+    const AdmitOutcome& outcome = settled.outcome;
+    const auto it = pending_slot_.find(settled.ticket);
+    if (it == pending_slot_.end()) {
+      // A request the driver never submitted: a preemption victim that
+      // re-entered the stream. Its instance (when re-admitted) runs
+      // detached from slot tracking until the scenario ends.
+      ++stats_.reparked_outcomes;
+      continue;
+    }
+    if (outcome.status == AdmitStatus::Waiting) {
+      // Still parked: keep the ticket mapping (and any naive-retry tag)
+      // so the eventual resolution still lands on its slot.
+      continue;
+    }
+    const std::size_t slot = it->second;
+    pending_slot_.erase(it);
+    const bool naive_retry = naive_retry_.erase(settled.ticket) > 0;
+    switch (outcome.status) {
+      case AdmitStatus::Admitted:
+        if (!naive_retry) ++stats_.admitted;
+        live_[slot] = outcome.app_id;
+        break;
+      case AdmitStatus::Rejected:
+        if (naive_retry) {
+          ++stats_.naive_switch_losses;  // the released mode is gone
+        } else {
+          ++stats_.rejected;
+        }
+        break;
+      case AdmitStatus::DeadlineMiss:
+        if (naive_retry) {
+          ++stats_.naive_switch_losses;
+        } else {
+          ++stats_.deadline_misses;
+        }
+        break;
+      case AdmitStatus::Waiting:
+        break;  // unreachable: handled before the ticket was erased
+    }
+  }
+}
+
+ScenarioStats ScenarioDriver::run() {
+  std::size_t next_event = 0;
+  for (std::uint32_t wave = 0; wave < schedule_.waves; ++wave) {
+    while (next_event < schedule_.events.size() &&
+           schedule_.events[next_event].wave == wave) {
+      const ScenarioEvent& ev = schedule_.events[next_event];
+      ++next_event;
+
+      switch (ev.kind) {
+        case ScenarioEvent::Kind::Arrive: {
+          ++stats_.arrivals;
+          slot_cls_[ev.slot] = ev.cls;
+          const std::uint64_t ticket =
+              target_->submit(ev.app, ev.deadline_us, ev.cls);
+          pending_slot_[ticket] = ev.slot;
+          break;
+        }
+        case ScenarioEvent::Kind::Depart: {
+          const auto live = live_.find(ev.slot);
+          if (live == live_.end() || !target_->is_running(live->second)) {
+            ++stats_.skipped_events;  // rejected earlier or preempted
+            if (live != live_.end()) live_.erase(live);
+            break;
+          }
+          target_->release(live->second);
+          live_.erase(live);
+          ++stats_.departures;
+          break;
+        }
+        case ScenarioEvent::Kind::SwitchMode: {
+          const auto live = live_.find(ev.slot);
+          if (live == live_.end() || !target_->is_running(live->second)) {
+            ++stats_.skipped_events;
+            if (live != live_.end()) live_.erase(live);
+            break;
+          }
+          ++stats_.switches;
+          const auto start = std::chrono::steady_clock::now();
+          if (options_.naive_switch) {
+            // The baseline: release, then hope the readmission fits. No
+            // rollback exists — a failed readmission loses the stream.
+            // The settle runs inside the timed window so the naive
+            // latency includes the full replan, like switch_mode's does.
+            target_->release(live->second);
+            const std::uint64_t ticket =
+                target_->submit(ev.next, 0.0, slot_cls_[ev.slot]);
+            live_.erase(live);
+            pending_slot_[ticket] = ev.slot;
+            naive_retry_.insert(ticket);
+            handle_outcomes(target_->settle());
+            stats_.switch_latency.record(elapsed_us(start));
+          } else {
+            const SwitchOutcome out =
+                target_->switch_mode(live->second, ev.next);
+            stats_.switch_latency.record(elapsed_us(start));
+            switch (out.status) {
+              case SwitchStatus::InPlace:
+                ++stats_.switches_in_place;
+                break;
+              case SwitchStatus::Replanned:
+                ++stats_.switches_replanned;
+                break;
+              case SwitchStatus::RolledBack:
+                ++stats_.switches_rolled_back;
+                break;
+              case SwitchStatus::UnknownId:
+                ++stats_.skipped_events;
+                live_.erase(live);
+                break;
+            }
+          }
+          break;
+        }
+      }
+    }
+
+    handle_outcomes(target_->settle());
+    if (options_.oracle_every_wave && !target_->replay_matches()) {
+      stats_.oracle_ok = false;
+    }
+  }
+
+  handle_outcomes(target_->finish());
+  if (!target_->replay_matches()) stats_.oracle_ok = false;
+  return stats_;
+}
+
+}  // namespace rtsm::runtime

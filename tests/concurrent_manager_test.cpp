@@ -163,7 +163,7 @@ TEST(ConcurrentRuntimeManager, EightThreadAdmitReleaseStress) {
   EXPECT_EQ(stats.release_errors, 0u);
   EXPECT_EQ(stats.admitted + stats.rejected + stats.deadline_misses,
             stats.offered);
-  EXPECT_EQ(stats.latencies_us.size(), stats.offered);
+  EXPECT_EQ(stats.latencies.count(), stats.offered);
   EXPECT_EQ(manager.running_count(), stats.admitted - stats.releases);
 
   // Everything was released: the platform must be pristine again.

@@ -101,7 +101,7 @@ TEST(RuntimeManager, StatsCountersAreExact) {
   EXPECT_EQ(stats.deadline_misses, 0u);
   EXPECT_EQ(stats.retries, 0u);
   EXPECT_EQ(stats.releases, 1u);
-  EXPECT_EQ(stats.latencies_us.size(), 4u);
+  EXPECT_EQ(stats.latencies.count(), 4u);
   EXPECT_GT(stats.latency_percentile_us(50), 0.0);
   EXPECT_GE(stats.latency_percentile_us(100), stats.latency_percentile_us(1));
   (void)b;
@@ -212,8 +212,9 @@ TEST(RuntimeManager, ReleaseConvenienceIgnoresOtherQueuedReleaseErrors) {
   const auto started = manager.admit(test::pipeline_app({.stages = 1}));
   ASSERT_EQ(started.status, AdmitStatus::Admitted);
 
-  manager.submit_release(AppId{99});       // someone else's blunder
-  manager.release(started.app_id);         // processes both; must not throw
+  manager.submit_release(AppId{99});  // someone else's blunder
+  // Processes both; this caller's release succeeded, so true.
+  EXPECT_TRUE(manager.release(started.app_id));
   EXPECT_EQ(manager.running_count(), 0u);  // this release did happen
   const auto errors = manager.drain_release_errors();
   ASSERT_EQ(errors.size(), 1u);  // the stream error is still reported
@@ -236,10 +237,14 @@ TEST(RuntimeManager, DoubleReleaseIsReportedError) {
   ASSERT_EQ(errors.size(), 1u);
   EXPECT_EQ(errors[0].id, started.app_id);
 
-  // The synchronous convenience still throws at the caller who blundered —
-  // and does not double-record the error it just reported.
-  EXPECT_THROW(manager.release(started.app_id), Error);
-  EXPECT_TRUE(manager.drain_release_errors().empty());
+  // The synchronous convenience reports the blunder the same way the
+  // queued path does — recorded error + counter + false, never a throw
+  // (one release contract across both managers and all entry points).
+  EXPECT_FALSE(manager.release(started.app_id));
+  EXPECT_EQ(manager.stats().release_errors, 2u);
+  const auto again = manager.drain_release_errors();
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].id, started.app_id);
 }
 
 TEST(RuntimeManager, RetryPolicyGivesUpAfterMaxAttempts) {
@@ -334,10 +339,14 @@ TEST(RuntimeManager, DeadlineMissNotAdmitted) {
   }
 }
 
-TEST(RuntimeManager, ReleaseUnknownIdThrows) {
+TEST(RuntimeManager, ReleaseUnknownIdIsRecordedNotThrown) {
   const auto platform = test::small_platform();
   auto manager = make_manager(platform);
-  EXPECT_THROW(manager.release(AppId{99}), Error);
+  EXPECT_FALSE(manager.release(AppId{99}));
+  EXPECT_EQ(manager.stats().release_errors, 1u);
+  const auto errors = manager.drain_release_errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].id, AppId{99});
 }
 
 TEST(RuntimeManager, IdsAreUniqueAcrossRestarts) {
