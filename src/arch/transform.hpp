@@ -1,0 +1,97 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rtsm::arch {
+
+/// A mesh coordinate: the (x, y) position of a router and of the tile
+/// attached to it. Shapes (see src/shapes/) store placements as coordinate
+/// sets, so the same geometry applies at any anchor of any mesh.
+struct Coord {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+
+  constexpr auto operator<=>(const Coord&) const = default;
+};
+
+/// The eight rigid symmetries of the square lattice (the dihedral group
+/// D4): every hop-count-preserving way a placement's bounding box can be
+/// laid back onto a mesh. Rotations are counter-clockwise.
+enum class MeshSymmetry : std::uint8_t {
+  Identity,
+  Rot90,
+  Rot180,
+  Rot270,
+  FlipX,          ///< Mirror across the vertical axis (x -> w-1-x).
+  FlipY,          ///< Mirror across the horizontal axis (y -> h-1-y).
+  Transpose,      ///< Mirror across the main diagonal (x <-> y).
+  AntiTranspose,  ///< Mirror across the anti-diagonal.
+};
+
+inline constexpr std::array<MeshSymmetry, 8> kAllMeshSymmetries = {
+    MeshSymmetry::Identity, MeshSymmetry::Rot90,
+    MeshSymmetry::Rot180,   MeshSymmetry::Rot270,
+    MeshSymmetry::FlipX,    MeshSymmetry::FlipY,
+    MeshSymmetry::Transpose, MeshSymmetry::AntiTranspose,
+};
+
+/// Extent (width, height) of a bounding box after applying @p s: the four
+/// transposing elements (Rot90, Rot270, Transpose, AntiTranspose) swap the
+/// two dimensions, the others keep them.
+[[nodiscard]] constexpr Coord transformed_extent(MeshSymmetry s,
+                                                 Coord extent) {
+  switch (s) {
+    case MeshSymmetry::Rot90:
+    case MeshSymmetry::Rot270:
+    case MeshSymmetry::Transpose:
+    case MeshSymmetry::AntiTranspose:
+      return {extent.y, extent.x};
+    default:
+      return extent;
+  }
+}
+
+/// Applies @p s to @p c within a bounding box of @p extent. @p c must lie
+/// inside the box; the result lies inside transformed_extent(s, extent).
+[[nodiscard]] constexpr Coord apply_symmetry(MeshSymmetry s, Coord c,
+                                             Coord extent) {
+  const std::uint32_t w = extent.x;
+  const std::uint32_t h = extent.y;
+  switch (s) {
+    case MeshSymmetry::Identity:
+      return c;
+    case MeshSymmetry::Rot90:
+      return {c.y, w - 1 - c.x};
+    case MeshSymmetry::Rot180:
+      return {w - 1 - c.x, h - 1 - c.y};
+    case MeshSymmetry::Rot270:
+      return {h - 1 - c.y, c.x};
+    case MeshSymmetry::FlipX:
+      return {w - 1 - c.x, c.y};
+    case MeshSymmetry::FlipY:
+      return {c.x, h - 1 - c.y};
+    case MeshSymmetry::Transpose:
+      return {c.y, c.x};
+    case MeshSymmetry::AntiTranspose:
+      return {h - 1 - c.y, w - 1 - c.x};
+  }
+  return c;  // unreachable
+}
+
+/// An anchor transform: one D4 symmetry followed by a translation. Mapping
+/// shapes are stored in canonical (origin-anchored, symmetry-minimal) form
+/// and instantiated onto the live mesh through a MeshTransform.
+struct MeshTransform {
+  MeshSymmetry symmetry = MeshSymmetry::Identity;
+  std::uint32_t dx = 0;
+  std::uint32_t dy = 0;
+
+  /// Image of canonical coordinate @p c (inside a shape of @p extent).
+  [[nodiscard]] constexpr Coord apply(Coord c, Coord extent) const {
+    const Coord t = apply_symmetry(symmetry, c, extent);
+    return {t.x + dx, t.y + dy};
+  }
+};
+
+}  // namespace rtsm::arch

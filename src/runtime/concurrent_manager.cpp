@@ -32,6 +32,9 @@ ConcurrentRuntimeManager::ConcurrentRuntimeManager(
           "ConcurrentRuntimeManager needs a priority policy");
   require(options_.shards >= 1, "shards must be >= 1");
   require(options_.max_batch >= 1, "max_batch must be >= 1");
+  require(options_.shapes == nullptr ||
+              &options_.shapes->platform() == &platform,
+          "shape library must be built for this manager's platform");
   planner_ = std::make_unique<DefragPlanner>(mapper_, options_.defrag);
 
   // Shards partition the mesh into vertical stripes; a tile belongs to the
@@ -117,22 +120,28 @@ AdmitOutcome ConcurrentRuntimeManager::admit(const kpn::Application& app,
 }
 
 void ConcurrentRuntimeManager::pump() {
+  core::ResourceState scratch(*platform_);
   while (true) {
     std::vector<Request> batch = queue_.try_pop_batch(options_.max_batch);
     if (batch.empty()) return;
-    process_batch(std::move(batch));
+    process_batch(std::move(batch), scratch);
   }
 }
 
 void ConcurrentRuntimeManager::worker_loop() {
+  // One scratch snapshot per worker for its whole lifetime: every
+  // optimistic attempt copy-assigns the live state into it instead of
+  // allocating a fresh snapshot (see snapshot_state_into).
+  core::ResourceState scratch(*platform_);
   while (true) {
     std::vector<Request> batch = queue_.pop_batch(options_.max_batch);
     if (batch.empty()) return;  // closed and drained
-    process_batch(std::move(batch));
+    process_batch(std::move(batch), scratch);
   }
 }
 
-void ConcurrentRuntimeManager::process_batch(std::vector<Request> batch) {
+void ConcurrentRuntimeManager::process_batch(std::vector<Request> batch,
+                                             core::ResourceState& scratch) {
   // One drained burst: the request class outranks the pluggable priority
   // policy, which outranks arrival order.
   std::stable_sort(batch.begin(), batch.end(),
@@ -146,7 +155,7 @@ void ConcurrentRuntimeManager::process_batch(std::vector<Request> batch) {
                      return a.id < b.id;
                    });
   for (Request& request : batch) {
-    process_request(std::move(request));
+    process_request(std::move(request), scratch);
   }
 }
 
@@ -160,7 +169,7 @@ core::MappingResult ConcurrentRuntimeManager::run_mapper(
 }
 
 bool ConcurrentRuntimeManager::validate_and_commit(
-    Request& request, core::MappingResult& result) {
+    Request& request, core::MappingResult& result, bool shape_hit) {
   AppId id;
   {
     std::lock_guard lock(state_mutex_);
@@ -173,28 +182,93 @@ bool ConcurrentRuntimeManager::validate_and_commit(
                                     result.energy_nj_per_symbol, request.cls,
                                     request.id});
   }
+  // Learn-on-admit: a committed miss-path placement enters the library
+  // (outside the state lock — the library has its own mutex) so future
+  // structurally equal arrivals take the shape hot path.
+  if (options_.shapes != nullptr && !shape_hit) {
+    const shapes::LearnResult learned =
+        options_.shapes->learn(*request.app, result);
+    std::lock_guard lock(stats_mutex_);
+    if (learned.inserted) ++stats_.shape_inserts;
+    stats_.shape_evictions += learned.evictions;
+  }
   AdmitOutcome outcome;
   outcome.request = request.id;
   outcome.status = AdmitStatus::Admitted;
   outcome.app_id = id;
   outcome.attempts = request.attempts;
   outcome.mapping_us = request.mapping_us;
+  outcome.shape_hit = shape_hit;
   outcome.mapping = std::move(result);
   resolve(std::move(request), std::move(outcome));
   return true;
 }
 
-core::ResourceState ConcurrentRuntimeManager::masked_snapshot(
-    std::size_t shard) const {
-  core::ResourceState snap = state_snapshot();
-  const std::vector<bool>& owns = shards_[shard]->owns_tile;
-  for (const TileId tid : snap.platform().tile_ids()) {
-    if (!owns[tid.value()]) snap.saturate_tile(tid);
+void ConcurrentRuntimeManager::snapshot_state_into(
+    core::ResourceState& out) const {
+  {
+    std::lock_guard lock(state_mutex_);
+    out = state_;
   }
-  return snap;
+  snapshot_reuses_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ConcurrentRuntimeManager::process_request(Request request) {
+void ConcurrentRuntimeManager::masked_snapshot_into(
+    std::size_t shard, core::ResourceState& out) const {
+  snapshot_state_into(out);
+  const std::vector<bool>& owns = shards_[shard]->owns_tile;
+  for (const TileId tid : out.platform().tile_ids()) {
+    if (!owns[tid.value()]) out.saturate_tile(tid);
+  }
+}
+
+bool ConcurrentRuntimeManager::try_shape_admit(Request& request,
+                                               core::ResourceState& scratch) {
+  std::uint32_t shape_conflicts = 0;
+  while (true) {
+    const auto start = std::chrono::steady_clock::now();
+    snapshot_state_into(scratch);
+    shapes::ShapeLookup lookup =
+        options_.shapes->try_instantiate(*request.app, scratch);
+    request.mapping_us += elapsed_us(start);
+    {
+      std::lock_guard lock(stats_mutex_);
+      stats_.shape_anchor_probes += lookup.anchor_probes;
+    }
+    if (!lookup.plan.has_value()) {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.shape_misses;
+      return false;
+    }
+    core::MappingResult plan = std::move(*lookup.plan);
+    ++request.attempts;
+    if (request.deadline_us > 0.0 && request.mapping_us > request.deadline_us) {
+      AdmitOutcome outcome;
+      outcome.request = request.id;
+      outcome.status = AdmitStatus::DeadlineMiss;
+      outcome.attempts = request.attempts;
+      outcome.mapping_us = request.mapping_us;
+      outcome.shape_hit = true;
+      resolve(std::move(request), std::move(outcome));
+      return true;
+    }
+    if (validate_and_commit(request, plan, /*shape_hit=*/true)) return true;
+    // Outraced between snapshot and commit: re-probe against the fresh
+    // state, bounded like the optimistic mapper loop.
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.conflicts;
+    }
+    if (++shape_conflicts > options_.validation_retries) {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.shape_misses;
+      return false;
+    }
+  }
+}
+
+void ConcurrentRuntimeManager::process_request(Request request,
+                                               core::ResourceState& scratch) {
   auto miss = [&](Request r) {
     AdmitOutcome outcome;
     outcome.request = r.id;
@@ -204,6 +278,14 @@ void ConcurrentRuntimeManager::process_request(Request request) {
     resolve(std::move(r), std::move(outcome));
   };
 
+  // Phase 0 — shape-library hot path: instantiate a learned relocatable
+  // placement and commit it through the ordinary two-phase commit,
+  // skipping the mapper (and the shard machinery — a shape probe is
+  // cheaper than the stripe bookkeeping it would be confined by).
+  if (options_.shapes != nullptr && try_shape_admit(request, scratch)) {
+    return;
+  }
+
   // Phase 1 — sharded admission: plan confined to the least-loaded stripe
   // of the mesh. The shard lock serializes planners per region (two
   // workers never plan into the same stripe at once), so shard-local
@@ -212,7 +294,8 @@ void ConcurrentRuntimeManager::process_request(Request request) {
   if (options_.shards >= 2) {
     const std::size_t s = pick_shard();
     std::unique_lock shard_lock(shards_[s]->mutex);
-    core::MappingResult result = run_mapper(request, masked_snapshot(s));
+    masked_snapshot_into(s, scratch);
+    core::MappingResult result = run_mapper(request, scratch);
     if (request.deadline_us > 0.0 && request.mapping_us > request.deadline_us) {
       shard_lock.unlock();
       miss(std::move(request));
@@ -239,7 +322,8 @@ void ConcurrentRuntimeManager::process_request(Request request) {
     // attempt runs, the attempt's failure verdict may be stale and the
     // request must not park on it (it would miss that release's wake).
     const std::uint64_t epoch_seen = release_epoch_.load();
-    core::MappingResult result = run_mapper(request, state_snapshot());
+    snapshot_state_into(scratch);
+    core::MappingResult result = run_mapper(request, scratch);
     if (request.deadline_us > 0.0 && request.mapping_us > request.deadline_us) {
       miss(std::move(request));
       return;
@@ -300,6 +384,7 @@ void ConcurrentRuntimeManager::record_outcome(RequestId request,
   switch (outcome.status) {
     case AdmitStatus::Admitted:
       ++stats_.admitted;
+      if (outcome.shape_hit) ++stats_.shape_hits;
       break;
     case AdmitStatus::Rejected:
       ++stats_.rejected;
@@ -449,6 +534,15 @@ bool ConcurrentRuntimeManager::try_preempt_and_commit(
     stats_.preemption_evictions += evicted.size();
     // Victims re-enter the admission stream as new requests.
     stats_.offered += evicted.size();
+  }
+  // A preemption plan is a full miss-path placement too: learn it so the
+  // next structurally equal arrival can skip the mapper entirely.
+  if (options_.shapes != nullptr) {
+    const shapes::LearnResult learned =
+        options_.shapes->learn(*request.app, outcome.mapping);
+    std::lock_guard lock(stats_mutex_);
+    if (learned.inserted) ++stats_.shape_inserts;
+    stats_.shape_evictions += learned.evictions;
   }
   resolve(std::move(request), std::move(outcome));
   return true;
@@ -610,13 +704,23 @@ core::ResourceState ConcurrentRuntimeManager::state_snapshot() const {
 }
 
 AdmissionStats ConcurrentRuntimeManager::stats() const {
-  std::lock_guard lock(stats_mutex_);
-  return stats_;
+  AdmissionStats out;
+  {
+    std::lock_guard lock(stats_mutex_);
+    out = stats_;
+  }
+  out.snapshot_reuses = snapshot_reuses_.load(std::memory_order_relaxed);
+  return out;
 }
 
 verify::EngineStats ConcurrentRuntimeManager::verification_stats() const {
   const auto engine = mapper_->verification_engine();
   return engine ? engine->stats() : verify::EngineStats{};
+}
+
+shapes::ShapeLibraryStats ConcurrentRuntimeManager::shape_stats() const {
+  return options_.shapes != nullptr ? options_.shapes->stats()
+                                    : shapes::ShapeLibraryStats{};
 }
 
 std::size_t ConcurrentRuntimeManager::running_count() const {

@@ -59,6 +59,14 @@ struct ConcurrentOptions {
   /// re-plan and eviction run under the state lock — like a defrag pass —
   /// so an eviction is atomic against racing admissions.
   PreemptionOptions preemption = {};
+
+  /// Shape library for hot-path admission (see shapes/library.hpp): a hit
+  /// instantiates a learned placement on a snapshot and commits it through
+  /// the ordinary validate-and-commit (re-probing on conflict, bounded by
+  /// validation_retries); misses fall through to the mapper and learn on
+  /// admit. The library is thread-safe and may be shared across managers,
+  /// like the verify engine. Null disables the path.
+  std::shared_ptr<shapes::ShapeLibrary> shapes;
 };
 
 /// Thread-safe run-time admission manager: concurrent arrivals, a worker
@@ -166,6 +174,11 @@ class ConcurrentRuntimeManager {
   /// Zeros when the mapper runs without an engine.
   [[nodiscard]] verify::EngineStats verification_stats() const;
 
+  /// Shape-library counters (library-global when the library is shared;
+  /// the per-manager view lives in stats().shape_*). Zeros without a
+  /// library.
+  [[nodiscard]] shapes::ShapeLibraryStats shape_stats() const;
+
   [[nodiscard]] std::size_t running_count() const;
   [[nodiscard]] std::size_t waiting_count() const;
   [[nodiscard]] std::size_t queued_count() const { return queue_.size(); }
@@ -222,18 +235,34 @@ class ConcurrentRuntimeManager {
   };
 
   void worker_loop();
-  void process_batch(std::vector<Request> batch);
-  void process_request(Request request);
+  /// @p scratch is the calling worker's reusable snapshot buffer (the
+  /// per-attempt ResourceState copies land in it instead of freshly
+  /// allocated snapshots; see stats().snapshot_reuses).
+  void process_batch(std::vector<Request> batch, core::ResourceState& scratch);
+  void process_request(Request request, core::ResourceState& scratch);
+
+  /// Shape-library hot path: probe on @p scratch, commit through
+  /// validate_and_commit, re-probe on conflict (bounded by
+  /// validation_retries). True when the request was resolved.
+  bool try_shape_admit(Request& request, core::ResourceState& scratch);
 
   /// One mapping attempt against @p base; updates attempt counters.
   core::MappingResult run_mapper(Request& request,
                                  const core::ResourceState& base);
 
   /// Fit re-check + reservation under the state lock. False on conflict.
-  bool validate_and_commit(Request& request, core::MappingResult& result);
+  /// @p shape_hit marks the plan as a shape-library instantiation (tagged
+  /// on the outcome; a miss-path success learns into the library here).
+  bool validate_and_commit(Request& request, core::MappingResult& result,
+                           bool shape_hit = false);
 
-  /// Snapshot with all tiles outside @p shard saturated.
-  [[nodiscard]] core::ResourceState masked_snapshot(std::size_t shard) const;
+  /// Copy-assigns the live state into @p out under the state lock —
+  /// capacity of @p out's vectors is reused, saving the four allocations
+  /// a fresh snapshot() would make per optimistic attempt.
+  void snapshot_state_into(core::ResourceState& out) const;
+
+  /// snapshot_state_into + all tiles outside @p shard saturated.
+  void masked_snapshot_into(std::size_t shard, core::ResourceState& out) const;
 
   /// Least-loaded shard by live occupancy (mean tile_occupancy of the
   /// stripe's tiles). Stripes within a small band of the minimum are
@@ -296,6 +325,10 @@ class ConcurrentRuntimeManager {
 
   mutable std::mutex stats_mutex_;
   AdmissionStats stats_;
+  /// Snapshot copies served from a per-worker scratch buffer (atomic: the
+  /// hot path must not take stats_mutex_ per attempt); merged into
+  /// stats().snapshot_reuses on read.
+  mutable std::atomic<std::uint64_t> snapshot_reuses_{0};
   std::vector<ReleaseError> release_errors_;
   std::vector<RequestId> resolution_order_;
 

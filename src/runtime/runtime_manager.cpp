@@ -87,14 +87,18 @@ RuntimeManager::RuntimeManager(const arch::Platform& platform,
                                std::shared_ptr<const core::Mapper> mapper,
                                std::shared_ptr<const AdmissionPolicy> policy,
                                DefragOptions defrag,
-                               PreemptionOptions preemption)
+                               PreemptionOptions preemption,
+                               std::shared_ptr<shapes::ShapeLibrary> shapes)
     : state_(platform),
       mapper_((require(mapper != nullptr, "RuntimeManager needs a mapper"),
                std::move(mapper))),
       policy_(std::move(policy)),
       planner_(mapper_, defrag),
-      preemption_(preemption) {
+      preemption_(preemption),
+      shapes_(std::move(shapes)) {
   require(policy_ != nullptr, "RuntimeManager needs an admission policy");
+  require(shapes_ == nullptr || &shapes_->platform() == &platform,
+          "shape library built for a different platform");
 }
 
 RequestId RuntimeManager::submit(std::shared_ptr<const kpn::Application> app,
@@ -153,6 +157,49 @@ std::vector<AdmitOutcome> RuntimeManager::drain() {
 }
 
 std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
+  // Shape-library hot path: instantiate a learned relocatable placement
+  // against the live residual state, skipping mapping steps 1-4. A hit is
+  // committed directly — the library already ran mapping_fits against
+  // state_, which is exactly the commit precondition of the full path.
+  if (shapes_ != nullptr) {
+    const auto start = std::chrono::steady_clock::now();
+    shapes::ShapeLookup lookup =
+        shapes_->try_instantiate(*pending.app, state_);
+    pending.mapping_us += elapsed_us(start);
+    stats_.shape_anchor_probes += lookup.anchor_probes;
+    if (lookup.plan.has_value()) {
+      core::MappingResult result = std::move(*lookup.plan);
+      ++pending.attempts;
+      AdmitOutcome outcome;
+      outcome.request = pending.request;
+      outcome.attempts = pending.attempts;
+      outcome.mapping_us = pending.mapping_us;
+      outcome.shape_hit = true;
+      if (pending.deadline_us > 0.0 &&
+          pending.mapping_us > pending.deadline_us) {
+        outcome.status = AdmitStatus::DeadlineMiss;
+        outcome.mapping = std::move(result);
+        ++stats_.deadline_misses;
+        stats_.latencies.record(pending.mapping_us);
+        return outcome;
+      }
+      core::commit_mapping(state_, *pending.app, result.mapping);
+      const AppId id{next_app_++};
+      running_.emplace(id,
+                       RunningApp{pending.app, result.mapping,
+                                  result.energy_nj_per_symbol, pending.cls,
+                                  pending.request});
+      outcome.status = AdmitStatus::Admitted;
+      outcome.app_id = id;
+      outcome.mapping = std::move(result);
+      ++stats_.shape_hits;
+      ++stats_.admitted;
+      stats_.latencies.record(pending.mapping_us);
+      return outcome;
+    }
+    ++stats_.shape_misses;
+  }
+
   core::MappingResult result;
   while (true) {
     const auto start = std::chrono::steady_clock::now();
@@ -207,6 +254,14 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
   }
 
   if (result.success) {
+    // Learn-on-admit: canonicalize this full-mapper placement so future
+    // structurally equal arrivals take the shape hot path above.
+    if (shapes_ != nullptr) {
+      const shapes::LearnResult learned =
+          shapes_->learn(*pending.app, result);
+      if (learned.inserted) ++stats_.shape_inserts;
+      stats_.shape_evictions += learned.evictions;
+    }
     core::commit_mapping(state_, *pending.app, result.mapping);
     const AppId id{next_app_++};
     running_.emplace(id,
@@ -388,6 +443,10 @@ DefragPassResult RuntimeManager::defrag_now() {
 verify::EngineStats RuntimeManager::verification_stats() const {
   const auto engine = mapper_->verification_engine();
   return engine ? engine->stats() : verify::EngineStats{};
+}
+
+shapes::ShapeLibraryStats RuntimeManager::shape_stats() const {
+  return shapes_ != nullptr ? shapes_->stats() : shapes::ShapeLibraryStats{};
 }
 
 std::vector<AdmitOutcome> RuntimeManager::reject_waiting() {

@@ -13,6 +13,7 @@
 #include "runtime/admission.hpp"
 #include "runtime/defrag.hpp"
 #include "runtime/mode_switch.hpp"
+#include "shapes/library.hpp"
 #include "verify/engine.hpp"
 
 namespace rtsm::runtime {
@@ -45,6 +46,9 @@ struct AdmitOutcome {
   /// (summed over retry attempts).
   double mapping_us = 0.0;
   std::uint32_t attempts = 0;
+  /// Admitted from the shape library (anchor instantiation of a learned
+  /// placement) instead of a full mapper run.
+  bool shape_hit = false;
 };
 
 /// A release request that could not be honoured: the id was never admitted
@@ -126,6 +130,18 @@ struct AdmissionStats {
   /// Summed modelled migration cost, microseconds.
   double migration_cost_us = 0.0;
 
+  // -- shape library (see shapes/library.hpp) ------------------------------
+  std::uint64_t shape_hits = 0;    ///< Admissions committed from a shape.
+  std::uint64_t shape_misses = 0;  ///< Lookups that ran the full mapper.
+  std::uint64_t shape_inserts = 0;    ///< Placements learned on admit.
+  std::uint64_t shape_evictions = 0;  ///< Shapes evicted by those inserts.
+  /// Anchor transforms screened on behalf of this manager's lookups.
+  std::uint64_t shape_anchor_probes = 0;
+
+  /// Snapshot copies served by reusing a per-worker scratch ResourceState
+  /// instead of allocating a fresh one (concurrent manager only).
+  std::uint64_t snapshot_reuses = 0;
+
   // -- preemption (see PreemptionOptions in runtime/admission.hpp) ---------
   std::uint64_t preemption_grants = 0;     ///< Arrivals admitted by evicting.
   std::uint64_t preemption_evictions = 0;  ///< Victims evicted (re-parked).
@@ -177,6 +193,16 @@ bool record_switch_stats(AdmissionStats& stats, const SwitchOutcome& out);
 /// DefragPolicy compacts the platform by migrating running applications:
 /// after releases (before parked requests are woken) or reactively when an
 /// admission fails — see runtime/defrag.hpp.
+///
+/// With a ShapeLibrary (optionally shared across managers, like the verify
+/// engine), admission first tries to instantiate a learned relocatable
+/// placement against the live state — the hot path, skipping mapping
+/// steps 1-4 — and only falls back to the full mapper on a miss, feeding
+/// successful full-path placements back into the library (learn-on-admit).
+/// Defragmentation, preemption re-plans and mode switches bypass the
+/// library: their placements are position-constrained, and since shapes
+/// are position-independent and re-validated against the live state on
+/// every use, nothing they do can make a stored shape stale.
 class RuntimeManager {
  public:
   RuntimeManager(const arch::Platform& platform,
@@ -184,7 +210,8 @@ class RuntimeManager {
                  std::shared_ptr<const AdmissionPolicy> policy =
                      std::make_shared<FirstFitAdmission>(),
                  DefragOptions defrag = {},
-                 PreemptionOptions preemption = {});
+                 PreemptionOptions preemption = {},
+                 std::shared_ptr<shapes::ShapeLibrary> shapes = nullptr);
 
   /// Queues an admission request. @p deadline_us > 0 bounds the mapper's
   /// wall-clock budget; exceeding it counts as a deadline miss. @p cls is
@@ -263,6 +290,17 @@ class RuntimeManager {
   /// when the mapper runs without an engine.
   [[nodiscard]] verify::EngineStats verification_stats() const;
 
+  /// Shape-library counters (library-global when the library is shared;
+  /// the per-manager view lives in stats().shape_*). Zeros without a
+  /// library.
+  [[nodiscard]] shapes::ShapeLibraryStats shape_stats() const;
+
+  /// The shape library this manager admits through; null when disabled.
+  [[nodiscard]] const std::shared_ptr<shapes::ShapeLibrary>& shape_library()
+      const {
+    return shapes_;
+  }
+
   [[nodiscard]] const core::Mapper& mapper() const { return *mapper_; }
   [[nodiscard]] const AdmissionPolicy& policy() const { return *policy_; }
   [[nodiscard]] const DefragOptions& defrag_options() const {
@@ -340,6 +378,7 @@ class RuntimeManager {
   std::shared_ptr<const AdmissionPolicy> policy_;
   DefragPlanner planner_;
   PreemptionOptions preemption_;
+  std::shared_ptr<shapes::ShapeLibrary> shapes_;
 
   std::deque<Pending> queue_;
   std::vector<Pending> waiting_;

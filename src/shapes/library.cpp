@@ -1,0 +1,241 @@
+#include "shapes/library.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rtsm::shapes {
+
+ShapeLibrary::ShapeLibrary(const arch::Platform& platform,
+                           ShapeLibraryOptions options)
+    : platform_(&platform), index_(platform), options_(options) {
+  require(options_.max_shapes > 0 && options_.max_shapes_per_skeleton > 0,
+          "ShapeLibrary needs room for at least 1 shape");
+}
+
+std::optional<core::Mapping> ShapeLibrary::probe_anchor(
+    const CanonicalShape& shape, const kpn::Application& app,
+    const core::ResourceState& state, const arch::MeshTransform& transform,
+    std::uint64_t& full_checks) const {
+  // Cheap screen, most-constrained process first: the tile at the
+  // transformed coordinate must exist, match the implementation's tile
+  // type (and fixture pin), and individually fit the process's
+  // utilisation / memory / slot demand.
+  for (const std::uint32_t i : shape.probe_order) {
+    const ShapeProcess& p = shape.processes[i];
+    const arch::Coord c = transform.apply(p.pos, shape.extent);
+    const TileId tile = index_.tile_at(c, p.type, p.pinned_tile);
+    if (!tile.valid()) return std::nullopt;
+    if (!state.tile_fits(tile, p.utilization, p.memory_bytes, 1)) {
+      return std::nullopt;
+    }
+  }
+
+  // Authoritative check: materialize the full mapping (routes included)
+  // and screen compute, memory, slots, buffer memory and link capacity
+  // along the transformed routes at once.
+  ++full_checks;
+  std::optional<core::Mapping> mapping =
+      materialize(shape, app, index_, transform);
+  if (!mapping.has_value()) return std::nullopt;
+  if (!core::mapping_fits(state, app, *mapping)) return std::nullopt;
+  return mapping;
+}
+
+std::optional<core::Mapping> ShapeLibrary::probe_entry(
+    const CanonicalShape& shape, const kpn::Application& app,
+    const core::ResourceState& state, std::uint64_t& probes,
+    std::uint64_t& full_checks) const {
+  const std::uint32_t width = platform_->mesh_width();
+  const std::uint32_t height = platform_->mesh_height();
+
+  for (const arch::MeshSymmetry sym : arch::kAllMeshSymmetries) {
+    const arch::Coord ext = arch::transformed_extent(sym, shape.extent);
+    if (ext.x > width || ext.y > height) continue;
+
+    if (shape.has_pinned) {
+      // A fixture pin fixes the translation: the pinned process must land
+      // on exactly its named tile, so each symmetry has at most one
+      // feasible anchor.
+      const ShapeProcess& pinned = shape.processes[shape.probe_order.front()];
+      const TileId target = index_.tile_by_name(*pinned.pinned_tile);
+      if (!target.valid()) continue;
+      const arch::Coord want = index_.tile_coord(target);
+      const arch::Coord at =
+          arch::apply_symmetry(sym, pinned.pos, shape.extent);
+      if (want.x < at.x || want.y < at.y) continue;
+      const arch::MeshTransform t{sym, want.x - at.x, want.y - at.y};
+      if (t.dx + ext.x > width || t.dy + ext.y > height) continue;
+      ++probes;
+      if (auto m = probe_anchor(shape, app, state, t, full_checks)) return m;
+      continue;
+    }
+
+    for (std::uint32_t dy = 0; dy + ext.y <= height; ++dy) {
+      for (std::uint32_t dx = 0; dx + ext.x <= width; ++dx) {
+        ++probes;
+        const arch::MeshTransform t{sym, dx, dy};
+        if (auto m = probe_anchor(shape, app, state, t, full_checks)) return m;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+ShapeLookup ShapeLibrary::try_instantiate(const kpn::Application& app,
+                                          const core::ResourceState& state) {
+  const SkeletonKey key = SkeletonKey::of(app);
+
+  // Collect this skeleton's entries most-recently-used first. Shapes are
+  // immutable once stored, so probing proceeds without the lock;
+  // shared_ptrs keep entries alive across a racing eviction.
+  std::vector<std::shared_ptr<Entry>> candidates;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = buckets_.find(key.hash);
+    if (it != buckets_.end() && it->second.key == key) {
+      candidates = it->second.entries;
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) {
+                  return a->last_used > b->last_used;
+                });
+    }
+  }
+
+  ShapeLookup out;
+  std::uint64_t full_checks = 0;
+  std::shared_ptr<Entry> hit;
+  std::optional<core::Mapping> mapping;
+  for (const std::shared_ptr<Entry>& entry : candidates) {
+    mapping = probe_entry(entry->shape, app, state, out.anchor_probes,
+                          full_checks);
+    if (mapping.has_value()) {
+      hit = entry;
+      break;
+    }
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.lookups;
+    stats_.anchor_probes += out.anchor_probes;
+    stats_.full_fit_checks += full_checks;
+    if (hit != nullptr) {
+      ++stats_.hits;
+      ++hit->hits;
+      hit->last_used = ++tick_;
+    } else {
+      ++stats_.misses;
+    }
+  }
+
+  if (hit != nullptr) {
+    core::MappingResult plan;
+    plan.success = true;
+    plan.mapping = std::move(*mapping);
+    plan.energy_nj_per_symbol = hit->shape.energy_nj_per_symbol;
+    plan.achieved_period_ps = hit->shape.achieved_period_ps;
+    plan.latency_ps = hit->shape.latency_ps;
+    out.plan = std::move(plan);
+  }
+  return out;
+}
+
+LearnResult ShapeLibrary::learn(const kpn::Application& app,
+                                const core::MappingResult& result) {
+  LearnResult lr;
+  if (!result.success || !result.mapping.all_assigned() ||
+      !result.mapping.all_routed()) {
+    return lr;
+  }
+
+  CanonicalShape shape = canonicalize(app, *platform_, result.mapping);
+  shape.energy_nj_per_symbol = result.energy_nj_per_symbol;
+  shape.achieved_period_ps = result.achieved_period_ps;
+  shape.latency_ps = result.latency_ps;
+  SkeletonKey key = SkeletonKey::of(app);
+
+  std::lock_guard lock(mutex_);
+  auto it = buckets_.find(key.hash);
+  if (it == buckets_.end()) {
+    it = buckets_.emplace(key.hash, Bucket{}).first;
+    it->second.key = std::move(key);
+  } else if (!(it->second.key == key)) {
+    // A different skeleton already owns this 64-bit hash (astronomically
+    // unlikely); refuse rather than mix placements of distinct graphs.
+    return lr;
+  }
+
+  Bucket& bucket = it->second;
+  for (const std::shared_ptr<Entry>& e : bucket.entries) {
+    if (e->shape.hash == shape.hash && e->shape.words == shape.words) {
+      lr.duplicate = true;
+      ++stats_.duplicates;
+      e->last_used = ++tick_;
+      return lr;
+    }
+  }
+
+  auto entry = std::make_shared<Entry>();
+  entry->shape = std::move(shape);
+  entry->last_used = ++tick_;
+  bucket.entries.push_back(std::move(entry));
+  ++total_entries_;
+  ++stats_.inserts;
+  lr.inserted = true;
+
+  const std::uint64_t hash = it->first;
+  if (bucket.entries.size() > options_.max_shapes_per_skeleton) {
+    evict_lru_of_bucket(hash);
+    ++lr.evictions;
+  }
+  while (total_entries_ > options_.max_shapes) {
+    evict_lru_global();
+    ++lr.evictions;
+  }
+  return lr;
+}
+
+void ShapeLibrary::evict_lru_of_bucket(std::uint64_t bucket_hash) {
+  Bucket& bucket = buckets_.at(bucket_hash);
+  auto lru = bucket.entries.begin();
+  for (auto e = bucket.entries.begin(); e != bucket.entries.end(); ++e) {
+    if ((*e)->last_used < (*lru)->last_used) lru = e;
+  }
+  bucket.entries.erase(lru);
+  --total_entries_;
+  ++stats_.evictions;
+  if (bucket.entries.empty()) buckets_.erase(bucket_hash);
+}
+
+void ShapeLibrary::evict_lru_global() {
+  std::uint64_t lru_bucket = 0;
+  std::uint64_t lru_used = UINT64_MAX;
+  for (const auto& [hash, bucket] : buckets_) {
+    for (const std::shared_ptr<Entry>& e : bucket.entries) {
+      if (e->last_used < lru_used) {
+        lru_used = e->last_used;
+        lru_bucket = hash;
+      }
+    }
+  }
+  if (lru_used != UINT64_MAX) evict_lru_of_bucket(lru_bucket);
+}
+
+ShapeLibraryStats ShapeLibrary::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t ShapeLibrary::size() const {
+  std::lock_guard lock(mutex_);
+  return total_entries_;
+}
+
+void ShapeLibrary::clear() {
+  std::lock_guard lock(mutex_);
+  buckets_.clear();
+  total_entries_ = 0;
+}
+
+}  // namespace rtsm::shapes

@@ -165,6 +165,7 @@ EngineStats Engine::stats() const {
   std::lock_guard lock(mutex_);
   EngineStats out = stats_;
   out.evictions = cache_.evictions();
+  out.evicted_while_hot = cache_.evicted_while_hot();
   return out;
 }
 

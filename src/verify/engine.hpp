@@ -32,6 +32,10 @@ struct EngineStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
 
+  /// Evicted cache entries that had served at least one hit (recurring
+  /// signatures falling out of the LRU — a "cache too small" signal).
+  std::uint64_t evicted_while_hot = 0;
+
   /// Misses that started from a warm hint.
   std::uint64_t warm_started = 0;
 

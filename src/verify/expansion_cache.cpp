@@ -13,19 +13,28 @@ std::shared_ptr<const VerificationOutcome> ExpansionCache::find(
     const MappingSignature& signature) const {
   std::lock_guard lock(mutex_);
   const auto it = map_.find(signature);
-  return it == map_.end() ? nullptr : it->second;
+  if (it == map_.end()) return nullptr;
+  // Touch on hit: splice the entry to the front of the recency list (node
+  // relinking only — no iterator is invalidated).
+  lru_.splice(lru_.begin(), lru_, it->second.where);
+  ++it->second.hits;
+  return it->second.outcome;
 }
 
 void ExpansionCache::insert(
     const MappingSignature& signature,
     std::shared_ptr<const VerificationOutcome> outcome) {
   std::lock_guard lock(mutex_);
-  const auto [it, inserted] = map_.emplace(signature, std::move(outcome));
+  const auto [it, inserted] = map_.try_emplace(signature);
   if (!inserted) return;  // a racing computation of the same key won
-  insertion_order_.push_back(signature);
+  lru_.push_front(signature);
+  it->second.outcome = std::move(outcome);
+  it->second.where = lru_.begin();
   while (map_.size() > max_entries_) {
-    map_.erase(insertion_order_.front());
-    insertion_order_.pop_front();
+    const auto victim = map_.find(lru_.back());
+    if (victim->second.hits > 0) ++evicted_while_hot_;
+    map_.erase(victim);
+    lru_.pop_back();
     ++evictions_;
   }
 }
@@ -33,7 +42,7 @@ void ExpansionCache::insert(
 void ExpansionCache::clear() {
   std::lock_guard lock(mutex_);
   map_.clear();
-  insertion_order_.clear();
+  lru_.clear();
 }
 
 std::size_t ExpansionCache::size() const {
@@ -44,6 +53,11 @@ std::size_t ExpansionCache::size() const {
 std::uint64_t ExpansionCache::evictions() const {
   std::lock_guard lock(mutex_);
   return evictions_;
+}
+
+std::uint64_t ExpansionCache::evicted_while_hot() const {
+  std::lock_guard lock(mutex_);
+  return evicted_while_hot_;
 }
 
 }  // namespace rtsm::verify

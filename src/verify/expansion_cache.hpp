@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -56,18 +56,22 @@ struct VerificationOutcome {
 /// rounds and search candidates. Entries hold the sized outcome rather
 /// than the raw ExpandedGraph: the signature pins every input of the
 /// sizing as well, so the outcome subsumes the expansion and nothing ever
-/// needs to re-simulate a cached graph. Bounded FIFO eviction keeps the
-/// footprint flat under endless admission churn.
+/// needs to re-simulate a cached graph. Bounded LRU eviction (hits renew
+/// an entry's lease) keeps the footprint flat under endless admission
+/// churn while protecting the signatures that recur — a recurring
+/// skeleton's candidates would be the first out of a FIFO.
 class ExpansionCache {
  public:
   explicit ExpansionCache(std::size_t max_entries = 1024);
 
-  /// Cached outcome of @p signature, or nullptr.
+  /// Cached outcome of @p signature, or nullptr. A hit moves the entry to
+  /// the front of the recency order.
   [[nodiscard]] std::shared_ptr<const VerificationOutcome> find(
       const MappingSignature& signature) const;
 
   /// Inserts (first writer wins on a race; later identical computations
-  /// are simply dropped). Evicts the oldest entry beyond max_entries.
+  /// are simply dropped). Evicts the least-recently-used entry beyond
+  /// max_entries.
   void insert(const MappingSignature& signature,
               std::shared_ptr<const VerificationOutcome> outcome);
 
@@ -77,14 +81,27 @@ class ExpansionCache {
   [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
   [[nodiscard]] std::uint64_t evictions() const;
 
+  /// Evicted entries that had served at least one hit — a rough "the
+  /// cache is too small" signal (cold one-shot signatures are expected to
+  /// fall out; hot ones are not).
+  [[nodiscard]] std::uint64_t evicted_while_hot() const;
+
  private:
+  struct Entry {
+    std::shared_ptr<const VerificationOutcome> outcome;
+    /// Position in lru_ (front = most recent). Stable under splice.
+    std::list<MappingSignature>::iterator where;
+    std::uint64_t hits = 0;
+  };
+
   const std::size_t max_entries_;
   mutable std::mutex mutex_;
-  std::unordered_map<MappingSignature,
-                     std::shared_ptr<const VerificationOutcome>, SignatureHash>
-      map_;
-  std::deque<MappingSignature> insertion_order_;
+  /// mutable: a (logically const) lookup updates recency + hit counts.
+  mutable std::unordered_map<MappingSignature, Entry, SignatureHash> map_;
+  /// Recency order, most recent first; find() splices hits to the front.
+  mutable std::list<MappingSignature> lru_;
   std::uint64_t evictions_ = 0;
+  std::uint64_t evicted_while_hot_ = 0;
 };
 
 }  // namespace rtsm::verify
