@@ -28,6 +28,7 @@
 #include "core/implementation_selection.hpp"
 #include "core/spatial_mapper.hpp"
 #include "runtime/runtime_manager.hpp"
+#include "runtime/stats_report.hpp"
 #include "util/clock.hpp"
 #include "verify/engine.hpp"
 #include "workload/hiperlan2.hpp"
@@ -173,20 +174,23 @@ int main(int argc, char** argv) {
   // -- admission churn: the manager-level view of the same scenario ------
   double churn_cold_ms = 0.0;
   double churn_warm_ms = 0.0;
+  std::string churn_stats_json;  // cached run's StatsReport::to_json()
   {
     const std::uint32_t waves = short_mode ? 8 : 24;
     auto churn = [&](bool cached) {
       core::MapperConfig cfg = c.config;
       cfg.cache_verification = cached;
       runtime::RuntimeManager manager(
-          c.platform, std::make_shared<core::SpatialMapper>(cfg));
+          c.platform, {.mapper = std::make_shared<core::SpatialMapper>(cfg)});
       const auto start = std::chrono::steady_clock::now();
       for (std::uint32_t wave = 0; wave < waves; ++wave) {
         const auto outcome = manager.admit(c.app);
         if (outcome.status != runtime::AdmitStatus::Admitted) std::abort();
         manager.release(outcome.app_id);
       }
-      return elapsed_us(start) / 1000.0;
+      const double ms = elapsed_us(start) / 1000.0;
+      if (cached) churn_stats_json = manager.stats_report().to_json();
+      return ms;
     };
     churn_cold_ms = churn(false);
     churn_warm_ms = churn(true);
@@ -272,9 +276,11 @@ int main(int argc, char** argv) {
                    adaptive_outcome.achieved_period_ps));
   std::fprintf(f,
                "  \"admission_churn\": {\"uncached_ms\": %.2f, "
-               "\"cached_ms\": %.2f, \"speedup\": %.2f}\n}\n",
+               "\"cached_ms\": %.2f, \"speedup\": %.2f, "
+               "\"stats_report\": %s}\n}\n",
                churn_cold_ms, churn_warm_ms,
-               churn_warm_ms > 0.0 ? churn_cold_ms / churn_warm_ms : 0.0);
+               churn_warm_ms > 0.0 ? churn_cold_ms / churn_warm_ms : 0.0,
+               churn_stats_json.c_str());
   std::fclose(f);
   std::printf("Wrote %s\n", json_path.c_str());
 

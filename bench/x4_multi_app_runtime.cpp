@@ -29,6 +29,7 @@
 #include "io/table.hpp"
 #include "runtime/concurrent_manager.hpp"
 #include "runtime/runtime_manager.hpp"
+#include "runtime/stats_report.hpp"
 #include "util/clock.hpp"
 #include "util/strings.hpp"
 #include "verify/engine.hpp"
@@ -96,6 +97,8 @@ struct BurstFigures {
   bool restore_ok = true;  ///< releasing everything restores pristine
   /// Step-4 verification engine counters of the run's mapper.
   verify::EngineStats verify;
+  /// Full StatsReport::to_json() of the run, embedded in BENCH_x4.json.
+  std::string stats_json;
 };
 
 void fill_percentiles(BurstFigures& figures,
@@ -112,8 +115,8 @@ void fill_percentiles(BurstFigures& figures,
 BurstFigures run_serial_burst(
     const arch::Platform& platform,
     const std::vector<std::shared_ptr<const kpn::Application>>& apps) {
-  runtime::RuntimeManager manager(platform,
-                                  std::make_shared<core::SpatialMapper>());
+  runtime::RuntimeManager manager(
+      platform, {.mapper = std::make_shared<core::SpatialMapper>()});
   BurstFigures figures;
   const auto start = std::chrono::steady_clock::now();
   for (const auto& app : apps) manager.submit(app);
@@ -127,6 +130,7 @@ BurstFigures run_serial_burst(
   figures.restore_ok =
       manager.state().approx_equals(core::ResourceState(platform));
   figures.verify = manager.verification_stats();
+  figures.stats_json = manager.stats_report().to_json();
   return figures;
 }
 
@@ -145,7 +149,7 @@ BurstFigures run_concurrent_burst(
   // planning the same tiles of an empty platform and colliding at commit).
   options.shards = workers;
   runtime::ConcurrentRuntimeManager manager(
-      platform, std::make_shared<core::SpatialMapper>(), options);
+      platform, {.mapper = std::make_shared<core::SpatialMapper>()}, options);
 
   BurstFigures figures;
   const auto start = std::chrono::steady_clock::now();
@@ -177,6 +181,7 @@ BurstFigures run_concurrent_burst(
   figures.restore_ok =
       manager.state_snapshot().approx_equals(core::ResourceState(platform));
   figures.verify = manager.verification_stats();
+  figures.stats_json = manager.stats_report().to_json();
   return figures;
 }
 
@@ -197,7 +202,7 @@ void write_json(const std::string& path, std::size_t burst_size,
                  "\"admitted\": %llu, \"rejected\": %llu, "
                  "\"conflicts\": %llu, \"replay_ok\": %s, "
                  "\"restore_ok\": %s, \"verify_hit_rate\": %.4f, "
-                 "\"verify_events_saved\": %llu}",
+                 "\"verify_events_saved\": %llu",
                  name, b.wall_ms, b.throughput_per_s, b.p50_us, b.p95_us,
                  b.p99_us, static_cast<unsigned long long>(b.admitted),
                  static_cast<unsigned long long>(b.rejected),
@@ -205,6 +210,7 @@ void write_json(const std::string& path, std::size_t burst_size,
                  b.replay_ok ? "true" : "false",
                  b.restore_ok ? "true" : "false", b.verify.hit_rate(),
                  static_cast<unsigned long long>(b.verify.events_saved));
+    std::fprintf(f, ", \"stats_report\": %s}", b.stats_json.c_str());
   };
   std::fprintf(f, "{\n  \"bench\": \"x4_multi_app_runtime\",\n");
   std::fprintf(f, "  \"burst_apps\": %zu,\n  \"workers\": %u,\n",
@@ -267,7 +273,7 @@ int main(int argc, char** argv) {
     }
 
     const auto mapper = std::make_shared<core::SpatialMapper>();
-    runtime::RuntimeManager manager(platform, mapper);
+    runtime::RuntimeManager manager(platform, {.mapper = mapper});
     DesignTimeAllocator design(platform, *mapper);
     std::uint32_t design_admits = 0;
     for (const auto& app : apps) {
@@ -301,8 +307,9 @@ int main(int argc, char** argv) {
     pp.type_counts = {{"ARM", 3}, {"DSP", 3}};
     const auto platform = workload::make_synthetic_platform(rng, pp, "p");
     runtime::RuntimeManager manager(
-        platform, std::make_shared<core::SpatialMapper>(),
-        std::make_shared<runtime::RetryAdmission>(4));
+        platform,
+        {.mapper = std::make_shared<core::SpatialMapper>(),
+         .policy = std::make_shared<runtime::RetryAdmission>(4)});
 
     workload::SyntheticAppParams ap;
     ap.process_count = 3;
@@ -350,8 +357,8 @@ int main(int argc, char** argv) {
   // ResourceState to its exact pre-admit snapshot.
   {
     const auto platform = workload::make_paper_platform();
-    runtime::RuntimeManager manager(platform,
-                                    std::make_shared<core::SpatialMapper>());
+    runtime::RuntimeManager manager(
+        platform, {.mapper = std::make_shared<core::SpatialMapper>()});
     const auto app = workload::make_hiperlan2_receiver();
 
     const core::ResourceState before = manager.state().snapshot();

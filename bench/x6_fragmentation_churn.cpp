@@ -29,6 +29,7 @@
 #include "core/spatial_mapper.hpp"
 #include "io/table.hpp"
 #include "runtime/runtime_manager.hpp"
+#include "runtime/stats_report.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "workload/hiperlan2.hpp"
@@ -168,6 +169,8 @@ struct ChurnFigures {
   double migration_cost_us = 0.0;
   double mean_frag_score = 0.0;
   bool oracle_ok = true;
+  /// Full StatsReport::to_json() of the run, embedded in BENCH_x6.json.
+  std::string stats_json;
 };
 
 /// Replays the schedule through one manager configuration.
@@ -176,8 +179,8 @@ ChurnFigures run_churn(const arch::Platform& platform,
                        std::uint32_t waves, runtime::DefragOptions defrag,
                        std::string label) {
   runtime::RuntimeManager manager(
-      platform, std::make_shared<core::SpatialMapper>(),
-      std::make_shared<runtime::FirstFitAdmission>(), defrag);
+      platform,
+      {.mapper = std::make_shared<core::SpatialMapper>(), .defrag = defrag});
 
   ChurnFigures figures;
   figures.label = std::move(label);
@@ -245,6 +248,7 @@ ChurnFigures run_churn(const arch::Platform& platform,
   figures.migration_failures = stats.migration_failures;
   figures.migration_cost_us = stats.migration_cost_us;
   figures.mean_frag_score = frag_sum / waves;
+  figures.stats_json = manager.stats_report().to_json();
   return figures;
 }
 
@@ -273,7 +277,7 @@ void write_json(const std::string& path, std::uint32_t waves,
         "\"rejected\": %llu, \"reject_rate\": %.4f, \"p95_us\": %.1f, "
         "\"mean_us\": %.1f, \"defrag_passes\": %llu, \"migrations\": %llu, "
         "\"migration_failures\": %llu, \"migration_cost_us\": %.1f, "
-        "\"mean_frag_score\": %.4f, \"oracle_ok\": %s}",
+        "\"mean_frag_score\": %.4f, \"oracle_ok\": %s",
         name, static_cast<unsigned long long>(c.offered),
         static_cast<unsigned long long>(c.admitted),
         static_cast<unsigned long long>(c.rejected), c.reject_rate, c.p95_us,
@@ -282,6 +286,7 @@ void write_json(const std::string& path, std::uint32_t waves,
         static_cast<unsigned long long>(c.migration_failures),
         c.migration_cost_us, c.mean_frag_score,
         c.oracle_ok ? "true" : "false");
+    std::fprintf(f, ", \"stats_report\": %s}", c.stats_json.c_str());
   };
   std::fprintf(f, "{\n  \"bench\": \"x6_fragmentation_churn\",\n");
   std::fprintf(f, "  \"waves\": %u,\n", waves);

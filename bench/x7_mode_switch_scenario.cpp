@@ -32,6 +32,7 @@
 #include "core/spatial_mapper.hpp"
 #include "io/table.hpp"
 #include "runtime/scenario.hpp"
+#include "runtime/stats_report.hpp"
 #include "util/strings.hpp"
 #include "workload/hiperlan2.hpp"
 
@@ -76,6 +77,8 @@ struct RunFigures {
   double verify_hit_rate = 0.0;
   double switch_p50_us = 0.0;
   double switch_p95_us = 0.0;
+  /// Full StatsReport::to_json() of the run, embedded in BENCH_x7.json.
+  std::string stats_json;
 };
 
 RunFigures summarize(std::string label, const runtime::ScenarioStats& s,
@@ -93,15 +96,17 @@ RunFigures summarize(std::string label, const runtime::ScenarioStats& s,
 RunFigures run_serial(const arch::Platform& platform,
                       const runtime::Schedule& schedule, bool naive,
                       std::string label) {
-  runtime::RuntimeManager manager(platform,
-                                  std::make_shared<core::SpatialMapper>());
+  runtime::RuntimeManager manager(
+      platform, {.mapper = std::make_shared<core::SpatialMapper>()});
   runtime::SerialTarget target(manager);
   runtime::ScenarioOptions options;
   options.naive_switch = naive;
   runtime::ScenarioDriver driver(target, schedule, options);
   const runtime::ScenarioStats stats = driver.run();
-  return summarize(std::move(label), stats, manager.stats(),
-                   manager.verification_stats().hit_rate());
+  RunFigures figures = summarize(std::move(label), stats, manager.stats(),
+                                 manager.verification_stats().hit_rate());
+  figures.stats_json = manager.stats_report().to_json();
+  return figures;
 }
 
 RunFigures run_concurrent(const arch::Platform& platform,
@@ -110,12 +115,14 @@ RunFigures run_concurrent(const arch::Platform& platform,
   runtime::ConcurrentOptions options;
   options.workers = 0;  // inline pump: deterministic, still the full path
   runtime::ConcurrentRuntimeManager manager(
-      platform, std::make_shared<core::SpatialMapper>(), options);
+      platform, {.mapper = std::make_shared<core::SpatialMapper>()}, options);
   runtime::ConcurrentTarget target(manager);
   runtime::ScenarioDriver driver(target, schedule);
   const runtime::ScenarioStats stats = driver.run();
-  return summarize(std::move(label), stats, manager.stats(),
-                   manager.verification_stats().hit_rate());
+  RunFigures figures = summarize(std::move(label), stats, manager.stats(),
+                                 manager.verification_stats().hit_rate());
+  figures.stats_json = manager.stats_report().to_json();
+  return figures;
 }
 
 void print_row(io::TablePrinter& table, const RunFigures& f) {
@@ -142,7 +149,7 @@ void write_one(std::FILE* f, const char* name, const RunFigures& r) {
       "\"replanned\": %llu, \"rolled_back\": %llu, \"losses\": %llu, "
       "\"switch_p50_us\": %.1f, \"switch_p95_us\": %.1f, "
       "\"preemption_grants\": %llu, \"preemption_evictions\": %llu, "
-      "\"verify_hit_rate\": %.4f, \"oracle_ok\": %s}",
+      "\"verify_hit_rate\": %.4f, \"oracle_ok\": %s",
       name, static_cast<unsigned long long>(s.arrivals),
       static_cast<unsigned long long>(s.admitted),
       static_cast<unsigned long long>(s.rejected),
@@ -155,6 +162,7 @@ void write_one(std::FILE* f, const char* name, const RunFigures& r) {
       static_cast<unsigned long long>(r.manager.preemption_grants),
       static_cast<unsigned long long>(r.manager.preemption_evictions),
       r.verify_hit_rate, s.oracle_ok ? "true" : "false");
+  std::fprintf(f, ", \"stats_report\": %s}", r.stats_json.c_str());
 }
 
 }  // namespace

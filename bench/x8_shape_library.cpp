@@ -36,6 +36,7 @@
 #include "core/spatial_mapper.hpp"
 #include "io/table.hpp"
 #include "runtime/runtime_manager.hpp"
+#include "runtime/stats_report.hpp"
 #include "shapes/library.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -147,6 +148,8 @@ struct ShapeFigures {
   std::uint64_t shape_inserts = 0;
   std::uint64_t shape_evictions = 0;
   bool oracle_ok = true;
+  /// Full StatsReport::to_json() of the run, embedded in BENCH_x8.json.
+  std::string stats_json;
 };
 
 ShapeFigures run_churn(
@@ -157,8 +160,8 @@ ShapeFigures run_churn(
   auto shapes =
       with_shapes ? std::make_shared<shapes::ShapeLibrary>(platform) : nullptr;
   runtime::RuntimeManager manager(
-      platform, std::make_shared<core::SpatialMapper>(),
-      std::make_shared<runtime::FirstFitAdmission>(), {}, {}, shapes);
+      platform,
+      {.mapper = std::make_shared<core::SpatialMapper>(), .shapes = shapes});
 
   ShapeFigures figures;
   figures.label = std::move(label);
@@ -243,6 +246,7 @@ ShapeFigures run_churn(
     figures.shape_inserts = stats.shape_inserts;
     figures.shape_evictions = stats.shape_evictions;
   }
+  figures.stats_json = manager.stats_report().to_json();
   return figures;
 }
 
@@ -274,7 +278,7 @@ void write_json(const std::string& path, std::uint32_t waves,
         "\"hit_rate_warm\": %.4f, \"hit_rate_total\": %.4f, "
         "\"anchor_probes_per_hit\": %.2f, \"miss_median_warm_us\": %.2f, "
         "\"shape_inserts\": %llu, \"shape_evictions\": %llu, "
-        "\"oracle_ok\": %s}",
+        "\"oracle_ok\": %s",
         name, static_cast<unsigned long long>(c.offered),
         static_cast<unsigned long long>(c.admitted),
         static_cast<unsigned long long>(c.rejected), c.median_cold_us,
@@ -283,6 +287,7 @@ void write_json(const std::string& path, std::uint32_t waves,
         static_cast<unsigned long long>(c.shape_inserts),
         static_cast<unsigned long long>(c.shape_evictions),
         c.oracle_ok ? "true" : "false");
+    std::fprintf(f, ", \"stats_report\": %s}", c.stats_json.c_str());
   };
   const double speedup = on.median_warm_us > 0.0
                              ? off.median_warm_us / on.median_warm_us

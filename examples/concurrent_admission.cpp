@@ -33,10 +33,9 @@ int main() {
   options.queue_capacity = 64;
   options.max_batch = 8;
   options.shards = 2;  // two vertical mesh stripes with per-shard locks
+  options.priority = std::make_shared<runtime::SmallestFirstPriority>();
   runtime::ConcurrentRuntimeManager manager(
-      platform, std::make_shared<core::SpatialMapper>(), options,
-      std::make_shared<runtime::FirstFitAdmission>(),
-      std::make_shared<runtime::SmallestFirstPriority>());
+      platform, {.mapper = std::make_shared<core::SpatialMapper>()}, options);
 
   std::printf("== 4 clients submit a burst of 16 applications ==============\n");
   std::vector<std::shared_ptr<const kpn::Application>> apps;

@@ -64,8 +64,8 @@ int main() {
   using namespace rtsm;
 
   const arch::Platform platform = workload::make_paper_platform();
-  runtime::RuntimeManager manager(platform,
-                                  std::make_shared<core::SpatialMapper>());
+  runtime::RuntimeManager manager(
+      platform, {.mapper = std::make_shared<core::SpatialMapper>()});
 
   std::printf("== the receiver sweeps its demapping modes in place =======\n");
   // The receiver is the protected stream: mid priority, not preemptible.
@@ -107,7 +107,7 @@ int main() {
   pool.add_tile("P0", arm, 0, 0, 64 * 1024, /*process_slots=*/2);
   pool.add_tile("P1", arm, 1, 0, 64 * 1024, /*process_slots=*/2);
   runtime::RuntimeManager pool_manager(
-      pool, std::make_shared<core::SpatialMapper>());
+      pool, {.mapper = std::make_shared<core::SpatialMapper>()});
 
   const auto f1 = pool_manager.admit(filler("background-1"));
   const auto f2 = pool_manager.admit(filler("background-2"));

@@ -42,8 +42,9 @@ int main() {
       workload::make_synthetic_platform(rng, pp, "shared 4x4 MPSoC");
 
   runtime::RuntimeManager manager(
-      platform, std::make_shared<core::SpatialMapper>(),
-      std::make_shared<runtime::RetryAdmission>(/*max_attempts=*/4));
+      platform,
+      {.mapper = std::make_shared<core::SpatialMapper>(),
+       .policy = std::make_shared<runtime::RetryAdmission>(/*max_attempts=*/4)});
 
   std::printf("== t0: platform boots idle =================================\n");
   show(manager);

@@ -1,0 +1,269 @@
+#include "baselines/genetic.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "baselines/residual_placement.hpp"
+#include "core/cost.hpp"
+#include "util/rng.hpp"
+
+namespace rtsm::baselines {
+
+namespace {
+
+using core::Mapping;
+using core::ResourceState;
+
+/// One individual: an (implementation, tile) pick per movable process,
+/// stored as indices into the per-process candidate tables.
+struct Individual {
+  std::vector<std::uint32_t> genes;
+  double fitness = 0.0;
+};
+
+constexpr double kViolationPenalty = 1e12;
+
+}  // namespace
+
+std::string GeneticMapper::describe() const {
+  return "bias-elitist genetic search over (implementation, tile) genomes "
+         "with Lamarckian repair against the residual state";
+}
+
+core::MappingResult GeneticMapper::map(const kpn::Application& app,
+                                       const core::ResourceState& base) const {
+  return map(app, base, nullptr);
+}
+
+core::MappingResult GeneticMapper::map(const kpn::Application& app,
+                                       const core::ResourceState& base,
+                                       const core::CancelToken* cancel) const {
+  app.validate();
+  core::MappingResult result;
+  result.mapping = Mapping(app.process_count(), app.channel_count());
+
+  // Fixture-bound baseline state: candidate tables and every decode start
+  // from it, so fixture load is visible to all of them.
+  ResourceState bound = base;
+  Mapping fixture_mapping(app.process_count(), app.channel_count());
+  {
+    const std::string failure =
+        detail::bind_fixtures(app, bound, fixture_mapping);
+    if (!failure.empty()) {
+      result.failure = failure;
+      return result;
+    }
+  }
+
+  std::vector<ProcessId> movable;
+  for (const ProcessId pid : app.process_ids()) {
+    if (!app.process(pid).is_fixture()) movable.push_back(pid);
+  }
+
+  // Candidate tables vs the fixture-bound state. Decode re-checks fits
+  // against the evolving state, so the tables only need to over-approximate.
+  std::vector<std::vector<detail::Candidate>> candidates(movable.size());
+  for (std::size_t m = 0; m < movable.size(); ++m) {
+    detail::for_each_candidate(
+        app, bound, movable[m],
+        [&](const detail::Candidate& c) { candidates[m].push_back(c); });
+    if (candidates[m].empty()) {
+      result.failure = "process '" + app.process(movable[m]).name +
+                       "' has no feasible placement left";
+      return result;
+    }
+  }
+
+  // Decodes @p genes onto a copy of the bound state with Lamarckian repair:
+  // an unfit gene is rewritten to the first candidate that still fits.
+  // Returns the number of unrepairable genes; state/mapping are complete
+  // only when that is zero.
+  auto decode = [&](std::vector<std::uint32_t>& genes, ResourceState& state,
+                    Mapping& mapping) -> std::uint32_t {
+    state = bound;
+    mapping = fixture_mapping;
+    std::uint32_t violations = 0;
+    for (std::size_t m = 0; m < movable.size(); ++m) {
+      const std::vector<detail::Candidate>& table = candidates[m];
+      std::uint32_t gi = genes[m] % static_cast<std::uint32_t>(table.size());
+      if (!state.tile_fits(table[gi].tile, table[gi].raw_util,
+                           app.implementation(movable[m], table[gi].impl)
+                               .memory_bytes)) {
+        bool repaired = false;
+        for (std::uint32_t alt = 0; alt < table.size(); ++alt) {
+          if (state.tile_fits(table[alt].tile, table[alt].raw_util,
+                              app.implementation(movable[m], table[alt].impl)
+                                  .memory_bytes)) {
+            gi = alt;
+            repaired = true;
+            break;
+          }
+        }
+        if (!repaired) {
+          ++violations;
+          continue;
+        }
+      }
+      genes[m] = gi;
+      state.reserve_tile(table[gi].tile, table[gi].raw_util,
+                         app.implementation(movable[m], table[gi].impl)
+                             .memory_bytes);
+      mapping.assign(movable[m], table[gi].impl, table[gi].tile);
+    }
+    return violations;
+  };
+
+  auto evaluate = [&](Individual& ind) {
+    ResourceState state = bound;
+    Mapping mapping = fixture_mapping;
+    const std::uint32_t violations = decode(ind.genes, state, mapping);
+    if (violations > 0) {
+      ind.fitness = kViolationPenalty * violations;
+      return;
+    }
+    double comm = 0.0;
+    for (const ChannelId cid : app.channel_ids()) {
+      const kpn::Channel& ch = app.channel(cid);
+      if (!mapping.is_assigned(ch.src) || !mapping.is_assigned(ch.dst)) {
+        continue;
+      }
+      const std::uint32_t hops = detail::hop_distance(
+          state.platform(), mapping.tile_of(ch.src), mapping.tile_of(ch.dst));
+      comm += core::channel_cost(ch, hops, core::CommCostModel::TokenWeighted,
+                                 options_.energy);
+    }
+    // Processing energy only — the genome is not routed yet, so the comm
+    // side is approximated by the hop proxy above.
+    double processing = 0.0;
+    for (const ProcessId pid : app.process_ids()) {
+      processing +=
+          app.implementation(pid, mapping.impl_of(pid)).energy_nj_per_symbol;
+    }
+    ind.fitness = processing + comm;
+  };
+
+  Rng rng(options_.seed);
+  const std::size_t pop_size = std::max<std::uint32_t>(options_.population, 2);
+
+  // Bias individual: greedy min-energy constructive pass, scarcity-aware so
+  // it does not strand a process restricted to a scarce tile type.
+  const detail::ScarcityMap scarcity(app, bound);
+  Individual bias;
+  bias.genes.assign(movable.size(), 0);
+  {
+    ResourceState state = bound;
+    Mapping mapping = fixture_mapping;
+    for (std::size_t m = 0; m < movable.size(); ++m) {
+      const std::vector<detail::Candidate>& table = candidates[m];
+      double best_score = 0.0;
+      bool found = false;
+      for (std::uint32_t gi = 0; gi < table.size(); ++gi) {
+        if (!state.tile_fits(table[gi].tile, table[gi].raw_util,
+                             app.implementation(movable[m], table[gi].impl)
+                                 .memory_bytes)) {
+          continue;
+        }
+        double score = table[gi].energy_nj * 1e3 + table[gi].exec_ns;
+        if (scarcity.would_starve(app, state, mapping, movable[m],
+                                  table[gi].type)) {
+          score += 1e15;
+        }
+        if (!found || score < best_score) {
+          best_score = score;
+          bias.genes[m] = gi;
+          found = true;
+        }
+      }
+      if (found) {
+        const detail::Candidate& c = table[bias.genes[m]];
+        state.reserve_tile(c.tile, c.raw_util,
+                           app.implementation(movable[m], c.impl).memory_bytes);
+        mapping.assign(movable[m], c.impl, c.tile);
+      }
+    }
+  }
+
+  std::vector<Individual> population;
+  population.reserve(pop_size);
+  population.push_back(std::move(bias));
+  while (population.size() < pop_size) {
+    Individual ind;
+    ind.genes.resize(movable.size());
+    for (std::size_t m = 0; m < movable.size(); ++m) {
+      ind.genes[m] =
+          static_cast<std::uint32_t>(rng.pick_index(candidates[m].size()));
+    }
+    population.push_back(std::move(ind));
+  }
+  for (Individual& ind : population) evaluate(ind);
+
+  auto by_fitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+  std::stable_sort(population.begin(), population.end(), by_fitness);
+
+  const std::size_t elites = std::min<std::size_t>(
+      std::max<std::uint32_t>(options_.elites, 1), pop_size);
+  auto tournament = [&]() -> const Individual& {
+    const Individual& a = population[rng.pick_index(population.size())];
+    const Individual& b = population[rng.pick_index(population.size())];
+    return a.fitness <= b.fitness ? a : b;
+  };
+
+  for (std::uint32_t gen = 0; gen < options_.generations; ++gen) {
+    if (cancel != nullptr && cancel->stop_requested()) {
+      result.cancelled = true;
+      result.failure = "cancelled";
+      return result;
+    }
+    ++result.rounds;
+    std::vector<Individual> next(population.begin(),
+                                 population.begin() +
+                                     static_cast<std::ptrdiff_t>(elites));
+    while (next.size() < pop_size) {
+      const Individual& pa = tournament();
+      const Individual& pb = tournament();
+      Individual child;
+      child.genes.resize(movable.size());
+      const bool cross = rng.bernoulli(options_.crossover_rate);
+      const Individual& fitter = pa.fitness <= pb.fitness ? pa : pb;
+      for (std::size_t m = 0; m < movable.size(); ++m) {
+        child.genes[m] = cross ? (rng.bernoulli(0.5) ? pa : pb).genes[m]
+                               : fitter.genes[m];
+        if (rng.bernoulli(options_.mutation_rate)) {
+          child.genes[m] =
+              static_cast<std::uint32_t>(rng.pick_index(candidates[m].size()));
+        }
+      }
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    std::stable_sort(population.begin(), population.end(), by_fitness);
+  }
+
+  // Route + verify the fittest distinct genomes until one passes.
+  std::uint32_t tried = 0;
+  for (std::size_t i = 0;
+       i < population.size() && tried < options_.verify_candidates; ++i) {
+    Individual& ind = population[i];
+    if (ind.fitness >= kViolationPenalty) break;  // incomplete decode
+    if (i > 0 && ind.genes == population[i - 1].genes) continue;
+    ++tried;
+    ResourceState state = bound;
+    Mapping mapping = fixture_mapping;
+    if (decode(ind.genes, state, mapping) != 0) continue;
+    if (detail::finish_residual_plan(app, state, mapping, options_.energy,
+                                     options_.verify_step4, options_.step4,
+                                     options_.engine.get(), cancel, result)) {
+      return result;
+    }
+  }
+  if (result.failure.empty()) {
+    result.failure = "no genome routed and verified";
+  }
+  return result;
+}
+
+}  // namespace rtsm::baselines

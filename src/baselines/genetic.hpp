@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "arch/platform.hpp"
+#include "core/feasibility.hpp"
+#include "core/mapper.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+#include "verify/engine.hpp"
+
+namespace rtsm::baselines {
+
+/// Options of the bias-elitist genetic mapper.
+struct GeneticOptions {
+  energy::EnergyModel energy;
+
+  /// Seed of the private Rng stream; equal seeds + equal inputs give an
+  /// identical evolution and therefore an identical mapping.
+  std::uint64_t seed = 0x5eedull;
+
+  std::uint32_t population = 16;
+  std::uint32_t generations = 24;
+  /// Individuals copied unchanged into the next generation.
+  std::uint32_t elites = 2;
+  /// Probability of crossing two parents (vs cloning the fitter one).
+  double crossover_rate = 0.9;
+  /// Per-gene mutation probability.
+  double mutation_rate = 0.1;
+  /// Distinct top genomes routed + verified before the mapper gives up.
+  std::uint32_t verify_candidates = 4;
+
+  /// Verify the result with the step-4 dataflow analysis.
+  bool verify_step4 = true;
+  core::FeasibilityOptions step4;
+
+  /// Shared step-4 verification engine; null = private engine.
+  std::shared_ptr<verify::Engine> engine;
+};
+
+/// Bias-elitist genetic mapper (after Quan & Pimentel, arXiv:1406.7539):
+/// a genome is one (implementation, tile) pick per movable process; the
+/// initial population is random except for one *bias* individual built by
+/// a greedy min-energy constructive pass, and elitism keeps the best
+/// genomes alive across generations (tournament-2 selection, uniform
+/// crossover, per-gene mutation). Genomes decode against the residual
+/// state with Lamarckian repair (an unfit gene is rewritten to the first
+/// placement that still fits); fitness is capacity violations, then
+/// energy plus a token-weighted hop proxy for communication. The fittest
+/// distinct genomes are routed and step-4 verified until one passes.
+class GeneticMapper final : public core::Mapper {
+ public:
+  explicit GeneticMapper(GeneticOptions options = {})
+      : options_(std::move(options)) {
+    options_.engine = verify::ensure_engine(options_.verify_step4,
+                                            std::move(options_.engine));
+  }
+
+  [[nodiscard]] std::string name() const override { return "genetic"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::shared_ptr<verify::Engine> verification_engine()
+      const override {
+    return options_.engine;
+  }
+
+  using core::Mapper::map;
+  [[nodiscard]] core::MappingResult map(
+      const kpn::Application& app,
+      const core::ResourceState& base) const override;
+  [[nodiscard]] core::MappingResult map(
+      const kpn::Application& app, const core::ResourceState& base,
+      const core::CancelToken* cancel) const override;
+
+ private:
+  GeneticOptions options_;
+};
+
+}  // namespace rtsm::baselines

@@ -1,0 +1,204 @@
+#include "baselines/list_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "baselines/residual_placement.hpp"
+#include "core/cost.hpp"
+
+namespace rtsm::baselines {
+
+namespace {
+
+using core::Mapping;
+using core::ResourceState;
+
+/// Mean execution time of @p pid across its implementations, on the fastest
+/// clock of each implementation's tile type, ns. Processes with no usable
+/// implementation rank as 0 (they fail placement later with a message).
+double mean_exec_ns(const kpn::Application& app, const arch::Platform& platform,
+                    ProcessId pid) {
+  const kpn::Process& p = app.process(pid);
+  double sum = 0.0;
+  std::uint32_t usable = 0;
+  for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
+    TileTypeId type;
+    try {
+      type = platform.type_by_name(p.implementations[ii].tile_type);
+    } catch (const Error&) {
+      continue;
+    }
+    const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+    sum += core::impl_time_per_symbol_ns(app, pid, impl,
+                                         platform.tile_type(type).clock_hz);
+    ++usable;
+  }
+  return usable == 0 ? 0.0 : sum / usable;
+}
+
+/// Upward ranks over the (possibly cyclic) KPN digraph: memoized DFS with
+/// on-stack detection — a back edge contributes 0, so the recursion
+/// terminates and the rank still reflects every acyclic downstream chain.
+class UpwardRank {
+ public:
+  UpwardRank(const kpn::Application& app, const arch::Platform& platform,
+             double comm_ns_per_byte)
+      : app_(app),
+        platform_(platform),
+        comm_ns_per_byte_(comm_ns_per_byte),
+        rank_(app.process_count(), -1.0),
+        on_stack_(app.process_count(), false) {}
+
+  double of(ProcessId pid) {
+    const std::size_t i = pid.value();
+    if (rank_[i] >= 0.0) return rank_[i];
+    if (on_stack_[i]) return 0.0;  // back edge of a cycle
+    on_stack_[i] = true;
+    double down = 0.0;
+    for (const ChannelId cid : app_.out_channels(pid)) {
+      const kpn::Channel& ch = app_.channel(cid);
+      const double comm = comm_ns_per_byte_ *
+                          static_cast<double>(ch.tokens_per_symbol) *
+                          static_cast<double>(ch.token_bytes);
+      down = std::max(down, comm + of(ch.dst));
+    }
+    on_stack_[i] = false;
+    rank_[i] = mean_exec_ns(app_, platform_, pid) + down;
+    return rank_[i];
+  }
+
+ private:
+  const kpn::Application& app_;
+  const arch::Platform& platform_;
+  double comm_ns_per_byte_;
+  std::vector<double> rank_;
+  std::vector<bool> on_stack_;
+};
+
+/// Scoring profiles tried in order until one plan routes and verifies.
+enum class Profile { EarliestFinish, MinEnergy, Fastest };
+
+/// One greedy list-scheduling pass under @p profile; true when every
+/// movable process was placed.
+bool place_all(const kpn::Application& app, ResourceState& state,
+               Mapping& mapping, const std::vector<ProcessId>& order,
+               Profile profile, const energy::EnergyModel& energy,
+               const detail::ScarcityMap& scarcity, std::string& failure) {
+  for (const ProcessId pid : order) {
+    std::optional<detail::Candidate> best;
+    double best_score = std::numeric_limits<double>::infinity();
+    detail::for_each_candidate(
+        app, state, pid, [&](const detail::Candidate& c) {
+          double score = 0.0;
+          switch (profile) {
+            case Profile::EarliestFinish: {
+              // EFT proxy: execution inflated by the tile's current load,
+              // plus token-weighted hop cost to placed neighbours.
+              score = c.exec_ns * (1.0 + state.utilization(c.tile));
+              auto comm_to = [&](ChannelId cid, ProcessId other) {
+                if (!mapping.is_assigned(other)) return;
+                const std::uint32_t hops = detail::hop_distance(
+                    state.platform(), c.tile, mapping.tile_of(other));
+                score += core::channel_cost(app.channel(cid), hops,
+                                            core::CommCostModel::TokenWeighted,
+                                            energy);
+              };
+              for (const ChannelId cid : app.in_channels(pid)) {
+                comm_to(cid, app.channel(cid).src);
+              }
+              for (const ChannelId cid : app.out_channels(pid)) {
+                comm_to(cid, app.channel(cid).dst);
+              }
+              break;
+            }
+            case Profile::MinEnergy:
+              score = c.energy_nj * 1e3 + c.exec_ns;
+              break;
+            case Profile::Fastest:
+              score = c.exec_ns * 1e3 + c.energy_nj;
+              break;
+          }
+          if (scarcity.would_starve(app, state, mapping, pid, c.type)) {
+            score += 1e15;  // last resort only: would strand a later process
+          }
+          if (score < best_score) {
+            best_score = score;
+            best = c;
+          }
+        });
+    if (!best) {
+      failure = "process '" + app.process(pid).name +
+                "' has no feasible placement left";
+      return false;
+    }
+    state.reserve_tile(best->tile, best->raw_util,
+                       app.implementation(pid, best->impl).memory_bytes);
+    mapping.assign(pid, best->impl, best->tile);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ListSchedulerMapper::describe() const {
+  return "HEFT/PEFT-style list scheduling: upward-rank order, earliest-"
+         "finish-time tile choice against the residual state";
+}
+
+core::MappingResult ListSchedulerMapper::map(
+    const kpn::Application& app, const core::ResourceState& base) const {
+  return map(app, base, nullptr);
+}
+
+core::MappingResult ListSchedulerMapper::map(
+    const kpn::Application& app, const core::ResourceState& base,
+    const core::CancelToken* cancel) const {
+  app.validate();
+  core::MappingResult result;
+  result.mapping = Mapping(app.process_count(), app.channel_count());
+
+  // Rank once; the order is profile-independent.
+  UpwardRank ranks(app, base.platform(), options_.comm_ns_per_byte);
+  std::vector<ProcessId> order;
+  for (const ProcessId pid : app.process_ids()) {
+    if (!app.process(pid).is_fixture()) order.push_back(pid);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](ProcessId a, ProcessId b) {
+                     return ranks.of(a) > ranks.of(b);
+                   });
+
+  for (const Profile profile :
+       {Profile::EarliestFinish, Profile::MinEnergy, Profile::Fastest}) {
+    if (cancel != nullptr && cancel->stop_requested()) {
+      result.cancelled = true;
+      result.failure = "cancelled";
+      return result;
+    }
+    ++result.rounds;
+    ResourceState state = base;
+    Mapping mapping(app.process_count(), app.channel_count());
+    std::string failure = detail::bind_fixtures(app, state, mapping);
+    if (!failure.empty()) {
+      result.failure = failure;
+      return result;  // fixtures fail identically under every profile
+    }
+    const detail::ScarcityMap scarcity(app, state);
+    if (!place_all(app, state, mapping, order, profile, options_.energy,
+                   scarcity, failure)) {
+      result.failure = failure;
+      continue;
+    }
+    if (detail::finish_residual_plan(app, state, mapping, options_.energy,
+                                     options_.verify_step4, options_.step4,
+                                     options_.engine.get(), cancel, result)) {
+      return result;
+    }
+  }
+  if (result.failure.empty()) result.failure = "no profile produced a plan";
+  return result;
+}
+
+}  // namespace rtsm::baselines

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "arch/platform.hpp"
+#include "core/feasibility.hpp"
+#include "core/mapper.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+#include "verify/engine.hpp"
+
+namespace rtsm::baselines {
+
+/// Options of the HEFT/PEFT-style list scheduler.
+struct ListSchedulerOptions {
+  energy::EnergyModel energy;
+
+  /// Nominal communication weight used in the upward rank, ns per byte
+  /// transported per symbol (blends channel bytes into the execution-time
+  /// rank; only the ordering matters).
+  double comm_ns_per_byte = 0.5;
+
+  /// Verify the result with the step-4 dataflow analysis.
+  bool verify_step4 = true;
+  core::FeasibilityOptions step4;
+
+  /// Shared step-4 verification engine; null = private engine.
+  std::shared_ptr<verify::Engine> engine;
+};
+
+/// HEFT/PEFT-style list scheduler (cf. Wilhelm & Pionteck's evaluator
+/// baselines): processes are ordered by upward rank — mean execution time
+/// plus the heaviest downstream chain — and greedily assigned the
+/// (implementation, tile) pair with the earliest-finish-time-like score
+/// against the *residual* state: execution time inflated by the tile's
+/// current load, plus token-weighted hop cost to already-placed neighbours.
+/// Unlike the design-time baselines it plans against the live residual
+/// capacities directly, which is what makes it a useful portfolio entry.
+/// Several scoring profiles (EFT, min-energy, fastest) are tried in order
+/// until one routes and verifies.
+class ListSchedulerMapper final : public core::Mapper {
+ public:
+  explicit ListSchedulerMapper(ListSchedulerOptions options = {})
+      : options_(std::move(options)) {
+    options_.engine = verify::ensure_engine(options_.verify_step4,
+                                            std::move(options_.engine));
+  }
+
+  [[nodiscard]] std::string name() const override { return "list"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::shared_ptr<verify::Engine> verification_engine()
+      const override {
+    return options_.engine;
+  }
+
+  using core::Mapper::map;
+  [[nodiscard]] core::MappingResult map(
+      const kpn::Application& app,
+      const core::ResourceState& base) const override;
+  [[nodiscard]] core::MappingResult map(
+      const kpn::Application& app, const core::ResourceState& base,
+      const core::CancelToken* cancel) const override;
+
+ private:
+  ListSchedulerOptions options_;
+};
+
+}  // namespace rtsm::baselines

@@ -5,7 +5,10 @@
 #include "baselines/annealing.hpp"
 #include "baselines/clustering.hpp"
 #include "baselines/exhaustive.hpp"
+#include "baselines/genetic.hpp"
+#include "baselines/list_scheduler.hpp"
 #include "baselines/random_mapper.hpp"
+#include "baselines/series_parallel.hpp"
 #include "core/spatial_mapper.hpp"
 
 namespace rtsm::baselines {
@@ -26,6 +29,18 @@ void register_builtin_mappers(core::MapperRegistry& registry) {
                [] { return std::make_unique<ExhaustiveMapper>(); });
   registry.add("random", "best-of-N random adequate configurations",
                [] { return std::make_unique<RandomSamplingMapper>(); });
+  registry.add("list",
+               "HEFT/PEFT-style list scheduling by upward rank against the "
+               "residual state",
+               [] { return std::make_unique<ListSchedulerMapper>(); });
+  registry.add("series-parallel",
+               "series-chain decomposition placed contiguously, heaviest "
+               "chain first",
+               [] { return std::make_unique<SeriesParallelMapper>(); });
+  registry.add("genetic",
+               "bias-elitist genetic search over (implementation, tile) "
+               "genomes",
+               [] { return std::make_unique<GeneticMapper>(); });
 }
 
 core::MapperRegistry builtin_mappers() {

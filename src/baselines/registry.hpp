@@ -4,12 +4,13 @@
 
 namespace rtsm::baselines {
 
-/// Registers the paper's run-time mapper ("spatial") and the four
-/// design-time baselines ("annealing", "clustering", "exhaustive",
-/// "random"), each with default options, into @p registry.
+/// Registers the paper's run-time mapper ("spatial"), the four design-time
+/// baselines ("annealing", "clustering", "exhaustive", "random") and the
+/// three residual-state portfolio entries ("list", "series-parallel",
+/// "genetic"), each with default options, into @p registry.
 void register_builtin_mappers(core::MapperRegistry& registry);
 
-/// Registry preloaded with all five built-in mappers.
+/// Registry preloaded with all eight built-in mappers.
 [[nodiscard]] core::MapperRegistry builtin_mappers();
 
 }  // namespace rtsm::baselines

@@ -1,0 +1,199 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/channel_routing.hpp"
+#include "core/cost.hpp"
+#include "core/feasibility.hpp"
+#include "core/mapper.hpp"
+#include "core/mapping_context.hpp"
+#include "core/resource_state.hpp"
+#include "util/error.hpp"
+
+namespace rtsm::baselines::detail {
+
+/// Binds every fixture of @p app to its pinned tile, reserving into
+/// @p state and assigning into @p mapping. Returns an empty string on
+/// success, the failure message otherwise. Shared head of every baseline
+/// that plans against the residual state.
+inline std::string bind_fixtures(const kpn::Application& app,
+                                 core::ResourceState& state,
+                                 core::Mapping& mapping) {
+  const arch::Platform& platform = state.platform();
+  for (const ProcessId pid : app.process_ids()) {
+    const kpn::Process& p = app.process(pid);
+    if (!p.is_fixture()) continue;
+    const TileId tile = platform.tile_by_name(*p.pinned_tile);
+    const std::string& type_name =
+        platform.tile_type(platform.tile(tile).type).name;
+    bool bound = false;
+    for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
+      if (p.implementations[ii].tile_type != type_name) continue;
+      const ImplementationId impl{
+          static_cast<ImplementationId::value_type>(ii)};
+      const double util = core::claimed_utilization(core::impl_utilization(
+          app, pid, impl, platform.tile_clock_hz(tile)));
+      if (!state.tile_fits(tile, util, p.implementations[ii].memory_bytes)) {
+        break;
+      }
+      state.reserve_tile(tile, util, p.implementations[ii].memory_bytes);
+      mapping.assign(pid, impl, tile);
+      bound = true;
+      break;
+    }
+    if (!bound) return "fixture '" + p.name + "' cannot bind its tile";
+  }
+  return {};
+}
+
+/// One feasible (implementation, tile) candidate of a movable process.
+struct Candidate {
+  ImplementationId impl;
+  TileId tile;
+  TileTypeId type;
+  /// Raw utilisation of the implementation on the tile (<= 1).
+  double raw_util = 0.0;
+  /// Execution time per symbol on the tile, ns.
+  double exec_ns = 0.0;
+  /// Processing energy of the implementation, nJ per symbol.
+  double energy_nj = 0.0;
+};
+
+/// Calls @p fn(Candidate) for every placement of @p pid that respects the
+/// residual capacity in @p state (type match, utilisation <= 1, tile_fits).
+template <class Fn>
+void for_each_candidate(const kpn::Application& app,
+                        const core::ResourceState& state, ProcessId pid,
+                        Fn&& fn) {
+  const arch::Platform& platform = state.platform();
+  const kpn::Process& p = app.process(pid);
+  for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
+    const kpn::Implementation& im = p.implementations[ii];
+    TileTypeId type;
+    try {
+      type = platform.type_by_name(im.tile_type);
+    } catch (const Error&) {
+      continue;  // implementation for a type this platform does not have
+    }
+    const ImplementationId impl{static_cast<ImplementationId::value_type>(ii)};
+    const double raw_util = core::impl_utilization(
+        app, pid, impl, platform.tile_type(type).clock_hz);
+    if (raw_util > 1.0) continue;
+    for (const TileId tile : platform.tiles_of_type(type)) {
+      if (!state.tile_fits(tile, raw_util, im.memory_bytes)) continue;
+      Candidate c;
+      c.impl = impl;
+      c.tile = tile;
+      c.type = type;
+      c.raw_util = raw_util;
+      c.exec_ns = core::impl_time_per_symbol_ns(app, pid, impl,
+                                                platform.tile_clock_hz(tile));
+      c.energy_nj = im.energy_nj_per_symbol;
+      fn(c);
+    }
+  }
+}
+
+/// Tracks which tile types each movable process could use, so greedy
+/// placement can avoid starving a process that is restricted to a scarce
+/// type (tiles host a bounded number of processes, so a flexible process
+/// grabbing the last MONTIUM slot strands a MONTIUM-only neighbour).
+class ScarcityMap {
+ public:
+  /// @p base should be the fixture-bound state the plan starts from.
+  ScarcityMap(const kpn::Application& app, const core::ResourceState& base)
+      : usable_types_(app.process_count()) {
+    for (const ProcessId pid : app.process_ids()) {
+      if (app.process(pid).is_fixture()) continue;
+      std::vector<TileTypeId>& types = usable_types_[pid.value()];
+      for_each_candidate(app, base, pid, [&](const Candidate& c) {
+        if (std::find(types.begin(), types.end(), c.type) == types.end()) {
+          types.push_back(c.type);
+        }
+      });
+    }
+  }
+
+  /// True when giving @p pid a slot of @p type would leave fewer free slots
+  /// of that type than still-unplaced processes that can use *only* it.
+  /// Always false for a process that is itself restricted to one type.
+  [[nodiscard]] bool would_starve(const kpn::Application& app,
+                                  const core::ResourceState& state,
+                                  const core::Mapping& mapping, ProcessId pid,
+                                  TileTypeId type) const {
+    if (usable_types_[pid.value()].size() <= 1) return false;
+    std::int64_t exclusive = 0;
+    for (const ProcessId other : app.process_ids()) {
+      if (other == pid || app.process(other).is_fixture()) continue;
+      if (mapping.is_assigned(other)) continue;
+      const std::vector<TileTypeId>& types = usable_types_[other.value()];
+      if (types.size() == 1 && types.front() == type) ++exclusive;
+    }
+    if (exclusive == 0) return false;
+    std::int64_t free_slots = 0;
+    for (const TileId tile : state.platform().tiles_of_type(type)) {
+      free_slots += state.platform().tile(tile).process_slots -
+                    state.processes_hosted(tile);
+    }
+    return free_slots - 1 < exclusive;
+  }
+
+ private:
+  std::vector<std::vector<TileTypeId>> usable_types_;
+};
+
+/// Manhattan distance between two tiles of the mesh.
+inline std::uint32_t hop_distance(const arch::Platform& platform, TileId a,
+                                  TileId b) {
+  const auto& ta = platform.tile(a);
+  const auto& tb = platform.tile(b);
+  const std::uint32_t dx = ta.x > tb.x ? ta.x - tb.x : tb.x - ta.x;
+  const std::uint32_t dy = ta.y > tb.y ? ta.y - tb.y : tb.y - ta.y;
+  return dx + dy;
+}
+
+/// Shared tail of every residual-state baseline: routes the fully placed
+/// @p mapping (step 3) on @p state and optionally verifies it with the
+/// step-4 dataflow analysis, filling @p result (success, period, latency,
+/// energy). The caller's @p state must hold exactly the reservations of
+/// @p mapping. Returns result.success.
+inline bool finish_residual_plan(const kpn::Application& app,
+                                 core::ResourceState& state,
+                                 core::Mapping& mapping,
+                                 const energy::EnergyModel& energy,
+                                 bool verify_step4,
+                                 const core::FeasibilityOptions& step4,
+                                 verify::Engine* engine,
+                                 const core::CancelToken* cancel,
+                                 core::MappingResult& result) {
+  const core::FeedbackSet no_feedback;
+  core::MappingTrace::Round scratch;
+  core::MappingContext ctx{app,    state.platform(), state,  no_feedback,
+                           energy, mapping,          scratch, engine, cancel};
+  const core::Step3Outcome s3 = core::run_step3(ctx);
+  if (!s3.success) {
+    result.failure = "placement unroutable: " + s3.failure;
+    return false;
+  }
+  if (verify_step4) {
+    const core::FeasibilityReport report = core::run_step4(ctx, step4);
+    if (!report.feasible) {
+      result.failure = "placement infeasible: " + report.failure;
+      return false;
+    }
+    result.achieved_period_ps = report.achieved_period_ps;
+    result.latency_ps = report.latency_ps;
+  }
+  result.mapping = std::move(mapping);
+  result.energy_nj_per_symbol = core::total_energy_nj_per_symbol(
+      app, state.platform(), result.mapping, energy);
+  result.success = true;
+  result.failure.clear();
+  return true;
+}
+
+}  // namespace rtsm::baselines::detail

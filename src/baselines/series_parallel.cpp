@@ -1,0 +1,222 @@
+#include "baselines/series_parallel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "baselines/residual_placement.hpp"
+#include "core/cost.hpp"
+
+namespace rtsm::baselines {
+
+namespace {
+
+using core::Mapping;
+using core::ResourceState;
+
+/// A maximal series chain of movable processes (order = stream order).
+struct Chain {
+  std::vector<ProcessId> members;
+  /// Smallest utilisation any implementation of each member could claim,
+  /// summed — the chain's irreducible demand, used to place heavy chains
+  /// while the mesh is still empty.
+  double demand = 0.0;
+};
+
+/// Movable in/out degree of @p pid, counting only edges between movable
+/// processes (fixtures are pinned and do not constrain chain shape).
+std::uint32_t movable_degree(const kpn::Application& app, ProcessId pid,
+                             bool out) {
+  std::uint32_t n = 0;
+  for (const ChannelId cid :
+       out ? app.out_channels(pid) : app.in_channels(pid)) {
+    const kpn::Channel& ch = app.channel(cid);
+    const ProcessId other = out ? ch.dst : ch.src;
+    if (!app.process(other).is_fixture()) ++n;
+  }
+  return n;
+}
+
+/// Decomposes the movable subgraph into maximal series chains: a chain
+/// starts at a process that is not the unique successor of a unique
+/// predecessor, and extends while the next process has exactly one movable
+/// predecessor and the current one exactly one movable successor.
+std::vector<Chain> decompose(const kpn::Application& app,
+                             const arch::Platform& platform) {
+  std::vector<Chain> chains;
+  std::vector<bool> done(app.process_count(), false);
+
+  auto min_demand = [&](ProcessId pid) {
+    double best = 1.0;
+    const kpn::Process& p = app.process(pid);
+    for (std::size_t ii = 0; ii < p.implementations.size(); ++ii) {
+      TileTypeId type;
+      try {
+        type = platform.type_by_name(p.implementations[ii].tile_type);
+      } catch (const Error&) {
+        continue;
+      }
+      const ImplementationId impl{
+          static_cast<ImplementationId::value_type>(ii)};
+      best = std::min(best, core::impl_utilization(
+                                app, pid, impl,
+                                platform.tile_type(type).clock_hz));
+    }
+    return best;
+  };
+
+  auto next_in_series = [&](ProcessId pid) -> std::optional<ProcessId> {
+    if (movable_degree(app, pid, /*out=*/true) != 1) return std::nullopt;
+    for (const ChannelId cid : app.out_channels(pid)) {
+      const ProcessId dst = app.channel(cid).dst;
+      if (app.process(dst).is_fixture()) continue;
+      if (done[dst.value()]) return std::nullopt;
+      if (movable_degree(app, dst, /*out=*/false) != 1) return std::nullopt;
+      return dst;
+    }
+    return std::nullopt;
+  };
+
+  // Chain heads first (processes that cannot extend a series run), then a
+  // sweep over whatever remains (cycles of pure series processes).
+  for (const bool heads_only : {true, false}) {
+    for (const ProcessId pid : app.process_ids()) {
+      if (app.process(pid).is_fixture() || done[pid.value()]) continue;
+      if (heads_only) {
+        const bool is_head = movable_degree(app, pid, /*out=*/false) != 1;
+        if (!is_head) continue;
+      }
+      Chain chain;
+      ProcessId cur = pid;
+      while (true) {
+        done[cur.value()] = true;
+        chain.members.push_back(cur);
+        chain.demand += min_demand(cur);
+        const auto next = next_in_series(cur);
+        if (!next) break;
+        cur = *next;
+      }
+      chains.push_back(std::move(chain));
+    }
+  }
+  std::stable_sort(chains.begin(), chains.end(),
+                   [](const Chain& a, const Chain& b) {
+                     return a.demand > b.demand;
+                   });
+  return chains;
+}
+
+/// Places the members of @p chain in series order: the head next to its
+/// already-placed neighbours (or on the cheapest tile), every later member
+/// as close to its predecessor as possible. @p energy_first picks the
+/// lower-energy implementation among equally close tiles; the fallback
+/// profile prefers the fastest.
+bool place_chain(const kpn::Application& app, ResourceState& state,
+                 Mapping& mapping, const Chain& chain, bool energy_first,
+                 const detail::ScarcityMap& scarcity, std::string& failure) {
+  std::optional<TileId> prev;
+  for (const ProcessId pid : chain.members) {
+    std::optional<detail::Candidate> best;
+    double best_score = std::numeric_limits<double>::infinity();
+    detail::for_each_candidate(
+        app, state, pid, [&](const detail::Candidate& c) {
+          double dist = 0.0;
+          if (prev) {
+            dist = detail::hop_distance(state.platform(), c.tile, *prev);
+          } else {
+            // Head: stay close to placed neighbours (e.g. a fixture the
+            // chain hangs off), spread otherwise.
+            for (const ChannelId cid : app.in_channels(pid)) {
+              const ProcessId src = app.channel(cid).src;
+              if (mapping.is_assigned(src)) {
+                dist += detail::hop_distance(state.platform(), c.tile,
+                                             mapping.tile_of(src));
+              }
+            }
+          }
+          // Distance dominates; the secondary objective breaks ties.
+          const double secondary = energy_first
+                                       ? c.energy_nj + c.exec_ns * 1e-6
+                                       : c.exec_ns + c.energy_nj * 1e-6;
+          double score = dist * 1e9 + secondary;
+          if (scarcity.would_starve(app, state, mapping, pid, c.type)) {
+            score += 1e15;  // last resort only: would strand a later process
+          }
+          if (score < best_score) {
+            best_score = score;
+            best = c;
+          }
+        });
+    if (!best) {
+      failure = "process '" + app.process(pid).name +
+                "' has no feasible placement left";
+      return false;
+    }
+    state.reserve_tile(best->tile, best->raw_util,
+                       app.implementation(pid, best->impl).memory_bytes);
+    mapping.assign(pid, best->impl, best->tile);
+    prev = best->tile;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SeriesParallelMapper::describe() const {
+  return "series-parallel decomposition: maximal series chains placed "
+         "contiguously on the mesh, heaviest chain first";
+}
+
+core::MappingResult SeriesParallelMapper::map(
+    const kpn::Application& app, const core::ResourceState& base) const {
+  return map(app, base, nullptr);
+}
+
+core::MappingResult SeriesParallelMapper::map(
+    const kpn::Application& app, const core::ResourceState& base,
+    const core::CancelToken* cancel) const {
+  app.validate();
+  core::MappingResult result;
+  result.mapping = Mapping(app.process_count(), app.channel_count());
+
+  const std::vector<Chain> chains = decompose(app, base.platform());
+
+  for (const bool energy_first : {true, false}) {
+    if (cancel != nullptr && cancel->stop_requested()) {
+      result.cancelled = true;
+      result.failure = "cancelled";
+      return result;
+    }
+    ++result.rounds;
+    ResourceState state = base;
+    Mapping mapping(app.process_count(), app.channel_count());
+    std::string failure = detail::bind_fixtures(app, state, mapping);
+    if (!failure.empty()) {
+      result.failure = failure;
+      return result;
+    }
+    const detail::ScarcityMap scarcity(app, state);
+    bool ok = true;
+    for (const Chain& chain : chains) {
+      if (!place_chain(app, state, mapping, chain, energy_first, scarcity,
+                       failure)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      result.failure = failure;
+      continue;
+    }
+    if (detail::finish_residual_plan(app, state, mapping, options_.energy,
+                                     options_.verify_step4, options_.step4,
+                                     options_.engine.get(), cancel, result)) {
+      return result;
+    }
+  }
+  if (result.failure.empty()) result.failure = "no profile produced a plan";
+  return result;
+}
+
+}  // namespace rtsm::baselines

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "arch/platform.hpp"
+#include "core/feasibility.hpp"
+#include "core/mapper.hpp"
+#include "energy/model.hpp"
+#include "kpn/application.hpp"
+#include "verify/engine.hpp"
+
+namespace rtsm::baselines {
+
+/// Options of the series-parallel decomposition mapper.
+struct SeriesParallelOptions {
+  energy::EnergyModel energy;
+
+  /// Verify the result with the step-4 dataflow analysis.
+  bool verify_step4 = true;
+  core::FeasibilityOptions step4;
+
+  /// Shared step-4 verification engine; null = private engine.
+  std::shared_ptr<verify::Engine> engine;
+};
+
+/// Series-parallel decomposition mapper (after Wilhelm & Pionteck,
+/// arXiv:2502.19745): the KPN digraph is decomposed into maximal series
+/// chains (runs of single-in/single-out processes); chains are placed one
+/// by one, heaviest demand first, each member on the feasible tile closest
+/// to its predecessor — so a pipeline ends up contiguous on the mesh and
+/// its channels stay short. Parallel branches become separate chains and
+/// spread naturally. Plans against the residual state; two implementation-
+/// choice profiles (min-energy, then fastest) are tried until one routes
+/// and verifies.
+class SeriesParallelMapper final : public core::Mapper {
+ public:
+  explicit SeriesParallelMapper(SeriesParallelOptions options = {})
+      : options_(std::move(options)) {
+    options_.engine = verify::ensure_engine(options_.verify_step4,
+                                            std::move(options_.engine));
+  }
+
+  [[nodiscard]] std::string name() const override { return "series-parallel"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::shared_ptr<verify::Engine> verification_engine()
+      const override {
+    return options_.engine;
+  }
+
+  using core::Mapper::map;
+  [[nodiscard]] core::MappingResult map(
+      const kpn::Application& app,
+      const core::ResourceState& base) const override;
+  [[nodiscard]] core::MappingResult map(
+      const kpn::Application& app, const core::ResourceState& base,
+      const core::CancelToken* cancel) const override;
+
+ private:
+  SeriesParallelOptions options_;
+};
+
+}  // namespace rtsm::baselines

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace rtsm::core {
+
+/// Cooperative cancellation for long-running mapper calls.
+///
+/// A token combines an explicit stop flag (request_stop(), e.g. a portfolio
+/// race cancelling the losers once a winner committed) with an optional
+/// wall-clock deadline fixed at construction (a shared time budget).
+/// Mappers poll stop_requested() at natural checkpoints — a refinement
+/// round, a GA generation — and return an unsuccessful, `cancelled` result;
+/// they never abandon partial reservations, because every round works on
+/// private copies anyway. Polling is optional: a mapper that ignores its
+/// token simply runs to completion, it is just cancelled later.
+///
+/// Thread-safety: request_stop()/stop_requested() may race freely (the flag
+/// is atomic); the deadline is immutable after construction. Tokens are
+/// shared by pointer (see MappingContext::cancel) and are not copyable.
+class CancelToken {
+ public:
+  /// A token that never expires on its own (cancel via request_stop()).
+  CancelToken() = default;
+
+  /// A token that additionally expires at @p deadline.
+  explicit CancelToken(std::chrono::steady_clock::time_point deadline)
+      : deadline_(deadline), has_deadline_(true) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed) || deadline_expired();
+  }
+
+  /// True when the deadline (if any) has passed — regardless of whether
+  /// request_stop() was also called. Lets a portfolio race distinguish a
+  /// strategy cancelled by the budget from one cancelled by a winner.
+  [[nodiscard]] bool deadline_expired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  [[nodiscard]] bool has_deadline() const { return has_deadline_; }
+  [[nodiscard]] std::chrono::steady_clock::time_point deadline() const {
+    return deadline_;
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace rtsm::core

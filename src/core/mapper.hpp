@@ -5,6 +5,7 @@
 #include <string>
 
 #include "arch/platform.hpp"
+#include "core/cancellation.hpp"
 #include "core/mapping.hpp"
 #include "core/resource_state.hpp"
 #include "core/trace.hpp"
@@ -36,6 +37,12 @@ struct MappingResult {
   /// Refinement rounds (or attempts) executed.
   std::uint32_t rounds = 0;
 
+  /// The mapper stopped early because its CancelToken fired (a portfolio
+  /// race cancelled a loser, or a time budget expired). Always paired with
+  /// success == false; distinguishes "gave up on request" from "no feasible
+  /// placement exists" in per-strategy statistics.
+  bool cancelled = false;
+
   std::string failure;
 
   MappingTrace trace;
@@ -66,6 +73,18 @@ class Mapper {
   /// application.
   [[nodiscard]] virtual MappingResult map(const kpn::Application& app,
                                           const ResourceState& base) const = 0;
+
+  /// map() under cooperative cancellation: mappers that support it
+  /// (spatial, genetic, ...) poll @p cancel at round granularity and
+  /// return early with result.cancelled set; the default ignores the token
+  /// and runs to completion. @p cancel may be null. Used by portfolio
+  /// admission to cancel racing losers and enforce a shared time budget.
+  [[nodiscard]] virtual MappingResult map(const kpn::Application& app,
+                                          const ResourceState& base,
+                                          const CancelToken* cancel) const {
+    (void)cancel;
+    return map(app, base);
+  }
 
   /// Maps @p app onto an otherwise idle @p platform.
   [[nodiscard]] MappingResult map(const kpn::Application& app,

@@ -5,13 +5,20 @@
 
 namespace rtsm::core {
 
-void MapperRegistry::add(const std::string& name, std::string description,
+bool MapperRegistry::add(const std::string& name, std::string description,
                          Factory factory) {
   require(!name.empty(), "mapper registration with empty name");
   require(static_cast<bool>(factory),
           "mapper '" + name + "' registered without a factory");
-  require(find(name) == nullptr, "duplicate mapper name '" + name + "'");
+  if (find(name) != nullptr) {
+    // First registration wins; the collision is recorded, not thrown — a
+    // registry assembled from several sources should surface the problem
+    // without losing the entries that registered cleanly.
+    errors_.push_back("duplicate mapper name '" + name + "'");
+    return false;
+  }
   entries_.push_back(Entry{name, std::move(description), std::move(factory)});
+  return true;
 }
 
 bool MapperRegistry::contains(const std::string& name) const {

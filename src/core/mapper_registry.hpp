@@ -20,8 +20,20 @@ class MapperRegistry {
  public:
   using Factory = std::function<std::unique_ptr<Mapper>()>;
 
-  /// Registers @p factory under @p name. Throws rtsm::Error on duplicates.
-  void add(const std::string& name, std::string description, Factory factory);
+  /// Registers @p factory under @p name. A duplicate name is a *recorded*
+  /// error, not an exception: the first registration wins, the rejected one
+  /// is appended to errors(). (Registries are often assembled from several
+  /// sources — built-ins plus bench variants — and a collision should show
+  /// up in diagnostics without tearing down the whole assembly. It
+  /// previously threw, which benches worked around inconsistently.)
+  /// Returns whether the registration was accepted.
+  bool add(const std::string& name, std::string description, Factory factory);
+
+  /// Registration errors recorded so far (duplicate names), in occurrence
+  /// order. Empty on a cleanly assembled registry.
+  [[nodiscard]] const std::vector<std::string>& errors() const {
+    return errors_;
+  }
 
   [[nodiscard]] bool contains(const std::string& name) const;
 
@@ -47,6 +59,7 @@ class MapperRegistry {
   [[nodiscard]] const Entry* find(const std::string& name) const;
 
   std::vector<Entry> entries_;
+  std::vector<std::string> errors_;
 };
 
 }  // namespace rtsm::core

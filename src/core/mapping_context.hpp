@@ -1,6 +1,7 @@
 #pragma once
 
 #include "arch/platform.hpp"
+#include "core/cancellation.hpp"
 #include "core/feedback.hpp"
 #include "core/mapping.hpp"
 #include "core/resource_state.hpp"
@@ -46,6 +47,11 @@ struct MappingContext {
   /// warm-started buffer sizing). Null = every run_step4 recomputes from
   /// scratch; results are identical either way.
   verify::Engine* engine = nullptr;
+
+  /// Optional cooperative cancellation (see core/cancellation.hpp): a
+  /// portfolio race stopping the losers, or a shared time budget. Stages
+  /// and mappers poll it at round granularity; null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 }  // namespace rtsm::core

@@ -1,5 +1,7 @@
 #include "core/spatial_mapper.hpp"
 
+#include <string>
+
 #include "core/cost.hpp"
 #include "core/criteria.hpp"
 #include "core/mapping_context.hpp"
@@ -93,6 +95,12 @@ std::string SpatialMapper::describe() const {
 
 MappingResult SpatialMapper::map(const kpn::Application& app,
                                  const ResourceState& base) const {
+  return map(app, base, nullptr);
+}
+
+MappingResult SpatialMapper::map(const kpn::Application& app,
+                                 const ResourceState& base,
+                                 const CancelToken* cancel) const {
   app.validate();
 
   MappingResult result;
@@ -102,6 +110,12 @@ MappingResult SpatialMapper::map(const kpn::Application& app,
 
   for (std::uint32_t round = 0; round < config_.max_refinement_rounds;
        ++round) {
+    if (cancel != nullptr && cancel->stop_requested()) {
+      result.cancelled = true;
+      result.failure = "cancelled before refinement round " +
+                       std::to_string(round + 1);
+      return result;
+    }
     result.rounds = round + 1;
 
     // Each round works on a private copy of the residual resources and a
@@ -111,7 +125,7 @@ MappingResult SpatialMapper::map(const kpn::Application& app,
     MappingTrace::Round& rt = result.trace.rounds.emplace_back();
     MappingContext ctx{app,    base.platform(), state,  feedback,
                        config_.energy, mapping, rt,
-                       config_.engine.get()};
+                       config_.engine.get(), cancel};
 
     StageStatus status = select_implementations(ctx, config_, result);
     if (status == StageStatus::Proceed) status = refine_placement(ctx, config_);

@@ -65,6 +65,12 @@ class SpatialMapper final : public Mapper {
   [[nodiscard]] MappingResult map(const kpn::Application& app,
                                   const ResourceState& base) const override;
 
+  /// Cancellation-aware map(): the token is polled before every refinement
+  /// round, so a cancelled call returns within one round.
+  [[nodiscard]] MappingResult map(const kpn::Application& app,
+                                  const ResourceState& base,
+                                  const CancelToken* cancel) const override;
+
   [[nodiscard]] std::shared_ptr<verify::Engine> verification_engine()
       const override {
     return config_.engine;

@@ -9,27 +9,66 @@
 #include <vector>
 
 #include "core/fragmentation.hpp"
+#include "core/spatial_mapper.hpp"
+#include "runtime/portfolio.hpp"
 #include "runtime/preemption.hpp"
+#include "runtime/stats_report.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 
 namespace rtsm::runtime {
 
+namespace {
+
+/// Bridges the deprecated positional constructor onto the unified options
+/// surface. Copies (does not move) so the two helper calls in the
+/// delegating constructor below cannot race over @p options' contents.
+ManagerOptions legacy_manager_options(
+    std::shared_ptr<const core::Mapper> mapper,
+    std::shared_ptr<const AdmissionPolicy> policy,
+    const ConcurrentOptions& options) {
+  ManagerOptions manager;
+  manager.mapper = std::move(mapper);
+  manager.policy = std::move(policy);
+  manager.defrag = options.defrag;
+  manager.preemption = options.preemption;
+  manager.shapes = options.shapes;
+  return manager;
+}
+
+ConcurrentOptions legacy_pool_options(
+    const ConcurrentOptions& options,
+    std::shared_ptr<const PriorityPolicy> priority) {
+  ConcurrentOptions out = options;
+  if (out.priority == nullptr) out.priority = std::move(priority);
+  return out;
+}
+
+}  // namespace
+
 ConcurrentRuntimeManager::ConcurrentRuntimeManager(
-    const arch::Platform& platform, std::shared_ptr<const core::Mapper> mapper,
-    ConcurrentOptions options, std::shared_ptr<const AdmissionPolicy> policy,
-    std::shared_ptr<const PriorityPolicy> priority)
+    const arch::Platform& platform, ManagerOptions manager,
+    ConcurrentOptions options)
     : platform_(&platform),
-      mapper_(std::move(mapper)),
-      policy_(std::move(policy)),
-      priority_(std::move(priority)),
-      options_(options),
+      mapper_(manager.mapper != nullptr
+                  ? std::move(manager.mapper)
+                  : std::make_shared<core::SpatialMapper>()),
+      policy_(manager.policy != nullptr
+                  ? std::move(manager.policy)
+                  : std::make_shared<FirstFitAdmission>()),
+      priority_(options.priority != nullptr
+                    ? std::move(options.priority)
+                    : std::make_shared<FifoPriority>()),
+      options_(std::move(options)),
       state_(platform),
-      queue_(options.queue_capacity) {
-  require(mapper_ != nullptr, "ConcurrentRuntimeManager needs a mapper");
-  require(policy_ != nullptr, "ConcurrentRuntimeManager needs a policy");
-  require(priority_ != nullptr,
-          "ConcurrentRuntimeManager needs a priority policy");
+      queue_(options_.queue_capacity) {
+  // The shared surface wins: the manager-level knobs live in
+  // ManagerOptions, the copies in options_ only keep the many internal
+  // options_.defrag/preemption/shapes reads working.
+  options_.defrag = manager.defrag;
+  options_.preemption = manager.preemption;
+  options_.shapes = std::move(manager.shapes);
+  portfolio_ = make_portfolio(manager);
   require(options_.shards >= 1, "shards must be >= 1");
   require(options_.max_batch >= 1, "max_batch must be >= 1");
   require(options_.shapes == nullptr ||
@@ -54,6 +93,15 @@ ConcurrentRuntimeManager::ConcurrentRuntimeManager(
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
+
+ConcurrentRuntimeManager::ConcurrentRuntimeManager(
+    const arch::Platform& platform, std::shared_ptr<const core::Mapper> mapper,
+    ConcurrentOptions options, std::shared_ptr<const AdmissionPolicy> policy,
+    std::shared_ptr<const PriorityPolicy> priority)
+    : ConcurrentRuntimeManager(
+          platform,
+          legacy_manager_options(std::move(mapper), std::move(policy), options),
+          legacy_pool_options(options, std::move(priority))) {}
 
 ConcurrentRuntimeManager::~ConcurrentRuntimeManager() { shutdown(); }
 
@@ -82,20 +130,22 @@ std::future<AdmitOutcome> ConcurrentRuntimeManager::submit(
     ++stats_.offered;
   }
   in_flight_.fetch_add(1);
+  Job job;
+  job.request = std::move(request);
   if (options_.workers == 0) {
     // Inline mode: the caller is the only consumer, so a blocking push on
     // a full queue would deadlock this thread. Make room by pumping.
-    while (!queue_.try_push(std::move(request))) {
+    while (!queue_.try_push(std::move(job))) {
       if (queue_.closed()) {
-        reject_shut_down(std::move(request));
+        reject_shut_down(std::move(job.request));
         return future;
       }
       pump();
     }
     return future;
   }
-  if (!queue_.push(std::move(request))) {
-    reject_shut_down(std::move(request));
+  if (!queue_.push(std::move(job))) {
+    reject_shut_down(std::move(job.request));
   }
   return future;
 }
@@ -122,9 +172,9 @@ AdmitOutcome ConcurrentRuntimeManager::admit(const kpn::Application& app,
 void ConcurrentRuntimeManager::pump() {
   core::ResourceState scratch(*platform_);
   while (true) {
-    std::vector<Request> batch = queue_.try_pop_batch(options_.max_batch);
-    if (batch.empty()) return;
-    process_batch(std::move(batch), scratch);
+    std::vector<Job> jobs = queue_.try_pop_batch(options_.max_batch);
+    if (jobs.empty()) return;
+    process_jobs(std::move(jobs), scratch);
   }
 }
 
@@ -134,10 +184,28 @@ void ConcurrentRuntimeManager::worker_loop() {
   // allocating a fresh snapshot (see snapshot_state_into).
   core::ResourceState scratch(*platform_);
   while (true) {
-    std::vector<Request> batch = queue_.pop_batch(options_.max_batch);
-    if (batch.empty()) return;  // closed and drained
-    process_batch(std::move(batch), scratch);
+    std::vector<Job> jobs = queue_.pop_batch(options_.max_batch);
+    if (jobs.empty()) return;  // closed and drained
+    process_jobs(std::move(jobs), scratch);
   }
+}
+
+void ConcurrentRuntimeManager::process_jobs(std::vector<Job> jobs,
+                                            core::ResourceState& scratch) {
+  // Helper jobs first: the racing owner that queued one is blocked in
+  // close_and_wait until every claimed strategy finishes, so lending this
+  // worker to the race beats starting new admissions. A helper whose race
+  // already closed (the owner ran the strategy itself) is a no-op.
+  std::vector<Request> batch;
+  batch.reserve(jobs.size());
+  for (Job& job : jobs) {
+    if (job.race != nullptr) {
+      job.race->run(job.strategy);
+    } else {
+      batch.push_back(std::move(job.request));
+    }
+  }
+  if (!batch.empty()) process_batch(std::move(batch), scratch);
 }
 
 void ConcurrentRuntimeManager::process_batch(std::vector<Request> batch,
@@ -166,6 +234,42 @@ core::MappingResult ConcurrentRuntimeManager::run_mapper(
   request.mapping_us += elapsed_us(start);
   ++request.attempts;
   return result;
+}
+
+core::MappingResult ConcurrentRuntimeManager::run_race(
+    Request& request, const core::ResourceState& base) {
+  auto race = std::make_shared<PortfolioRace>(*portfolio_, *request.app, base);
+  // Offer strategies 1..N-1 to idle workers. try_push only: blocking on a
+  // full queue from inside a worker would deadlock the pool, and an
+  // unoffered strategy is simply run by the owner below.
+  for (std::size_t i = 1; i < portfolio_->size(); ++i) {
+    Job helper;
+    helper.race = race;
+    helper.strategy = i;
+    if (!queue_.try_push(std::move(helper))) break;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < portfolio_->size(); ++i) {
+    race->run(i);  // strategy 0 first, then whatever no helper claimed
+  }
+  RaceOutcome outcome = race->close_and_wait();
+  // The owner's wall-clock span of the race — parallel helper time shows
+  // up in the per-strategy spent_us stats, not in the request's latency.
+  request.mapping_us += elapsed_us(start);
+  request.attempts += std::max<std::uint32_t>(outcome.attempts, 1);
+  {
+    std::lock_guard lock(stats_mutex_);
+    merge_portfolio_stats(stats_, *portfolio_, outcome);
+    if (!outcome.has_winner()) ++stats_.portfolio_fallbacks;
+  }
+  if (outcome.has_winner()) {
+    request.portfolio_winner = outcome.winning_run().name;
+    return std::move(outcome.winning_run().result);
+  }
+  // Budget exhausted or every strategy failed: one unbudgeted primary run,
+  // so a mis-tuned budget degrades to the single-mapper manager.
+  request.portfolio_winner.clear();
+  return run_mapper(request, base);
 }
 
 bool ConcurrentRuntimeManager::validate_and_commit(
@@ -199,6 +303,7 @@ bool ConcurrentRuntimeManager::validate_and_commit(
   outcome.attempts = request.attempts;
   outcome.mapping_us = request.mapping_us;
   outcome.shape_hit = shape_hit;
+  outcome.portfolio_winner = std::move(request.portfolio_winner);
   outcome.mapping = std::move(result);
   resolve(std::move(request), std::move(outcome));
   return true;
@@ -290,8 +395,10 @@ void ConcurrentRuntimeManager::process_request(Request request,
   // of the mesh. The shard lock serializes planners per region (two
   // workers never plan into the same stripe at once), so shard-local
   // plans almost never hit a validation conflict; foreign-tile traffic
-  // can still conflict and is caught by validate_and_commit.
-  if (options_.shards >= 2) {
+  // can still conflict and is caught by validate_and_commit. A portfolio
+  // manager skips the stripe machinery: the race plans whole-platform
+  // (its strategies spread across the pool instead of across stripes).
+  if (options_.shards >= 2 && portfolio_ == nullptr) {
     const std::size_t s = pick_shard();
     std::unique_lock shard_lock(shards_[s]->mutex);
     masked_snapshot_into(s, scratch);
@@ -323,7 +430,11 @@ void ConcurrentRuntimeManager::process_request(Request request,
     // request must not park on it (it would miss that release's wake).
     const std::uint64_t epoch_seen = release_epoch_.load();
     snapshot_state_into(scratch);
-    core::MappingResult result = run_mapper(request, scratch);
+    // A conflict retry re-races on the fresh snapshot (fresh budget): the
+    // strategies' relative quality may change with the changed state.
+    core::MappingResult result = portfolio_ != nullptr
+                                     ? run_race(request, scratch)
+                                     : run_mapper(request, scratch);
     if (request.deadline_us > 0.0 && request.mapping_us > request.deadline_us) {
       miss(std::move(request));
       return;
@@ -431,10 +542,12 @@ void ConcurrentRuntimeManager::requeue_waiting(bool after_defrag_migration) {
   if (woken.empty()) return;
   for (Request& request : woken) {
     in_flight_.fetch_add(1);
-    if (!queue_.push(std::move(request))) {
-      // Shutting down: the queue refused (request untouched) — give up.
+    Job job;
+    job.request = std::move(request);
+    if (!queue_.push(std::move(job))) {
+      // Shutting down: the queue refused (job untouched) — give up.
       // No retry is counted: no further mapping attempt will run.
-      reject_shut_down(std::move(request));
+      reject_shut_down(std::move(job.request));
       continue;
     }
     std::lock_guard lock(stats_mutex_);
@@ -711,6 +824,15 @@ AdmissionStats ConcurrentRuntimeManager::stats() const {
   }
   out.snapshot_reuses = snapshot_reuses_.load(std::memory_order_relaxed);
   return out;
+}
+
+StatsReport ConcurrentRuntimeManager::stats_report() {
+  StatsReport report;
+  report.admission = stats();
+  report.verification = verification_stats();
+  report.shapes = shape_stats();
+  report.release_errors = drain_release_errors();
+  return report;
 }
 
 verify::EngineStats ConcurrentRuntimeManager::verification_stats() const {

@@ -13,10 +13,13 @@
 #include "arch/platform.hpp"
 #include "core/mapper.hpp"
 #include "runtime/admission.hpp"
+#include "runtime/manager_options.hpp"
 #include "runtime/request_queue.hpp"
 #include "runtime/runtime_manager.hpp"
 
 namespace rtsm::runtime {
+
+class PortfolioRace;
 
 /// Tuning knobs of the ConcurrentRuntimeManager.
 struct ConcurrentOptions {
@@ -40,6 +43,11 @@ struct ConcurrentOptions {
   /// fits). Each retry plans against a fresh snapshot.
   std::uint32_t validation_retries = 3;
 
+  /// Batch-ordering policy: how requests within one drained burst are
+  /// ranked (after the RequestClass, before arrival order). Null defaults
+  /// to FifoPriority.
+  std::shared_ptr<const PriorityPolicy> priority;
+
   /// Number of tile-region shards (vertical mesh stripes). >= 2 enables
   /// two-phase sharded admission: a request first plans confined to the
   /// least-loaded shard (per-shard lock, tiles outside the shard masked as
@@ -53,6 +61,11 @@ struct ConcurrentOptions {
   /// applications with two-phase-committed MappingDeltas. On a sharded
   /// manager the pass plans whole-platform, so it also rebalances
   /// applications across stripes.
+  ///
+  /// NOTE: defrag / preemption / shapes moved to the shared ManagerOptions
+  /// (runtime/manager_options.hpp); the fields here only feed the
+  /// deprecated positional constructor and will be removed with it. The
+  /// ManagerOptions values win on the current constructor.
   DefragOptions defrag = {};
 
   /// Preemption tuning (see runtime/admission.hpp). The victim scan,
@@ -93,6 +106,24 @@ struct ConcurrentOptions {
 ///   or when reject_waiting()/shutdown() gives up on it.
 class ConcurrentRuntimeManager {
  public:
+  /// Builds a manager from the unified options surface shared with the
+  /// serial RuntimeManager (mapper / policy / defrag / preemption / shapes
+  /// / portfolio; see runtime/manager_options.hpp) plus the pool tuning in
+  /// @p options. Null mapper / policy / priority default to SpatialMapper,
+  /// FirstFitAdmission and FifoPriority. Throws rtsm::Error when @p manager
+  /// enables the portfolio without a registry or names an unknown
+  /// strategy.
+  ConcurrentRuntimeManager(const arch::Platform& platform,
+                           ManagerOptions manager,
+                           ConcurrentOptions options = {});
+
+  /// Positional-argument constructor of earlier releases. Use the
+  /// ManagerOptions overload; this delegates (folding @p options'
+  /// defrag/preemption/shapes fields into a ManagerOptions) and will be
+  /// removed.
+  [[deprecated(
+      "use ConcurrentRuntimeManager(platform, ManagerOptions, "
+      "ConcurrentOptions)")]]
   ConcurrentRuntimeManager(
       const arch::Platform& platform,
       std::shared_ptr<const core::Mapper> mapper,
@@ -169,6 +200,13 @@ class ConcurrentRuntimeManager {
 
   [[nodiscard]] AdmissionStats stats() const;
 
+  /// One aggregate observability snapshot (admission + verification +
+  /// shape-library counters, plus the release errors drained like
+  /// drain_release_errors()). Identical shape to
+  /// RuntimeManager::stats_report(); StatsReport::to_json() is what the
+  /// benches embed.
+  [[nodiscard]] StatsReport stats_report();
+
   /// Step-4 verification-engine counters of the underlying mapper — the
   /// engine is thread-safe, so this is just a snapshot of its stats.
   /// Zeros when the mapper runs without an engine.
@@ -204,6 +242,11 @@ class ConcurrentRuntimeManager {
   }
   [[nodiscard]] const ConcurrentOptions& options() const { return options_; }
 
+  /// The portfolio raced on shape misses; null when disabled.
+  [[nodiscard]] const MapperPortfolio* portfolio() const {
+    return portfolio_.get();
+  }
+
   /// Shard index hosting @p tile (tiles are partitioned into vertical mesh
   /// stripes); always 0 when sharding is off.
   [[nodiscard]] std::size_t shard_of(TileId tile) const;
@@ -226,7 +269,21 @@ class ConcurrentRuntimeManager {
     bool defragged = false;
     /// Preemption victim re-entering the stream; never preempts again.
     bool reparked = false;
+    /// Winning strategy of the portfolio race that produced the current
+    /// plan (copied onto the outcome by validate_and_commit).
+    std::string portfolio_winner;
     std::promise<AdmitOutcome> promise;
+  };
+
+  /// One queue entry: a client admission request, or — when race is set —
+  /// a helper job lending the popping worker to another worker's portfolio
+  /// race (strategy #strategy of that race). Helpers run before the
+  /// batch's requests, carry no promise and are not counted in-flight; a
+  /// helper whose race already closed is a no-op.
+  struct Job {
+    Request request;
+    std::shared_ptr<PortfolioRace> race;
+    std::size_t strategy = 0;
   };
 
   struct Shard {
@@ -235,6 +292,9 @@ class ConcurrentRuntimeManager {
   };
 
   void worker_loop();
+  /// Runs one popped batch: helper jobs first (a racing owner may be
+  /// blocked on them), then the real requests through process_batch.
+  void process_jobs(std::vector<Job> jobs, core::ResourceState& scratch);
   /// @p scratch is the calling worker's reusable snapshot buffer (the
   /// per-attempt ResourceState copies land in it instead of freshly
   /// allocated snapshots; see stats().snapshot_reuses).
@@ -249,6 +309,17 @@ class ConcurrentRuntimeManager {
   /// One mapping attempt against @p base; updates attempt counters.
   core::MappingResult run_mapper(Request& request,
                                  const core::ResourceState& base);
+
+  /// One portfolio race against @p base: strategies 1..N-1 are offered to
+  /// idle workers as helper jobs (try_push — the owner must never block on
+  /// a full queue), the owner runs strategy 0 and then claims whatever no
+  /// helper picked up, so the race finishes with any pool size. Returns
+  /// the winner's plan, or — when the race has no winner — one unbudgeted
+  /// run of the primary mapper (portfolio_fallbacks). @p base must stay
+  /// valid for the whole call; the owner blocks in close_and_wait until
+  /// every helper is done with it.
+  core::MappingResult run_race(Request& request,
+                               const core::ResourceState& base);
 
   /// Fit re-check + reservation under the state lock. False on conflict.
   /// @p shape_hit marks the plan as a shape-library instantiation (tagged
@@ -314,6 +385,8 @@ class ConcurrentRuntimeManager {
   std::shared_ptr<const PriorityPolicy> priority_;
   ConcurrentOptions options_;
   std::unique_ptr<DefragPlanner> planner_;
+  /// Raced on shape misses; null when portfolio admission is disabled.
+  std::unique_ptr<MapperPortfolio> portfolio_;
 
   /// Guards state_ and running_ (commit + bookkeeping are one atomic
   /// step). Never held while an *admission* mapper runs; a defrag pass
@@ -339,7 +412,7 @@ class ConcurrentRuntimeManager {
   /// cannot slip between a failed attempt and the park (see try_park).
   std::atomic<std::uint64_t> release_epoch_{0};
 
-  BoundedQueue<Request> queue_;
+  BoundedQueue<Job> queue_;
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<Shard>> shards_;
 

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <utility>
 
+#include "core/spatial_mapper.hpp"
+#include "runtime/portfolio.hpp"
 #include "runtime/preemption.hpp"
+#include "runtime/stats_report.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 
@@ -84,22 +87,33 @@ double LatencyReservoir::percentile_us(double p) const {
 }
 
 RuntimeManager::RuntimeManager(const arch::Platform& platform,
+                               ManagerOptions options)
+    : state_(platform),
+      mapper_(options.mapper != nullptr
+                  ? std::move(options.mapper)
+                  : std::make_shared<core::SpatialMapper>()),
+      policy_(options.policy != nullptr
+                  ? std::move(options.policy)
+                  : std::make_shared<FirstFitAdmission>()),
+      planner_(mapper_, options.defrag),
+      preemption_(options.preemption),
+      shapes_(std::move(options.shapes)),
+      portfolio_(make_portfolio(options)) {
+  require(shapes_ == nullptr || &shapes_->platform() == &platform,
+          "shape library built for a different platform");
+}
+
+RuntimeManager::RuntimeManager(const arch::Platform& platform,
                                std::shared_ptr<const core::Mapper> mapper,
                                std::shared_ptr<const AdmissionPolicy> policy,
                                DefragOptions defrag,
                                PreemptionOptions preemption,
                                std::shared_ptr<shapes::ShapeLibrary> shapes)
-    : state_(platform),
-      mapper_((require(mapper != nullptr, "RuntimeManager needs a mapper"),
-               std::move(mapper))),
-      policy_(std::move(policy)),
-      planner_(mapper_, defrag),
-      preemption_(preemption),
-      shapes_(std::move(shapes)) {
-  require(policy_ != nullptr, "RuntimeManager needs an admission policy");
-  require(shapes_ == nullptr || &shapes_->platform() == &platform,
-          "shape library built for a different platform");
-}
+    : RuntimeManager(platform,
+                     ManagerOptions{std::move(mapper), std::move(policy),
+                                    defrag, preemption, std::move(shapes)}) {}
+
+RuntimeManager::~RuntimeManager() = default;
 
 RequestId RuntimeManager::submit(std::shared_ptr<const kpn::Application> app,
                                  double deadline_us, RequestClass cls) {
@@ -201,11 +215,9 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
   }
 
   core::MappingResult result;
+  std::string portfolio_winner;
   while (true) {
-    const auto start = std::chrono::steady_clock::now();
-    result = mapper_->map(*pending.app, state_);
-    pending.mapping_us += elapsed_us(start);
-    ++pending.attempts;
+    result = plan_admission(pending, portfolio_winner);
 
     // A successful plan may still not fit: design-time baselines ignore
     // the residual state. Screen before committing and treat a misfit as
@@ -235,6 +247,7 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
     // plan that fits the post-eviction state, so the commit path below
     // admits it like any success. Re-parked victims never preempt again.
     if (!result.success && !pending.reparked) {
+      portfolio_winner.clear();  // a preemption plan is the primary mapper's
       try_preempt(pending, result);
     }
     break;
@@ -271,6 +284,7 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
     outcome.status = AdmitStatus::Admitted;
     outcome.app_id = id;
     outcome.mapping = std::move(result);
+    outcome.portfolio_winner = std::move(portfolio_winner);
     ++stats_.admitted;
     stats_.latencies.record(pending.mapping_us);
     return outcome;
@@ -286,6 +300,50 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
   ++stats_.rejected;
   stats_.latencies.record(pending.mapping_us);
   return outcome;
+}
+
+core::MappingResult RuntimeManager::plan_admission(Pending& pending,
+                                                   std::string& winner) {
+  winner.clear();
+  if (portfolio_ == nullptr) {
+    const auto start = std::chrono::steady_clock::now();
+    core::MappingResult result = mapper_->map(*pending.app, state_);
+    pending.mapping_us += elapsed_us(start);
+    ++pending.attempts;
+    return result;
+  }
+
+  // Portfolio admission: race the configured strategies sequentially under
+  // the shared budget token (a FirstFeasible win or budget expiry skips
+  // the rest) and take the selected winner's plan.
+  const auto start = std::chrono::steady_clock::now();
+  RaceOutcome race = portfolio_->race(*pending.app, state_);
+  pending.mapping_us += elapsed_us(start);
+  pending.attempts += std::max<std::uint32_t>(race.attempts, 1);
+  merge_portfolio_stats(stats_, *portfolio_, race);
+  if (race.has_winner()) {
+    winner = race.winning_run().name;
+    return std::move(race.winning_run().result);
+  }
+
+  // No strategy produced a feasible plan inside the budget: one unbudgeted
+  // run of the primary mapper, so a mis-tuned budget degrades to the
+  // single-mapper manager instead of rejecting everything.
+  ++stats_.portfolio_fallbacks;
+  const auto fallback_start = std::chrono::steady_clock::now();
+  core::MappingResult result = mapper_->map(*pending.app, state_);
+  pending.mapping_us += elapsed_us(fallback_start);
+  ++pending.attempts;
+  return result;
+}
+
+StatsReport RuntimeManager::stats_report() {
+  StatsReport report;
+  report.admission = stats_;
+  report.verification = verification_stats();
+  report.shapes = shape_stats();
+  report.release_errors = drain_release_errors();
+  return report;
 }
 
 bool RuntimeManager::try_preempt(Pending& pending,

@@ -12,11 +12,15 @@
 #include "core/mapper.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/defrag.hpp"
+#include "runtime/manager_options.hpp"
 #include "runtime/mode_switch.hpp"
 #include "shapes/library.hpp"
 #include "verify/engine.hpp"
 
 namespace rtsm::runtime {
+
+class MapperPortfolio;
+struct StatsReport;
 
 /// Identifier of a submitted admission request.
 using RequestId = std::uint64_t;
@@ -49,6 +53,10 @@ struct AdmitOutcome {
   /// Admitted from the shape library (anchor instantiation of a learned
   /// placement) instead of a full mapper run.
   bool shape_hit = false;
+  /// Name of the portfolio strategy whose plan was committed; empty when
+  /// the portfolio is disabled, the admission was a shape hit, or the
+  /// unbudgeted fallback run of the primary mapper produced the plan.
+  std::string portfolio_winner;
 };
 
 /// A release request that could not be honoured: the id was never admitted
@@ -100,6 +108,17 @@ class LatencyReservoir {
   std::uint64_t rng_ = 0x2545f4914f6cdd1dull;
 };
 
+/// Per-strategy tallies of portfolio admission (see runtime/portfolio.hpp);
+/// indexed like PortfolioOptions::strategies.
+struct PortfolioStrategyStats {
+  std::string name;
+  std::uint64_t runs = 0;      ///< Races in which the strategy started.
+  std::uint64_t wins = 0;      ///< Races whose plan this strategy supplied.
+  std::uint64_t losses = 0;    ///< Ran (or was cancelled mid-run) but lost.
+  std::uint64_t timeouts = 0;  ///< Stopped/skipped by the expired budget.
+  double spent_us = 0.0;       ///< Summed mapper wall-clock.
+};
+
 /// Counters and latency distribution of the admission stream.
 struct AdmissionStats {
   std::uint64_t offered = 0;    ///< Admit requests submitted.
@@ -141,6 +160,15 @@ struct AdmissionStats {
   /// Snapshot copies served by reusing a per-worker scratch ResourceState
   /// instead of allocating a fresh one (concurrent manager only).
   std::uint64_t snapshot_reuses = 0;
+
+  // -- portfolio admission (see runtime/portfolio.hpp) ---------------------
+  std::uint64_t portfolio_races = 0;  ///< Races run on shape-library misses.
+  /// Races that produced no feasible plan (budget exhausted or every
+  /// strategy failed); the primary mapper then ran once, unbudgeted.
+  std::uint64_t portfolio_fallbacks = 0;
+  /// Per-strategy wins/losses/timeouts/budget spend; empty until the first
+  /// race.
+  std::vector<PortfolioStrategyStats> portfolio;
 
   // -- preemption (see PreemptionOptions in runtime/admission.hpp) ---------
   std::uint64_t preemption_grants = 0;     ///< Arrivals admitted by evicting.
@@ -205,6 +233,17 @@ bool record_switch_stats(AdmissionStats& stats, const SwitchOutcome& out);
 /// every use, nothing they do can make a stored shape stale.
 class RuntimeManager {
  public:
+  /// Builds a manager from the unified options surface (shared with the
+  /// concurrent manager; see runtime/manager_options.hpp). Null mapper /
+  /// policy default to SpatialMapper / FirstFitAdmission, so
+  /// `RuntimeManager(platform, {})` is a paper-faithful manager. Throws
+  /// rtsm::Error when options enable the portfolio without a registry or
+  /// name an unknown strategy.
+  RuntimeManager(const arch::Platform& platform, ManagerOptions options);
+
+  /// Positional-argument constructor of earlier releases. Use the
+  /// ManagerOptions overload; this delegates and will be removed.
+  [[deprecated("use RuntimeManager(platform, ManagerOptions)")]]
   RuntimeManager(const arch::Platform& platform,
                  std::shared_ptr<const core::Mapper> mapper,
                  std::shared_ptr<const AdmissionPolicy> policy =
@@ -212,6 +251,8 @@ class RuntimeManager {
                  DefragOptions defrag = {},
                  PreemptionOptions preemption = {},
                  std::shared_ptr<shapes::ShapeLibrary> shapes = nullptr);
+
+  ~RuntimeManager();
 
   /// Queues an admission request. @p deadline_us > 0 bounds the mapper's
   /// wall-clock budget; exceeding it counts as a deadline miss. @p cls is
@@ -285,6 +326,13 @@ class RuntimeManager {
 
   [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
 
+  /// One aggregate observability snapshot — admission counters, verify-
+  /// engine counters, shape-library counters and the release errors
+  /// recorded since the last report (drained, like
+  /// drain_release_errors()). Shared shape with the concurrent manager;
+  /// StatsReport::to_json() is what the benches embed.
+  [[nodiscard]] StatsReport stats_report();
+
   /// Step-4 verification-engine counters of the underlying mapper (cache
   /// hits/misses across admissions, simulations and events saved). Zeros
   /// when the mapper runs without an engine.
@@ -305,6 +353,11 @@ class RuntimeManager {
   [[nodiscard]] const AdmissionPolicy& policy() const { return *policy_; }
   [[nodiscard]] const DefragOptions& defrag_options() const {
     return planner_.options();
+  }
+
+  /// The portfolio this manager races on shape misses; null when disabled.
+  [[nodiscard]] const MapperPortfolio* portfolio() const {
+    return portfolio_.get();
   }
 
   /// Runs one defragmentation pass right now, regardless of policy, and
@@ -355,6 +408,13 @@ class RuntimeManager {
   /// Runs one mapping attempt for @p pending; returns the outcome, or
   /// nothing when the policy parked the request for a retry.
   [[nodiscard]] std::optional<AdmitOutcome> process_admit(Pending pending);
+
+  /// One planning attempt against the live state: a portfolio race when
+  /// configured (with one unbudgeted primary-mapper run as the fallback
+  /// when the race has no winner), the primary mapper alone otherwise.
+  /// Updates @p pending's attempt/time counters and the portfolio stats;
+  /// @p winner receives the winning strategy's name (cleared otherwise).
+  core::MappingResult plan_admission(Pending& pending, std::string& winner);
   void process_release(AppId id, RequestId request);
 
   /// Tries to admit @p pending by evicting lower-priority preemptible
@@ -379,6 +439,8 @@ class RuntimeManager {
   DefragPlanner planner_;
   PreemptionOptions preemption_;
   std::shared_ptr<shapes::ShapeLibrary> shapes_;
+  /// Raced on shape misses; null when portfolio admission is disabled.
+  std::unique_ptr<MapperPortfolio> portfolio_;
 
   std::deque<Pending> queue_;
   std::vector<Pending> waiting_;

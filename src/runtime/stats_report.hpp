@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/runtime_manager.hpp"
+#include "shapes/library.hpp"
+#include "verify/engine.hpp"
+
+namespace rtsm::runtime {
+
+/// One aggregate observability snapshot, produced identically by
+/// RuntimeManager::stats_report() and
+/// ConcurrentRuntimeManager::stats_report(). It replaces the four separate
+/// stats()/verification_stats()/shape_stats()/drain_release_errors()
+/// round-trips every JSON-emitting bench used to hand-roll — the benches
+/// now embed to_json() as one sub-object next to their gated metrics.
+struct StatsReport {
+  AdmissionStats admission;
+  verify::EngineStats verification;
+  shapes::ShapeLibraryStats shapes;
+  /// Release errors recorded since the last report; taking a report drains
+  /// the manager's buffer exactly like drain_release_errors().
+  std::vector<ReleaseError> release_errors;
+
+  /// The report as one JSON object with keys "admission" (counters,
+  /// latency percentiles, defrag / shapes / preemption / switch /
+  /// portfolio sub-objects), "verification", "shape_library" and
+  /// "release_errors".
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace rtsm::runtime

@@ -101,7 +101,7 @@ TEST(BoundedQueue, PushPopBatchCloseSemantics) {
 
 TEST(ConcurrentRuntimeManager, AdmitsAndReleasesWithWorkerPool) {
   const auto platform = test::small_platform();
-  ConcurrentRuntimeManager manager(platform, paper_mapper(),
+  ConcurrentRuntimeManager manager(platform, {.mapper = paper_mapper()},
                                    {.workers = 2, .queue_capacity = 16});
   const auto started = manager.admit(compute_app(2));
   ASSERT_EQ(started.status, AdmitStatus::Admitted) << started.mapping.failure;
@@ -121,7 +121,7 @@ TEST(ConcurrentRuntimeManager, EightThreadAdmitReleaseStress) {
   // the surviving reservations and every counter must balance.
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(),
+      platform, {.mapper = paper_mapper()},
       {.workers = 4, .queue_capacity = 32, .max_batch = 4});
   const auto app = compute_app(2);  // two 2-stage apps fill the 4 tiles
 
@@ -178,7 +178,7 @@ TEST(ConcurrentRuntimeManager, StressWithoutReleasesMatchesSerialReplay) {
   // requests won the race, the final state must replay serially.
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(),
+      platform, {.mapper = paper_mapper()},
       {.workers = 4, .queue_capacity = 64, .max_batch = 8});
   const auto app = compute_app(2);
 
@@ -203,7 +203,7 @@ TEST(ConcurrentRuntimeManager, InlinePumpFromManyThreads) {
   // not lose or double-process requests.
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(),
+      platform, {.mapper = paper_mapper()},
       {.workers = 0, .queue_capacity = 64, .max_batch = 4});
   const auto app = compute_app(2);
 
@@ -227,7 +227,7 @@ TEST(ConcurrentRuntimeManager, InlineSubmitPumpsWhenQueueFull) {
   // so it must make room by pumping inline instead of deadlocking.
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(),
+      platform, {.mapper = paper_mapper()},
       {.workers = 0, .queue_capacity = 2, .max_batch = 2});
   const auto app = std::make_shared<kpn::Application>(compute_app(2));
 
@@ -247,10 +247,11 @@ TEST(ConcurrentRuntimeManager, BatchIsReorderedByPriorityPolicy) {
   // must decide the admission (= resolution) order, not arrival order.
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(),
-      {.workers = 0, .queue_capacity = 16, .max_batch = 8},
-      std::make_shared<FirstFitAdmission>(),
-      std::make_shared<SmallestFirstPriority>());
+      platform, {.mapper = paper_mapper()},
+      {.workers = 0,
+       .queue_capacity = 16,
+       .max_batch = 8,
+       .priority = std::make_shared<SmallestFirstPriority>()});
 
   auto large = std::make_shared<kpn::Application>(compute_app(4));
   auto medium = std::make_shared<kpn::Application>(compute_app(3));
@@ -274,7 +275,7 @@ TEST(ConcurrentRuntimeManager, BatchIsReorderedByPriorityPolicy) {
 TEST(ConcurrentRuntimeManager, FifoPriorityKeepsArrivalOrder) {
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(),
+      platform, {.mapper = paper_mapper()},
       {.workers = 0, .queue_capacity = 16, .max_batch = 8});
   auto f1 = manager.submit(std::make_shared<kpn::Application>(compute_app(3)));
   auto f2 = manager.submit(std::make_shared<kpn::Application>(compute_app(2)));
@@ -291,7 +292,7 @@ TEST(ConcurrentRuntimeManager, ShardedModeAdmitsWithFallback) {
   // the bookkeeping must stay replayable.
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(),
+      platform, {.mapper = paper_mapper()},
       {.workers = 2, .queue_capacity = 16, .shards = 2});
 
   // Every tile belongs to exactly one shard and both shards are used.
@@ -320,8 +321,9 @@ TEST(ConcurrentRuntimeManager, ShardedModeAdmitsWithFallback) {
 TEST(ConcurrentRuntimeManager, RetryPolicyParksAndReleaseWakes) {
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(), {.workers = 2, .queue_capacity = 16},
-      std::make_shared<RetryAdmission>(3));
+      platform,
+      {.mapper = paper_mapper(), .policy = std::make_shared<RetryAdmission>(3)},
+      {.workers = 2, .queue_capacity = 16});
   // Needs both BIG tiles: one instance saturates them.
   const auto big_only = compute_app(2, /*little_wcet_cc=*/0);
 
@@ -352,8 +354,10 @@ TEST(ConcurrentRuntimeManager, RetryChurnDoesNotStrandParkedRequests) {
   // every one of these competing requests must eventually resolve.
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(), {.workers = 3, .queue_capacity = 32},
-      std::make_shared<RetryAdmission>(100));
+      platform,
+      {.mapper = paper_mapper(),
+       .policy = std::make_shared<RetryAdmission>(100)},
+      {.workers = 3, .queue_capacity = 32});
   // Needs both BIG tiles: only one instance can run at a time.
   const auto big_only = compute_app(2, /*little_wcet_cc=*/0);
 
@@ -389,8 +393,9 @@ TEST(ConcurrentRuntimeManager, RetryChurnDoesNotStrandParkedRequests) {
 TEST(ConcurrentRuntimeManager, RejectWaitingResolvesParkedFutures) {
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(), {.workers = 1, .queue_capacity = 16},
-      std::make_shared<RetryAdmission>(5));
+      platform,
+      {.mapper = paper_mapper(), .policy = std::make_shared<RetryAdmission>(5)},
+      {.workers = 1, .queue_capacity = 16});
   // Impossible: 5 BIG-only stages on 2 BIG tiles — parked forever.
   auto parked = manager.submit(std::make_shared<kpn::Application>(
       compute_app(5, /*little_wcet_cc=*/0)));
@@ -409,8 +414,10 @@ TEST(ConcurrentRuntimeManager, ShutdownResolvesEverything) {
   std::future<AdmitOutcome> parked;
   {
     ConcurrentRuntimeManager manager(
-        platform, paper_mapper(), {.workers = 2, .queue_capacity = 16},
-        std::make_shared<RetryAdmission>(5));
+        platform,
+        {.mapper = paper_mapper(),
+         .policy = std::make_shared<RetryAdmission>(5)},
+        {.workers = 2, .queue_capacity = 16});
     parked = manager.submit(std::make_shared<kpn::Application>(
         compute_app(5, /*little_wcet_cc=*/0)));
     manager.wait_idle();
@@ -425,9 +432,11 @@ TEST(ConcurrentRuntimeManager, ParkedRequestIsReattemptedAfterDefragPass) {
   // compacts the row into a contiguous hole and the woken retry admits.
   const auto platform = row_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(),
-      {.workers = 0, .queue_capacity = 16, .defrag = on_release_defrag()},
-      std::make_shared<RetryAdmission>(5));
+      platform,
+      {.mapper = paper_mapper(),
+       .policy = std::make_shared<RetryAdmission>(5),
+       .defrag = on_release_defrag()},
+      {.workers = 0, .queue_capacity = 16});
 
   const auto one = fixture_app(1);
   std::vector<AppId> ids;
@@ -488,8 +497,8 @@ TEST(ConcurrentRuntimeManager, OnRejectDefragGivesTheRequestASecondChance) {
   DefragOptions defrag;
   defrag.policy = DefragPolicy::OnReject;
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(),
-      {.workers = 0, .queue_capacity = 16, .defrag = defrag});
+      platform, {.mapper = paper_mapper(), .defrag = defrag},
+      {.workers = 0, .queue_capacity = 16});
 
   std::vector<AppId> ids;
   for (int i = 0; i < 3; ++i) {
@@ -516,11 +525,8 @@ TEST(ConcurrentRuntimeManager, EightThreadStressWithDefragOn) {
   // lock. Counters must balance and the final state must replay serially.
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(),
-      {.workers = 4,
-       .queue_capacity = 32,
-       .max_batch = 4,
-       .defrag = on_release_defrag(0.1)});
+      platform, {.mapper = paper_mapper(), .defrag = on_release_defrag(0.1)},
+      {.workers = 4, .queue_capacity = 32, .max_batch = 4});
   const auto app = compute_app(2);
 
   constexpr std::uint32_t kThreads = 8;
@@ -566,11 +572,8 @@ TEST(ConcurrentRuntimeManager, ShardedStressWithDefragRebalances) {
   // must survive the combination under churn.
   const auto platform = test::small_platform();
   ConcurrentRuntimeManager manager(
-      platform, paper_mapper(),
-      {.workers = 2,
-       .queue_capacity = 32,
-       .shards = 2,
-       .defrag = on_release_defrag(0.1)});
+      platform, {.mapper = paper_mapper(), .defrag = on_release_defrag(0.1)},
+      {.workers = 2, .queue_capacity = 32, .shards = 2});
   const auto app = compute_app(2);
 
   std::vector<std::thread> clients;
@@ -601,7 +604,7 @@ TEST(ConcurrentRuntimeManager, ShardedStressWithDefragRebalances) {
 
 TEST(ConcurrentRuntimeManager, UnknownReleaseIsReportedError) {
   const auto platform = test::small_platform();
-  ConcurrentRuntimeManager manager(platform, paper_mapper(),
+  ConcurrentRuntimeManager manager(platform, {.mapper = paper_mapper()},
                                    {.workers = 1, .queue_capacity = 8});
   EXPECT_FALSE(manager.release(AppId{99}));
   EXPECT_EQ(manager.stats().release_errors, 1u);
@@ -619,7 +622,7 @@ TEST(ConcurrentRuntimeManager, UnknownReleaseIsReportedError) {
 
 TEST(ConcurrentRuntimeManager, DeadlineMissBooksNothing) {
   const auto platform = test::small_platform();
-  ConcurrentRuntimeManager manager(platform, paper_mapper(),
+  ConcurrentRuntimeManager manager(platform, {.mapper = paper_mapper()},
                                    {.workers = 1, .queue_capacity = 8});
   const auto result = manager.admit(compute_app(2), /*deadline_us=*/1e-3);
   EXPECT_EQ(result.status, AdmitStatus::DeadlineMiss);

@@ -207,8 +207,8 @@ TEST(MigrationCostModel, CostGrowsWithDistanceAndIsZeroWhenUnmoved) {
 TEST(DefragPlanner, PassCompactsScatteredRowAndKeepsBookkeepingExact) {
   const auto platform = row_platform();
   const auto app = one_stage_app();
-  runtime::RuntimeManager manager(platform,
-                                  std::make_shared<core::SpatialMapper>());
+  runtime::RuntimeManager manager(
+      platform, {.mapper = std::make_shared<core::SpatialMapper>()});
   std::vector<AppId> ids;
   for (int i = 0; i < 4; ++i) {
     const auto outcome = manager.admit(app);
@@ -247,8 +247,8 @@ TEST(DefragPlanner, RespectsMigrationBudget) {
   runtime::DefragOptions defrag;
   defrag.migration_budget_us = 1e-6;  // far below any real transfer
   runtime::RuntimeManager manager(
-      platform, std::make_shared<core::SpatialMapper>(),
-      std::make_shared<runtime::FirstFitAdmission>(), defrag);
+      platform,
+      {.mapper = std::make_shared<core::SpatialMapper>(), .defrag = defrag});
   std::vector<AppId> ids;
   for (int i = 0; i < 4; ++i) {
     ids.push_back(manager.admit(app).app_id);
@@ -269,8 +269,9 @@ TEST(RuntimeManagerDefrag, OnReleaseThresholdRunsBeforeWakingParked) {
   defrag.policy = runtime::DefragPolicy::OnReleaseThreshold;
   defrag.fragmentation_threshold = 0.3;
   runtime::RuntimeManager manager(
-      platform, std::make_shared<core::SpatialMapper>(),
-      std::make_shared<runtime::RetryAdmission>(4), defrag);
+      platform, {.mapper = std::make_shared<core::SpatialMapper>(),
+                 .policy = std::make_shared<runtime::RetryAdmission>(4),
+                 .defrag = defrag});
 
   std::vector<AppId> ids;
   for (int i = 0; i < 4; ++i) {
@@ -323,8 +324,8 @@ TEST(RuntimeManagerDefrag, OnRejectCompactsAndRetriesTheRequest) {
   runtime::DefragOptions defrag;
   defrag.policy = runtime::DefragPolicy::OnReject;
   runtime::RuntimeManager manager(
-      platform, std::make_shared<core::SpatialMapper>(),
-      std::make_shared<runtime::FirstFitAdmission>(), defrag);
+      platform,
+      {.mapper = std::make_shared<core::SpatialMapper>(), .defrag = defrag});
 
   std::vector<AppId> ids;
   for (int i = 0; i < 3; ++i) {

@@ -16,12 +16,13 @@ namespace {
 
 TEST(MapperRegistry, BuiltinsArePresent) {
   const core::MapperRegistry registry = baselines::builtin_mappers();
-  EXPECT_EQ(registry.size(), 5u);
-  for (const char* name :
-       {"spatial", "annealing", "clustering", "exhaustive", "random"}) {
+  EXPECT_EQ(registry.size(), 8u);
+  for (const char* name : {"spatial", "annealing", "clustering", "exhaustive",
+                           "random", "list", "series-parallel", "genetic"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     EXPECT_FALSE(registry.description(name).empty()) << name;
   }
+  EXPECT_TRUE(registry.errors().empty());
 }
 
 TEST(MapperRegistry, CreateReturnsMapperWithMatchingName) {
@@ -47,14 +48,20 @@ TEST(MapperRegistry, UnknownNameFailsCleanly) {
   }
 }
 
-TEST(MapperRegistry, DuplicateRegistrationThrows) {
+TEST(MapperRegistry, DuplicateRegistrationIsRecordedNotThrown) {
+  // A duplicate name is a recorded error: the first registration wins, the
+  // rejected one lands in errors() so a portfolio config can surface it.
   core::MapperRegistry registry;
-  registry.add("m", "a mapper",
-               [] { return std::make_unique<core::SpatialMapper>(); });
-  EXPECT_THROW(
-      registry.add("m", "again",
-                   [] { return std::make_unique<core::SpatialMapper>(); }),
-      Error);
+  EXPECT_TRUE(registry.add("m", "a mapper", [] {
+    return std::make_unique<core::SpatialMapper>();
+  }));
+  EXPECT_FALSE(registry.add("m", "again", [] {
+    return std::make_unique<core::SpatialMapper>();
+  }));
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.description("m"), "a mapper");
+  ASSERT_EQ(registry.errors().size(), 1u);
+  EXPECT_NE(registry.errors().front().find("'m'"), std::string::npos);
 }
 
 TEST(MapperRegistry, NamesKeepRegistrationOrder) {

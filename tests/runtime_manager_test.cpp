@@ -18,7 +18,8 @@ RuntimeManager make_manager(
     const arch::Platform& platform,
     std::shared_ptr<const AdmissionPolicy> policy =
         std::make_shared<FirstFitAdmission>()) {
-  return RuntimeManager(platform, paper_mapper(), std::move(policy));
+  return RuntimeManager(platform,
+                        {.mapper = paper_mapper(), .policy = std::move(policy)});
 }
 
 TEST(RuntimeManager, AdmitsAndReleases) {

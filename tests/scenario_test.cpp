@@ -135,7 +135,7 @@ TEST(LatencyReservoir, ManagerStatsStayBoundedUnderChurn) {
   // Through the real manager: sustained admit/release churn may not grow
   // the latency sample past the reservoir bound.
   const auto platform = test::small_platform();
-  RuntimeManager manager(platform, paper_mapper());
+  RuntimeManager manager(platform, {.mapper = paper_mapper()});
   test::PipelineSpec spec;
   spec.stages = 1;
   const auto app = test::pipeline_app(spec);
@@ -155,14 +155,15 @@ TEST(LatencyReservoir, ManagerStatsStayBoundedUnderChurn) {
 TEST(ReleaseSemantics, BothManagersRecordUnknownReleaseIdentically) {
   const auto platform = test::small_platform();
 
-  RuntimeManager serial(platform, paper_mapper());
+  RuntimeManager serial(platform, {.mapper = paper_mapper()});
   EXPECT_FALSE(serial.release(AppId{7}));
   EXPECT_EQ(serial.stats().release_errors, 1u);
   ASSERT_EQ(serial.drain_release_errors().size(), 1u);
 
   ConcurrentOptions options;
   options.workers = 0;
-  ConcurrentRuntimeManager concurrent(platform, paper_mapper(), options);
+  ConcurrentRuntimeManager concurrent(platform,
+                                      {.mapper = paper_mapper()}, options);
   EXPECT_FALSE(concurrent.release(AppId{7}));
   EXPECT_EQ(concurrent.stats().release_errors, 1u);
   ASSERT_EQ(concurrent.drain_release_errors().size(), 1u);
@@ -172,7 +173,7 @@ TEST(ReleaseSemantics, BothManagersRecordUnknownReleaseIdentically) {
 
 TEST(ModeSwitch, InPlaceSwitchKeepsInstanceId) {
   const auto platform = workload::make_paper_platform();
-  RuntimeManager manager(platform, paper_mapper());
+  RuntimeManager manager(platform, {.mapper = paper_mapper()});
   const auto qpsk = workload::hiperlan2_mode_variant(
       workload::Hiperlan2Mode::QPSK);
   const auto started = manager.admit(qpsk);
@@ -200,7 +201,7 @@ TEST(ModeSwitch, InPlaceSwitchKeepsInstanceId) {
 
 TEST(ModeSwitch, SweepsAllModesInPlace) {
   const auto platform = workload::make_paper_platform();
-  RuntimeManager manager(platform, paper_mapper());
+  RuntimeManager manager(platform, {.mapper = paper_mapper()});
   const auto first = workload::hiperlan2_mode_variant(
       workload::kHiperlan2Modes.front().mode);
   const auto started = manager.admit(first);
@@ -222,7 +223,7 @@ TEST(ModeSwitch, SweepsAllModesInPlace) {
 
 TEST(ModeSwitch, RollsBackOnMisfitKeepingOldMode) {
   const auto platform = test::small_platform();
-  RuntimeManager manager(platform, paper_mapper());
+  RuntimeManager manager(platform, {.mapper = paper_mapper()});
   test::PipelineSpec spec;
   spec.stages = 2;
   const auto started = manager.admit(test::pipeline_app(spec));
@@ -249,7 +250,7 @@ TEST(ModeSwitch, RollsBackOnMisfitKeepingOldMode) {
 
 TEST(ModeSwitch, UnknownIdIsRecordedNotFatal) {
   const auto platform = test::small_platform();
-  RuntimeManager manager(platform, paper_mapper());
+  RuntimeManager manager(platform, {.mapper = paper_mapper()});
   const auto next =
       std::make_shared<kpn::Application>(test::pipeline_app({.stages = 1}));
   const SwitchOutcome out = manager.switch_mode(AppId{99}, next);
@@ -263,8 +264,9 @@ TEST(ModeSwitch, CommittedSwitchWakesParkedRequests) {
   const auto platform =
       test::small_platform(200'000'000, 200'000'000, 64 * 1024,
                            /*io_slots=*/4);
-  RuntimeManager manager(platform, paper_mapper(),
-                         std::make_shared<RetryAdmission>());
+  RuntimeManager manager(
+      platform, {.mapper = paper_mapper(),
+                 .policy = std::make_shared<RetryAdmission>()});
   test::PipelineSpec wide;
   wide.stages = 4;         // one ~0.9 stage per compute tile: platform full
   wide.big_wcet_cc = 700;
@@ -302,7 +304,7 @@ TEST(ModeSwitch, CommittedSwitchWakesParkedRequests) {
 
 TEST(ModeSwitch, DisplayNamesDistinguishCollidingGraphNames) {
   const auto platform = scenario_platform();
-  RuntimeManager manager(platform, paper_mapper());
+  RuntimeManager manager(platform, {.mapper = paper_mapper()});
   const auto app = workload::hiperlan2_mode_variant(
       workload::Hiperlan2Mode::BPSK);
   const auto a = manager.admit(app);
@@ -322,7 +324,7 @@ TEST(Preemption, HighPriorityArrivalEvictsAndVictimIsReparked) {
   const auto platform =
       test::small_platform(200'000'000, 200'000'000, 64 * 1024,
                            /*io_slots=*/4);
-  RuntimeManager manager(platform, paper_mapper());
+  RuntimeManager manager(platform, {.mapper = paper_mapper()});
   test::PipelineSpec spec;
   spec.stages = 2;
   spec.big_wcet_cc = 700;  // each stage ~0.9 of a BIG/LITTLE tile
@@ -357,7 +359,7 @@ TEST(Preemption, NonPreemptibleAndEqualPriorityAreSafe) {
   const auto platform =
       test::small_platform(200'000'000, 200'000'000, 64 * 1024,
                            /*io_slots=*/4);
-  RuntimeManager manager(platform, paper_mapper());
+  RuntimeManager manager(platform, {.mapper = paper_mapper()});
   test::PipelineSpec spec;
   spec.stages = 2;
   spec.big_wcet_cc = 700;
@@ -382,7 +384,8 @@ TEST(Preemption, ConcurrentManagerEvictsUnderTheStateLock) {
                            /*io_slots=*/4);
   ConcurrentOptions options;
   options.workers = 0;  // deterministic inline pump
-  ConcurrentRuntimeManager manager(platform, paper_mapper(), options);
+  ConcurrentRuntimeManager manager(platform, {.mapper = paper_mapper()},
+                                   options);
   test::PipelineSpec spec;
   spec.stages = 2;
   spec.big_wcet_cc = 700;
@@ -439,7 +442,7 @@ TEST(ScenarioDriver, RunsModeChurnOnSerialManagerWithCleanOracle) {
   params.hiperlan_fraction = 0.5;
   const Schedule schedule = make_mode_churn_schedule(params, 20080310);
 
-  RuntimeManager manager(platform, paper_mapper());
+  RuntimeManager manager(platform, {.mapper = paper_mapper()});
   SerialTarget target(manager);
   ScenarioDriver driver(target, schedule);
   const ScenarioStats stats = driver.run();
@@ -464,12 +467,12 @@ TEST(ScenarioDriver, NaiveReplayNeverBeatsInPlaceOnLosses) {
   params.hiperlan_fraction = 0.5;
   const Schedule schedule = make_mode_churn_schedule(params, 20080310);
 
-  RuntimeManager inplace_mgr(platform, paper_mapper());
+  RuntimeManager inplace_mgr(platform, {.mapper = paper_mapper()});
   SerialTarget inplace_target(inplace_mgr);
   const ScenarioStats inplace =
       ScenarioDriver(inplace_target, schedule).run();
 
-  RuntimeManager naive_mgr(platform, paper_mapper());
+  RuntimeManager naive_mgr(platform, {.mapper = paper_mapper()});
   SerialTarget naive_target(naive_mgr);
   ScenarioOptions naive_options;
   naive_options.naive_switch = true;
@@ -494,7 +497,8 @@ TEST(ScenarioDriver, DrivesConcurrentManagerInPumpMode) {
 
   ConcurrentOptions options;
   options.workers = 0;
-  ConcurrentRuntimeManager manager(platform, paper_mapper(), options);
+  ConcurrentRuntimeManager manager(platform, {.mapper = paper_mapper()},
+                                   options);
   ConcurrentTarget target(manager);
   const ScenarioStats stats = ScenarioDriver(target, schedule).run();
 
@@ -510,7 +514,8 @@ TEST(ScenarioStress, EightThreadModeChurn) {
   ConcurrentOptions options;
   options.workers = 4;
   options.queue_capacity = 64;
-  ConcurrentRuntimeManager manager(platform, paper_mapper(), options);
+  ConcurrentRuntimeManager manager(platform, {.mapper = paper_mapper()},
+                                   options);
 
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 10;

@@ -267,9 +267,8 @@ TEST(ShapeLibrary, SkeletonKeyIgnoresNamesButNotStructure) {
 TEST(RuntimeManagerShapes, MissLearnsThenHitTransfersOutcome) {
   const auto platform = pe_mesh(4, 4);
   auto shapes = std::make_shared<ShapeLibrary>(platform);
-  runtime::RuntimeManager manager(
-      platform, paper_mapper(),
-      std::make_shared<runtime::FirstFitAdmission>(), {}, {}, shapes);
+  runtime::RuntimeManager manager(platform,
+                                  {.mapper = paper_mapper(), .shapes = shapes});
   const auto app = pe_chain(3, "serial");
 
   const auto first = manager.admit(app);
@@ -308,9 +307,8 @@ TEST(RuntimeManagerShapes, TranslatedHitAvoidsOccupiedTiles) {
   // tiles, so the hit must re-anchor the shape elsewhere.
   const auto platform = pe_mesh(4, 4, /*slots=*/1);
   auto shapes = std::make_shared<ShapeLibrary>(platform);
-  runtime::RuntimeManager manager(
-      platform, paper_mapper(),
-      std::make_shared<runtime::FirstFitAdmission>(), {}, {}, shapes);
+  runtime::RuntimeManager manager(platform,
+                                  {.mapper = paper_mapper(), .shapes = shapes});
   const auto app = pe_chain(2, "translated");
 
   const auto first = manager.admit(app);
@@ -329,9 +327,8 @@ TEST(RuntimeManagerShapes, PinnedFixturesCollapseAnchors) {
   const auto platform =
       test::small_platform(200'000'000, 200'000'000, 64 * 1024, /*io_slots=*/4);
   auto shapes = std::make_shared<ShapeLibrary>(platform);
-  runtime::RuntimeManager manager(
-      platform, paper_mapper(),
-      std::make_shared<runtime::FirstFitAdmission>(), {}, {}, shapes);
+  runtime::RuntimeManager manager(platform,
+                                  {.mapper = paper_mapper(), .shapes = shapes});
   test::PipelineSpec spec;
   spec.stages = 1;
   spec.little_wcet_cc = 0;
@@ -350,9 +347,8 @@ TEST(RuntimeManagerShapes, PinnedFixturesCollapseAnchors) {
 TEST(RuntimeManagerShapes, DefragAndModeSwitchBypassTheLibrary) {
   const auto platform = pe_mesh(4, 4);
   auto shapes = std::make_shared<ShapeLibrary>(platform);
-  runtime::RuntimeManager manager(
-      platform, paper_mapper(),
-      std::make_shared<runtime::FirstFitAdmission>(), {}, {}, shapes);
+  runtime::RuntimeManager manager(platform,
+                                  {.mapper = paper_mapper(), .shapes = shapes});
   const auto app = pe_chain(3, "bypass");
 
   const auto a = manager.admit(app);
@@ -389,8 +385,8 @@ TEST(ConcurrentManagerShapes, SharedLibraryStress) {
   runtime::ConcurrentOptions opts;
   opts.workers = 8;
   opts.shards = 2;
-  opts.shapes = shapes;
-  runtime::ConcurrentRuntimeManager manager(platform, paper_mapper(), opts);
+  runtime::ConcurrentRuntimeManager manager(
+      platform, {.mapper = paper_mapper(), .shapes = shapes}, opts);
   const auto app = std::make_shared<kpn::Application>(pe_chain(3, "stress"));
 
   std::uint64_t admitted_seen = 0;

@@ -356,8 +356,8 @@ TEST(EngineConcurrency, SharedCacheUnderContention) {
 TEST(RuntimeIntegration, RepeatAdmissionsHitTheSharedCache) {
   const auto platform = test::small_platform();
   const auto app = test::pipeline_app({.stages = 2});
-  runtime::RuntimeManager manager(platform,
-                                  std::make_shared<core::SpatialMapper>());
+  runtime::RuntimeManager manager(
+      platform, {.mapper = std::make_shared<core::SpatialMapper>()});
 
   const auto first = manager.admit(app);
   ASSERT_EQ(first.status, runtime::AdmitStatus::Admitted);
