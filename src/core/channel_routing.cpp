@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "noc/route.hpp"
+#include "noc/route_cache.hpp"
 #include "util/error.hpp"
 
 namespace rtsm::core {
@@ -29,10 +30,15 @@ Step3Outcome run_step3(MappingContext& ctx, const Step3Options& options) {
     const TileId dst = mapping.tile_of(c.dst);
     const double demand = app.tokens_per_second(cid);
 
+    const noc::RoutePolicy policy = options.xy_routing
+                                        ? noc::RoutePolicy::Xy
+                                        : noc::RoutePolicy::Shortest;
     const auto path =
-        options.xy_routing
-            ? noc::route_xy(state.links(), src, dst, demand)
-            : noc::route_shortest(state.links(), src, dst, demand);
+        ctx.route_cache != nullptr
+            ? ctx.route_cache->route(state.links(), policy, src, dst, demand)
+            : (options.xy_routing
+                   ? noc::route_xy(state.links(), src, dst, demand)
+                   : noc::route_shortest(state.links(), src, dst, demand));
 
     Step3Record record;
     record.channel = c.name;

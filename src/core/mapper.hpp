@@ -15,6 +15,10 @@ namespace rtsm::verify {
 class Engine;
 }  // namespace rtsm::verify
 
+namespace rtsm::noc {
+class RouteCache;
+}  // namespace rtsm::noc
+
 namespace rtsm::core {
 
 /// Result of a mapping request.
@@ -96,6 +100,15 @@ class Mapper {
   /// mapper. Null for mappers that never run step 4.
   [[nodiscard]] virtual std::shared_ptr<verify::Engine> verification_engine()
       const {
+    return nullptr;
+  }
+
+  /// The shared NoC route cache this mapper's step 3 routes through, when
+  /// it has one — the same surfacing idiom as verification_engine(), so
+  /// runtime managers and benches can report route-cache hit rates without
+  /// knowing the concrete mapper. Null for mappers that route uncached (or
+  /// never route).
+  [[nodiscard]] virtual std::shared_ptr<noc::RouteCache> route_cache() const {
     return nullptr;
   }
 };

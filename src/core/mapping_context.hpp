@@ -13,6 +13,10 @@ namespace rtsm::verify {
 class Engine;
 }  // namespace rtsm::verify
 
+namespace rtsm::noc {
+class RouteCache;
+}  // namespace rtsm::noc
+
 namespace rtsm::core {
 
 /// Shared working set of one mapping-pipeline round.
@@ -52,6 +56,12 @@ struct MappingContext {
   /// portfolio race stopping the losers, or a shared time budget. Stages
   /// and mappers poll it at round granularity; null = never cancelled.
   const CancelToken* cancel = nullptr;
+
+  /// Optional shared NoC route cache for step 3 (idle-network routes
+  /// validated against the live load). Null = every route is searched from
+  /// scratch; results are identical either way. Last member so existing
+  /// positional initializers stay valid.
+  noc::RouteCache* route_cache = nullptr;
 };
 
 }  // namespace rtsm::core

@@ -1,13 +1,21 @@
 #include "core/resource_state.hpp"
 
+#include <atomic>
+
 #include "util/approx.hpp"
 #include "util/error.hpp"
 
 namespace rtsm::core {
 
 namespace {
-// Tolerates float accumulation when many small reservations sum to ~1.0.
-constexpr double kUtilSlack = 1e-9;
+
+/// Process-wide identity source; never reused, so stale sync tokens can be
+/// told apart from a new state at a recycled address.
+std::uint64_t next_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 ResourceState::ResourceState(const arch::Platform& platform)
@@ -15,7 +23,41 @@ ResourceState::ResourceState(const arch::Platform& platform)
       utilization_(platform.tile_count(), 0.0),
       memory_used_(platform.tile_count(), 0),
       processes_(platform.tile_count(), 0),
-      links_(platform) {}
+      links_(platform),
+      uid_(next_uid()) {
+  links_.set_listener(this);
+}
+
+ResourceState::ResourceState(const ResourceState& other)
+    : platform_(other.platform_),
+      utilization_(other.utilization_),
+      memory_used_(other.memory_used_),
+      processes_(other.processes_),
+      links_(other.links_),  // copy drops other's listener
+      uid_(next_uid()),
+      synced_from_(&other),
+      synced_uid_(other.uid_),
+      synced_version_(other.version_) {
+  links_.set_listener(this);
+}
+
+ResourceState& ResourceState::operator=(const ResourceState& other) {
+  if (this == &other) return *this;
+  platform_ = other.platform_;
+  utilization_ = other.utilization_;
+  memory_used_ = other.memory_used_;
+  processes_ = other.processes_;
+  links_ = other.links_;  // LinkLoad assignment keeps our own listener
+  // The value jumped arbitrarily: our old journal entries no longer
+  // describe transitions of this content, so observers synced with *us*
+  // must fall back to a full copy.
+  ++version_;
+  journal_start_version_ = version_;
+  synced_from_ = &other;
+  synced_uid_ = other.uid_;
+  synced_version_ = other.version_;
+  return *this;
+}
 
 double ResourceState::utilization(TileId tile) const {
   check_tile(tile);
@@ -57,11 +99,17 @@ void ResourceState::reserve_tile(TileId tile, double utilization,
                                  std::uint64_t memory,
                                  std::uint32_t processes) {
   require(utilization >= 0.0, "negative utilization reservation");
-  require(tile_fits(tile, utilization, memory, processes),
-          "tile over-reservation on '" + platform_->tile(tile).name + "'");
+  if (!tile_fits(tile, utilization, memory, processes)) {
+    // Branch before formatting: building the message eagerly would cost a
+    // heap allocation per reserve on the journal-replay hot path.
+    throw Error("tile over-reservation on '" + platform_->tile(tile).name +
+                "'");
+  }
   utilization_[tile.value()] += utilization;
   memory_used_[tile.value()] += memory;
   processes_[tile.value()] += processes;
+  note_mutation({JournalEntry::Op::ReserveTile, tile.value(), utilization,
+                 memory, processes});
 }
 
 void ResourceState::release_tile(TileId tile, double utilization,
@@ -74,6 +122,8 @@ void ResourceState::release_tile(TileId tile, double utilization,
   m = m > memory ? m - memory : 0;
   std::uint32_t& p = processes_[tile.value()];
   p = p > processes ? p - processes : 0;
+  note_mutation({JournalEntry::Op::ReleaseTile, tile.value(), utilization,
+                 memory, processes});
 }
 
 void ResourceState::saturate_tile(TileId tile) {
@@ -81,6 +131,7 @@ void ResourceState::saturate_tile(TileId tile) {
   utilization_[tile.value()] = 1.0;
   memory_used_[tile.value()] = platform_->tile(tile).memory_bytes;
   processes_[tile.value()] = platform_->tile(tile).process_slots;
+  note_mutation({JournalEntry::Op::SaturateTile, tile.value(), 0.0, 0, 0});
 }
 
 bool ResourceState::approx_equals(const ResourceState& other,
@@ -103,6 +154,81 @@ std::size_t ResourceState::idle_tile_count() const {
     if (u == 0.0) ++idle;
   }
   return idle;
+}
+
+void ResourceState::enable_journal(std::size_t capacity) {
+  require(capacity > 0, "ResourceState: journal capacity must be positive");
+  journal_.assign(capacity, JournalEntry{});
+  journal_capacity_ = capacity;
+  journal_start_version_ = version_;  // journal starts out empty
+}
+
+void ResourceState::note_mutation(const JournalEntry& entry) {
+  if (journal_capacity_ > 0) {
+    journal_[version_ % journal_capacity_] = entry;
+    if (version_ - journal_start_version_ >= journal_capacity_) {
+      // The ring wrapped: the slot just written held the oldest entry.
+      journal_start_version_ = version_ + 1 - journal_capacity_;
+    }
+  }
+  ++version_;
+  synced_from_ = nullptr;
+}
+
+void ResourceState::apply(const JournalEntry& entry) {
+  switch (entry.op) {
+    case JournalEntry::Op::ReserveTile:
+      reserve_tile(TileId{entry.index}, entry.amount, entry.memory,
+                   entry.processes);
+      break;
+    case JournalEntry::Op::ReleaseTile:
+      release_tile(TileId{entry.index}, entry.amount, entry.memory,
+                   entry.processes);
+      break;
+    case JournalEntry::Op::SaturateTile:
+      saturate_tile(TileId{entry.index});
+      break;
+    case JournalEntry::Op::LinkReserve:
+      links_.reserve(LinkId{entry.index}, entry.amount);
+      break;
+    case JournalEntry::Op::LinkRelease:
+      links_.release(LinkId{entry.index}, entry.amount);
+      break;
+  }
+}
+
+void ResourceState::refresh_snapshot_into(ResourceState& scratch) const {
+  require(&scratch != this, "refresh_snapshot_into: scratch is the source");
+  const bool delta_ok = scratch.synced_from_ == this &&
+                        scratch.synced_uid_ == uid_ &&
+                        journal_capacity_ > 0 &&
+                        scratch.synced_version_ >= journal_start_version_ &&
+                        scratch.synced_version_ <= version_;
+  if (!delta_ok) {
+    scratch = *this;  // operator= re-arms the sync token
+    ++refresh_stats_.full_copies;
+    return;
+  }
+  // Replay [scratch.synced_version_, version_) through the same public
+  // mutators that produced the entries. By induction the scratch tracks the
+  // source bit-for-bit: identical pre-state, identical arguments, identical
+  // code path. Replay clears the scratch's token, so re-arm it afterwards.
+  for (std::uint64_t v = scratch.synced_version_; v < version_; ++v) {
+    scratch.apply(journal_[v % journal_capacity_]);
+    ++refresh_stats_.entries_replayed;
+  }
+  scratch.synced_from_ = this;
+  scratch.synced_uid_ = uid_;
+  scratch.synced_version_ = version_;
+  ++refresh_stats_.delta_refreshes;
+}
+
+void ResourceState::on_link_reserve(LinkId link, double demand) {
+  note_mutation({JournalEntry::Op::LinkReserve, link.value(), demand, 0, 0});
+}
+
+void ResourceState::on_link_release(LinkId link, double demand) {
+  note_mutation({JournalEntry::Op::LinkRelease, link.value(), demand, 0, 0});
 }
 
 void ResourceState::check_tile(TileId tile) const {

@@ -85,6 +85,12 @@ SpatialMapper::SpatialMapper(MapperConfig config)
                        ? verify::ensure_engine(config_.run_step4,
                                                std::move(config_.engine))
                        : nullptr;
+  // Same contract for step 3: cache_routes=false drops even an explicitly
+  // passed cache.
+  config_.route_cache =
+      config_.cache_routes
+          ? noc::ensure_route_cache(true, std::move(config_.route_cache))
+          : nullptr;
 }
 
 std::string SpatialMapper::describe() const {
@@ -125,7 +131,8 @@ MappingResult SpatialMapper::map(const kpn::Application& app,
     MappingTrace::Round& rt = result.trace.rounds.emplace_back();
     MappingContext ctx{app,    base.platform(), state,  feedback,
                        config_.energy, mapping, rt,
-                       config_.engine.get(), cancel};
+                       config_.engine.get(), cancel,
+                       config_.route_cache.get()};
 
     StageStatus status = select_implementations(ctx, config_, result);
     if (status == StageStatus::Proceed) status = refine_placement(ctx, config_);

@@ -10,6 +10,7 @@
 #include "core/mapper.hpp"
 #include "core/tile_assignment.hpp"
 #include "energy/model.hpp"
+#include "noc/route_cache.hpp"
 #include "verify/engine.hpp"
 
 namespace rtsm::core {
@@ -45,6 +46,17 @@ struct MapperConfig {
   /// Disable step-4 caching/warm-starting entirely (every verification
   /// recomputes from scratch; results are identical, only slower).
   bool cache_verification = true;
+
+  /// Shared NoC route cache for step 3. When null and cache_routes is true
+  /// the mapper builds a private cache at construction (same idiom as
+  /// `engine`); pass one explicitly to share it across mappers. Cached
+  /// routes are validated against the live load on every lookup, so
+  /// results are bit-identical to uncached routing. Thread-safe.
+  std::shared_ptr<noc::RouteCache> route_cache;
+
+  /// Disable step-3 route caching entirely (every route searched from
+  /// scratch; results are identical, only slower).
+  bool cache_routes = true;
 };
 
 /// The paper's run-time spatial mapping algorithm: hierarchical search with
@@ -74,6 +86,10 @@ class SpatialMapper final : public Mapper {
   [[nodiscard]] std::shared_ptr<verify::Engine> verification_engine()
       const override {
     return config_.engine;
+  }
+
+  [[nodiscard]] std::shared_ptr<noc::RouteCache> route_cache() const override {
+    return config_.route_cache;
   }
 
  private:

@@ -7,11 +7,6 @@
 
 namespace rtsm::noc {
 
-namespace {
-// Relative slack tolerating float accumulation across many reservations.
-constexpr double kSlack = 1e-9;
-}  // namespace
-
 std::size_t Path::rr_hops(const arch::Platform& platform) const {
   std::size_t hops = 0;
   for (const LinkId link : links) {
@@ -41,6 +36,16 @@ std::vector<RouterId> Path::routers(const arch::Platform& platform) const {
 LinkLoad::LinkLoad(const arch::Platform& platform)
     : platform_(&platform), reserved_(platform.link_count(), 0.0) {}
 
+LinkLoad::LinkLoad(const LinkLoad& other)
+    : platform_(other.platform_), reserved_(other.reserved_) {}
+
+LinkLoad& LinkLoad::operator=(const LinkLoad& other) {
+  if (this == &other) return *this;
+  platform_ = other.platform_;
+  reserved_ = other.reserved_;
+  return *this;
+}
+
 double LinkLoad::reserved(LinkId link) const {
   require(link.valid() && link.value() < reserved_.size(),
           "link id out of range");
@@ -60,19 +65,25 @@ void LinkLoad::reserve(LinkId link, double demand) {
   require(demand >= 0, "negative link demand");
   require(fits(link, demand), "link over-reservation");
   reserved_[link.value()] += demand;
+  if (listener_ != nullptr) listener_->on_link_reserve(link, demand);
 }
 
 void LinkLoad::release(LinkId link, double demand) {
   require(demand >= 0, "negative link demand");
   double& r = reserved_[link.value()];
   r = r > demand ? r - demand : 0.0;
+  if (listener_ != nullptr) listener_->on_link_release(link, demand);
 }
 
 void LinkLoad::reserve_path(const Path& path, double demand) {
-  // Validate the whole path first so a failed reservation is atomic.
+  // Validate the whole path first so a failed reservation is atomic. The
+  // message is only formatted on failure — this loop is on the commit hot
+  // path.
   for (const LinkId link : path.links) {
-    require(fits(link, demand), "path over-reservation on link " +
-                                    std::to_string(link.value()));
+    if (!fits(link, demand)) {
+      throw Error("path over-reservation on link " +
+                  std::to_string(link.value()));
+    }
   }
   for (const LinkId link : path.links) reserve(link, demand);
 }

@@ -28,6 +28,21 @@ struct Path {
   [[nodiscard]] bool is_intra_tile() const { return links.empty(); }
 };
 
+/// Observer of individual link reservation changes.
+///
+/// core::ResourceState registers itself on its own LinkLoad so mutations
+/// made through links() (step-3 route reservations, path releases) reach
+/// its version counter and delta journal. The listener pointer is
+/// deliberately dropped by the copy constructor and left untouched by copy
+/// assignment: a snapshot must never journal into its source, and an
+/// overwritten scratch must keep observing itself.
+class LinkLoadListener {
+ public:
+  virtual ~LinkLoadListener() = default;
+  virtual void on_link_reserve(LinkId link, double demand) = 0;
+  virtual void on_link_release(LinkId link, double demand) = 0;
+};
+
 /// Guaranteed-throughput reservation state of all NoC links.
 ///
 /// Tracks the token rate reserved on every link; routing only considers
@@ -35,7 +50,18 @@ struct Path {
 /// predictable NoC of the paper admits new connections.
 class LinkLoad {
  public:
+  /// Relative slack tolerating float accumulation across many reservations.
+  /// Public so out-of-state admission probes (core::mapping_fits) can
+  /// replicate fits() bit-for-bit without a state copy.
+  static constexpr double kSlack = 1e-9;
+
   explicit LinkLoad(const arch::Platform& platform);
+
+  /// Copies reservations but not the listener: a snapshot observes nobody.
+  LinkLoad(const LinkLoad& other);
+
+  /// Copies reservations; the destination keeps its own listener.
+  LinkLoad& operator=(const LinkLoad& other);
 
   [[nodiscard]] const arch::Platform& platform() const { return *platform_; }
 
@@ -71,9 +97,14 @@ class LinkLoad {
   [[nodiscard]] bool approx_equals(const LinkLoad& other,
                                    double rel_eps = 1e-9) const;
 
+  /// Registers @p listener for reserve/release notifications (null to
+  /// unregister). Exactly one listener; not owned.
+  void set_listener(LinkLoadListener* listener) { listener_ = listener; }
+
  private:
   const arch::Platform* platform_;
   std::vector<double> reserved_;
+  LinkLoadListener* listener_ = nullptr;
 };
 
 }  // namespace rtsm::noc

@@ -18,34 +18,6 @@
 
 namespace rtsm::runtime {
 
-namespace {
-
-/// Bridges the deprecated positional constructor onto the unified options
-/// surface. Copies (does not move) so the two helper calls in the
-/// delegating constructor below cannot race over @p options' contents.
-ManagerOptions legacy_manager_options(
-    std::shared_ptr<const core::Mapper> mapper,
-    std::shared_ptr<const AdmissionPolicy> policy,
-    const ConcurrentOptions& options) {
-  ManagerOptions manager;
-  manager.mapper = std::move(mapper);
-  manager.policy = std::move(policy);
-  manager.defrag = options.defrag;
-  manager.preemption = options.preemption;
-  manager.shapes = options.shapes;
-  return manager;
-}
-
-ConcurrentOptions legacy_pool_options(
-    const ConcurrentOptions& options,
-    std::shared_ptr<const PriorityPolicy> priority) {
-  ConcurrentOptions out = options;
-  if (out.priority == nullptr) out.priority = std::move(priority);
-  return out;
-}
-
-}  // namespace
-
 ConcurrentRuntimeManager::ConcurrentRuntimeManager(
     const arch::Platform& platform, ManagerOptions manager,
     ConcurrentOptions options)
@@ -60,21 +32,22 @@ ConcurrentRuntimeManager::ConcurrentRuntimeManager(
                     ? std::move(options.priority)
                     : std::make_shared<FifoPriority>()),
       options_(std::move(options)),
+      preemption_(manager.preemption),
+      shapes_(std::move(manager.shapes)),
       state_(platform),
+      observer_scratch_(platform),
+      pump_scratch_(platform),
       queue_(options_.queue_capacity) {
-  // The shared surface wins: the manager-level knobs live in
-  // ManagerOptions, the copies in options_ only keep the many internal
-  // options_.defrag/preemption/shapes reads working.
-  options_.defrag = manager.defrag;
-  options_.preemption = manager.preemption;
-  options_.shapes = std::move(manager.shapes);
+  // Record mutations of the live state in a bounded journal so worker
+  // scratches refresh in O(changes) and commits whose snapshot version
+  // still matches skip re-validation entirely.
+  state_.enable_journal();
   portfolio_ = make_portfolio(manager);
   require(options_.shards >= 1, "shards must be >= 1");
   require(options_.max_batch >= 1, "max_batch must be >= 1");
-  require(options_.shapes == nullptr ||
-              &options_.shapes->platform() == &platform,
+  require(shapes_ == nullptr || &shapes_->platform() == &platform,
           "shape library must be built for this manager's platform");
-  planner_ = std::make_unique<DefragPlanner>(mapper_, options_.defrag);
+  planner_ = std::make_unique<DefragPlanner>(mapper_, manager.defrag);
 
   // Shards partition the mesh into vertical stripes; a tile belongs to the
   // stripe its router column falls in.
@@ -93,15 +66,6 @@ ConcurrentRuntimeManager::ConcurrentRuntimeManager(
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
-
-ConcurrentRuntimeManager::ConcurrentRuntimeManager(
-    const arch::Platform& platform, std::shared_ptr<const core::Mapper> mapper,
-    ConcurrentOptions options, std::shared_ptr<const AdmissionPolicy> policy,
-    std::shared_ptr<const PriorityPolicy> priority)
-    : ConcurrentRuntimeManager(
-          platform,
-          legacy_manager_options(std::move(mapper), std::move(policy), options),
-          legacy_pool_options(options, std::move(priority))) {}
 
 ConcurrentRuntimeManager::~ConcurrentRuntimeManager() { shutdown(); }
 
@@ -170,7 +134,15 @@ AdmitOutcome ConcurrentRuntimeManager::admit(const kpn::Application& app,
 }
 
 void ConcurrentRuntimeManager::pump() {
-  core::ResourceState scratch(*platform_);
+  // Reuse the manager-level pump scratch: the delta-refresh fast path
+  // needs a buffer that survives the pump() call that armed its version
+  // token, and inline mode (workers == 0) pumps once per admit. A
+  // concurrent pump (an extra thread helping a live pool) takes a local
+  // scratch instead of contending.
+  std::unique_lock pump_lock(pump_mutex_, std::try_to_lock);
+  std::optional<core::ResourceState> local;
+  core::ResourceState& scratch =
+      pump_lock.owns_lock() ? pump_scratch_ : local.emplace(*platform_);
   while (true) {
     std::vector<Job> jobs = queue_.try_pop_batch(options_.max_batch);
     if (jobs.empty()) return;
@@ -232,6 +204,7 @@ core::MappingResult ConcurrentRuntimeManager::run_mapper(
   const auto start = std::chrono::steady_clock::now();
   core::MappingResult result = mapper_->map(*request.app, base);
   request.mapping_us += elapsed_us(start);
+  map_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
   ++request.attempts;
   return result;
 }
@@ -256,6 +229,7 @@ core::MappingResult ConcurrentRuntimeManager::run_race(
   // The owner's wall-clock span of the race — parallel helper time shows
   // up in the per-strategy spent_us stats, not in the request's latency.
   request.mapping_us += elapsed_us(start);
+  map_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
   request.attempts += std::max<std::uint32_t>(outcome.attempts, 1);
   {
     std::lock_guard lock(stats_mutex_);
@@ -273,14 +247,31 @@ core::MappingResult ConcurrentRuntimeManager::run_race(
 }
 
 bool ConcurrentRuntimeManager::validate_and_commit(
-    Request& request, core::MappingResult& result, bool shape_hit) {
+    Request& request, core::MappingResult& result,
+    const core::ResourceState* planned_on, bool shape_hit) {
   AppId id;
   {
     std::lock_guard lock(state_mutex_);
-    if (!core::mapping_fits(state_, *request.app, result.mapping)) {
-      return false;
+    // Version gate: the plan was pre-validated against @p planned_on, and
+    // a still-armed sync token proves the live state has not mutated since
+    // that scratch refreshed — the two are bit-identical, so re-running
+    // mapping_fits here would recompute a known true. Any commit, release,
+    // defrag or mode switch in between bumps the live version and the
+    // token mismatches, forcing the full (O(touched)) re-check.
+    if (planned_on != nullptr && planned_on->synced_with(state_)) {
+      gated_commits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const auto validate_start = std::chrono::steady_clock::now();
+      const bool fits =
+          core::mapping_fits(state_, *request.app, result.mapping);
+      validate_ns_.fetch_add(elapsed_ns(validate_start),
+                             std::memory_order_relaxed);
+      if (!fits) return false;
+      validated_commits_.fetch_add(1, std::memory_order_relaxed);
     }
+    const auto commit_start = std::chrono::steady_clock::now();
     core::commit_mapping(state_, *request.app, result.mapping);
+    commit_ns_.fetch_add(elapsed_ns(commit_start), std::memory_order_relaxed);
     id = AppId{next_app_.fetch_add(1)};
     running_.emplace(id, RunningApp{request.app, result.mapping,
                                     result.energy_nj_per_symbol, request.cls,
@@ -289,9 +280,9 @@ bool ConcurrentRuntimeManager::validate_and_commit(
   // Learn-on-admit: a committed miss-path placement enters the library
   // (outside the state lock — the library has its own mutex) so future
   // structurally equal arrivals take the shape hot path.
-  if (options_.shapes != nullptr && !shape_hit) {
+  if (shapes_ != nullptr && !shape_hit) {
     const shapes::LearnResult learned =
-        options_.shapes->learn(*request.app, result);
+        shapes_->learn(*request.app, result);
     std::lock_guard lock(stats_mutex_);
     if (learned.inserted) ++stats_.shape_inserts;
     stats_.shape_evictions += learned.evictions;
@@ -311,10 +302,12 @@ bool ConcurrentRuntimeManager::validate_and_commit(
 
 void ConcurrentRuntimeManager::snapshot_state_into(
     core::ResourceState& out) const {
+  const auto start = std::chrono::steady_clock::now();
   {
     std::lock_guard lock(state_mutex_);
-    out = state_;
+    state_.refresh_snapshot_into(out);
   }
+  snapshot_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
   snapshot_reuses_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -334,7 +327,7 @@ bool ConcurrentRuntimeManager::try_shape_admit(Request& request,
     const auto start = std::chrono::steady_clock::now();
     snapshot_state_into(scratch);
     shapes::ShapeLookup lookup =
-        options_.shapes->try_instantiate(*request.app, scratch);
+        shapes_->try_instantiate(*request.app, scratch);
     request.mapping_us += elapsed_us(start);
     {
       std::lock_guard lock(stats_mutex_);
@@ -357,7 +350,11 @@ bool ConcurrentRuntimeManager::try_shape_admit(Request& request,
       resolve(std::move(request), std::move(outcome));
       return true;
     }
-    if (validate_and_commit(request, plan, /*shape_hit=*/true)) return true;
+    // The library already ran mapping_fits against this scratch (the
+    // probe's full fit check), so the commit may take the version gate.
+    if (validate_and_commit(request, plan, &scratch, /*shape_hit=*/true)) {
+      return true;
+    }
     // Outraced between snapshot and commit: re-probe against the fresh
     // state, bounded like the optimistic mapper loop.
     {
@@ -387,7 +384,7 @@ void ConcurrentRuntimeManager::process_request(Request request,
   // placement and commit it through the ordinary two-phase commit,
   // skipping the mapper (and the shard machinery — a shape probe is
   // cheaper than the stripe bookkeeping it would be confined by).
-  if (options_.shapes != nullptr && try_shape_admit(request, scratch)) {
+  if (shapes_ != nullptr && try_shape_admit(request, scratch)) {
     return;
   }
 
@@ -440,7 +437,24 @@ void ConcurrentRuntimeManager::process_request(Request request,
       return;
     }
     if (result.success) {
-      if (validate_and_commit(request, result)) return;
+      // Pre-validate against the scratch the plan was made on, outside
+      // any lock. This is the serial manager's design-time-baseline
+      // screen (a plan that does not fit its own snapshot is a mapper
+      // failure, not a conflict) and what arms validate_and_commit's
+      // version gate: if the live state has not moved since the scratch
+      // refreshed, this check already proved the commit precondition.
+      const auto validate_start = std::chrono::steady_clock::now();
+      const bool fits_snapshot =
+          core::mapping_fits(scratch, *request.app, result.mapping);
+      validate_ns_.fetch_add(elapsed_ns(validate_start),
+                             std::memory_order_relaxed);
+      if (!fits_snapshot) {
+        result.success = false;
+        result.failure = "mapping does not fit the residual resources";
+      }
+    }
+    if (result.success) {
+      if (validate_and_commit(request, result, &scratch)) return;
       {
         std::lock_guard lock(stats_mutex_);
         ++stats_.conflicts;
@@ -454,7 +468,7 @@ void ConcurrentRuntimeManager::process_request(Request request,
     // defragmented state (fresh snapshot, fresh epoch, and a fresh
     // validation-conflict budget — the pre-defrag conflicts say nothing
     // about the compacted state).
-    if (options_.defrag.policy == DefragPolicy::OnReject &&
+    if (planner_->options().policy == DefragPolicy::OnReject &&
         !request.defragged) {
       request.defragged = true;
       if (defrag_pass_locked().migrations > 0) {
@@ -593,7 +607,7 @@ bool ConcurrentRuntimeManager::release(AppId id) {
 
 bool ConcurrentRuntimeManager::try_preempt_and_commit(
     Request& request, std::vector<Request>& evicted) {
-  if (!options_.preemption.enabled) return false;
+  if (!preemption_.enabled) return false;
 
   AppId id;
   AdmitOutcome outcome;
@@ -606,8 +620,8 @@ bool ConcurrentRuntimeManager::try_preempt_and_commit(
     std::lock_guard lock(state_mutex_);
     PreemptionPlan plan = plan_preemption(
         state_, running_, *request.app, request.cls, request.deadline_us,
-        request.mapping_us, *mapper_, options_.preemption,
-        options_.defrag.fragmentation);
+        request.mapping_us, *mapper_, preemption_,
+        planner_->options().fragmentation);
     request.attempts += plan.attempts;
     request.mapping_us += plan.mapping_us;
     if (!plan.admits()) return false;
@@ -650,9 +664,9 @@ bool ConcurrentRuntimeManager::try_preempt_and_commit(
   }
   // A preemption plan is a full miss-path placement too: learn it so the
   // next structurally equal arrival can skip the mapper entirely.
-  if (options_.shapes != nullptr) {
+  if (shapes_ != nullptr) {
     const shapes::LearnResult learned =
-        options_.shapes->learn(*request.app, outcome.mapping);
+        shapes_->learn(*request.app, outcome.mapping);
     std::lock_guard lock(stats_mutex_);
     if (learned.inserted) ++stats_.shape_inserts;
     stats_.shape_evictions += learned.evictions;
@@ -670,13 +684,13 @@ void ConcurrentRuntimeManager::park_evicted(std::vector<Request> evicted) {
 }
 
 bool ConcurrentRuntimeManager::maybe_defrag_after_release() {
-  if (options_.defrag.policy != DefragPolicy::OnReleaseThreshold) {
+  if (planner_->options().policy != DefragPolicy::OnReleaseThreshold) {
     return false;
   }
   {
     std::lock_guard lock(state_mutex_);
     const double score =
-        core::measure_fragmentation(state_, options_.defrag.fragmentation)
+        core::measure_fragmentation(state_, planner_->options().fragmentation)
             .score();
     if (!planner_->triggers_after_release(score)) return false;
   }
@@ -713,7 +727,7 @@ SwitchOutcome ConcurrentRuntimeManager::switch_mode(
     std::lock_guard lock(state_mutex_);
     out = switch_mode_in_place(state_, running_, id, std::move(next),
                                *mapper_, planner_.get(),
-                               options_.defrag.cost, &defrag);
+                               planner_->options().cost, &defrag);
   }
   out.switch_us = elapsed_us(start);
 
@@ -812,8 +826,17 @@ void ConcurrentRuntimeManager::shutdown() {
 }
 
 core::ResourceState ConcurrentRuntimeManager::state_snapshot() const {
-  std::lock_guard lock(state_mutex_);
-  return state_.snapshot();
+  // Observer fast path: refresh the shared observer scratch (O(changes)
+  // under the state lock) and copy it out while holding only the observer
+  // mutex — repeated pollers no longer hold up the admission hot path for
+  // an O(platform) copy. Lock order: observer before state, nothing nests
+  // the other way.
+  std::lock_guard observer_lock(observer_mutex_);
+  {
+    std::lock_guard lock(state_mutex_);
+    state_.refresh_snapshot_into(observer_scratch_);
+  }
+  return observer_scratch_;
 }
 
 AdmissionStats ConcurrentRuntimeManager::stats() const {
@@ -823,6 +846,25 @@ AdmissionStats ConcurrentRuntimeManager::stats() const {
     out = stats_;
   }
   out.snapshot_reuses = snapshot_reuses_.load(std::memory_order_relaxed);
+  out.gated_commits = gated_commits_.load(std::memory_order_relaxed);
+  out.validated_commits = validated_commits_.load(std::memory_order_relaxed);
+  out.snapshot_time_us =
+      static_cast<double>(snapshot_ns_.load(std::memory_order_relaxed)) /
+      1000.0;
+  out.map_time_us =
+      static_cast<double>(map_ns_.load(std::memory_order_relaxed)) / 1000.0;
+  out.validate_time_us =
+      static_cast<double>(validate_ns_.load(std::memory_order_relaxed)) /
+      1000.0;
+  out.commit_time_us =
+      static_cast<double>(commit_ns_.load(std::memory_order_relaxed)) / 1000.0;
+  {
+    std::lock_guard lock(state_mutex_);
+    const core::RefreshStats refresh = state_.refresh_stats();
+    out.snapshot_delta_refreshes = refresh.delta_refreshes;
+    out.snapshot_full_copies = refresh.full_copies;
+    out.journal_entries_replayed = refresh.entries_replayed;
+  }
   return out;
 }
 
@@ -831,6 +873,9 @@ StatsReport ConcurrentRuntimeManager::stats_report() {
   report.admission = stats();
   report.verification = verification_stats();
   report.shapes = shape_stats();
+  if (const auto cache = mapper_->route_cache()) {
+    report.route_cache = cache->stats();
+  }
   report.release_errors = drain_release_errors();
   return report;
 }
@@ -841,7 +886,7 @@ verify::EngineStats ConcurrentRuntimeManager::verification_stats() const {
 }
 
 shapes::ShapeLibraryStats ConcurrentRuntimeManager::shape_stats() const {
-  return options_.shapes != nullptr ? options_.shapes->stats()
+  return shapes_ != nullptr ? shapes_->stats()
                                     : shapes::ShapeLibraryStats{};
 }
 

@@ -54,32 +54,6 @@ struct ConcurrentOptions {
   /// saturated), and falls back to whole-platform optimistic admission
   /// when the shard cannot host it (counted in stats().shard_fallbacks).
   std::uint32_t shards = 1;
-
-  /// Defragmentation policy (see runtime/defrag.hpp). A pass runs under
-  /// the state lock — after a release and before parked requests wake, or
-  /// reactively before a request is rejected — and migrates running
-  /// applications with two-phase-committed MappingDeltas. On a sharded
-  /// manager the pass plans whole-platform, so it also rebalances
-  /// applications across stripes.
-  ///
-  /// NOTE: defrag / preemption / shapes moved to the shared ManagerOptions
-  /// (runtime/manager_options.hpp); the fields here only feed the
-  /// deprecated positional constructor and will be removed with it. The
-  /// ManagerOptions values win on the current constructor.
-  DefragOptions defrag = {};
-
-  /// Preemption tuning (see runtime/admission.hpp). The victim scan,
-  /// re-plan and eviction run under the state lock — like a defrag pass —
-  /// so an eviction is atomic against racing admissions.
-  PreemptionOptions preemption = {};
-
-  /// Shape library for hot-path admission (see shapes/library.hpp): a hit
-  /// instantiates a learned placement on a snapshot and commits it through
-  /// the ordinary validate-and-commit (re-probing on conflict, bounded by
-  /// validation_retries); misses fall through to the mapper and learn on
-  /// admit. The library is thread-safe and may be shared across managers,
-  /// like the verify engine. Null disables the path.
-  std::shared_ptr<shapes::ShapeLibrary> shapes;
 };
 
 /// Thread-safe run-time admission manager: concurrent arrivals, a worker
@@ -116,22 +90,6 @@ class ConcurrentRuntimeManager {
   ConcurrentRuntimeManager(const arch::Platform& platform,
                            ManagerOptions manager,
                            ConcurrentOptions options = {});
-
-  /// Positional-argument constructor of earlier releases. Use the
-  /// ManagerOptions overload; this delegates (folding @p options'
-  /// defrag/preemption/shapes fields into a ManagerOptions) and will be
-  /// removed.
-  [[deprecated(
-      "use ConcurrentRuntimeManager(platform, ManagerOptions, "
-      "ConcurrentOptions)")]]
-  ConcurrentRuntimeManager(
-      const arch::Platform& platform,
-      std::shared_ptr<const core::Mapper> mapper,
-      ConcurrentOptions options = {},
-      std::shared_ptr<const AdmissionPolicy> policy =
-          std::make_shared<FirstFitAdmission>(),
-      std::shared_ptr<const PriorityPolicy> priority =
-          std::make_shared<FifoPriority>());
 
   ConcurrentRuntimeManager(const ConcurrentRuntimeManager&) = delete;
   ConcurrentRuntimeManager& operator=(const ConcurrentRuntimeManager&) =
@@ -322,14 +280,26 @@ class ConcurrentRuntimeManager {
                                const core::ResourceState& base);
 
   /// Fit re-check + reservation under the state lock. False on conflict.
-  /// @p shape_hit marks the plan as a shape-library instantiation (tagged
-  /// on the outcome; a miss-path success learns into the library here).
+  /// @p planned_on, when non-null, is the scratch snapshot the plan was
+  /// already pre-validated against (mapping_fits ran on it after its last
+  /// refresh and passed, and it was not mutated since). If that scratch is
+  /// still version-synced with the live state under the lock, the live
+  /// state is bit-identical to it and the mapping_fits re-validation is
+  /// skipped (stats().gated_commits); any intervening commit, release,
+  /// defrag or switch bumps the live version and forces the full re-check
+  /// (stats().validated_commits). @p shape_hit marks the plan as a
+  /// shape-library instantiation (tagged on the outcome; a miss-path
+  /// success learns into the library here).
   bool validate_and_commit(Request& request, core::MappingResult& result,
+                           const core::ResourceState* planned_on = nullptr,
                            bool shape_hit = false);
 
-  /// Copy-assigns the live state into @p out under the state lock —
-  /// capacity of @p out's vectors is reused, saving the four allocations
-  /// a fresh snapshot() would make per optimistic attempt.
+  /// Refreshes @p out from the live state under the state lock: deltas
+  /// since @p out's last sync are replayed from the state's journal
+  /// (O(changes)); a first sync, a journal wrap or a mutated @p out falls
+  /// back to a full copy-assign that still reuses @p out's vector
+  /// capacity. Arms @p out's version token, which validate_and_commit's
+  /// commit gate checks.
   void snapshot_state_into(core::ResourceState& out) const;
 
   /// snapshot_state_into + all tiles outside @p shard saturated.
@@ -384,6 +354,10 @@ class ConcurrentRuntimeManager {
   std::shared_ptr<const AdmissionPolicy> policy_;
   std::shared_ptr<const PriorityPolicy> priority_;
   ConcurrentOptions options_;
+  /// Manager-level knobs from ManagerOptions (the pool tuning stays in
+  /// options_).
+  PreemptionOptions preemption_;
+  std::shared_ptr<shapes::ShapeLibrary> shapes_;
   std::unique_ptr<DefragPlanner> planner_;
   /// Raced on shape misses; null when portfolio admission is disabled.
   std::unique_ptr<MapperPortfolio> portfolio_;
@@ -396,12 +370,35 @@ class ConcurrentRuntimeManager {
   core::ResourceState state_;
   std::map<AppId, RunningApp> running_;
 
+  /// Observer-path snapshot buffer: state_snapshot() delta-refreshes this
+  /// scratch under the state lock and copies it out under observer_mutex_
+  /// only, so repeated observers cost O(changes) of state-lock hold time
+  /// instead of O(platform). Lock order: observer_mutex_ before
+  /// state_mutex_ (no other path takes both).
+  mutable std::mutex observer_mutex_;
+  mutable core::ResourceState observer_scratch_;
+
+  /// Inline-pump scratch: pump() reuses this buffer across calls (so the
+  /// workers == 0 mode delta-refreshes like a pool worker instead of
+  /// paying a cold full copy per pump). Try-locked; a second thread
+  /// pumping concurrently falls back to a local scratch.
+  std::mutex pump_mutex_;
+  core::ResourceState pump_scratch_;
+
   mutable std::mutex stats_mutex_;
   AdmissionStats stats_;
   /// Snapshot copies served from a per-worker scratch buffer (atomic: the
   /// hot path must not take stats_mutex_ per attempt); merged into
   /// stats().snapshot_reuses on read.
   mutable std::atomic<std::uint64_t> snapshot_reuses_{0};
+  /// Commit-gate and per-phase timing tallies (atomic for the same
+  /// reason; merged into stats() on read). Times are nanoseconds.
+  mutable std::atomic<std::uint64_t> gated_commits_{0};
+  mutable std::atomic<std::uint64_t> validated_commits_{0};
+  mutable std::atomic<std::uint64_t> snapshot_ns_{0};
+  mutable std::atomic<std::uint64_t> map_ns_{0};
+  mutable std::atomic<std::uint64_t> validate_ns_{0};
+  mutable std::atomic<std::uint64_t> commit_ns_{0};
   std::vector<ReleaseError> release_errors_;
   std::vector<RequestId> resolution_order_;
 

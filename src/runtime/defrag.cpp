@@ -52,7 +52,11 @@ DefragPassResult DefragPlanner::run_pass(
     std::uint32_t considered = 0;
     for (const auto& [id, run] : running) {
       if (considered++ >= options_.max_candidates) break;
-      core::ResourceState scratch = state;
+      if (!plan_scratch_.has_value()) {
+        plan_scratch_.emplace(state.platform());
+      }
+      state.refresh_snapshot_into(*plan_scratch_);
+      core::ResourceState& scratch = *plan_scratch_;
       core::release_mapping(scratch, *run.app, run.mapping);
 
       std::vector<TileId> maskable;
@@ -63,7 +67,11 @@ DefragPassResult DefragPlanner::run_pass(
       }
       core::MappingResult plan;
       if (!maskable.empty()) {
-        core::ResourceState packed = scratch;
+        if (!packed_scratch_.has_value()) {
+          packed_scratch_.emplace(state.platform());
+        }
+        core::ResourceState& packed = *packed_scratch_;
+        packed = scratch;
         for (const TileId tid : maskable) packed.saturate_tile(tid);
         plan = mapper_->map(*run.app, packed);
       }

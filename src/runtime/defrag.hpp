@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "core/fragmentation.hpp"
 #include "core/mapper.hpp"
@@ -124,6 +125,16 @@ class DefragPlanner {
  private:
   std::shared_ptr<const core::Mapper> mapper_;
   DefragOptions options_;
+
+  /// Reusable candidate-snapshot buffers, lazily sized to the pass's
+  /// platform. Candidate evaluation mutates them (release + saturate +
+  /// commit), so each reuse is a full-copy refresh — the win is the
+  /// recycled vector capacity, not delta replay. Callers already
+  /// serialize passes (the concurrent manager runs them under its state
+  /// lock, the serial manager is single-threaded), which is what makes
+  /// these mutable members safe in the const run_pass().
+  mutable std::optional<core::ResourceState> plan_scratch_;
+  mutable std::optional<core::ResourceState> packed_scratch_;
 };
 
 }  // namespace rtsm::runtime

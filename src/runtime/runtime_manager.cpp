@@ -103,16 +103,6 @@ RuntimeManager::RuntimeManager(const arch::Platform& platform,
           "shape library built for a different platform");
 }
 
-RuntimeManager::RuntimeManager(const arch::Platform& platform,
-                               std::shared_ptr<const core::Mapper> mapper,
-                               std::shared_ptr<const AdmissionPolicy> policy,
-                               DefragOptions defrag,
-                               PreemptionOptions preemption,
-                               std::shared_ptr<shapes::ShapeLibrary> shapes)
-    : RuntimeManager(platform,
-                     ManagerOptions{std::move(mapper), std::move(policy),
-                                    defrag, preemption, std::move(shapes)}) {}
-
 RuntimeManager::~RuntimeManager() = default;
 
 RequestId RuntimeManager::submit(std::shared_ptr<const kpn::Application> app,
@@ -179,7 +169,9 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
     const auto start = std::chrono::steady_clock::now();
     shapes::ShapeLookup lookup =
         shapes_->try_instantiate(*pending.app, state_);
-    pending.mapping_us += elapsed_us(start);
+    const double probe_us = elapsed_us(start);
+    pending.mapping_us += probe_us;
+    stats_.map_time_us += probe_us;
     stats_.shape_anchor_probes += lookup.anchor_probes;
     if (lookup.plan.has_value()) {
       core::MappingResult result = std::move(*lookup.plan);
@@ -197,7 +189,9 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
         stats_.latencies.record(pending.mapping_us);
         return outcome;
       }
+      const auto commit_start = std::chrono::steady_clock::now();
       core::commit_mapping(state_, *pending.app, result.mapping);
+      stats_.commit_time_us += elapsed_us(commit_start);
       const AppId id{next_app_++};
       running_.emplace(id,
                        RunningApp{pending.app, result.mapping,
@@ -222,10 +216,15 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
     // A successful plan may still not fit: design-time baselines ignore
     // the residual state. Screen before committing and treat a misfit as
     // a mapper failure.
-    if (result.success && !core::mapping_fits(state_, *pending.app,
-                                              result.mapping)) {
-      result.success = false;
-      result.failure = "mapping does not fit the residual resources";
+    if (result.success) {
+      const auto validate_start = std::chrono::steady_clock::now();
+      const bool fits =
+          core::mapping_fits(state_, *pending.app, result.mapping);
+      stats_.validate_time_us += elapsed_us(validate_start);
+      if (!fits) {
+        result.success = false;
+        result.failure = "mapping does not fit the residual resources";
+      }
     }
 
     // OnReject: compact once per request — the flag survives parking, so
@@ -275,7 +274,10 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
       if (learned.inserted) ++stats_.shape_inserts;
       stats_.shape_evictions += learned.evictions;
     }
+    const auto commit_start = std::chrono::steady_clock::now();
     core::commit_mapping(state_, *pending.app, result.mapping);
+    stats_.commit_time_us += elapsed_us(commit_start);
+    ++stats_.validated_commits;
     const AppId id{next_app_++};
     running_.emplace(id,
                      RunningApp{pending.app, result.mapping,
@@ -308,7 +310,9 @@ core::MappingResult RuntimeManager::plan_admission(Pending& pending,
   if (portfolio_ == nullptr) {
     const auto start = std::chrono::steady_clock::now();
     core::MappingResult result = mapper_->map(*pending.app, state_);
-    pending.mapping_us += elapsed_us(start);
+    const double spent_us = elapsed_us(start);
+    pending.mapping_us += spent_us;
+    stats_.map_time_us += spent_us;
     ++pending.attempts;
     return result;
   }
@@ -318,7 +322,9 @@ core::MappingResult RuntimeManager::plan_admission(Pending& pending,
   // the rest) and take the selected winner's plan.
   const auto start = std::chrono::steady_clock::now();
   RaceOutcome race = portfolio_->race(*pending.app, state_);
-  pending.mapping_us += elapsed_us(start);
+  const double race_us = elapsed_us(start);
+  pending.mapping_us += race_us;
+  stats_.map_time_us += race_us;
   pending.attempts += std::max<std::uint32_t>(race.attempts, 1);
   merge_portfolio_stats(stats_, *portfolio_, race);
   if (race.has_winner()) {
@@ -332,7 +338,9 @@ core::MappingResult RuntimeManager::plan_admission(Pending& pending,
   ++stats_.portfolio_fallbacks;
   const auto fallback_start = std::chrono::steady_clock::now();
   core::MappingResult result = mapper_->map(*pending.app, state_);
-  pending.mapping_us += elapsed_us(fallback_start);
+  const double fallback_us = elapsed_us(fallback_start);
+  pending.mapping_us += fallback_us;
+  stats_.map_time_us += fallback_us;
   ++pending.attempts;
   return result;
 }
@@ -340,8 +348,18 @@ core::MappingResult RuntimeManager::plan_admission(Pending& pending,
 StatsReport RuntimeManager::stats_report() {
   StatsReport report;
   report.admission = stats_;
+  // Journal/refresh counters live on the state (the defrag planner's
+  // scratch reuse funnels through refresh_snapshot_into); surface them
+  // next to the admission counters.
+  const core::RefreshStats refresh = state_.refresh_stats();
+  report.admission.snapshot_delta_refreshes = refresh.delta_refreshes;
+  report.admission.snapshot_full_copies = refresh.full_copies;
+  report.admission.journal_entries_replayed = refresh.entries_replayed;
   report.verification = verification_stats();
   report.shapes = shape_stats();
+  if (const auto cache = mapper_->route_cache()) {
+    report.route_cache = cache->stats();
+  }
   report.release_errors = drain_release_errors();
   return report;
 }

@@ -161,6 +161,31 @@ struct AdmissionStats {
   /// instead of allocating a fresh one (concurrent manager only).
   std::uint64_t snapshot_reuses = 0;
 
+  // -- admission hot path (see docs/architecture.md) -----------------------
+  /// Scratch refreshes served by replaying the live state's mutation
+  /// journal — O(changes since last sync) instead of the O(platform) full
+  /// copy (see core::ResourceState::refresh_snapshot_into).
+  std::uint64_t snapshot_delta_refreshes = 0;
+  /// Refreshes that fell back to a full copy: first sync of a scratch,
+  /// journal wrap, or a scratch mutated since it last synced.
+  std::uint64_t snapshot_full_copies = 0;
+  /// Journal entries replayed across all delta refreshes.
+  std::uint64_t journal_entries_replayed = 0;
+  /// Commits that skipped the full mapping_fits re-validation because the
+  /// live state's version had not moved since the plan was pre-validated
+  /// on its snapshot (concurrent manager only).
+  std::uint64_t gated_commits = 0;
+  /// Commits that ran the mapping_fits re-validation (the plan's snapshot
+  /// was stale, masked, or never pre-validated).
+  std::uint64_t validated_commits = 0;
+  /// Wall-clock per admission phase, microseconds, summed over requests:
+  /// snapshot refreshes, mapper/race/shape-probe planning, fit
+  /// (re-)validation, and state commits.
+  double snapshot_time_us = 0.0;
+  double map_time_us = 0.0;
+  double validate_time_us = 0.0;
+  double commit_time_us = 0.0;
+
   // -- portfolio admission (see runtime/portfolio.hpp) ---------------------
   std::uint64_t portfolio_races = 0;  ///< Races run on shape-library misses.
   /// Races that produced no feasible plan (budget exhausted or every
@@ -240,17 +265,6 @@ class RuntimeManager {
   /// rtsm::Error when options enable the portfolio without a registry or
   /// name an unknown strategy.
   RuntimeManager(const arch::Platform& platform, ManagerOptions options);
-
-  /// Positional-argument constructor of earlier releases. Use the
-  /// ManagerOptions overload; this delegates and will be removed.
-  [[deprecated("use RuntimeManager(platform, ManagerOptions)")]]
-  RuntimeManager(const arch::Platform& platform,
-                 std::shared_ptr<const core::Mapper> mapper,
-                 std::shared_ptr<const AdmissionPolicy> policy =
-                     std::make_shared<FirstFitAdmission>(),
-                 DefragOptions defrag = {},
-                 PreemptionOptions preemption = {},
-                 std::shared_ptr<shapes::ShapeLibrary> shapes = nullptr);
 
   ~RuntimeManager();
 

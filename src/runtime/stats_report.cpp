@@ -55,6 +55,17 @@ std::string StatsReport::to_json() const {
       << ",\"p95_us\":" << num(a.latency_percentile_us(95.0))
       << ",\"max_us\":" << num(a.latencies.max_us());
 
+  out << ",\"hot_path\":{\"snapshot_delta_refreshes\":"
+      << a.snapshot_delta_refreshes
+      << ",\"snapshot_full_copies\":" << a.snapshot_full_copies
+      << ",\"journal_entries_replayed\":" << a.journal_entries_replayed
+      << ",\"gated_commits\":" << a.gated_commits
+      << ",\"validated_commits\":" << a.validated_commits
+      << ",\"snapshot_time_us\":" << num(a.snapshot_time_us)
+      << ",\"map_time_us\":" << num(a.map_time_us)
+      << ",\"validate_time_us\":" << num(a.validate_time_us)
+      << ",\"commit_time_us\":" << num(a.commit_time_us) << "}";
+
   out << ",\"defrag\":{\"passes\":" << a.defrag_passes
       << ",\"migrations\":" << a.migrations
       << ",\"migration_failures\":" << a.migration_failures
@@ -112,6 +123,13 @@ std::string StatsReport::to_json() const {
       << ",\"evictions\":" << shapes.evictions
       << ",\"anchor_probes\":" << shapes.anchor_probes
       << ",\"full_fit_checks\":" << shapes.full_fit_checks << "}";
+
+  out << ",\"route_cache\":{\"lookups\":" << route_cache.lookups
+      << ",\"hits\":" << route_cache.hits
+      << ",\"misses\":" << route_cache.misses
+      << ",\"fallbacks\":" << route_cache.fallbacks
+      << ",\"evictions\":" << route_cache.evictions
+      << ",\"hit_rate\":" << num(route_cache.hit_rate()) << "}";
 
   out << ",\"release_errors\":[";
   for (std::size_t i = 0; i < release_errors.size(); ++i) {

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "noc/route_cache.hpp"
 #include "runtime/runtime_manager.hpp"
 #include "shapes/library.hpp"
 #include "verify/engine.hpp"
@@ -19,14 +20,18 @@ struct StatsReport {
   AdmissionStats admission;
   verify::EngineStats verification;
   shapes::ShapeLibraryStats shapes;
+  /// Step-3 route-cache counters of the underlying mapper (idle-route
+  /// lookups, validated hits, live-search fallbacks). Zeros when the
+  /// mapper routes without a cache.
+  noc::RouteCacheStats route_cache;
   /// Release errors recorded since the last report; taking a report drains
   /// the manager's buffer exactly like drain_release_errors().
   std::vector<ReleaseError> release_errors;
 
   /// The report as one JSON object with keys "admission" (counters,
-  /// latency percentiles, defrag / shapes / preemption / switch /
-  /// portfolio sub-objects), "verification", "shape_library" and
-  /// "release_errors".
+  /// latency percentiles, hot-path / defrag / shapes / preemption /
+  /// switch / portfolio sub-objects), "verification", "shape_library",
+  /// "route_cache" and "release_errors".
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace rtsm {
 
@@ -10,6 +11,16 @@ namespace rtsm {
     std::chrono::steady_clock::time_point since) {
   const auto now = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::micro>(now - since).count();
+}
+
+/// Integer nanoseconds since @p since, for atomic phase-time counters
+/// (a double cannot be fetch_add'ed portably).
+[[nodiscard]] inline std::uint64_t elapsed_ns(
+    std::chrono::steady_clock::time_point since) {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - since)
+          .count());
 }
 
 }  // namespace rtsm
