@@ -1,16 +1,30 @@
 // Reproduces Figure 1 of the paper: the decomposition of the HIPERLAN/2
 // receiver into communicating processes, with per-symbol token counts on
 // every channel (80 / 64 / 64 / 52 / b 32-bit samples).
+//
+// Figures are also written as BENCH_fig1_kpn_model.json into the working
+// directory (override with --json PATH) — the convention every bench in
+// this directory follows for the CI artifact trail.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "io/dot.hpp"
+#include "io/json.hpp"
 #include "io/table.hpp"
 #include "util/strings.hpp"
 #include "workload/hiperlan2.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rtsm;
+
+  std::string json_path = "BENCH_fig1_kpn_model.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
 
   std::printf("== Figure 1: HIPERLAN/2 receiver KPN =====================\n\n");
 
@@ -53,5 +67,39 @@ int main() {
 
   const kpn::Application app = workload::make_hiperlan2_receiver();
   std::printf("Graphviz (QPSK instance):\n%s\n", io::kpn_to_dot(app).c_str());
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\"bench\": \"fig1_kpn_model\", \"channels\": [");
+  bool first = true;
+  for (const ChannelId cid : app.channel_ids()) {
+    const kpn::Channel& c = app.channel(cid);
+    std::fprintf(f,
+                 "%s{\"name\": \"%s\", \"tokens_per_symbol\": %u, "
+                 "\"bytes_per_symbol\": %u, \"mtokens_per_s\": %.3f}",
+                 first ? "" : ", ", io::json_escape(c.name).c_str(),
+                 c.tokens_per_symbol, c.tokens_per_symbol * c.token_bytes,
+                 app.tokens_per_second(cid) / 1e6);
+    first = false;
+  }
+  std::fprintf(f, "], \"modes\": [");
+  first = true;
+  for (const workload::ModeInfo& m : workload::kHiperlan2Modes) {
+    std::fprintf(f,
+                 "%s{\"name\": \"%s\", \"bits_per_sample\": %u, "
+                 "\"b_tokens\": %u, \"bytes_per_symbol\": %u}",
+                 first ? "" : ", ", std::string(m.name).c_str(),
+                 m.bits_per_sample, m.output_tokens, m.output_tokens * 4);
+    first = false;
+  }
+  std::fprintf(f,
+               "], \"symbol_period_ns\": %llu, \"frame_symbols\": %u}\n",
+               static_cast<unsigned long long>(app.qos().symbol_period_ns),
+               app.qos().frame_symbols);
+  std::fclose(f);
+  std::printf("Wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -9,15 +9,27 @@
 //
 // The binary exits non-zero if the reproduced trace deviates.
 
+// Figures are also written as BENCH_table2_step2_iterations.json into the
+// working directory (override with --json PATH).
+
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/spatial_mapper.hpp"
 #include "io/paper_report.hpp"
 #include "workload/hiperlan2.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rtsm;
+
+  std::string json_path = "BENCH_table2_step2_iterations.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
 
   std::printf("== Table 2: processor assignment iterations in step 2 ====\n\n");
 
@@ -57,5 +69,24 @@ int main() {
   std::printf("Paper comparison: cost sequence 11 -> 11 (revert) -> 9 -> 7, "
               "final ARM1=Frq.off. ARM2=Pfx.rem. M1=Rem. M2=Inv.OFDM : %s\n",
               ok ? "REPRODUCED" : "MISMATCH");
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"table2_step2_iterations\", "
+               "\"initial_cost\": %.1f, \"final_cost\": %.1f, "
+               "\"iterations\": [",
+               t2.initial_cost, t2.final_cost);
+  for (std::size_t i = 0; i < t2.records.size(); ++i) {
+    std::fprintf(f, "%s{\"cost_after\": %.1f, \"kept\": %s}",
+                 i == 0 ? "" : ", ", t2.records[i].cost_after,
+                 t2.records[i].kept ? "true" : "false");
+  }
+  std::fprintf(f, "], \"reproduced\": %s}\n", ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("Wrote %s\n", json_path.c_str());
   return ok ? 0 : 1;
 }

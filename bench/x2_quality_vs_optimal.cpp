@@ -5,12 +5,18 @@
 // with annealing, clustering and best-of-N random sampling bracketing the
 // heuristic from the design-time and the naive side.
 
+// Results are also written as BENCH_x2_quality_vs_optimal.json into the
+// working directory (override with --json PATH).
+
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "io/json.hpp"
 
 #include "baselines/annealing.hpp"
 #include "baselines/clustering.hpp"
@@ -61,8 +67,16 @@ core::MapperRegistry trial_registry(std::uint32_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== X2: mapper energies vs. exhaustive optimum ============\n\n");
+
+  std::string json_path = "BENCH_x2_quality_vs_optimal.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  std::string paper_json;
 
   // Part 1: the paper's own case, every built-in registry mapper with its
   // default options.
@@ -81,6 +95,14 @@ int main() {
                          ? rtsm::format_double(result.energy_nj_per_symbol, 1)
                          : "-",
                      result.success ? "ok" : result.failure});
+      if (!paper_json.empty()) paper_json += ", ";
+      paper_json +=
+          "{\"mapper\": \"" + io::json_escape(name) + "\", \"success\": " +
+          (result.success ? "true" : "false") + ", \"energy_nj\": " +
+          (result.success
+               ? rtsm::format_double(result.energy_nj_per_symbol, 6)
+               : std::string("null")) +
+          "}";
     }
     std::printf("%s\n", table.to_string().c_str());
   }
@@ -171,5 +193,31 @@ int main() {
         "costs it the most — exactly the limitation the paper's per-process\n"
         "implementation selection removes.\n");
   }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"x2_quality_vs_optimal\", \"paper_case\": [%s], "
+               "\"trials\": %u, \"comparable\": %u, \"gaps\": [",
+               paper_json.c_str(), trials, comparable);
+  bool first = true;
+  for (const auto& [name, acc] : gap_acc) {
+    const auto& [sum, count] = acc;
+    std::fprintf(f,
+                 "%s{\"mapper\": \"%s\", \"mean_gap_pct\": %.3f, "
+                 "\"runs\": %u}",
+                 first ? "" : ", ", io::json_escape(name).c_str(),
+                 sum / count, count);
+    first = false;
+  }
+  std::fprintf(f,
+               "], \"heuristic_max_gap_pct\": %.3f, "
+               "\"heuristic_optimum_hits\": %u}\n",
+               heuristic_gap_max, heuristic_hits_opt);
+  std::fclose(f);
+  std::printf("Wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -4,7 +4,12 @@
 // the mapped HIPERLAN/2 receiver. Exercises the step-4 dataflow machinery
 // as an ablation instrument.
 
+// Results are also written as BENCH_x5_buffer_ablation.json into the
+// working directory (override with --json PATH).
+
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/spatial_mapper.hpp"
 #include "io/table.hpp"
@@ -62,29 +67,49 @@ Row run(std::uint32_t hop_buffer, std::uint32_t router_cc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== X5: NoC buffer depth and router latency vs. B_i =======\n\n");
+
+  std::string json_path = "BENCH_x5_buffer_ablation.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
 
   io::TablePrinter table({"Hop buffer", "Router [cc]", "Feasible", "B1", "B2",
                           "B3", "B4", "B(sink)", "Period [us]",
                           "Latency [us]"});
   for (std::size_t c = 0; c < 10; ++c) table.align_right(c);
 
+  std::string rows_json;
   for (const std::uint32_t router_cc : {2u, 4u, 8u, 16u}) {
     for (const std::uint32_t hop_buffer : {1u, 2u, 4u, 8u, 16u}) {
       const Row row = run(hop_buffer, router_cc);
       std::vector<std::string> cells{std::to_string(hop_buffer),
                                      std::to_string(router_cc),
                                      row.feasible ? "yes" : "NO"};
+      if (!rows_json.empty()) rows_json += ", ";
+      rows_json += "{\"hop_buffer\": " + std::to_string(hop_buffer) +
+                   ", \"router_cc\": " + std::to_string(router_cc) +
+                   ", \"feasible\": " + (row.feasible ? "true" : "false");
       if (row.feasible) {
+        rows_json += ", \"buffers\": [";
+        bool first = true;
         for (const std::uint32_t b : row.buffers) {
           cells.push_back(std::to_string(b));
+          rows_json += (first ? "" : ", ") + std::to_string(b);
+          first = false;
         }
         cells.push_back(rtsm::format_double(row.period_ps / 1e6, 3));
         cells.push_back(rtsm::format_double(row.latency_ps / 1e6, 3));
+        rows_json +=
+            "], \"period_us\": " + rtsm::format_double(row.period_ps / 1e6, 6) +
+            ", \"latency_us\": " + rtsm::format_double(row.latency_ps / 1e6, 6);
       } else {
         for (int i = 0; i < 7; ++i) cells.push_back("-");
       }
+      rows_json += "}";
       table.add_row(cells);
     }
     table.add_rule();
@@ -100,5 +125,15 @@ int main() {
       "serialises past the symbol period (80 x 80 ns = 6.4 us > 4 us) and\n"
       "step 4 correctly reports infeasibility. The paper's 4-cycle routers\n"
       "with 4-deep buffers sit comfortably inside the feasible region.\n");
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\"bench\": \"x5_buffer_ablation\", \"rows\": [%s]}\n",
+               rows_json.c_str());
+  std::fclose(f);
+  std::printf("Wrote %s\n", json_path.c_str());
   return 0;
 }

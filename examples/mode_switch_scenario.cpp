@@ -28,6 +28,8 @@ const char* status_name(runtime::SwitchStatus status) {
       return "rolled back";
     case runtime::SwitchStatus::UnknownId:
       return "unknown id";
+    case runtime::SwitchStatus::DeadlineMiss:
+      return "deadline miss";
   }
   return "?";
 }

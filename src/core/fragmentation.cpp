@@ -39,6 +39,14 @@ double tile_occupancy(const ResourceState& state, TileId tile) {
   return std::clamp(occ, 0.0, 1.0);
 }
 
+double mean_occupancy(const ResourceState& state) {
+  const std::vector<TileId> tiles = state.platform().tile_ids();
+  if (tiles.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TileId tile : tiles) sum += tile_occupancy(state, tile);
+  return sum / static_cast<double>(tiles.size());
+}
+
 FragmentationMetrics measure_fragmentation(
     const ResourceState& state, const FragmentationOptions& options) {
   const arch::Platform& platform = state.platform();

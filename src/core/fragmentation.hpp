@@ -72,6 +72,10 @@ struct FragmentationMetrics {
 /// utilisation, memory use and process slots.
 [[nodiscard]] double tile_occupancy(const ResourceState& state, TileId tile);
 
+/// Mean tile_occupancy over the whole platform — the load probe the
+/// fleet dispatcher ranks platforms by (one O(tiles) scan).
+[[nodiscard]] double mean_occupancy(const ResourceState& state);
+
 /// The free-region membership predicate of the metric, shared with the
 /// defrag planner's packing mask so both always agree on what "free"
 /// means.

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rtsm::io {
+
+/// Minimal JSON document model for the library's machine-readable
+/// artefacts (persisted scenario traces, bench JSON). The writers in this
+/// repo emit JSON by hand (see runtime::StatsReport::to_json and the bench
+/// write_json helpers); this is the matching *reader*, so record/replay
+/// round-trips and tests can consume what was written without an external
+/// dependency. It parses the JSON subset those writers produce: objects,
+/// arrays, double-quoted strings with the common escapes, numbers, bools
+/// and null. Numbers are held as double (plus the raw text for exact
+/// unsigned round-trips), which covers every counter the library writes.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+
+  /// Typed accessors; each throws rtsm::Error on a kind mismatch so a
+  /// malformed document fails loudly at the offending key.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+
+  /// Object member; throws when this is not an object or @p key is absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// True when this is an object containing @p key.
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Object member, or @p fallback when absent (still throws when this is
+  /// not an object) — forward-compatible reads of optional fields.
+  [[nodiscard]] const JsonValue& get(const std::string& key,
+                                     const JsonValue& fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  /// Raw number text as parsed (exact integer round-trips) or the string
+  /// payload.
+  std::string text_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses @p text into a document. Throws rtsm::Error with a byte offset
+/// on malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+/// Escapes @p s for embedding in a JSON string literal (shared convention
+/// with runtime::StatsReport::to_json).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace rtsm::io

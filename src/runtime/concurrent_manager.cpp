@@ -716,9 +716,12 @@ DefragPassResult ConcurrentRuntimeManager::defrag_now() {
 }
 
 SwitchOutcome ConcurrentRuntimeManager::switch_mode(
-    AppId id, std::shared_ptr<const kpn::Application> next) {
+    AppId id, std::shared_ptr<const kpn::Application> next,
+    double deadline_us) {
   const auto start = std::chrono::steady_clock::now();
   std::optional<DefragPassResult> defrag;
+  ModeSwitchOptions switch_options;
+  switch_options.deadline_us = deadline_us;
   SwitchOutcome out;
   {
     // Plan and commit under the state lock: the switch (including its
@@ -727,7 +730,8 @@ SwitchOutcome ConcurrentRuntimeManager::switch_mode(
     std::lock_guard lock(state_mutex_);
     out = switch_mode_in_place(state_, running_, id, std::move(next),
                                *mapper_, planner_.get(),
-                               planner_->options().cost, &defrag);
+                               planner_->options().cost, &defrag,
+                               switch_options);
   }
   out.switch_us = elapsed_us(start);
 
@@ -837,6 +841,11 @@ core::ResourceState ConcurrentRuntimeManager::state_snapshot() const {
     state_.refresh_snapshot_into(observer_scratch_);
   }
   return observer_scratch_;
+}
+
+double ConcurrentRuntimeManager::mean_occupancy() const {
+  std::lock_guard lock(state_mutex_);
+  return core::mean_occupancy(state_);
 }
 
 AdmissionStats ConcurrentRuntimeManager::stats() const {

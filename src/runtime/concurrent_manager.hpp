@@ -128,8 +128,11 @@ class ConcurrentRuntimeManager {
   /// The plan *and* commit run under the state lock (like a defrag pass),
   /// so the switch is atomic against racing admissions and releases; the
   /// instance keeps its AppId. A committed switch wakes parked requests.
+  /// @p deadline_us > 0 bounds the switch's own wall-clock budget
+  /// (SwitchStatus::DeadlineMiss + old mode kept when blown).
   SwitchOutcome switch_mode(AppId id,
-                            std::shared_ptr<const kpn::Application> next);
+                            std::shared_ptr<const kpn::Application> next,
+                            double deadline_us = 0.0);
 
   /// Processes queued requests inline on the caller's thread until the
   /// queue is empty. The workers == 0 mode's event loop; also safe to call
@@ -155,6 +158,10 @@ class ConcurrentRuntimeManager {
 
   /// Residual resource snapshot (what a new admission would see).
   [[nodiscard]] core::ResourceState state_snapshot() const;
+
+  /// Mean live tile occupancy in [0, 1], read under the state lock in one
+  /// O(tiles) scan (no snapshot copy) — the fleet dispatcher's load probe.
+  [[nodiscard]] double mean_occupancy() const;
 
   [[nodiscard]] AdmissionStats stats() const;
 

@@ -1,11 +1,13 @@
 #include "runtime/mode_switch.hpp"
 
+#include <chrono>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "util/clock.hpp"
 #include "util/error.hpp"
 
 namespace rtsm::runtime {
@@ -130,6 +132,11 @@ SwitchOutcome switch_mode_in_place(core::ResourceState& state,
                                    std::optional<DefragPassResult>* defrag_out,
                                    const ModeSwitchOptions& options) {
   require(next != nullptr, "switch_mode without a target application");
+  const auto start = std::chrono::steady_clock::now();
+  auto budget_blown = [&] {
+    return options.deadline_us > 0.0 &&
+           elapsed_us(start) > options.deadline_us;
+  };
   SwitchOutcome out;
   out.app_id = id;
 
@@ -166,8 +173,11 @@ SwitchOutcome switch_mode_in_place(core::ResourceState& state,
     plan = mapper.map(pinned, scratch_without_self());
     pinned_plan = plan.success;
   }
-  if (!plan.success) plan = mapper.map(*next, scratch_without_self());
-  if (!plan.success && planner != nullptr && options.defrag_on_misfit) {
+  if (!plan.success && !budget_blown()) {
+    plan = mapper.map(*next, scratch_without_self());
+  }
+  if (!plan.success && !budget_blown() && planner != nullptr &&
+      options.defrag_on_misfit) {
     // Compact by migrating running applications, then retry once. The
     // pass may also relocate this instance; the retry and the
     // measurement below read run.mapping fresh, so both stay correct.
@@ -176,6 +186,16 @@ SwitchOutcome switch_mode_in_place(core::ResourceState& state,
     if (pass.migrations > 0) {
       plan = mapper.map(*next, scratch_without_self());
     }
+  }
+  // The deadline gate sits before the commit, never inside it: a switch
+  // that planned in budget commits even if the commit itself straddles
+  // the boundary, so the live state is never left half-switched.
+  if (budget_blown()) {
+    out.status = SwitchStatus::DeadlineMiss;
+    out.message = "switch deadline of " +
+                  std::to_string(options.deadline_us) +
+                  " us blown while planning; old mode kept";
+    return out;
   }
   if (!plan.success) {
     out.status = SwitchStatus::RolledBack;

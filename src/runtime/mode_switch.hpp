@@ -34,6 +34,12 @@ enum class SwitchStatus {
   RolledBack,
   /// The id was never admitted or was already released; nothing changed.
   UnknownId,
+  /// ModeSwitchOptions::deadline_us was blown before the new mode could
+  /// commit: the switch aborted and the old mode keeps running with its
+  /// booking intact (same guarantee as RolledBack). The QoS story of the
+  /// paper's arrivals — a bounded wall-clock budget — applied to the
+  /// switch itself.
+  DeadlineMiss,
 };
 
 /// Outcome of one switch_mode() call. The instance keeps its AppId across
@@ -66,6 +72,13 @@ struct ModeSwitchOptions {
   /// defragmentation pass (on the live state, migrating *other*
   /// applications) and retry once before rolling back.
   bool defrag_on_misfit = true;
+
+  /// Wall-clock budget of the switch itself, microseconds (0 = none).
+  /// Checked between planning stages and before the two-phase commit;
+  /// once blown the switch aborts with DeadlineMiss and the old mode
+  /// keeps its booking. The commit itself is never interrupted, so a
+  /// switch either misses wholly or lands wholly.
+  double deadline_us = 0.0;
 };
 
 /// Plans and commits the switch of running instance @p id to graph

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/fragmentation.hpp"
 #include "core/spatial_mapper.hpp"
 #include "runtime/portfolio.hpp"
 #include "runtime/preemption.hpp"
@@ -67,6 +68,9 @@ bool record_switch_stats(AdmissionStats& stats, const SwitchOutcome& out) {
       return false;
     case SwitchStatus::UnknownId:
       ++stats.switch_failures;
+      return false;
+    case SwitchStatus::DeadlineMiss:
+      ++stats.switch_deadline_misses;
       return false;
   }
   return false;
@@ -467,12 +471,16 @@ bool RuntimeManager::release(AppId id) {
 }
 
 SwitchOutcome RuntimeManager::switch_mode(
-    AppId id, std::shared_ptr<const kpn::Application> next) {
+    AppId id, std::shared_ptr<const kpn::Application> next,
+    double deadline_us) {
   const auto start = std::chrono::steady_clock::now();
   std::optional<DefragPassResult> defrag;
+  ModeSwitchOptions switch_options;
+  switch_options.deadline_us = deadline_us;
   SwitchOutcome out =
       switch_mode_in_place(state_, running_, id, std::move(next), *mapper_,
-                           &planner_, planner_.options().cost, &defrag);
+                           &planner_, planner_.options().cost, &defrag,
+                           switch_options);
   out.switch_us = elapsed_us(start);
 
   if (defrag.has_value()) merge_defrag(*defrag);
@@ -487,6 +495,10 @@ SwitchOutcome RuntimeManager::switch_mode(
     }
   }
   return out;
+}
+
+double RuntimeManager::mean_occupancy() const {
+  return core::mean_occupancy(state_);
 }
 
 std::vector<ReleaseError> RuntimeManager::drain_release_errors() {

@@ -205,6 +205,9 @@ struct AdmissionStats {
   std::uint64_t switches_replanned = 0;     ///< Committed via full replan.
   std::uint64_t switches_rolled_back = 0;   ///< Old mode kept on misfit.
   std::uint64_t switch_failures = 0;        ///< Unknown-id switches.
+  /// Switches aborted because their own wall-clock deadline blew while
+  /// planning (old mode kept; see ModeSwitchOptions::deadline_us).
+  std::uint64_t switch_deadline_misses = 0;
   /// Summed modelled migration cost of committed switches, microseconds.
   double switch_migration_cost_us = 0.0;
   /// Wall-clock latency of every switch_mode() call, us (bounded sample).
@@ -320,9 +323,13 @@ class RuntimeManager {
   /// may still have compacted *other* applications). The instance keeps
   /// its AppId across the switch. A committed switch may free capacity,
   /// so it wakes parked requests like a release does (their outcomes are
-  /// held for the next drain()).
+  /// held for the next drain()). @p deadline_us > 0 bounds the switch's
+  /// own wall-clock budget: blown while planning, the switch aborts with
+  /// SwitchStatus::DeadlineMiss and the old mode keeps running (counted
+  /// in stats().switch_deadline_misses).
   SwitchOutcome switch_mode(AppId id,
-                            std::shared_ptr<const kpn::Application> next);
+                            std::shared_ptr<const kpn::Application> next,
+                            double deadline_us = 0.0);
 
   /// Hands out (and clears) the release errors recorded since the last
   /// call, in stream order.
@@ -337,6 +344,10 @@ class RuntimeManager {
 
   /// Residual resource view (what the next admission will see).
   [[nodiscard]] const core::ResourceState& state() const { return state_; }
+
+  /// Mean live tile occupancy in [0, 1] — the fleet dispatcher's load
+  /// probe (see core::mean_occupancy).
+  [[nodiscard]] double mean_occupancy() const;
 
   [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
 

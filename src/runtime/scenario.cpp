@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
 #include <utility>
 
+#include "io/json.hpp"
+#include "io/serialize.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -64,6 +69,7 @@ Schedule make_mode_churn_schedule(const ScheduleParams& params,
       ev.slot = s;
       ev.next = std::make_shared<kpn::Application>(
           workload::hiperlan2_mode_variant(next, params.hiperlan));
+      ev.deadline_us = params.switch_deadline_us;
       schedule.events.push_back(std::move(ev));
     }
 
@@ -101,6 +107,225 @@ Schedule make_mode_churn_schedule(const ScheduleParams& params,
   }
   schedule.slots = slots.size();
   return schedule;
+}
+
+// --------------------------------------------------------- record / replay
+
+namespace {
+
+/// %.6f, matching the library's other JSON writers.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+const char* kind_name(ScenarioEvent::Kind kind) {
+  switch (kind) {
+    case ScenarioEvent::Kind::Arrive: return "arrive";
+    case ScenarioEvent::Kind::Depart: return "depart";
+    case ScenarioEvent::Kind::SwitchMode: return "switch";
+  }
+  return "?";
+}
+
+ScenarioEvent::Kind kind_of(const std::string& name) {
+  if (name == "arrive") return ScenarioEvent::Kind::Arrive;
+  if (name == "depart") return ScenarioEvent::Kind::Depart;
+  if (name == "switch") return ScenarioEvent::Kind::SwitchMode;
+  throw Error("unknown scenario event kind \"" + name + "\"");
+}
+
+/// Deduplicating application pool: graphs are stored once in the
+/// io::save_application text format (loss-free) and events reference
+/// them by index — the HIPERLAN/2 mode variants repeat heavily.
+class AppPool {
+ public:
+  std::size_t index_of(const kpn::Application& app) {
+    const std::string text = io::save_application(app);
+    const auto it = by_text_.find(text);
+    if (it != by_text_.end()) return it->second;
+    const std::size_t index = texts_.size();
+    texts_.push_back(text);
+    by_text_.emplace(texts_.back(), index);
+    return index;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& texts() const {
+    return texts_;
+  }
+
+ private:
+  std::vector<std::string> texts_;
+  std::unordered_map<std::string, std::size_t> by_text_;
+};
+
+void write_schedule(std::ostringstream& out, const Schedule& schedule) {
+  AppPool pool;
+  struct Ref {
+    std::size_t app = 0;
+    std::size_t next = 0;
+  };
+  std::vector<Ref> refs(schedule.events.size());
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    const ScenarioEvent& ev = schedule.events[i];
+    if (ev.app != nullptr) refs[i].app = pool.index_of(*ev.app);
+    if (ev.next != nullptr) refs[i].next = pool.index_of(*ev.next);
+  }
+
+  out << "\"waves\":" << schedule.waves << ",\"slots\":" << schedule.slots
+      << ",\"apps\":[";
+  for (std::size_t i = 0; i < pool.texts().size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << io::json_escape(pool.texts()[i]) << "\"";
+  }
+  out << "],\"events\":[";
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    const ScenarioEvent& ev = schedule.events[i];
+    if (i > 0) out << ",";
+    out << "{\"kind\":\"" << kind_name(ev.kind) << "\",\"wave\":" << ev.wave
+        << ",\"slot\":" << ev.slot;
+    if (ev.app != nullptr) out << ",\"app\":" << refs[i].app;
+    if (ev.next != nullptr) out << ",\"next\":" << refs[i].next;
+    if (ev.cls.priority != 0) out << ",\"priority\":" << ev.cls.priority;
+    if (!ev.cls.preemptible) out << ",\"preemptible\":false";
+    if (ev.deadline_us > 0.0) {
+      out << ",\"deadline_us\":" << num(ev.deadline_us);
+    }
+    out << "}";
+  }
+  out << "]";
+}
+
+Schedule read_schedule(const io::JsonValue& doc) {
+  Schedule schedule;
+  schedule.waves = static_cast<std::uint32_t>(doc.at("waves").as_uint());
+  schedule.slots = static_cast<std::size_t>(doc.at("slots").as_uint());
+
+  // One shared graph per pool entry: events that referenced one
+  // application object share one again after the round trip.
+  std::vector<std::shared_ptr<const kpn::Application>> apps;
+  for (const io::JsonValue& text : doc.at("apps").as_array()) {
+    apps.push_back(std::make_shared<kpn::Application>(
+        io::load_application(text.as_string())));
+  }
+  auto app_at = [&](const io::JsonValue& index) {
+    const std::uint64_t i = index.as_uint();
+    require(i < apps.size(), "scenario event references app " +
+                                 std::to_string(i) + " of " +
+                                 std::to_string(apps.size()));
+    return apps[static_cast<std::size_t>(i)];
+  };
+
+  for (const io::JsonValue& item : doc.at("events").as_array()) {
+    ScenarioEvent ev;
+    ev.kind = kind_of(item.at("kind").as_string());
+    ev.wave = static_cast<std::uint32_t>(item.at("wave").as_uint());
+    ev.slot = static_cast<std::size_t>(item.at("slot").as_uint());
+    if (item.has("app")) ev.app = app_at(item.at("app"));
+    if (item.has("next")) ev.next = app_at(item.at("next"));
+    if (item.has("priority")) {
+      ev.cls.priority =
+          static_cast<std::int32_t>(item.at("priority").as_double());
+    }
+    if (item.has("preemptible")) {
+      ev.cls.preemptible = item.at("preemptible").as_bool();
+    }
+    if (item.has("deadline_us")) {
+      ev.deadline_us = item.at("deadline_us").as_double();
+    }
+    schedule.events.push_back(std::move(ev));
+  }
+  return schedule;
+}
+
+void write_outcomes(std::ostringstream& out,
+                    const std::vector<WaveOutcome>& outcomes) {
+  out << "\"outcomes\":[";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const WaveOutcome& w = outcomes[i];
+    if (i > 0) out << ",";
+    out << "{\"wave\":" << w.wave << ",\"running\":" << w.running
+        << ",\"admitted\":" << w.admitted << ",\"rejected\":" << w.rejected
+        << ",\"deadline_misses\":" << w.deadline_misses
+        << ",\"departures\":" << w.departures
+        << ",\"skipped_events\":" << w.skipped_events
+        << ",\"switches_in_place\":" << w.switches_in_place
+        << ",\"switches_replanned\":" << w.switches_replanned
+        << ",\"switches_rolled_back\":" << w.switches_rolled_back
+        << ",\"switch_deadline_misses\":" << w.switch_deadline_misses
+        << ",\"naive_switch_losses\":" << w.naive_switch_losses << "}";
+  }
+  out << "]";
+}
+
+std::vector<WaveOutcome> read_outcomes(const io::JsonValue& array) {
+  std::vector<WaveOutcome> outcomes;
+  for (const io::JsonValue& item : array.as_array()) {
+    WaveOutcome w;
+    w.wave = static_cast<std::uint32_t>(item.at("wave").as_uint());
+    w.running = item.at("running").as_uint();
+    w.admitted = item.at("admitted").as_uint();
+    w.rejected = item.at("rejected").as_uint();
+    w.deadline_misses = item.at("deadline_misses").as_uint();
+    w.departures = item.at("departures").as_uint();
+    w.skipped_events = item.at("skipped_events").as_uint();
+    w.switches_in_place = item.at("switches_in_place").as_uint();
+    w.switches_replanned = item.at("switches_replanned").as_uint();
+    w.switches_rolled_back = item.at("switches_rolled_back").as_uint();
+    w.switch_deadline_misses = item.at("switch_deadline_misses").as_uint();
+    w.naive_switch_losses = item.at("naive_switch_losses").as_uint();
+    outcomes.push_back(w);
+  }
+  return outcomes;
+}
+
+constexpr const char* kTraceFormat = "rtsm-scenario-trace-v1";
+
+}  // namespace
+
+std::string schedule_to_json(const Schedule& schedule) {
+  std::ostringstream out;
+  out << "{\"format\":\"" << kTraceFormat << "\",";
+  write_schedule(out, schedule);
+  out << "}";
+  return out.str();
+}
+
+Schedule schedule_from_json(const std::string& text) {
+  const io::JsonValue doc = io::parse_json(text);
+  require(doc.at("format").as_string() == kTraceFormat,
+          "not a scenario trace: format \"" + doc.at("format").as_string() +
+              "\"");
+  return read_schedule(doc);
+}
+
+std::string trace_to_json(const ScenarioTrace& trace) {
+  std::ostringstream out;
+  out << "{\"format\":\"" << kTraceFormat << "\",\"seed\":" << trace.seed
+      << ",";
+  write_schedule(out, trace.schedule);
+  out << ",";
+  write_outcomes(out, trace.outcomes);
+  out << "}";
+  return out.str();
+}
+
+ScenarioTrace trace_from_json(const std::string& text) {
+  const io::JsonValue doc = io::parse_json(text);
+  require(doc.at("format").as_string() == kTraceFormat,
+          "not a scenario trace: format \"" + doc.at("format").as_string() +
+              "\"");
+  ScenarioTrace trace;
+  if (doc.has("seed")) trace.seed = doc.at("seed").as_uint();
+  trace.schedule = read_schedule(doc);
+  if (doc.has("outcomes")) trace.outcomes = read_outcomes(doc.at("outcomes"));
+  return trace;
+}
+
+bool outcomes_identical(const std::vector<WaveOutcome>& a,
+                        const std::vector<WaveOutcome>& b) {
+  return a == b;
 }
 
 // ----------------------------------------------------------------- targets
@@ -289,7 +514,7 @@ ScenarioStats ScenarioDriver::run() {
             stats_.switch_latency.record(elapsed_us(start));
           } else {
             const SwitchOutcome out =
-                target_->switch_mode(live->second, ev.next);
+                target_->switch_mode(live->second, ev.next, ev.deadline_us);
             stats_.switch_latency.record(elapsed_us(start));
             switch (out.status) {
               case SwitchStatus::InPlace:
@@ -300,6 +525,10 @@ ScenarioStats ScenarioDriver::run() {
                 break;
               case SwitchStatus::RolledBack:
                 ++stats_.switches_rolled_back;
+                break;
+              case SwitchStatus::DeadlineMiss:
+                // The old mode keeps running — the slot stays live.
+                ++stats_.switch_deadline_misses;
                 break;
               case SwitchStatus::UnknownId:
                 ++stats_.skipped_events;
@@ -316,11 +545,31 @@ ScenarioStats ScenarioDriver::run() {
     if (options_.oracle_every_wave && !target_->replay_matches()) {
       stats_.oracle_ok = false;
     }
+    record_wave(wave);
   }
 
   handle_outcomes(target_->finish());
   if (!target_->replay_matches()) stats_.oracle_ok = false;
+  // One post-finish entry (parked requests just resolved) closes the log.
+  record_wave(schedule_.waves);
   return stats_;
+}
+
+void ScenarioDriver::record_wave(std::uint32_t wave) {
+  WaveOutcome out;
+  out.wave = wave;
+  out.running = static_cast<std::uint64_t>(live_.size());
+  out.admitted = stats_.admitted;
+  out.rejected = stats_.rejected;
+  out.deadline_misses = stats_.deadline_misses;
+  out.departures = stats_.departures;
+  out.skipped_events = stats_.skipped_events;
+  out.switches_in_place = stats_.switches_in_place;
+  out.switches_replanned = stats_.switches_replanned;
+  out.switches_rolled_back = stats_.switches_rolled_back;
+  out.switch_deadline_misses = stats_.switch_deadline_misses;
+  out.naive_switch_losses = stats_.naive_switch_losses;
+  stats_.wave_log.push_back(out);
 }
 
 }  // namespace rtsm::runtime

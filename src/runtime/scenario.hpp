@@ -40,7 +40,8 @@ struct ScenarioEvent {
   /// Arrive: priority class of the admission request.
   RequestClass cls;
 
-  /// Arrive: mapper wall-clock budget (0 = none).
+  /// Arrive: mapper wall-clock budget. SwitchMode: the switch's own QoS
+  /// deadline (see ModeSwitchOptions::deadline_us). 0 = none.
   double deadline_us = 0.0;
 };
 
@@ -81,6 +82,10 @@ struct ScheduleParams {
   double high_priority_fraction = 0.15;
   std::int32_t high_priority = 10;
 
+  /// QoS deadline stamped on every switch_mode event, microseconds
+  /// (0 = unbounded switches, the pre-deadline behaviour).
+  double switch_deadline_us = 0.0;
+
   workload::Hiperlan2Config hiperlan;
   workload::SyntheticAppParams small_app;
   workload::SyntheticAppParams big_app;
@@ -102,6 +107,56 @@ struct ScheduleParams {
 /// identical workload).
 [[nodiscard]] Schedule make_mode_churn_schedule(const ScheduleParams& params,
                                                 std::uint64_t seed);
+
+// ----------------------------------------------------- record / replay
+
+/// Cumulative driver counters snapshotted after one wave settled. A run's
+/// wave-outcome log is its behavioural fingerprint: two runs of the same
+/// schedule against equivalent targets must produce equal logs (the
+/// bit-identical-replay gate of bench X11).
+struct WaveOutcome {
+  std::uint32_t wave = 0;
+  /// Driver-tracked slots live after the wave.
+  std::uint64_t running = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t skipped_events = 0;
+  std::uint64_t switches_in_place = 0;
+  std::uint64_t switches_replanned = 0;
+  std::uint64_t switches_rolled_back = 0;
+  std::uint64_t switch_deadline_misses = 0;
+  std::uint64_t naive_switch_losses = 0;
+
+  bool operator==(const WaveOutcome&) const = default;
+};
+
+/// A persisted scenario: the seeded schedule plus the per-wave outcome
+/// log of one recorded run. Replaying the schedule against an equivalent
+/// target and comparing wave logs is the cross-version regression gate.
+struct ScenarioTrace {
+  /// Provenance only (the schedule is stored expanded, not re-generated).
+  std::uint64_t seed = 0;
+  Schedule schedule;
+  std::vector<WaveOutcome> outcomes;
+};
+
+/// Renders a schedule to the trace JSON (applications deduplicated and
+/// embedded in the io::save_application text format, loss-free).
+[[nodiscard]] std::string schedule_to_json(const Schedule& schedule);
+
+/// Parses a schedule back. Events that referenced one application object
+/// share one again. Throws rtsm::Error on malformed input.
+[[nodiscard]] Schedule schedule_from_json(const std::string& text);
+
+/// Full trace: schedule + recorded wave outcomes (+ seed provenance).
+[[nodiscard]] std::string trace_to_json(const ScenarioTrace& trace);
+[[nodiscard]] ScenarioTrace trace_from_json(const std::string& text);
+
+/// True when two runs behaved identically wave for wave.
+[[nodiscard]] bool outcomes_identical(const std::vector<WaveOutcome>& a,
+                                      const std::vector<WaveOutcome>& b);
 
 /// An outcome as the driver receives it: @p ticket is the target-assigned
 /// submission handle (0 when the request was not submitted through the
@@ -125,8 +180,9 @@ class ScenarioTarget {
   virtual std::uint64_t submit(std::shared_ptr<const kpn::Application> app,
                                double deadline_us, RequestClass cls) = 0;
   virtual bool release(AppId id) = 0;
-  virtual SwitchOutcome switch_mode(
-      AppId id, std::shared_ptr<const kpn::Application> next) = 0;
+  virtual SwitchOutcome switch_mode(AppId id,
+                                    std::shared_ptr<const kpn::Application> next,
+                                    double deadline_us) = 0;
 
   /// Outcomes resolved since the last settle()/finish() call.
   virtual std::vector<SettledOutcome> settle() = 0;
@@ -143,8 +199,9 @@ class ScenarioTarget {
   /// Serial-replay oracle: committing every surviving (app, mapping) pair
   /// onto a fresh ResourceState must reproduce the live resource state —
   /// admissions, releases, preemptions, defrag migrations and mode
-  /// switches may never leak or double-book a reservation.
-  [[nodiscard]] bool replay_matches() const;
+  /// switches may never leak or double-book a reservation. Virtual so
+  /// multi-platform targets (the fleet) can run the check per platform.
+  [[nodiscard]] virtual bool replay_matches() const;
 };
 
 /// Drives the serial RuntimeManager.
@@ -160,9 +217,10 @@ class SerialTarget final : public ScenarioTarget {
     return next_ticket_;
   }
   bool release(AppId id) override { return manager_->release(id); }
-  SwitchOutcome switch_mode(
-      AppId id, std::shared_ptr<const kpn::Application> next) override {
-    return manager_->switch_mode(id, std::move(next));
+  SwitchOutcome switch_mode(AppId id,
+                            std::shared_ptr<const kpn::Application> next,
+                            double deadline_us) override {
+    return manager_->switch_mode(id, std::move(next), deadline_us);
   }
   std::vector<SettledOutcome> settle() override;
   std::vector<SettledOutcome> finish() override;
@@ -203,9 +261,10 @@ class ConcurrentTarget final : public ScenarioTarget {
   std::uint64_t submit(std::shared_ptr<const kpn::Application> app,
                        double deadline_us, RequestClass cls) override;
   bool release(AppId id) override { return manager_->release(id); }
-  SwitchOutcome switch_mode(
-      AppId id, std::shared_ptr<const kpn::Application> next) override {
-    return manager_->switch_mode(id, std::move(next));
+  SwitchOutcome switch_mode(AppId id,
+                            std::shared_ptr<const kpn::Application> next,
+                            double deadline_us) override {
+    return manager_->switch_mode(id, std::move(next), deadline_us);
   }
   std::vector<SettledOutcome> settle() override;
   std::vector<SettledOutcome> finish() override;
@@ -260,6 +319,8 @@ struct ScenarioStats {
   std::uint64_t switches_in_place = 0;
   std::uint64_t switches_replanned = 0;
   std::uint64_t switches_rolled_back = 0;
+  /// Switches aborted on their own QoS deadline (old mode kept).
+  std::uint64_t switch_deadline_misses = 0;
   /// Naive mode only: release+readmit lost the application.
   std::uint64_t naive_switch_losses = 0;
 
@@ -275,6 +336,11 @@ struct ScenarioStats {
 
   /// Serial-replay oracle verdict over all checks performed.
   bool oracle_ok = true;
+
+  /// Per-wave cumulative outcome snapshots (one entry per wave plus a
+  /// final post-finish entry at index waves) — the run's behavioural
+  /// fingerprint for record/replay comparison (see ScenarioTrace).
+  std::vector<WaveOutcome> wave_log;
 };
 
 /// Replays a Schedule against a ScenarioTarget: the run-time mode-switch
@@ -291,6 +357,8 @@ class ScenarioDriver {
 
  private:
   void handle_outcomes(const std::vector<SettledOutcome>& outcomes);
+  /// Appends the cumulative counter snapshot for @p wave to the wave log.
+  void record_wave(std::uint32_t wave);
 
   ScenarioTarget* target_;
   Schedule schedule_;

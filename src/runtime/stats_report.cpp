@@ -88,6 +88,7 @@ std::string StatsReport::to_json() const {
       << ",\"replanned\":" << a.switches_replanned
       << ",\"rolled_back\":" << a.switches_rolled_back
       << ",\"failures\":" << a.switch_failures
+      << ",\"deadline_misses\":" << a.switch_deadline_misses
       << ",\"migration_cost_us\":" << num(a.switch_migration_cost_us)
       << ",\"p95_us\":" << num(a.switch_latencies.percentile_us(95.0)) << "}";
 

@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spatial_mapper.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/scenario.hpp"
+#include "test_helpers.hpp"
+#include "workload/hiperlan2.hpp"
+
+namespace rtsm::runtime {
+namespace {
+
+std::shared_ptr<const core::SpatialMapper> paper_mapper() {
+  return std::make_shared<core::SpatialMapper>();
+}
+
+FleetOptions pump_fleet(std::size_t platforms) {
+  FleetOptions options;
+  options.platforms = platforms;
+  options.workers = 0;  // deterministic: dispatch happens in pump()/admit()
+  options.manager.mapper = paper_mapper();
+  return options;
+}
+
+/// Two-stage chain that only runs on LITTLE tiles — occupies p1's LITTLE
+/// pair while leaving its BIG pair free (the spill-over fixtures below).
+kpn::Application little_only_app() {
+  kpn::QosConstraints qos;
+  qos.symbol_period_ns = 4000;
+  kpn::Application app("little filler", qos);
+  const ProcessId a = app.add_process("L0");
+  const ProcessId b = app.add_process("L1");
+  const ChannelId ch = app.connect(a, b, 16);
+
+  kpn::Implementation ia;
+  ia.name = "L0@LITTLE";
+  ia.tile_type = "LITTLE";
+  ia.wcet_cc = {200};
+  ia.outputs = {{ch, {16}}};
+  ia.memory_bytes = 4 * 1024;
+  app.add_implementation(a, std::move(ia));
+
+  kpn::Implementation ib;
+  ib.name = "L1@LITTLE";
+  ib.tile_type = "LITTLE";
+  ib.wcet_cc = {200};
+  ib.inputs = {{ch, {16}}};
+  ib.memory_bytes = 4 * 1024;
+  app.add_implementation(b, std::move(ib));
+
+  app.validate();
+  return app;
+}
+
+/// BIG-only two-stage chain (no LITTLE variant, no fixtures).
+kpn::Application big_only_app() {
+  test::PipelineSpec spec;
+  spec.stages = 2;
+  spec.little_wcet_cc = 0;
+  spec.with_fixtures = false;
+  return test::pipeline_app(spec);
+}
+
+/// 4x4 mesh hosting HIPERLAN/2 fixtures plus ARM/MONTIUM churn — the
+/// scenario engine's platform, here instantiated K times by the fleet.
+arch::Platform scenario_platform() {
+  arch::Platform p("scenario 4x4", 4, 4);
+  const TileTypeId arm = p.add_tile_type("ARM", 200'000'000);
+  const TileTypeId montium = p.add_tile_type("MONTIUM", 200'000'000);
+  const TileTypeId io = p.add_tile_type("IO", 1'600'000'000);
+  p.add_tile("A/D", io, 0, 1, 64 * 1024, /*process_slots=*/8);
+  p.add_tile("Sink", io, 3, 2, 64 * 1024, /*process_slots=*/8);
+  std::uint32_t arms = 0;
+  std::uint32_t montiums = 0;
+  for (std::uint32_t y = 0; y < 4; ++y) {
+    for (std::uint32_t x = 0; x < 4; ++x) {
+      if ((x == 0 && y == 1) || (x == 3 && y == 2)) continue;
+      if ((x + y) % 2 == 0) {
+        p.add_tile("ARM" + std::to_string(arms++), arm, x, y, 64 * 1024,
+                   /*process_slots=*/4);
+      } else {
+        p.add_tile("MONT" + std::to_string(montiums++), montium, x, y,
+                   64 * 1024, /*process_slots=*/1);
+      }
+    }
+  }
+  return p;
+}
+
+// -------------------------------------------------- deterministic dispatch
+
+TEST(Fleet, PumpModeDispatchesLeastLoadedWithStableTies) {
+  const auto platform = test::small_platform();
+  FleetManager fleet(platform, pump_fleet(2));
+
+  // Empty fleet: tie broken toward platform 0.
+  const auto first = fleet.admit(big_only_app());
+  ASSERT_EQ(first.status, AdmitStatus::Admitted) << first.mapping.failure;
+  EXPECT_EQ(fleet.platform_of(first.app_id), 0u);
+
+  // Platform 0 now carries load: the next admission goes to platform 1.
+  const auto second = fleet.admit(big_only_app());
+  ASSERT_EQ(second.status, AdmitStatus::Admitted) << second.mapping.failure;
+  EXPECT_EQ(fleet.platform_of(second.app_id), 1u);
+
+  // Fleet ids are fleet-scoped and distinct even across platforms.
+  EXPECT_NE(first.app_id, second.app_id);
+  EXPECT_EQ(fleet.running_count(), 2u);
+
+  const FleetStats stats = fleet.fleet_stats();
+  EXPECT_EQ(stats.dispatches, 2u);
+  EXPECT_EQ(stats.spills, 0u);
+  EXPECT_EQ(stats.per_platform_dispatches[0], 1u);
+  EXPECT_EQ(stats.per_platform_dispatches[1], 1u);
+
+  EXPECT_TRUE(fleet.release(first.app_id));
+  EXPECT_TRUE(fleet.release(second.app_id));
+  EXPECT_FALSE(fleet.release(first.app_id));  // already gone
+  EXPECT_EQ(fleet.running_count(), 0u);
+}
+
+TEST(Fleet, AsymmetricFillPicksTheEmptierPlatform) {
+  const auto platform = test::small_platform();
+  FleetManager fleet(platform, pump_fleet(2));
+
+  // Load platform 1 directly (bypassing dispatch) so its occupancy wins.
+  const auto filler = fleet.manager(1).admit(big_only_app());
+  ASSERT_EQ(filler.status, AdmitStatus::Admitted);
+  ASSERT_GT(fleet.platform_occupancy(1), fleet.platform_occupancy(0));
+
+  const auto out = fleet.admit(little_only_app());
+  ASSERT_EQ(out.status, AdmitStatus::Admitted) << out.mapping.failure;
+  EXPECT_EQ(fleet.platform_of(out.app_id), 0u);
+}
+
+// ------------------------------------------------------------- spill-over
+
+TEST(Fleet, SpillsOverWhenFirstChoiceRejects) {
+  const auto platform = test::small_platform();
+  FleetManager fleet(platform, pump_fleet(2));
+
+  // Platform 0: both BIG tiles taken. Platform 1: both LITTLE tiles
+  // taken, BIG pair free. Equal occupancy, so the tie sends the next
+  // BIG-only admission to platform 0 first — which must reject it.
+  ASSERT_EQ(fleet.manager(0).admit(big_only_app()).status,
+            AdmitStatus::Admitted);
+  ASSERT_EQ(fleet.manager(1).admit(little_only_app()).status,
+            AdmitStatus::Admitted);
+  ASSERT_DOUBLE_EQ(fleet.platform_occupancy(0), fleet.platform_occupancy(1));
+
+  const auto out = fleet.admit(big_only_app());
+  ASSERT_EQ(out.status, AdmitStatus::Admitted) << out.mapping.failure;
+  EXPECT_EQ(fleet.platform_of(out.app_id), 1u);
+
+  const FleetStats stats = fleet.fleet_stats();
+  EXPECT_EQ(stats.dispatches, 1u);
+  EXPECT_EQ(stats.spills, 1u);
+  EXPECT_EQ(stats.spill_failures, 0u);
+}
+
+TEST(Fleet, RejectsWhenEveryPlatformIsFull) {
+  const auto platform = test::small_platform();
+  FleetManager fleet(platform, pump_fleet(2));
+
+  ASSERT_EQ(fleet.admit(big_only_app()).status, AdmitStatus::Admitted);
+  ASSERT_EQ(fleet.admit(big_only_app()).status, AdmitStatus::Admitted);
+
+  // Both platforms' BIG pairs are taken now.
+  const auto out = fleet.admit(big_only_app());
+  EXPECT_EQ(out.status, AdmitStatus::Rejected);
+  const FleetStats stats = fleet.fleet_stats();
+  EXPECT_EQ(stats.spill_failures, 1u);
+  EXPECT_GE(stats.spills, 1u);
+}
+
+// ------------------------------------------------- cross-platform motion
+
+TEST(Fleet, MigrateMovesAppKeepingItsFleetId) {
+  const auto platform = test::small_platform();
+  FleetManager fleet(platform, pump_fleet(2));
+
+  const auto out = fleet.admit(big_only_app());
+  ASSERT_EQ(out.status, AdmitStatus::Admitted);
+  ASSERT_EQ(fleet.platform_of(out.app_id), 0u);
+
+  ASSERT_TRUE(fleet.migrate(out.app_id, 1));
+  EXPECT_EQ(fleet.platform_of(out.app_id), 1u);
+  EXPECT_EQ(fleet.running_count(), 1u);
+  EXPECT_EQ(fleet.manager(0).running_count(), 0u);
+  EXPECT_EQ(fleet.manager(1).running_count(), 1u);
+
+  const FleetStats stats = fleet.fleet_stats();
+  EXPECT_EQ(stats.cross_migrations, 1u);
+  EXPECT_GT(stats.cross_migration_cost_us, 0.0);
+
+  // No-ops: unknown id, already there, bad platform index.
+  EXPECT_FALSE(fleet.migrate(AppId{999}, 1));
+  EXPECT_FALSE(fleet.migrate(out.app_id, 1));
+  EXPECT_FALSE(fleet.migrate(out.app_id, 7));
+
+  EXPECT_TRUE(fleet.release(out.app_id));
+}
+
+TEST(Fleet, CrossMigrationMakesRoomOnTheFirstChoice) {
+  const auto platform = test::small_platform();
+  FleetOptions options = pump_fleet(2);
+  options.cross_migration = true;
+  FleetManager fleet(platform, options);
+
+  // Both platforms' BIG pairs full; platform LITTLE pairs stay free, so
+  // vacating either BIG app onto the other platform is impossible — but
+  // the little filler can move anywhere.
+  ASSERT_EQ(fleet.admit(big_only_app()).status, AdmitStatus::Admitted);
+  const auto little = fleet.admit(little_only_app());
+  ASSERT_EQ(little.status, AdmitStatus::Admitted);
+  ASSERT_EQ(fleet.platform_of(little.app_id), 1u);
+  ASSERT_EQ(fleet.admit(big_only_app()).status, AdmitStatus::Admitted);
+
+  // BIG-only admission: both platforms reject, then the fleet migrates
+  // the cheapest app (the little filler) off the first choice... which
+  // frees LITTLE tiles only, so the retry still rejects. Cross-migration
+  // must not invent capacity — but it must have tried.
+  const auto out = fleet.admit(big_only_app());
+  EXPECT_EQ(out.status, AdmitStatus::Rejected);
+  const FleetStats stats = fleet.fleet_stats();
+  EXPECT_EQ(stats.cross_migrations + stats.cross_migration_failures, 1u);
+}
+
+// ---------------------------------------------------- switch-mode routing
+
+TEST(Fleet, RoutesSwitchModeToTheOwningPlatform) {
+  const auto platform = workload::make_paper_platform();
+  FleetManager fleet(platform, pump_fleet(2));
+
+  const auto started = fleet.admit(
+      workload::hiperlan2_mode_variant(workload::Hiperlan2Mode::QPSK));
+  ASSERT_EQ(started.status, AdmitStatus::Admitted) << started.mapping.failure;
+
+  const auto next = std::make_shared<kpn::Application>(
+      workload::hiperlan2_mode_variant(workload::Hiperlan2Mode::QAM16));
+  const SwitchOutcome out = fleet.switch_mode(started.app_id, next);
+  ASSERT_TRUE(out.status == SwitchStatus::InPlace ||
+              out.status == SwitchStatus::Replanned)
+      << out.message;
+  EXPECT_EQ(out.app_id, started.app_id);  // fleet id, not the local one
+  EXPECT_NE(fleet.app_of(started.app_id)->name().find("16-QAM"),
+            std::string::npos);
+
+  const SwitchOutcome unknown = fleet.switch_mode(AppId{404}, next);
+  EXPECT_EQ(unknown.status, SwitchStatus::UnknownId);
+}
+
+// --------------------------------------------- background defrag thread
+
+TEST(Fleet, BackgroundDefragShutdownRace) {
+  const auto platform = test::small_platform();
+  FleetOptions options;
+  options.platforms = 2;
+  options.workers = 2;
+  options.manager.mapper = paper_mapper();
+  options.background_defrag.enabled = true;
+  options.background_defrag.period_us = 200;  // tick hard
+  options.background_defrag.platforms_per_tick = 2;
+  options.background_defrag.min_fragmentation = 0.0;
+
+  // Admission churn concurrent with the maintenance thread, then the
+  // destructor races shutdown against a pending tick (the TSan target).
+  for (int round = 0; round < 10; ++round) {
+    FleetManager fleet(platform, options);
+    std::vector<AppId> live;
+    for (int i = 0; i < 6; ++i) {
+      const auto out = fleet.admit(big_only_app());
+      if (out.status == AdmitStatus::Admitted) live.push_back(out.app_id);
+      if (live.size() >= 2) {
+        fleet.release(live.front());
+        live.erase(live.begin());
+      }
+    }
+    // Fleet destroyed here, possibly mid-tick.
+  }
+  SUCCEED();
+}
+
+TEST(Fleet, DefragTickIsDeterministicAndBudgeted) {
+  const auto platform = test::small_platform();
+  FleetOptions options = pump_fleet(2);
+  options.background_defrag.platforms_per_tick = 1;
+  options.background_defrag.min_fragmentation = 2.0;  // everything compact
+  FleetManager fleet(platform, options);
+
+  fleet.defrag_tick();
+  fleet.defrag_tick();
+  const FleetStats stats = fleet.fleet_stats();
+  EXPECT_EQ(stats.defrag_ticks, 2u);
+  EXPECT_EQ(stats.defrag_passes, 0u);
+  EXPECT_EQ(stats.defrag_skipped, 2u);  // one platform visited per tick
+}
+
+// ------------------------------------------------ scenario-engine target
+
+TEST(Fleet, ScenarioReplayOracleHoldsPerPlatform) {
+  const auto platform = scenario_platform();
+  ScheduleParams params;
+  params.waves = 12;
+  params.arrivals_per_wave = 3;
+  const Schedule schedule = make_mode_churn_schedule(params, 20080310);
+
+  FleetManager fleet(platform, pump_fleet(2));
+  FleetTarget target(fleet);
+  ScenarioDriver driver(target, schedule);
+  const ScenarioStats stats = driver.run();
+
+  EXPECT_TRUE(stats.oracle_ok);
+  EXPECT_GT(stats.admitted, 0u);
+  EXPECT_EQ(stats.wave_log.size(), params.waves + 1u);
+  // Both platforms actually hosted work.
+  const FleetStats fstats = fleet.fleet_stats();
+  EXPECT_GT(fstats.per_platform_dispatches[0], 0u);
+  EXPECT_GT(fstats.per_platform_dispatches[1], 0u);
+}
+
+TEST(Fleet, ReplayIsBitIdenticalAcrossRuns) {
+  const auto platform = scenario_platform();
+  ScheduleParams params;
+  params.waves = 10;
+  params.arrivals_per_wave = 3;
+  // No switch deadline: wall-clock budgets are load-dependent, so a
+  // bit-identical-replay fixture must not carry one.
+  const Schedule schedule = make_mode_churn_schedule(params, 7);
+
+  auto run_once = [&] {
+    FleetManager fleet(platform, pump_fleet(2));
+    FleetTarget target(fleet);
+    ScenarioDriver driver(target, schedule);
+    return driver.run();
+  };
+  const ScenarioStats a = run_once();
+  const ScenarioStats b = run_once();
+  EXPECT_TRUE(outcomes_identical(a.wave_log, b.wave_log));
+}
+
+// ------------------------------------------------- trace JSON round-trip
+
+TEST(ScenarioTrace, ScheduleJsonRoundTripsExactly) {
+  for (const std::uint64_t seed : {1ull, 42ull, 20080310ull}) {
+    ScheduleParams params;
+    params.waves = 8;
+    params.arrivals_per_wave = 2;
+    params.switch_deadline_us = 25'000.0;
+    const Schedule original = make_mode_churn_schedule(params, seed);
+
+    const std::string text = schedule_to_json(original);
+    const Schedule parsed = schedule_from_json(text);
+
+    ASSERT_EQ(parsed.waves, original.waves) << "seed " << seed;
+    ASSERT_EQ(parsed.slots, original.slots) << "seed " << seed;
+    ASSERT_EQ(parsed.events.size(), original.events.size()) << "seed " << seed;
+    // Serialization is canonical: a parsed schedule re-serializes to the
+    // identical text (the fixed point the replay gate depends on).
+    EXPECT_EQ(schedule_to_json(parsed), text) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioTrace, FullTraceRoundTripsAndReplaysIdentically) {
+  const auto platform = scenario_platform();
+  ScheduleParams params;
+  params.waves = 8;
+  params.arrivals_per_wave = 2;
+  const std::uint64_t seed = 99;
+  const Schedule schedule = make_mode_churn_schedule(params, seed);
+
+  FleetManager fleet(platform, pump_fleet(2));
+  FleetTarget target(fleet);
+  ScenarioDriver driver(target, schedule);
+  const ScenarioStats recorded = driver.run();
+  ASSERT_TRUE(recorded.oracle_ok);
+
+  ScenarioTrace trace;
+  trace.seed = seed;
+  trace.schedule = schedule;
+  trace.outcomes = recorded.wave_log;
+
+  const std::string text = trace_to_json(trace);
+  const ScenarioTrace parsed = trace_from_json(text);
+  EXPECT_EQ(parsed.seed, seed);
+  EXPECT_TRUE(outcomes_identical(parsed.outcomes, trace.outcomes));
+  EXPECT_EQ(trace_to_json(parsed), text);
+
+  // Replaying the *parsed* schedule reproduces the recorded wave log —
+  // the persisted trace really is a cross-version regression gate.
+  FleetManager fleet2(platform, pump_fleet(2));
+  FleetTarget target2(fleet2);
+  ScenarioDriver driver2(target2, parsed.schedule);
+  const ScenarioStats replayed = driver2.run();
+  EXPECT_TRUE(outcomes_identical(replayed.wave_log, parsed.outcomes));
+}
+
+TEST(ScenarioTrace, MalformedJsonThrows) {
+  EXPECT_THROW(schedule_from_json("not json"), rtsm::Error);
+  EXPECT_THROW(schedule_from_json("{\"format\":\"wrong\"}"), rtsm::Error);
+  EXPECT_THROW(trace_from_json("[1,2,3]"), rtsm::Error);
+}
+
+// ----------------------------------------------------- stats aggregation
+
+TEST(Fleet, StatsReportAggregatesPlatforms) {
+  const auto platform = test::small_platform();
+  FleetManager fleet(platform, pump_fleet(3));
+  ASSERT_EQ(fleet.admit(big_only_app()).status, AdmitStatus::Admitted);
+
+  const FleetStatsReport report = fleet.stats_report();
+  EXPECT_EQ(report.platforms.size(), 3u);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"fleet\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_platform_dispatches\":[1,0,0]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"platforms\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtsm::runtime

@@ -258,6 +258,39 @@ TEST(ModeSwitch, UnknownIdIsRecordedNotFatal) {
   EXPECT_EQ(manager.stats().switch_failures, 1u);
 }
 
+TEST(ModeSwitch, DeadlineMissAbortsKeepingOldMode) {
+  const auto platform = workload::make_paper_platform();
+  RuntimeManager manager(platform, {.mapper = paper_mapper()});
+  const auto started = manager.admit(
+      workload::hiperlan2_mode_variant(workload::Hiperlan2Mode::QPSK));
+  ASSERT_EQ(started.status, AdmitStatus::Admitted) << started.mapping.failure;
+  const core::ResourceState before = manager.state();
+  const std::string old_name = manager.app_of(started.app_id)->name();
+
+  // A deadline no planner can meet: the switch must abort before its
+  // two-phase commit and keep the old mode booked bit-for-bit.
+  const auto next = std::make_shared<kpn::Application>(
+      workload::hiperlan2_mode_variant(workload::Hiperlan2Mode::QAM16));
+  const SwitchOutcome missed =
+      manager.switch_mode(started.app_id, next, /*deadline_us=*/1e-6);
+  EXPECT_EQ(missed.status, SwitchStatus::DeadlineMiss) << missed.message;
+  EXPECT_EQ(manager.running_count(), 1u);
+  EXPECT_EQ(manager.app_of(started.app_id)->name(), old_name);
+  EXPECT_EQ(manager.stats().switch_deadline_misses, 1u);
+  EXPECT_EQ(manager.stats().mode_switches, 1u);
+  EXPECT_TRUE(manager.state().approx_equals(before));
+  EXPECT_TRUE(manager.state().approx_equals(replay(manager, platform)));
+
+  // A generous deadline changes nothing about the success path.
+  const SwitchOutcome ok =
+      manager.switch_mode(started.app_id, next, /*deadline_us=*/1e9);
+  ASSERT_TRUE(ok.status == SwitchStatus::InPlace ||
+              ok.status == SwitchStatus::Replanned)
+      << ok.message;
+  EXPECT_EQ(manager.stats().switch_deadline_misses, 1u);
+  EXPECT_TRUE(manager.state().approx_equals(replay(manager, platform)));
+}
+
 TEST(ModeSwitch, CommittedSwitchWakesParkedRequests) {
   // A wide->narrow switch frees capacity exactly like a release: a parked
   // request must be retried against it.
