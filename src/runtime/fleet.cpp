@@ -18,12 +18,21 @@ FleetManager::FleetManager(const arch::Platform& platform,
       cost_(options_.manager.defrag.cost),
       queue_(options_.queue_capacity) {
   require(options_.platforms > 0, "fleet needs at least one platform");
+  // Platform-local preemption is force-disabled: a preempted victim is
+  // re-parked inside its platform manager and re-admitted later under a
+  // fresh local AppId, which silently invalidates the fleet's route for
+  // it (release/switch_mode on the fleet id would then hit the wrong —
+  // or a vanished — application). Until victims can be re-routed, the
+  // fleet's answer to contention is spilling to another platform, same
+  // as its no-parking stance in admit_on.
+  ManagerOptions manager = options_.manager;
+  manager.preemption.enabled = false;
   for (std::size_t p = 0; p < options_.platforms; ++p) {
     auto entry = std::make_unique<PlatformEntry>();
     ConcurrentOptions pool;
     pool.workers = options_.platform_workers;
     entry->manager = std::make_unique<ConcurrentRuntimeManager>(
-        *platform_, options_.manager, pool);
+        *platform_, manager, pool);
     fleet_.push_back(std::move(entry));
   }
   stats_.per_platform_dispatches.assign(fleet_.size(), 0);
