@@ -1,0 +1,60 @@
+#pragma once
+
+/// Clang thread-safety-analysis attribute layer.
+///
+/// Every macro expands to the corresponding clang `thread_safety`
+/// attribute under clang and to nothing elsewhere, so the annotations are
+/// a compile-time contract checked by the clang CI leg
+/// (`-Wthread-safety -Werror=thread-safety-analysis`) and completely
+/// invisible to gcc. Conventions:
+///
+///  - every in-tree mutex is an audit::Mutex (RTSM_CAPABILITY type);
+///  - fields written under a mutex carry RTSM_GUARDED_BY(mutex);
+///  - `*_locked()` helpers that assume the caller holds a mutex carry
+///    RTSM_REQUIRES(mutex);
+///  - functions that park on a condition variable are
+///    RTSM_NO_THREAD_SAFETY_ANALYSIS with a comment saying why (the
+///    analysis cannot see through a wait's unlock/relock cycle).
+
+#if defined(__clang__)
+#define RTSM_TSA(x) __attribute__((x))
+#else
+#define RTSM_TSA(x)
+#endif
+
+/// A type whose instances can be held: audit::Mutex.
+#define RTSM_CAPABILITY(x) RTSM_TSA(capability(x))
+
+/// RAII type that acquires in its constructor and releases in its
+/// destructor: audit::LockGuard / audit::UniqueLock.
+#define RTSM_SCOPED_CAPABILITY RTSM_TSA(scoped_lockable)
+
+/// Field that may only be read or written while holding the named mutex.
+#define RTSM_GUARDED_BY(x) RTSM_TSA(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by the named mutex.
+#define RTSM_PT_GUARDED_BY(x) RTSM_TSA(pt_guarded_by(x))
+
+/// Function that acquires the capability and returns holding it.
+#define RTSM_ACQUIRE(...) RTSM_TSA(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define RTSM_RELEASE(...) RTSM_TSA(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns the given value.
+#define RTSM_TRY_ACQUIRE(...) RTSM_TSA(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must be entered with the capability already held.
+#define RTSM_REQUIRES(...) RTSM_TSA(requires_capability(__VA_ARGS__))
+
+/// Function that must NOT be entered holding the capability (it will
+/// acquire it itself; documents non-reentrancy).
+#define RTSM_EXCLUDES(...) RTSM_TSA(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the named capability.
+#define RTSM_RETURN_CAPABILITY(x) RTSM_TSA(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot follow (condition-variable
+/// wait loops, lock handoff through std::unique_lock). Always pair with a
+/// comment explaining the manual argument.
+#define RTSM_NO_THREAD_SAFETY_ANALYSIS RTSM_TSA(no_thread_safety_analysis)

@@ -1,0 +1,263 @@
+#include "audit/lockdep.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/mutex.hpp"
+
+namespace rtsm::audit {
+
+namespace {
+
+// The handler registry is active in every build (tests install handlers
+// even when the lockdep hooks are compiled out), guarded by a *raw*
+// std::mutex: the audit layer must not audit itself.
+std::mutex g_handler_mutex;
+ViolationHandler g_handler;  // empty = default print-and-abort
+
+}  // namespace
+
+ViolationHandler set_violation_handler(ViolationHandler handler) {
+  const std::lock_guard lock(g_handler_mutex);
+  return std::exchange(g_handler, std::move(handler));
+}
+
+void report_violation(const Violation& violation) {
+  ViolationHandler handler;
+  {
+    const std::lock_guard lock(g_handler_mutex);
+    handler = g_handler;
+  }
+  if (handler) {
+    handler(violation);
+    return;
+  }
+  std::fprintf(stderr, "rtsm audit violation: %s\n",
+               violation.message.c_str());
+  std::abort();
+}
+
+namespace lockdep {
+
+#if RTSM_AUDIT
+
+namespace {
+
+struct HeldLock {
+  const Mutex* mutex = nullptr;
+  bool trylock = false;
+};
+
+// Per-thread stack of audited locks currently held, innermost last.
+thread_local std::vector<HeldLock> t_held;
+
+/// Class-level witness graph: nodes are lock classes (the name passed to
+/// the audit::Mutex constructor), edges record "a thread blocked on B
+/// while holding A". Class granularity is what makes the graph total
+/// across instances — two managers' state mutexes share one node, so an
+/// ABBA between distinct instances of the same class shows up as a self
+/// edge. Guarded by a raw std::mutex (the audit layer must not audit
+/// itself); acquisitions only take it when a blocking acquire happens
+/// while at least one other lock is held.
+class WitnessGraph {
+ public:
+  /// Registers edge @p from -> @p to; on a *new* edge, checks whether the
+  /// graph now contains a cycle through it and reports the violation.
+  void add_edge(const char* from, const char* to) {
+    std::string cycle;
+    {
+      const std::lock_guard lock(mutex_);
+      const std::size_t a = node(from);
+      const std::size_t b = node(to);
+      bool known = false;
+      for (const std::size_t succ : edges_[a]) {
+        if (succ == b) {
+          known = true;
+          break;
+        }
+      }
+      if (known) return;
+      edges_[a].push_back(b);
+      ++edge_count_;
+      std::vector<std::size_t> path;
+      if (reaches(b, a, path)) {
+        cycle = names_[a];
+        cycle += " -> ";
+        cycle += names_[b];
+        for (const std::size_t hop : path) {
+          cycle += " -> ";
+          cycle += names_[hop];
+        }
+      }
+    }
+    if (!cycle.empty()) {
+      ++violation_count_;
+      report_violation(
+          {Violation::Kind::WitnessCycle,
+           "lock witness graph gained a cycle: " + cycle +
+               " (some interleaving of these acquisitions can deadlock)"});
+    }
+  }
+
+  [[nodiscard]] bool acyclic() {
+    const std::lock_guard lock(mutex_);
+    // A fresh DFS over the whole graph, independent of the incremental
+    // checks (used by tests and the RTSM_AUDIT suite's final assertion).
+    std::vector<int> state(edges_.size(), 0);  // 0 new, 1 open, 2 done
+    for (std::size_t n = 0; n < edges_.size(); ++n) {
+      if (state[n] == 0 && !dfs_acyclic(n, state)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t edge_count() {
+    const std::lock_guard lock(mutex_);
+    return edge_count_;
+  }
+
+  [[nodiscard]] std::uint64_t violation_count() {
+    return violation_count_.load();
+  }
+
+  void count_violation() { ++violation_count_; }
+
+  void reset() {
+    const std::lock_guard lock(mutex_);
+    names_.clear();
+    edges_.clear();
+    edge_count_ = 0;
+    violation_count_ = 0;
+  }
+
+ private:
+  std::size_t node(const char* name) {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return i;
+    }
+    names_.emplace_back(name);
+    edges_.emplace_back();
+    return names_.size() - 1;
+  }
+
+  /// DFS: does @p to reach @p target? Fills @p path with the hops of the
+  /// found route (excluding @p to, including @p target).
+  bool reaches(std::size_t from, std::size_t target,
+               std::vector<std::size_t>& path) {
+    for (const std::size_t succ : edges_[from]) {
+      path.push_back(succ);
+      if (succ == target || reaches(succ, target, path)) return true;
+      path.pop_back();
+    }
+    return false;
+  }
+
+  bool dfs_acyclic(std::size_t n, std::vector<int>& state) {
+    state[n] = 1;
+    for (const std::size_t succ : edges_[n]) {
+      if (state[succ] == 1) return false;
+      if (state[succ] == 0 && !dfs_acyclic(succ, state)) return false;
+    }
+    state[n] = 2;
+    return true;
+  }
+
+  std::mutex mutex_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::size_t>> edges_;
+  std::uint64_t edge_count_ = 0;
+  std::atomic<std::uint64_t> violation_count_{0};
+};
+
+WitnessGraph& witness() {
+  static WitnessGraph graph;
+  return graph;
+}
+
+std::atomic<std::uint64_t> g_acquisitions{0};
+
+}  // namespace
+
+void before_lock(const Mutex* m) {
+  for (const HeldLock& held : t_held) {
+    if (held.mutex == m) {
+      witness().count_violation();
+      report_violation({Violation::Kind::RankOrder,
+                        std::string("re-entrant lock of audit::Mutex '") +
+                            m->name() + "' (self-deadlock)"});
+      return;
+    }
+    if (static_cast<int>(held.mutex->rank()) >=
+        static_cast<int>(m->rank())) {
+      witness().count_violation();
+      report_violation(
+          {Violation::Kind::RankOrder,
+           std::string("lock rank inversion: blocking on '") + m->name() +
+               "' (rank " + std::to_string(static_cast<int>(m->rank())) +
+               ") while holding '" + held.mutex->name() + "' (rank " +
+               std::to_string(static_cast<int>(held.mutex->rank())) + ")"});
+      return;
+    }
+  }
+}
+
+void after_lock(const Mutex* m, bool trylock) {
+  ++g_acquisitions;
+  if (!trylock) {
+    // Witness edges record "blocked on m while holding h" for every held
+    // lock h — including trylocked ones: a trylocked hold still blocks
+    // *other* threads that contend for it.
+    for (const HeldLock& held : t_held) {
+      witness().add_edge(held.mutex->name(), m->name());
+    }
+  }
+  t_held.push_back({m, trylock});
+}
+
+void after_unlock(const Mutex* m) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == m) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::size_t held_count() { return t_held.size(); }
+
+Stats stats() {
+  Stats s;
+  s.acquisitions = g_acquisitions.load();
+  s.edges = witness().edge_count();
+  s.violations = witness().violation_count();
+  return s;
+}
+
+bool witness_acyclic() { return witness().acyclic(); }
+
+void reset_for_testing() {
+  witness().reset();
+  g_acquisitions = 0;
+}
+
+#else  // !RTSM_AUDIT
+
+// Release builds: the hooks exist (so tests and tools link in every
+// configuration) but audit::Mutex never calls them.
+void before_lock(const Mutex*) {}
+void after_lock(const Mutex*, bool) {}
+void after_unlock(const Mutex*) {}
+std::size_t held_count() { return 0; }
+Stats stats() { return {}; }
+bool witness_acyclic() { return true; }
+void reset_for_testing() {}
+
+#endif  // RTSM_AUDIT
+
+}  // namespace lockdep
+
+}  // namespace rtsm::audit

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rtsm::audit {
+
+class Mutex;
+
+/// A correctness violation detected by the audit layer: a lock acquired
+/// against the rank order, a cycle in the witness graph, or a
+/// check_state() mismatch. Delivered to the installed violation handler;
+/// the default handler prints the message and aborts, because continuing
+/// past a detected potential deadlock or accounting drift would only let
+/// the corruption propagate.
+struct Violation {
+  enum class Kind : std::uint8_t {
+    /// Blocking acquisition of a mutex whose rank is not strictly above
+    /// every lock already held by this thread (includes re-entry).
+    RankOrder,
+    /// The global witness graph of observed hold-while-acquiring edges
+    /// gained a cycle: some interleaving of the involved threads can
+    /// deadlock, even if this run never will.
+    WitnessCycle,
+    /// audit::check_state() found ResourceState's incremental accounting
+    /// out of step with a from-first-principles replay.
+    StateMismatch,
+  };
+
+  Kind kind = Kind::RankOrder;
+  std::string message;
+};
+
+using ViolationHandler = std::function<void(const Violation&)>;
+
+/// Installs @p handler (tests capture violations instead of aborting) and
+/// returns the previous handler. Pass nullptr to restore the default
+/// print-and-abort behaviour.
+ViolationHandler set_violation_handler(ViolationHandler handler);
+
+/// Routes @p violation to the installed handler (default: stderr + abort).
+void report_violation(const Violation& violation);
+
+namespace lockdep {
+
+/// Counters for smoke tests and the stats report.
+struct Stats {
+  std::uint64_t acquisitions = 0;  ///< Audited lock acquisitions.
+  std::uint64_t edges = 0;         ///< Distinct witness-graph edges seen.
+  std::uint64_t violations = 0;    ///< Violations reported (all kinds).
+};
+
+// The hooks below are called by audit::Mutex only in RTSM_AUDIT builds;
+// in release builds they are never referenced from the lock/unlock fast
+// path, so their mere existence costs nothing.
+
+/// Rank gate before a *blocking* acquisition: every lock this thread
+/// already holds must rank strictly below @p m. try_lock skips this gate —
+/// a non-blocking probe cannot contribute to a deadlock cycle.
+void before_lock(const Mutex* m);
+
+/// Records a successful acquisition on the thread-local held stack. A
+/// blocking acquisition (@p trylock == false) also adds witness edges
+/// held-class -> acquired-class and fails fast if one closes a cycle;
+/// trylocked holds still serve as edge *sources* for later blocking
+/// acquisitions.
+void after_lock(const Mutex* m, bool trylock);
+
+/// Removes @p m from the thread-local held stack (out-of-order release of
+/// hand-over-hand patterns is legal).
+void after_unlock(const Mutex* m);
+
+/// Locks this thread currently holds (audited mutexes only).
+[[nodiscard]] std::size_t held_count();
+
+[[nodiscard]] Stats stats();
+
+/// True when the accumulated witness graph has no cycle.
+[[nodiscard]] bool witness_acyclic();
+
+/// Clears the witness graph and counters (not the per-thread held stacks;
+/// callers must not hold audited locks). Test-only.
+void reset_for_testing();
+
+}  // namespace lockdep
+
+}  // namespace rtsm::audit

@@ -131,6 +131,18 @@ class ResourceState : private noc::LinkLoadListener {
 
   [[nodiscard]] bool journal_enabled() const { return journal_capacity_ > 0; }
 
+  /// Ring capacity of the journal (0 = journaling off).
+  [[nodiscard]] std::size_t journal_capacity() const {
+    return journal_capacity_;
+  }
+
+  /// Oldest version the journal still covers; entries span
+  /// [journal_start_version(), version()). The audit layer checks this
+  /// window never exceeds the ring capacity.
+  [[nodiscard]] std::uint64_t journal_start_version() const {
+    return journal_start_version_;
+  }
+
   /// Brings @p scratch up to date with this state. Fast path: when
   /// @p scratch was last synced from this very object (and not mutated
   /// since) and the journal still covers its version, only the journaled

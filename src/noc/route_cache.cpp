@@ -14,12 +14,15 @@ std::optional<Path> live_route(const LinkLoad& load, RoutePolicy policy,
 
 RouteCache::RouteCache(RouteCacheOptions options) : options_(options) {}
 
-std::optional<Path> RouteCache::route(const LinkLoad& load, RoutePolicy policy,
-                                      TileId src, TileId dst,
-                                      double demand_tokens_per_s) {
+// Drops the lock before any live graph search (misses and congested
+// fallbacks), which clang's analysis cannot follow through the
+// std::unique_lock — opted out; lockdep still audits both transitions.
+std::optional<Path> RouteCache::route(
+    const LinkLoad& load, RoutePolicy policy, TileId src, TileId dst,
+    double demand_tokens_per_s) RTSM_NO_THREAD_SAFETY_ANALYSIS {
   if (src == dst) return Path{src, dst, {}};  // intra-tile: nothing to cache
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  audit::UniqueLock lock(mutex_);
   ++stats_.lookups;
   const arch::Platform& platform = load.platform();
   PlatformEntry& pe =
@@ -85,18 +88,18 @@ std::optional<Path> RouteCache::route(const LinkLoad& load, RoutePolicy policy,
 }
 
 RouteCacheStats RouteCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   return stats_;
 }
 
 void RouteCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   platforms_.clear();
   order_.clear();
 }
 
 std::size_t RouteCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   return order_.size();
 }
 

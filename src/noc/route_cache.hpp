@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
+#include "audit/mutex.hpp"
 #include "noc/link_load.hpp"
 #include "noc/route.hpp"
 
@@ -104,13 +104,17 @@ class RouteCache {
 
   RouteCacheOptions options_;
 
-  mutable std::mutex mutex_;
-  RouteCacheStats stats_;
+  /// Innermost of the mapper-shared cache locks: held only around map
+  /// bookkeeping, released before any live graph search.
+  mutable audit::Mutex mutex_{audit::LockRank::kRouteCache, "noc.route_cache"};
+  RouteCacheStats stats_ RTSM_GUARDED_BY(mutex_);
   /// Keyed by platform identity. Platforms must outlive the cache (they
   /// already must outlive every LinkLoad handed to route()).
-  std::unordered_map<const arch::Platform*, PlatformEntry> platforms_;
+  std::unordered_map<const arch::Platform*, PlatformEntry> platforms_
+      RTSM_GUARDED_BY(mutex_);
   /// Insertion order across platforms, for FIFO eviction at max_entries.
-  std::deque<std::pair<const arch::Platform*, std::uint64_t>> order_;
+  std::deque<std::pair<const arch::Platform*, std::uint64_t>> order_
+      RTSM_GUARDED_BY(mutex_);
 };
 
 /// Shared constructor tail of every mapper that routes: returns @p cache

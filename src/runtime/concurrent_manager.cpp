@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "audit/check_state.hpp"
 #include "core/fragmentation.hpp"
 #include "core/spatial_mapper.hpp"
 #include "runtime/portfolio.hpp"
@@ -90,7 +91,7 @@ std::future<AdmitOutcome> ConcurrentRuntimeManager::submit(
   std::future<AdmitOutcome> future = request.promise.get_future();
 
   {
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     ++stats_.offered;
   }
   in_flight_.fetch_add(1);
@@ -133,13 +134,13 @@ AdmitOutcome ConcurrentRuntimeManager::admit(const kpn::Application& app,
   return future.get();
 }
 
-void ConcurrentRuntimeManager::pump() {
+void ConcurrentRuntimeManager::pump() RTSM_NO_THREAD_SAFETY_ANALYSIS {
   // Reuse the manager-level pump scratch: the delta-refresh fast path
   // needs a buffer that survives the pump() call that armed its version
   // token, and inline mode (workers == 0) pumps once per admit. A
   // concurrent pump (an extra thread helping a live pool) takes a local
   // scratch instead of contending.
-  std::unique_lock pump_lock(pump_mutex_, std::try_to_lock);
+  audit::UniqueLock pump_lock(pump_mutex_, std::try_to_lock);
   std::optional<core::ResourceState> local;
   core::ResourceState& scratch =
       pump_lock.owns_lock() ? pump_scratch_ : local.emplace(*platform_);
@@ -232,7 +233,7 @@ core::MappingResult ConcurrentRuntimeManager::run_race(
   map_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
   request.attempts += std::max<std::uint32_t>(outcome.attempts, 1);
   {
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     merge_portfolio_stats(stats_, *portfolio_, outcome);
     if (!outcome.has_winner()) ++stats_.portfolio_fallbacks;
   }
@@ -251,7 +252,7 @@ bool ConcurrentRuntimeManager::validate_and_commit(
     const core::ResourceState* planned_on, bool shape_hit) {
   AppId id;
   {
-    std::lock_guard lock(state_mutex_);
+    const audit::LockGuard lock(state_mutex_);
     // Version gate: the plan was pre-validated against @p planned_on, and
     // a still-armed sync token proves the live state has not mutated since
     // that scratch refreshed — the two are bit-identical, so re-running
@@ -276,6 +277,9 @@ bool ConcurrentRuntimeManager::validate_and_commit(
     running_.emplace(id, RunningApp{request.app, result.mapping,
                                     result.energy_nj_per_symbol, request.cls,
                                     request.id});
+#if RTSM_AUDIT
+    audit_check("commit");
+#endif
   }
   // Learn-on-admit: a committed miss-path placement enters the library
   // (outside the state lock — the library has its own mutex) so future
@@ -283,7 +287,7 @@ bool ConcurrentRuntimeManager::validate_and_commit(
   if (shapes_ != nullptr && !shape_hit) {
     const shapes::LearnResult learned =
         shapes_->learn(*request.app, result);
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     if (learned.inserted) ++stats_.shape_inserts;
     stats_.shape_evictions += learned.evictions;
   }
@@ -304,7 +308,7 @@ void ConcurrentRuntimeManager::snapshot_state_into(
     core::ResourceState& out) const {
   const auto start = std::chrono::steady_clock::now();
   {
-    std::lock_guard lock(state_mutex_);
+    const audit::LockGuard lock(state_mutex_);
     state_.refresh_snapshot_into(out);
   }
   snapshot_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
@@ -330,11 +334,11 @@ bool ConcurrentRuntimeManager::try_shape_admit(Request& request,
         shapes_->try_instantiate(*request.app, scratch);
     request.mapping_us += elapsed_us(start);
     {
-      std::lock_guard lock(stats_mutex_);
+      const audit::LockGuard lock(stats_mutex_);
       stats_.shape_anchor_probes += lookup.anchor_probes;
     }
     if (!lookup.plan.has_value()) {
-      std::lock_guard lock(stats_mutex_);
+      const audit::LockGuard lock(stats_mutex_);
       ++stats_.shape_misses;
       return false;
     }
@@ -358,19 +362,20 @@ bool ConcurrentRuntimeManager::try_shape_admit(Request& request,
     // Outraced between snapshot and commit: re-probe against the fresh
     // state, bounded like the optimistic mapper loop.
     {
-      std::lock_guard lock(stats_mutex_);
+      const audit::LockGuard lock(stats_mutex_);
       ++stats_.conflicts;
     }
     if (++shape_conflicts > options_.validation_retries) {
-      std::lock_guard lock(stats_mutex_);
+      const audit::LockGuard lock(stats_mutex_);
       ++stats_.shape_misses;
       return false;
     }
   }
 }
 
-void ConcurrentRuntimeManager::process_request(Request request,
-                                               core::ResourceState& scratch) {
+void ConcurrentRuntimeManager::process_request(
+    Request request,
+    core::ResourceState& scratch) RTSM_NO_THREAD_SAFETY_ANALYSIS {
   auto miss = [&](Request r) {
     AdmitOutcome outcome;
     outcome.request = r.id;
@@ -397,7 +402,7 @@ void ConcurrentRuntimeManager::process_request(Request request,
   // (its strategies spread across the pool instead of across stripes).
   if (options_.shards >= 2 && portfolio_ == nullptr) {
     const std::size_t s = pick_shard();
-    std::unique_lock shard_lock(shards_[s]->mutex);
+    audit::UniqueLock shard_lock(shards_[s]->mutex);
     masked_snapshot_into(s, scratch);
     core::MappingResult result = run_mapper(request, scratch);
     if (request.deadline_us > 0.0 && request.mapping_us > request.deadline_us) {
@@ -408,12 +413,12 @@ void ConcurrentRuntimeManager::process_request(Request request,
     if (result.success) {
       if (validate_and_commit(request, result)) return;
       // The shard plan got outraced (shared NoC links, foreign commits).
-      std::lock_guard lock(stats_mutex_);
+      const audit::LockGuard lock(stats_mutex_);
       ++stats_.conflicts;
     }
     // Shard full or outraced: phase 2 falls back to the whole platform.
     shard_lock.unlock();
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     ++stats_.shard_fallbacks;
   }
 
@@ -456,7 +461,7 @@ void ConcurrentRuntimeManager::process_request(Request request,
     if (result.success) {
       if (validate_and_commit(request, result, &scratch)) return;
       {
-        std::lock_guard lock(stats_mutex_);
+        const audit::LockGuard lock(stats_mutex_);
         ++stats_.conflicts;
       }
       if (++conflicts <= options_.validation_retries) continue;
@@ -505,7 +510,7 @@ void ConcurrentRuntimeManager::process_request(Request request,
 
 void ConcurrentRuntimeManager::record_outcome(RequestId request,
                                               const AdmitOutcome& outcome) {
-  std::lock_guard lock(stats_mutex_);
+  const audit::LockGuard lock(stats_mutex_);
   switch (outcome.status) {
     case AdmitStatus::Admitted:
       ++stats_.admitted;
@@ -533,7 +538,7 @@ void ConcurrentRuntimeManager::resolve(Request request, AdmitOutcome outcome) {
 bool ConcurrentRuntimeManager::try_park(Request& request,
                                         std::uint64_t epoch_seen) {
   {
-    std::lock_guard lock(waiting_mutex_);
+    const audit::LockGuard lock(waiting_mutex_);
     // requeue_waiting() bumps the epoch and drains the list under this
     // same mutex, so either this request makes it into the list before
     // the wake (and is woken), or it observes the bumped epoch here and
@@ -549,7 +554,7 @@ bool ConcurrentRuntimeManager::try_park(Request& request,
 void ConcurrentRuntimeManager::requeue_waiting(bool after_defrag_migration) {
   std::vector<Request> woken;
   {
-    std::lock_guard lock(waiting_mutex_);
+    const audit::LockGuard lock(waiting_mutex_);
     release_epoch_.fetch_add(1);
     woken.swap(waiting_);
   }
@@ -564,7 +569,7 @@ void ConcurrentRuntimeManager::requeue_waiting(bool after_defrag_migration) {
       reject_shut_down(std::move(job.request));
       continue;
     }
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     ++stats_.retries;
     if (after_defrag_migration) ++stats_.parked_woken_by_defrag;
   }
@@ -575,17 +580,17 @@ void ConcurrentRuntimeManager::finish_one() {
     // Empty critical section pairs with the predicate check in
     // wait_idle(): a waiter is either not yet blocked (re-checks) or
     // blocked (receives the notify).
-    std::lock_guard lock(idle_mutex_);
+    const audit::LockGuard lock(idle_mutex_);
     idle_cv_.notify_all();
   }
 }
 
 bool ConcurrentRuntimeManager::release(AppId id) {
   {
-    std::lock_guard lock(state_mutex_);
+    const audit::LockGuard lock(state_mutex_);
     const auto it = running_.find(id);
     if (it == running_.end()) {
-      std::lock_guard stats_lock(stats_mutex_);
+      const audit::LockGuard stats_lock(stats_mutex_);
       ++stats_.release_errors;
       release_errors_.push_back(
           {id, "release of unknown or already-released application id " +
@@ -594,9 +599,12 @@ bool ConcurrentRuntimeManager::release(AppId id) {
     }
     core::release_mapping(state_, *it->second.app, it->second.mapping);
     running_.erase(it);
+#if RTSM_AUDIT
+    audit_check("release");
+#endif
   }
   {
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     ++stats_.releases;
   }
   // Compact *before* waking parked requests so their retry plans against
@@ -617,7 +625,7 @@ bool ConcurrentRuntimeManager::try_preempt_and_commit(
     // preemption is a rare, last-resort path and the lock is what makes
     // evict+commit atomic against racing admissions (the same trade a
     // defrag pass makes).
-    std::lock_guard lock(state_mutex_);
+    const audit::LockGuard lock(state_mutex_);
     PreemptionPlan plan = plan_preemption(
         state_, running_, *request.app, request.cls, request.deadline_us,
         request.mapping_us, *mapper_, preemption_,
@@ -654,9 +662,12 @@ bool ConcurrentRuntimeManager::try_preempt_and_commit(
     outcome.attempts = request.attempts;
     outcome.mapping_us = request.mapping_us;
     outcome.mapping = std::move(plan.plan);
+#if RTSM_AUDIT
+    audit_check("preempt");
+#endif
   }
   {
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     ++stats_.preemption_grants;
     stats_.preemption_evictions += evicted.size();
     // Victims re-enter the admission stream as new requests.
@@ -667,7 +678,7 @@ bool ConcurrentRuntimeManager::try_preempt_and_commit(
   if (shapes_ != nullptr) {
     const shapes::LearnResult learned =
         shapes_->learn(*request.app, outcome.mapping);
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     if (learned.inserted) ++stats_.shape_inserts;
     stats_.shape_evictions += learned.evictions;
   }
@@ -677,7 +688,7 @@ bool ConcurrentRuntimeManager::try_preempt_and_commit(
 
 void ConcurrentRuntimeManager::park_evicted(std::vector<Request> evicted) {
   if (evicted.empty()) return;
-  std::lock_guard lock(waiting_mutex_);
+  const audit::LockGuard lock(waiting_mutex_);
   for (Request& victim : evicted) {
     waiting_.push_back(std::move(victim));
   }
@@ -688,7 +699,7 @@ bool ConcurrentRuntimeManager::maybe_defrag_after_release() {
     return false;
   }
   {
-    std::lock_guard lock(state_mutex_);
+    const audit::LockGuard lock(state_mutex_);
     const double score =
         core::measure_fragmentation(state_, planner_->options().fragmentation)
             .score();
@@ -703,10 +714,13 @@ DefragPassResult ConcurrentRuntimeManager::defrag_pass_locked() {
     // The pass re-plans and commits under the state lock: migrations are
     // atomic against concurrent admissions (their validate_and_commit
     // serializes behind the pass and re-validates its own plan after).
-    std::lock_guard lock(state_mutex_);
+    const audit::LockGuard lock(state_mutex_);
     pass = planner_->run_pass(state_, running_);
+#if RTSM_AUDIT
+    audit_check("defrag");
+#endif
   }
-  std::lock_guard lock(stats_mutex_);
+  const audit::LockGuard lock(stats_mutex_);
   merge_defrag_stats(stats_, pass);
   return pass;
 }
@@ -727,17 +741,20 @@ SwitchOutcome ConcurrentRuntimeManager::switch_mode(
     // Plan and commit under the state lock: the switch (including its
     // pinned replan through the shared verification cache) is atomic
     // against racing admissions, exactly like a defrag pass.
-    std::lock_guard lock(state_mutex_);
+    const audit::LockGuard lock(state_mutex_);
     out = switch_mode_in_place(state_, running_, id, std::move(next),
                                *mapper_, planner_.get(),
                                planner_->options().cost, &defrag,
                                switch_options);
+#if RTSM_AUDIT
+    audit_check("mode-switch");
+#endif
   }
   out.switch_us = elapsed_us(start);
 
   bool committed = false;
   {
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     committed = record_switch_stats(stats_, out);
     if (defrag.has_value()) merge_defrag_stats(stats_, *defrag);
   }
@@ -756,7 +773,7 @@ std::size_t ConcurrentRuntimeManager::pick_shard() const {
     // counts are small; incrementally maintained per-shard occupancy
     // counters are the upgrade path if this scan ever shows up in a
     // profile.
-    std::lock_guard lock(state_mutex_);
+    const audit::LockGuard lock(state_mutex_);
     for (const TileId tid : platform_->tile_ids()) {
       const std::size_t s = shard_of(tid);
       load[s] += core::tile_occupancy(state_, tid);
@@ -784,15 +801,15 @@ std::size_t ConcurrentRuntimeManager::pick_shard() const {
   return candidates[tie_break_.fetch_add(1) % candidates.size()];
 }
 
-void ConcurrentRuntimeManager::wait_idle() {
-  std::unique_lock lock(idle_mutex_);
+void ConcurrentRuntimeManager::wait_idle() RTSM_NO_THREAD_SAFETY_ANALYSIS {
+  audit::UniqueLock lock(idle_mutex_);
   idle_cv_.wait(lock, [&] { return in_flight_.load() == 0; });
 }
 
 std::vector<AdmitOutcome> ConcurrentRuntimeManager::reject_waiting() {
   std::vector<Request> parked;
   {
-    std::lock_guard lock(waiting_mutex_);
+    const audit::LockGuard lock(waiting_mutex_);
     // Same epoch discipline as requeue_waiting(): a request about to park
     // concurrently must not strand itself in a list that was just
     // resolved — it observes the bump and retries instead.
@@ -835,23 +852,23 @@ core::ResourceState ConcurrentRuntimeManager::state_snapshot() const {
   // mutex — repeated pollers no longer hold up the admission hot path for
   // an O(platform) copy. Lock order: observer before state, nothing nests
   // the other way.
-  std::lock_guard observer_lock(observer_mutex_);
+  const audit::LockGuard observer_lock(observer_mutex_);
   {
-    std::lock_guard lock(state_mutex_);
+    const audit::LockGuard lock(state_mutex_);
     state_.refresh_snapshot_into(observer_scratch_);
   }
   return observer_scratch_;
 }
 
 double ConcurrentRuntimeManager::mean_occupancy() const {
-  std::lock_guard lock(state_mutex_);
+  const audit::LockGuard lock(state_mutex_);
   return core::mean_occupancy(state_);
 }
 
 AdmissionStats ConcurrentRuntimeManager::stats() const {
   AdmissionStats out;
   {
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     out = stats_;
   }
   out.snapshot_reuses = snapshot_reuses_.load(std::memory_order_relaxed);
@@ -868,7 +885,7 @@ AdmissionStats ConcurrentRuntimeManager::stats() const {
   out.commit_time_us =
       static_cast<double>(commit_ns_.load(std::memory_order_relaxed)) / 1000.0;
   {
-    std::lock_guard lock(state_mutex_);
+    const audit::LockGuard lock(state_mutex_);
     const core::RefreshStats refresh = state_.refresh_stats();
     out.snapshot_delta_refreshes = refresh.delta_refreshes;
     out.snapshot_full_copies = refresh.full_copies;
@@ -900,17 +917,17 @@ shapes::ShapeLibraryStats ConcurrentRuntimeManager::shape_stats() const {
 }
 
 std::size_t ConcurrentRuntimeManager::running_count() const {
-  std::lock_guard lock(state_mutex_);
+  const audit::LockGuard lock(state_mutex_);
   return running_.size();
 }
 
 std::size_t ConcurrentRuntimeManager::waiting_count() const {
-  std::lock_guard lock(waiting_mutex_);
+  const audit::LockGuard lock(waiting_mutex_);
   return waiting_.size();
 }
 
 std::vector<AppId> ConcurrentRuntimeManager::running_ids() const {
-  std::lock_guard lock(state_mutex_);
+  const audit::LockGuard lock(state_mutex_);
   std::vector<AppId> ids;
   ids.reserve(running_.size());
   for (const auto& [id, run] : running_) ids.push_back(id);
@@ -918,7 +935,7 @@ std::vector<AppId> ConcurrentRuntimeManager::running_ids() const {
 }
 
 core::Mapping ConcurrentRuntimeManager::mapping_of(AppId id) const {
-  std::lock_guard lock(state_mutex_);
+  const audit::LockGuard lock(state_mutex_);
   const auto it = running_.find(id);
   require(it != running_.end(), "mapping_of unknown application id");
   return it->second.mapping;
@@ -926,34 +943,46 @@ core::Mapping ConcurrentRuntimeManager::mapping_of(AppId id) const {
 
 std::shared_ptr<const kpn::Application> ConcurrentRuntimeManager::app_of(
     AppId id) const {
-  std::lock_guard lock(state_mutex_);
+  const audit::LockGuard lock(state_mutex_);
   const auto it = running_.find(id);
   require(it != running_.end(), "app_of unknown application id");
   return it->second.app;
 }
 
 std::string ConcurrentRuntimeManager::display_name(AppId id) const {
-  std::lock_guard lock(state_mutex_);
+  const audit::LockGuard lock(state_mutex_);
   const auto it = running_.find(id);
   require(it != running_.end(), "display_name unknown application id");
   return it->second.app->name() + "#" + std::to_string(it->second.instance);
 }
 
 double ConcurrentRuntimeManager::total_energy_nj_per_symbol() const {
-  std::lock_guard lock(state_mutex_);
+  const audit::LockGuard lock(state_mutex_);
   double total = 0.0;
   for (const auto& [id, run] : running_) total += run.energy_nj;
   return total;
 }
 
 std::vector<ReleaseError> ConcurrentRuntimeManager::drain_release_errors() {
-  std::lock_guard lock(stats_mutex_);
+  const audit::LockGuard lock(stats_mutex_);
   return std::exchange(release_errors_, {});
 }
 
 std::vector<RequestId> ConcurrentRuntimeManager::resolution_order() const {
-  std::lock_guard lock(stats_mutex_);
+  const audit::LockGuard lock(stats_mutex_);
   return resolution_order_;
 }
+
+#if RTSM_AUDIT
+void ConcurrentRuntimeManager::audit_check(const char* where) const {
+  std::vector<audit::LiveApp> running;
+  running.reserve(running_.size());
+  for (const auto& [id, run] : running_) {
+    running.push_back({run.app, &run.mapping});
+  }
+  audit::audit_state(state_, running,
+                     std::string("concurrent_manager/") + where);
+}
+#endif
 
 }  // namespace rtsm::runtime

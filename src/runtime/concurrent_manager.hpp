@@ -6,11 +6,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "arch/platform.hpp"
+#include "audit/mutex.hpp"
 #include "core/mapper.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/manager_options.hpp"
@@ -252,7 +252,10 @@ class ConcurrentRuntimeManager {
   };
 
   struct Shard {
-    std::mutex mutex;
+    /// One class for every shard instance: shard locks are never nested
+    /// (a fallback to whole-platform admission releases the shard lock
+    /// first), which the witness graph would flag as a self-edge.
+    audit::Mutex mutex{audit::LockRank::kManagerShard, "manager.shard"};
     std::vector<bool> owns_tile;  // indexed by TileId::value()
   };
 
@@ -329,6 +332,14 @@ class ConcurrentRuntimeManager {
   /// Re-parks preemption victims (fresh request ids, reparked flag).
   void park_evicted(std::vector<Request> evicted);
 
+#if RTSM_AUDIT
+  /// RTSM_AUDIT boundary hook: rebuilds the books from running_ via
+  /// audit::check_state and reports any drift as a violation. Called at
+  /// every commit/release/defrag/switch/preemption boundary, under
+  /// state_mutex_.
+  void audit_check(const char* where) const RTSM_REQUIRES(state_mutex_);
+#endif
+
   /// One defrag pass under the state lock; stats merged afterwards.
   DefragPassResult defrag_pass_locked();
   /// OnReleaseThreshold trigger: pass when the score is over threshold.
@@ -372,28 +383,34 @@ class ConcurrentRuntimeManager {
   /// Guards state_ and running_ (commit + bookkeeping are one atomic
   /// step). Never held while an *admission* mapper runs; a defrag pass
   /// does hold it while re-planning, serializing compaction against
-  /// commits (see docs/architecture.md, migration safety).
-  mutable std::mutex state_mutex_;
-  core::ResourceState state_;
-  std::map<AppId, RunningApp> running_;
+  /// commits (see docs/architecture.md, migration safety) — which is why
+  /// the mapper-shared cache locks rank above it.
+  mutable audit::Mutex state_mutex_{audit::LockRank::kManagerState,
+                                    "manager.state"};
+  core::ResourceState state_ RTSM_GUARDED_BY(state_mutex_);
+  std::map<AppId, RunningApp> running_ RTSM_GUARDED_BY(state_mutex_);
 
   /// Observer-path snapshot buffer: state_snapshot() delta-refreshes this
   /// scratch under the state lock and copies it out under observer_mutex_
   /// only, so repeated observers cost O(changes) of state-lock hold time
   /// instead of O(platform). Lock order: observer_mutex_ before
   /// state_mutex_ (no other path takes both).
-  mutable std::mutex observer_mutex_;
-  mutable core::ResourceState observer_scratch_;
+  mutable audit::Mutex observer_mutex_{audit::LockRank::kManagerObserver,
+                                       "manager.observer"};
+  mutable core::ResourceState observer_scratch_
+      RTSM_GUARDED_BY(observer_mutex_);
 
   /// Inline-pump scratch: pump() reuses this buffer across calls (so the
   /// workers == 0 mode delta-refreshes like a pool worker instead of
   /// paying a cold full copy per pump). Try-locked; a second thread
-  /// pumping concurrently falls back to a local scratch.
-  std::mutex pump_mutex_;
-  core::ResourceState pump_scratch_;
+  /// pumping concurrently falls back to a local scratch. Outermost manager
+  /// lock: held across whole admissions (which take every other lock).
+  audit::Mutex pump_mutex_{audit::LockRank::kManagerPump, "manager.pump"};
+  core::ResourceState pump_scratch_ RTSM_GUARDED_BY(pump_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  AdmissionStats stats_;
+  mutable audit::Mutex stats_mutex_{audit::LockRank::kManagerStats,
+                                    "manager.stats"};
+  AdmissionStats stats_ RTSM_GUARDED_BY(stats_mutex_);
   /// Snapshot copies served from a per-worker scratch buffer (atomic: the
   /// hot path must not take stats_mutex_ per attempt); merged into
   /// stats().snapshot_reuses on read.
@@ -406,11 +423,12 @@ class ConcurrentRuntimeManager {
   mutable std::atomic<std::uint64_t> map_ns_{0};
   mutable std::atomic<std::uint64_t> validate_ns_{0};
   mutable std::atomic<std::uint64_t> commit_ns_{0};
-  std::vector<ReleaseError> release_errors_;
-  std::vector<RequestId> resolution_order_;
+  std::vector<ReleaseError> release_errors_ RTSM_GUARDED_BY(stats_mutex_);
+  std::vector<RequestId> resolution_order_ RTSM_GUARDED_BY(stats_mutex_);
 
-  mutable std::mutex waiting_mutex_;
-  std::vector<Request> waiting_;
+  mutable audit::Mutex waiting_mutex_{audit::LockRank::kManagerWaiting,
+                                      "manager.waiting"};
+  std::vector<Request> waiting_ RTSM_GUARDED_BY(waiting_mutex_);
   /// Bumped (under waiting_mutex_) by every wake of the parked list; a
   /// worker re-checks it under the same lock before parking so a release
   /// cannot slip between a failed attempt and the park (see try_park).
@@ -426,8 +444,9 @@ class ConcurrentRuntimeManager {
   mutable std::atomic<std::uint64_t> tie_break_{0};
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<bool> stopped_{false};
-  std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
+  /// Leaf: wait_idle() parks here; finish_one() only signals under it.
+  audit::Mutex idle_mutex_{audit::LockRank::kManagerIdle, "manager.idle"};
+  std::condition_variable_any idle_cv_;
 };
 
 }  // namespace rtsm::runtime

@@ -53,7 +53,7 @@ void FleetManager::shutdown() {
   {
     // The maintenance loop re-checks stopped_ under its mutex; taking it
     // here pairs the flag with the notify so the sleeper cannot miss it.
-    std::lock_guard lock(maintenance_mutex_);
+    const audit::LockGuard lock(maintenance_mutex_);
   }
   maintenance_cv_.notify_all();
   queue_.close();
@@ -103,8 +103,8 @@ void FleetManager::pump() {
   }
 }
 
-void FleetManager::wait_idle() {
-  std::unique_lock lock(idle_mutex_);
+void FleetManager::wait_idle() RTSM_NO_THREAD_SAFETY_ANALYSIS {
+  audit::UniqueLock lock(idle_mutex_);
   idle_cv_.wait(lock, [&] {
     return in_flight_.load(std::memory_order_acquire) == 0;
   });
@@ -137,7 +137,7 @@ std::vector<std::size_t> FleetManager::ranked_platforms() {
     scored[p] = {occ + options_.queue_depth_weight * pending, p};
   }
   {
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     stats_.max_imbalance =
         std::max(stats_.max_imbalance, std::max(0.0, max_occ - min_occ));
   }
@@ -191,7 +191,7 @@ void FleetManager::dispatch(FleetRequest request) {
     outcome = admit_on(p, request);
     fleet_[p]->pending.fetch_sub(1, std::memory_order_relaxed);
     {
-      std::lock_guard lock(stats_mutex_);
+      const audit::LockGuard lock(stats_mutex_);
       if (i == 0) {
         ++stats_.dispatches;
       } else {
@@ -213,7 +213,7 @@ void FleetManager::dispatch(FleetRequest request) {
     outcome = admit_on(p, request);
     fleet_[p]->pending.fetch_sub(1, std::memory_order_relaxed);
     {
-      std::lock_guard lock(stats_mutex_);
+      const audit::LockGuard lock(stats_mutex_);
       ++stats_.spills;
       ++stats_.per_platform_dispatches[p];
     }
@@ -221,12 +221,15 @@ void FleetManager::dispatch(FleetRequest request) {
   }
 
   if (outcome.status == AdmitStatus::Admitted) {
-    std::lock_guard lock(route_mutex_);
+    const audit::LockGuard lock(route_mutex_);
     const AppId fleet_id(next_id_++);
     routes_[fleet_id] = Route{admitted_on, outcome.app_id};
     outcome.app_id = fleet_id;
+#if RTSM_AUDIT
+    audit_routes("dispatch");
+#endif
   } else if (outcome.status == AdmitStatus::Rejected) {
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     ++stats_.spill_failures;
   }
   request.promise.set_value(std::move(outcome));
@@ -236,7 +239,7 @@ void FleetManager::dispatch(FleetRequest request) {
 bool FleetManager::try_make_room(std::size_t from) {
   // Cheapest victim: the running app with the fewest processes (smallest
   // state image to ship). Emptiest other platform hosts it.
-  std::lock_guard lock(route_mutex_);
+  const audit::LockGuard lock(route_mutex_);
   AppId victim;
   std::size_t victim_processes = SIZE_MAX;
   for (const auto& [fleet_id, route] : routes_) {
@@ -264,7 +267,7 @@ bool FleetManager::try_make_room(std::size_t from) {
 }
 
 bool FleetManager::migrate(AppId id, std::size_t to) {
-  std::lock_guard lock(route_mutex_);
+  const audit::LockGuard lock(route_mutex_);
   return migrate_locked(id, to);
 }
 
@@ -290,7 +293,7 @@ bool FleetManager::migrate_locked(AppId id, std::size_t to) {
     outcome = future.get();
   }
   if (outcome.status != AdmitStatus::Admitted) {
-    std::lock_guard stats_lock(stats_mutex_);
+    const audit::LockGuard stats_lock(stats_mutex_);
     ++stats_.cross_migration_failures;
     return false;
   }
@@ -312,21 +315,30 @@ bool FleetManager::migrate_locked(AppId id, std::size_t to) {
     cost_us =
         std::max(pause_floor, cost_.migration_us(*app, *platform_, before, after));
   }
-  std::lock_guard stats_lock(stats_mutex_);
-  ++stats_.cross_migrations;
-  stats_.cross_migration_cost_us += cost_us;
+  {
+    const audit::LockGuard stats_lock(stats_mutex_);
+    ++stats_.cross_migrations;
+    stats_.cross_migration_cost_us += cost_us;
+  }
+#if RTSM_AUDIT
+  audit_routes("migrate");
+#endif
   return true;
 }
 
 // -------------------------------------------------------------- lifecycle
 
 bool FleetManager::release(AppId id) {
-  std::lock_guard lock(route_mutex_);
+  const audit::LockGuard lock(route_mutex_);
   const auto it = routes_.find(id);
   if (it == routes_.end()) return false;
   const Route route = it->second;
   routes_.erase(it);
-  return fleet_[route.platform]->manager->release(route.local);
+  const bool released = fleet_[route.platform]->manager->release(route.local);
+#if RTSM_AUDIT
+  audit_routes("release");
+#endif
+  return released;
 }
 
 SwitchOutcome FleetManager::switch_mode(
@@ -334,7 +346,7 @@ SwitchOutcome FleetManager::switch_mode(
     double deadline_us) {
   Route route;
   {
-    std::lock_guard lock(route_mutex_);
+    const audit::LockGuard lock(route_mutex_);
     const auto it = routes_.find(id);
     if (it == routes_.end()) {
       SwitchOutcome out;
@@ -355,13 +367,13 @@ SwitchOutcome FleetManager::switch_mode(
 // -------------------------------------------------------------- observers
 
 std::size_t FleetManager::platform_of(AppId id) const {
-  std::lock_guard lock(route_mutex_);
+  const audit::LockGuard lock(route_mutex_);
   const auto it = routes_.find(id);
   return it == routes_.end() ? fleet_.size() : it->second.platform;
 }
 
 std::vector<AppId> FleetManager::running_ids() const {
-  std::lock_guard lock(route_mutex_);
+  const audit::LockGuard lock(route_mutex_);
   std::vector<AppId> ids;
   ids.reserve(routes_.size());
   for (const auto& [fleet_id, route] : routes_) ids.push_back(fleet_id);
@@ -369,19 +381,19 @@ std::vector<AppId> FleetManager::running_ids() const {
 }
 
 std::size_t FleetManager::running_count() const {
-  std::lock_guard lock(route_mutex_);
+  const audit::LockGuard lock(route_mutex_);
   return routes_.size();
 }
 
 std::shared_ptr<const kpn::Application> FleetManager::app_of(AppId id) const {
-  std::lock_guard lock(route_mutex_);
+  const audit::LockGuard lock(route_mutex_);
   const auto it = routes_.find(id);
   if (it == routes_.end()) return nullptr;
   return fleet_[it->second.platform]->manager->app_of(it->second.local);
 }
 
 core::Mapping FleetManager::mapping_of(AppId id) const {
-  std::lock_guard lock(route_mutex_);
+  const audit::LockGuard lock(route_mutex_);
   const auto it = routes_.find(id);
   require(it != routes_.end(), "mapping_of unknown fleet application id");
   return fleet_[it->second.platform]->manager->mapping_of(it->second.local);
@@ -397,8 +409,8 @@ double FleetManager::platform_occupancy(std::size_t p) const {
 
 // ------------------------------------------------------------ maintenance
 
-void FleetManager::maintenance_loop() {
-  std::unique_lock lock(maintenance_mutex_);
+void FleetManager::maintenance_loop() RTSM_NO_THREAD_SAFETY_ANALYSIS {
+  audit::UniqueLock lock(maintenance_mutex_);
   while (!stopped_.load(std::memory_order_acquire)) {
     maintenance_cv_.wait_for(
         lock, std::chrono::microseconds(options_.background_defrag.period_us),
@@ -417,9 +429,9 @@ void FleetManager::defrag_tick() {
 void FleetManager::defrag_step(std::size_t budget) {
   // One tick at a time: the background thread and inline defrag_tick()
   // callers share the round-robin cursor.
-  std::lock_guard tick_lock(defrag_mutex_);
+  const audit::LockGuard tick_lock(defrag_mutex_);
   {
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     ++stats_.defrag_ticks;
   }
   const std::size_t visits = std::min(budget, fleet_.size());
@@ -434,19 +446,50 @@ void FleetManager::defrag_step(std::size_t budget) {
         core::measure_fragmentation(fleet_[p]->manager->state_snapshot())
             .score();
     if (score < options_.background_defrag.min_fragmentation) {
-      std::lock_guard lock(stats_mutex_);
+      const audit::LockGuard lock(stats_mutex_);
       ++stats_.defrag_skipped;
       continue;
     }
     fleet_[p]->manager->defrag_now();
-    std::lock_guard lock(stats_mutex_);
+    const audit::LockGuard lock(stats_mutex_);
     ++stats_.defrag_passes;
   }
 }
 
+#if RTSM_AUDIT
+void FleetManager::audit_routes(const char* where) const {
+  for (const auto& [fleet_id, route] : routes_) {
+    bool found = false;
+    for (const AppId local : fleet_[route.platform]->manager->running_ids()) {
+      if (local.value() == route.local.value()) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string locals;
+      for (const AppId local :
+           fleet_[route.platform]->manager->running_ids()) {
+        if (!locals.empty()) locals += ", ";
+        locals += std::to_string(local.value());
+      }
+      audit::Violation violation;
+      violation.kind = audit::Violation::Kind::StateMismatch;
+      violation.message =
+          std::string("fleet/") + where + ": fleet id " +
+          std::to_string(fleet_id.value()) + " routes to platform " +
+          std::to_string(route.platform) + " local id " +
+          std::to_string(route.local.value()) +
+          ", which is not running there (running: [" + locals + "])";
+      audit::report_violation(violation);
+    }
+  }
+}
+#endif
+
 void FleetManager::finish_one() {
   if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard lock(idle_mutex_);
+    const audit::LockGuard lock(idle_mutex_);
     idle_cv_.notify_all();
   }
 }
@@ -454,7 +497,7 @@ void FleetManager::finish_one() {
 // ------------------------------------------------------------------ stats
 
 FleetStats FleetManager::fleet_stats() const {
-  std::lock_guard lock(stats_mutex_);
+  const audit::LockGuard lock(stats_mutex_);
   return stats_;
 }
 

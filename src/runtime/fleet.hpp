@@ -6,12 +6,12 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "arch/platform.hpp"
+#include "audit/mutex.hpp"
 #include "core/migration.hpp"
 #include "runtime/concurrent_manager.hpp"
 #include "runtime/request_queue.hpp"
@@ -264,8 +264,15 @@ class FleetManager {
   /// onto another platform. True when an app moved.
   bool try_make_room(std::size_t from);
   /// migrate() body; caller holds route_mutex_.
-  bool migrate_locked(AppId id, std::size_t to);
+  bool migrate_locked(AppId id, std::size_t to) RTSM_REQUIRES(route_mutex_);
   void maintenance_loop();
+
+#if RTSM_AUDIT
+  /// Route-table consistency: every fleet route must resolve to an app
+  /// actually running on its platform (a platform may run extras — parked
+  /// admissions the fleet abandoned — but never miss a routed one).
+  void audit_routes(const char* where) const RTSM_REQUIRES(route_mutex_);
+#endif
   /// One round-robin maintenance step over up to @p budget platforms.
   void defrag_step(std::size_t budget);
   void finish_one();
@@ -280,31 +287,40 @@ class FleetManager {
   std::vector<std::unique_ptr<PlatformEntry>> fleet_;
 
   /// Guards routes_ (fleet id -> platform + local id) and next_id_.
-  mutable std::mutex route_mutex_;
+  /// Outermost of the whole tree bar the maintenance/defrag pair: held
+  /// across manager release / submit+pump / switch calls.
+  mutable audit::Mutex route_mutex_{audit::LockRank::kFleetRoute,
+                                    "fleet.route"};
   struct Route {
     std::size_t platform = 0;
     AppId local;
   };
-  std::map<AppId, Route> routes_;
-  std::uint32_t next_id_ = 0;
+  std::map<AppId, Route> routes_ RTSM_GUARDED_BY(route_mutex_);
+  std::uint32_t next_id_ RTSM_GUARDED_BY(route_mutex_) = 0;
 
-  mutable std::mutex stats_mutex_;
-  FleetStats stats_;
+  mutable audit::Mutex stats_mutex_{audit::LockRank::kFleetStats,
+                                    "fleet.stats"};
+  FleetStats stats_ RTSM_GUARDED_BY(stats_mutex_);
   /// Next platform the round-robin maintenance walk visits.
-  std::size_t defrag_cursor_ = 0;
-  /// Serializes maintenance ticks (thread vs. defrag_tick() callers).
-  std::mutex defrag_mutex_;
+  std::size_t defrag_cursor_ RTSM_GUARDED_BY(defrag_mutex_) = 0;
+  /// Serializes maintenance ticks (thread vs. defrag_tick() callers);
+  /// held across whole manager defrag passes, hence ranked above only the
+  /// maintenance sleep lock.
+  audit::Mutex defrag_mutex_{audit::LockRank::kFleetDefrag, "fleet.defrag"};
 
   BoundedQueue<FleetRequest> queue_;
   std::vector<std::thread> workers_;
   std::thread maintenance_;
-  std::mutex maintenance_mutex_;
-  std::condition_variable maintenance_cv_;
+  /// Only pairs the shutdown flag with the maintenance thread's timed
+  /// sleep; nothing else nests inside it.
+  audit::Mutex maintenance_mutex_{audit::LockRank::kFleetMaintenance,
+                                  "fleet.maintenance"};
+  std::condition_variable_any maintenance_cv_;
 
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<bool> stopped_{false};
-  std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
+  audit::Mutex idle_mutex_{audit::LockRank::kFleetIdle, "fleet.idle"};
+  std::condition_variable_any idle_cv_;
 };
 
 /// Drives a FleetManager through the scenario engine — ConcurrentTarget

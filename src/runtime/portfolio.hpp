@@ -4,10 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "audit/mutex.hpp"
 #include "core/cancellation.hpp"
 #include "core/mapper.hpp"
 #include "core/mapper_registry.hpp"
@@ -131,14 +131,17 @@ class PortfolioRace {
   /// constructor; owned exclusively by the race.
   std::unique_ptr<core::CancelToken> token_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<Slot> slots_;
-  std::vector<StrategyRun> runs_;
+  /// Guards only the claim/record bookkeeping below — never held while a
+  /// mapper runs, which is why its rank sits above state_mutex_: a worker
+  /// holding the state lock may start a race, never the other way around.
+  audit::Mutex mutex_{audit::LockRank::kPortfolioRace, "portfolio.race"};
+  std::condition_variable_any cv_;
+  std::vector<Slot> slots_ RTSM_GUARDED_BY(mutex_);
+  std::vector<StrategyRun> runs_ RTSM_GUARDED_BY(mutex_);
   /// Indices of feasible runs in the order they recorded; the front is the
   /// FirstFeasible winner.
-  std::vector<std::size_t> feasible_order_;
-  bool closed_ = false;
+  std::vector<std::size_t> feasible_order_ RTSM_GUARDED_BY(mutex_);
+  bool closed_ RTSM_GUARDED_BY(mutex_) = false;
 };
 
 /// Folds one race into the admission counters: portfolio_races, and per

@@ -3,11 +3,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "audit/mutex.hpp"
 #include "util/error.hpp"
 
 namespace rtsm::runtime {
@@ -21,6 +21,13 @@ namespace rtsm::runtime {
 /// arrival burst into one batch the manager can reorder by priority before
 /// admitting greedily. close() releases all waiters: producers fail fast,
 /// consumers drain the remaining items and then see end-of-stream.
+///
+/// The queue mutex is an audit::Mutex at rank kQueue — a leaf: nothing is
+/// ever acquired while holding it. The wait loops go through
+/// condition_variable_any over audit::UniqueLock so the lockdep hooks see
+/// every unlock/relock of a parked waiter; those functions are
+/// RTSM_NO_THREAD_SAFETY_ANALYSIS because clang cannot model run-time
+/// lock ownership through std::unique_lock.
 template <class T>
 class BoundedQueue {
  public:
@@ -30,8 +37,8 @@ class BoundedQueue {
 
   /// Blocks while full. Returns false when the queue is closed — @p item
   /// is NOT moved from in that case, so the caller can still resolve it.
-  bool push(T&& item) {
-    std::unique_lock lock(mutex_);
+  bool push(T&& item) RTSM_NO_THREAD_SAFETY_ANALYSIS {
+    audit::UniqueLock lock(mutex_);
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
@@ -44,7 +51,7 @@ class BoundedQueue {
   /// Non-blocking push. Returns false (item untouched) when full or closed.
   bool try_push(T&& item) {
     {
-      std::lock_guard lock(mutex_);
+      const audit::LockGuard lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -55,22 +62,23 @@ class BoundedQueue {
   /// Blocks until at least one item is available, then drains up to @p max
   /// items. Returns an empty vector only when the queue is closed and
   /// empty (end of stream).
-  std::vector<T> pop_batch(std::size_t max) {
-    std::unique_lock lock(mutex_);
+  std::vector<T> pop_batch(std::size_t max) RTSM_NO_THREAD_SAFETY_ANALYSIS {
+    audit::UniqueLock lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     return drain_locked(max, lock);
   }
 
   /// Drains up to @p max items without blocking; empty when none queued.
-  std::vector<T> try_pop_batch(std::size_t max) {
-    std::unique_lock lock(mutex_);
+  std::vector<T> try_pop_batch(std::size_t max)
+      RTSM_NO_THREAD_SAFETY_ANALYSIS {
+    audit::UniqueLock lock(mutex_);
     return drain_locked(max, lock);
   }
 
   /// Wakes all waiters; push() fails from now on, pops drain the rest.
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      const audit::LockGuard lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -78,20 +86,23 @@ class BoundedQueue {
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mutex_);
+    const audit::LockGuard lock(mutex_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    const audit::LockGuard lock(mutex_);
     return items_.size();
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
-  std::vector<T> drain_locked(std::size_t max,
-                              std::unique_lock<std::mutex>& lock) {
+  /// Pops up to @p max items and, when it took any, unlocks @p lock to
+  /// notify producers — which is why it takes the unique_lock, not the
+  /// mutex (and why the callers are opted out of clang's analysis).
+  std::vector<T> drain_locked(std::size_t max, audit::UniqueLock& lock)
+      RTSM_NO_THREAD_SAFETY_ANALYSIS {
     std::vector<T> batch;
     const std::size_t take = std::min(max, items_.size());
     batch.reserve(take);
@@ -106,12 +117,12 @@ class BoundedQueue {
     return batch;
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
+  mutable audit::Mutex mutex_{audit::LockRank::kQueue, "queue"};
+  std::condition_variable_any not_empty_;
+  std::condition_variable_any not_full_;
+  std::deque<T> items_ RTSM_GUARDED_BY(mutex_);
   std::size_t capacity_;
-  bool closed_ = false;
+  bool closed_ RTSM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace rtsm::runtime

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "audit/check_state.hpp"
 #include "core/fragmentation.hpp"
 #include "core/spatial_mapper.hpp"
 #include "runtime/portfolio.hpp"
@@ -201,6 +202,9 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
                        RunningApp{pending.app, result.mapping,
                                   result.energy_nj_per_symbol, pending.cls,
                                   pending.request});
+#if RTSM_AUDIT
+      audit_check("shape-commit");
+#endif
       outcome.status = AdmitStatus::Admitted;
       outcome.app_id = id;
       outcome.mapping = std::move(result);
@@ -287,6 +291,9 @@ std::optional<AdmitOutcome> RuntimeManager::process_admit(Pending pending) {
                      RunningApp{pending.app, result.mapping,
                                 result.energy_nj_per_symbol, pending.cls,
                                 pending.request});
+#if RTSM_AUDIT
+    audit_check("commit");
+#endif
     outcome.status = AdmitStatus::Admitted;
     outcome.app_id = id;
     outcome.mapping = std::move(result);
@@ -397,6 +404,9 @@ bool RuntimeManager::try_preempt(Pending& pending,
     ++stats_.offered;
     ++stats_.preemption_evictions;
   }
+#if RTSM_AUDIT
+  audit_check("preempt");
+#endif
   ++stats_.preemption_grants;
   result = std::move(plan.plan);
   return true;
@@ -428,6 +438,9 @@ void RuntimeManager::process_release(AppId id, RequestId request) {
   }
   core::release_mapping(state_, *it->second.app, it->second.mapping);
   running_.erase(it);
+#if RTSM_AUDIT
+  audit_check("release");
+#endif
   ++stats_.releases;
 }
 
@@ -481,6 +494,9 @@ SwitchOutcome RuntimeManager::switch_mode(
       switch_mode_in_place(state_, running_, id, std::move(next), *mapper_,
                            &planner_, planner_.options().cost, &defrag,
                            switch_options);
+#if RTSM_AUDIT
+  audit_check("mode-switch");
+#endif
   out.switch_us = elapsed_us(start);
 
   if (defrag.has_value()) merge_defrag(*defrag);
@@ -514,6 +530,9 @@ bool RuntimeManager::maybe_defrag_after_release() {
           .score();
   if (!planner_.triggers_after_release(score)) return false;
   const DefragPassResult pass = planner_.run_pass(state_, running_);
+#if RTSM_AUDIT
+  audit_check("defrag");
+#endif
   merge_defrag(pass);
   return pass.migrations > 0;
 }
@@ -524,6 +543,9 @@ void RuntimeManager::merge_defrag(const DefragPassResult& pass) {
 
 DefragPassResult RuntimeManager::defrag_now() {
   const DefragPassResult pass = planner_.run_pass(state_, running_);
+#if RTSM_AUDIT
+  audit_check("defrag");
+#endif
   merge_defrag(pass);
   return pass;
 }
@@ -585,5 +607,17 @@ std::string RuntimeManager::display_name(AppId id) const {
   require(it != running_.end(), "display_name unknown application id");
   return it->second.app->name() + "#" + std::to_string(it->second.instance);
 }
+
+#if RTSM_AUDIT
+void RuntimeManager::audit_check(const char* where) const {
+  std::vector<audit::LiveApp> running;
+  running.reserve(running_.size());
+  for (const auto& [id, run] : running_) {
+    running.push_back({run.app, &run.mapping});
+  }
+  audit::audit_state(state_, running,
+                     std::string("runtime_manager/") + where);
+}
+#endif
 
 }  // namespace rtsm::runtime

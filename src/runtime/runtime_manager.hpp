@@ -458,6 +458,12 @@ class RuntimeManager {
   bool maybe_defrag_after_release();
   void merge_defrag(const DefragPassResult& pass);
 
+#if RTSM_AUDIT
+  /// Recomputes the live accounting from first principles against running_
+  /// and reports a StateMismatch violation on drift (audit/check_state.hpp).
+  void audit_check(const char* where) const;
+#endif
+
   core::ResourceState state_;
   std::shared_ptr<const core::Mapper> mapper_;
   std::shared_ptr<const AdmissionPolicy> policy_;

@@ -91,7 +91,7 @@ ShapeLookup ShapeLibrary::try_instantiate(const kpn::Application& app,
   // shared_ptrs keep entries alive across a racing eviction.
   std::vector<std::shared_ptr<Entry>> candidates;
   {
-    std::lock_guard lock(mutex_);
+    const audit::LockGuard lock(mutex_);
     const auto it = buckets_.find(key.hash);
     if (it != buckets_.end() && it->second.key == key) {
       candidates = it->second.entries;
@@ -116,7 +116,7 @@ ShapeLookup ShapeLibrary::try_instantiate(const kpn::Application& app,
   }
 
   {
-    std::lock_guard lock(mutex_);
+    const audit::LockGuard lock(mutex_);
     ++stats_.lookups;
     stats_.anchor_probes += out.anchor_probes;
     stats_.full_fit_checks += full_checks;
@@ -155,7 +155,7 @@ LearnResult ShapeLibrary::learn(const kpn::Application& app,
   shape.latency_ps = result.latency_ps;
   SkeletonKey key = SkeletonKey::of(app);
 
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   auto it = buckets_.find(key.hash);
   if (it == buckets_.end()) {
     it = buckets_.emplace(key.hash, Bucket{}).first;
@@ -223,17 +223,17 @@ void ShapeLibrary::evict_lru_global() {
 }
 
 ShapeLibraryStats ShapeLibrary::stats() const {
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   return stats_;
 }
 
 std::size_t ShapeLibrary::size() const {
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   return total_entries_;
 }
 
 void ShapeLibrary::clear() {
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   buckets_.clear();
   total_entries_ = 0;
 }

@@ -2,11 +2,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "audit/mutex.hpp"
 #include "core/mapper.hpp"
 #include "core/resource_state.hpp"
 #include "shapes/shape.hpp"
@@ -135,19 +135,25 @@ class ShapeLibrary {
 
   /// Removes the least-recently-used entry of @p bucket (erasing the
   /// bucket when it empties); caller holds mutex_.
-  void evict_lru_of_bucket(std::uint64_t bucket_hash);
+  void evict_lru_of_bucket(std::uint64_t bucket_hash) RTSM_REQUIRES(mutex_);
   /// Removes the globally least-recently-used entry; caller holds mutex_.
-  void evict_lru_global();
+  void evict_lru_global() RTSM_REQUIRES(mutex_);
 
   const arch::Platform* platform_;
   MeshIndex index_;
   ShapeLibraryOptions options_;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Bucket> buckets_;  // by SkeletonKey hash
-  std::size_t total_entries_ = 0;
-  std::uint64_t tick_ = 0;  ///< Monotone recency counter.
-  ShapeLibraryStats stats_;
+  /// Serializes bucket/recency/stats bookkeeping only; anchor probing runs
+  /// outside it. Ranked above the manager shard lock: learn-on-admit runs
+  /// in validate_and_commit's tail while phase-1 still holds its stripe.
+  mutable audit::Mutex mutex_{audit::LockRank::kShapeLibrary,
+                              "shapes.library"};
+  std::unordered_map<std::uint64_t, Bucket> buckets_
+      RTSM_GUARDED_BY(mutex_);  // by SkeletonKey hash
+  std::size_t total_entries_ RTSM_GUARDED_BY(mutex_) = 0;
+  /// Monotone recency counter.
+  std::uint64_t tick_ RTSM_GUARDED_BY(mutex_) = 0;
+  ShapeLibraryStats stats_ RTSM_GUARDED_BY(mutex_);
 };
 
 }  // namespace rtsm::shapes

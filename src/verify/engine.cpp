@@ -109,7 +109,7 @@ std::shared_ptr<const VerificationOutcome> Engine::verify(
 
   if (options_.cache) {
     if (auto cached = cache_.find(signature)) {
-      std::lock_guard lock(mutex_);
+      const audit::LockGuard lock(mutex_);
       ++stats_.lookups;
       ++stats_.hits;
       stats_.simulations_saved += cached->simulations;
@@ -125,7 +125,7 @@ std::shared_ptr<const VerificationOutcome> Engine::verify(
   std::vector<std::uint32_t> hint;
   bool have_hint = false;
   if (options_.warm_start) {
-    std::lock_guard lock(mutex_);
+    const audit::LockGuard lock(mutex_);
     const auto it = warm_hints_.find(skeleton);
     if (it != warm_hints_.end()) {
       hint = it->second;
@@ -138,7 +138,7 @@ std::shared_ptr<const VerificationOutcome> Engine::verify(
                            have_hint ? &hint : nullptr));
 
   {
-    std::lock_guard lock(mutex_);
+    const audit::LockGuard lock(mutex_);
     ++stats_.lookups;
     ++stats_.misses;
     if (outcome->warm_started) ++stats_.warm_started;
@@ -162,7 +162,7 @@ std::shared_ptr<const VerificationOutcome> Engine::verify(
 }
 
 EngineStats Engine::stats() const {
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   EngineStats out = stats_;
   out.evictions = cache_.evictions();
   out.evicted_while_hot = cache_.evicted_while_hot();
@@ -171,7 +171,7 @@ EngineStats Engine::stats() const {
 
 void Engine::clear() {
   cache_.clear();
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   warm_hints_.clear();
   warm_hint_order_.clear();
 }

@@ -3,10 +3,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "audit/mutex.hpp"
 #include "verify/expansion_cache.hpp"
 #include "verify/signature.hpp"
 
@@ -94,13 +94,17 @@ class Engine {
   EngineOptions options_;
   ExpansionCache cache_;
 
-  mutable std::mutex mutex_;  // stats_ and warm_hints_
-  EngineStats stats_;
+  /// Guards stats_ and warm_hints_. stats() reads the expansion cache's
+  /// counters while holding it, so it ranks just below kExpansionCache.
+  mutable audit::Mutex mutex_{audit::LockRank::kVerifyEngine,
+                              "verify.engine"};
+  EngineStats stats_ RTSM_GUARDED_BY(mutex_);
   /// Last feasible buffer capacities per application skeleton, bounded
   /// like the cache (FIFO eviction at options_.max_entries) so a stream
   /// of distinct applications cannot grow the engine without limit.
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> warm_hints_;
-  std::deque<std::uint64_t> warm_hint_order_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> warm_hints_
+      RTSM_GUARDED_BY(mutex_);
+  std::deque<std::uint64_t> warm_hint_order_ RTSM_GUARDED_BY(mutex_);
 };
 
 /// Shared constructor tail of every mapper that runs step 4: returns

@@ -11,7 +11,7 @@ ExpansionCache::ExpansionCache(std::size_t max_entries)
 
 std::shared_ptr<const VerificationOutcome> ExpansionCache::find(
     const MappingSignature& signature) const {
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   const auto it = map_.find(signature);
   if (it == map_.end()) return nullptr;
   // Touch on hit: splice the entry to the front of the recency list (node
@@ -24,7 +24,7 @@ std::shared_ptr<const VerificationOutcome> ExpansionCache::find(
 void ExpansionCache::insert(
     const MappingSignature& signature,
     std::shared_ptr<const VerificationOutcome> outcome) {
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   const auto [it, inserted] = map_.try_emplace(signature);
   if (!inserted) return;  // a racing computation of the same key won
   lru_.push_front(signature);
@@ -40,23 +40,23 @@ void ExpansionCache::insert(
 }
 
 void ExpansionCache::clear() {
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   map_.clear();
   lru_.clear();
 }
 
 std::size_t ExpansionCache::size() const {
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   return map_.size();
 }
 
 std::uint64_t ExpansionCache::evictions() const {
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   return evictions_;
 }
 
 std::uint64_t ExpansionCache::evicted_while_hot() const {
-  std::lock_guard lock(mutex_);
+  const audit::LockGuard lock(mutex_);
   return evicted_while_hot_;
 }
 

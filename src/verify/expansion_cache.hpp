@@ -3,12 +3,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "audit/mutex.hpp"
 #include "core/feedback.hpp"
 #include "verify/signature.hpp"
 
@@ -95,13 +95,17 @@ class ExpansionCache {
   };
 
   const std::size_t max_entries_;
-  mutable std::mutex mutex_;
+  /// Taken under the engine lock by Engine::stats() — hence its rank just
+  /// above kVerifyEngine; never held across a simulation.
+  mutable audit::Mutex mutex_{audit::LockRank::kExpansionCache,
+                              "verify.expansion_cache"};
   /// mutable: a (logically const) lookup updates recency + hit counts.
-  mutable std::unordered_map<MappingSignature, Entry, SignatureHash> map_;
+  mutable std::unordered_map<MappingSignature, Entry, SignatureHash> map_
+      RTSM_GUARDED_BY(mutex_);
   /// Recency order, most recent first; find() splices hits to the front.
-  mutable std::list<MappingSignature> lru_;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t evicted_while_hot_ = 0;
+  mutable std::list<MappingSignature> lru_ RTSM_GUARDED_BY(mutex_);
+  std::uint64_t evictions_ RTSM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evicted_while_hot_ RTSM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace rtsm::verify

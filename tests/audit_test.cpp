@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "audit/check_state.hpp"
+#include "audit/mutex.hpp"
+#include "core/mapper.hpp"
+#include "core/resource_state.hpp"
+#include "core/spatial_mapper.hpp"
+#include "runtime/concurrent_manager.hpp"
+#include "test_helpers.hpp"
+
+namespace rtsm {
+namespace {
+
+/// Captures violations instead of aborting; restores the default handler
+/// (print + abort) on destruction.
+struct CaptureViolations {
+  CaptureViolations() {
+    audit::set_violation_handler([this](const audit::Violation& violation) {
+      const std::lock_guard lock(mutex);
+      seen.push_back(violation);
+    });
+  }
+  ~CaptureViolations() { audit::set_violation_handler(nullptr); }
+
+  std::size_t count(audit::Violation::Kind kind) {
+    const std::lock_guard lock(mutex);
+    std::size_t n = 0;
+    for (const audit::Violation& v : seen) {
+      if (v.kind == kind) ++n;
+    }
+    return n;
+  }
+  std::size_t total() {
+    const std::lock_guard lock(mutex);
+    return seen.size();
+  }
+
+  std::mutex mutex;
+  std::vector<audit::Violation> seen;
+};
+
+// ------------------------------------------------------------- lockdep
+
+#if RTSM_AUDIT
+
+TEST(Lockdep, OrderedAcquisitionIsClean) {
+  audit::lockdep::reset_for_testing();
+  CaptureViolations capture;
+  audit::Mutex outer(audit::LockRank::kFleetRoute, "test.outer");
+  audit::Mutex inner(audit::LockRank::kManagerState, "test.inner");
+  {
+    const audit::LockGuard a(outer);
+    const audit::LockGuard b(inner);
+    EXPECT_EQ(audit::lockdep::held_count(), 2u);
+  }
+  EXPECT_EQ(audit::lockdep::held_count(), 0u);
+  EXPECT_EQ(capture.total(), 0u);
+  EXPECT_TRUE(audit::lockdep::witness_acyclic());
+  EXPECT_GE(audit::lockdep::stats().acquisitions, 2u);
+  EXPECT_GE(audit::lockdep::stats().edges, 1u);
+}
+
+TEST(Lockdep, SeededInversionFiresRankAndCycle) {
+  audit::lockdep::reset_for_testing();
+  CaptureViolations capture;
+  audit::Mutex low(audit::LockRank::kFleetRoute, "test.low");
+  audit::Mutex high(audit::LockRank::kManagerState, "test.high");
+  {
+    // Establish the legal edge low -> high.
+    const audit::LockGuard a(low);
+    const audit::LockGuard b(high);
+  }
+  {
+    // Invert it: blocking on low while holding high must trip the rank
+    // gate, and the reversed witness edge must close a cycle.
+    const audit::LockGuard b(high);
+    const audit::LockGuard a(low);
+  }
+  EXPECT_GE(capture.count(audit::Violation::Kind::RankOrder), 1u);
+  EXPECT_GE(capture.count(audit::Violation::Kind::WitnessCycle), 1u);
+  EXPECT_FALSE(audit::lockdep::witness_acyclic());
+  audit::lockdep::reset_for_testing();
+}
+
+TEST(Lockdep, SameClassReentryIsAnInversion) {
+  audit::lockdep::reset_for_testing();
+  CaptureViolations capture;
+  audit::Mutex a(audit::LockRank::kQueue, "test.queue");
+  audit::Mutex b(audit::LockRank::kQueue, "test.queue");
+  {
+    const audit::LockGuard first(a);
+    const audit::LockGuard second(b);  // same rank while held: not above
+  }
+  EXPECT_GE(capture.count(audit::Violation::Kind::RankOrder), 1u);
+  audit::lockdep::reset_for_testing();
+}
+
+TEST(Lockdep, TryLockSkipsTheRankGate) {
+  audit::lockdep::reset_for_testing();
+  CaptureViolations capture;
+  audit::Mutex low(audit::LockRank::kFleetRoute, "test.try_low");
+  audit::Mutex high(audit::LockRank::kManagerState, "test.try_high");
+  {
+    const audit::LockGuard b(high);
+    // A non-blocking probe below every held rank is legal: it cannot wait,
+    // so it cannot deadlock.
+    ASSERT_TRUE(low.try_lock());
+    EXPECT_EQ(audit::lockdep::held_count(), 2u);
+    low.unlock();
+  }
+  EXPECT_EQ(capture.total(), 0u);
+  EXPECT_TRUE(audit::lockdep::witness_acyclic());
+  audit::lockdep::reset_for_testing();
+}
+
+TEST(Lockdep, TrylockedHoldStillOrdersLaterBlockingAcquisitions) {
+  audit::lockdep::reset_for_testing();
+  CaptureViolations capture;
+  audit::Mutex low(audit::LockRank::kFleetRoute, "test.src_low");
+  audit::Mutex high(audit::LockRank::kManagerState, "test.src_high");
+  ASSERT_TRUE(high.try_lock());
+  {
+    // Blocking below a trylocked hold is still a deadlock risk once any
+    // other thread blocks on the high lock: the gate must fire.
+    const audit::LockGuard a(low);
+  }
+  high.unlock();
+  EXPECT_GE(capture.count(audit::Violation::Kind::RankOrder), 1u);
+  audit::lockdep::reset_for_testing();
+}
+
+#else  // !RTSM_AUDIT
+
+TEST(Lockdep, ReleaseBuildCompilesHooksToNothing) {
+  // The zero-overhead contract, checked both statically (mutex.hpp's
+  // static_assert) and here: no bookkeeping happens on lock/unlock.
+  EXPECT_EQ(sizeof(audit::Mutex), sizeof(std::mutex));
+  audit::Mutex m(audit::LockRank::kQueue, "test.noop");
+  {
+    const audit::LockGuard lock(m);
+    EXPECT_EQ(audit::lockdep::held_count(), 0u);
+  }
+  const audit::lockdep::Stats stats = audit::lockdep::stats();
+  EXPECT_EQ(stats.acquisitions, 0u);
+  EXPECT_EQ(stats.edges, 0u);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_TRUE(audit::lockdep::witness_acyclic());
+}
+
+#endif  // RTSM_AUDIT
+
+// The handler registry is active in every build: report_violation must
+// reach an installed handler whether or not the hooks fire automatically.
+TEST(Lockdep, ViolationHandlerRegistryWorksInAllBuilds) {
+  CaptureViolations capture;
+  audit::report_violation(
+      {audit::Violation::Kind::StateMismatch, "synthetic"});
+  EXPECT_EQ(capture.total(), 1u);
+  EXPECT_EQ(capture.count(audit::Violation::Kind::StateMismatch), 1u);
+}
+
+// --------------------------------------------------------- check_state
+
+core::MappingResult map_pipeline(const kpn::Application& app,
+                                 const core::ResourceState& state) {
+  core::SpatialMapper mapper;
+  core::MappingResult result = mapper.map(app, state);
+  EXPECT_TRUE(result.success) << result.failure;
+  return result;
+}
+
+TEST(CheckState, CleanBooksPass) {
+  const arch::Platform platform = test::small_platform();
+  core::ResourceState state(platform);
+  const kpn::Application app = test::pipeline_app({});
+  const core::MappingResult result = map_pipeline(app, state);
+  core::commit_mapping(state, app, result.mapping);
+
+  const auto shared = std::make_shared<kpn::Application>(app);
+  const audit::CheckResult check =
+      audit::check_state(state, {{shared, &result.mapping}}, "test");
+  EXPECT_TRUE(check.ok) << (check.issues.empty() ? "" : check.issues.front());
+  EXPECT_TRUE(check.issues.empty());
+}
+
+TEST(CheckState, EmptyStateWithNoAppsPasses) {
+  const arch::Platform platform = test::small_platform();
+  const core::ResourceState state(platform);
+  EXPECT_TRUE(audit::check_state(state, {}, "test").ok);
+}
+
+TEST(CheckState, DetectsOverCountedBooks) {
+  const arch::Platform platform = test::small_platform();
+  core::ResourceState state(platform);
+  const kpn::Application app = test::pipeline_app({});
+  const core::MappingResult result = map_pipeline(app, state);
+  core::commit_mapping(state, app, result.mapping);
+
+  // Corrupt the incremental accounting: book memory and a process slot
+  // nothing running explains.
+  state.reserve_tile(TileId{0}, 0.0, 64, 0);
+
+  const auto shared = std::make_shared<kpn::Application>(app);
+  const audit::CheckResult check =
+      audit::check_state(state, {{shared, &result.mapping}}, "test");
+  EXPECT_FALSE(check.ok);
+  ASSERT_FALSE(check.issues.empty());
+  EXPECT_NE(check.issues.front().find("memory drift"), std::string::npos)
+      << check.issues.front();
+}
+
+TEST(CheckState, DetectsUnderCountedBooks) {
+  const arch::Platform platform = test::small_platform();
+  core::ResourceState state(platform);
+  const kpn::Application app = test::pipeline_app({});
+  const core::MappingResult result = map_pipeline(app, state);
+  core::commit_mapping(state, app, result.mapping);
+
+  // Leak the other way: drop booked memory the running app still uses.
+  TileId loaded{0};
+  for (const TileId tid : platform.tile_ids()) {
+    if (state.memory_used(tid) > 0) {
+      loaded = tid;
+      break;
+    }
+  }
+  ASSERT_GT(state.memory_used(loaded), 0u);
+  state.release_tile(loaded, 0.0, state.memory_used(loaded), 0);
+
+  const auto shared = std::make_shared<kpn::Application>(app);
+  const audit::CheckResult check =
+      audit::check_state(state, {{shared, &result.mapping}}, "test");
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(CheckState, DetectsAppMissingFromTheBooks) {
+  const arch::Platform platform = test::small_platform();
+  core::ResourceState state(platform);  // never committed into
+  const kpn::Application app = test::pipeline_app({});
+  const core::MappingResult result = map_pipeline(app, state);
+
+  const auto shared = std::make_shared<kpn::Application>(app);
+  const audit::CheckResult check =
+      audit::check_state(state, {{shared, &result.mapping}}, "test");
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(CheckState, AuditStateRoutesIssuesToTheHandler) {
+  CaptureViolations capture;
+  const arch::Platform platform = test::small_platform();
+  core::ResourceState state(platform);
+  state.reserve_tile(TileId{0}, 0.25, 128, 1);  // booked, nothing running
+  audit::audit_state(state, {}, "test");
+  EXPECT_EQ(capture.count(audit::Violation::Kind::StateMismatch), 1u);
+}
+
+// ------------------------------------------------- manager integration
+
+// Exercises every audited boundary of the concurrent manager under a real
+// worker pool: commits, releases, a defrag pass and a mode switch. In an
+// RTSM_AUDIT build the hooks run the conservation check at each boundary
+// and lockdep audits every acquisition; the assertion is simply that no
+// violation fires and the witness graph stays acyclic.
+TEST(AuditIntegration, ConcurrentManagerRunsViolationFree) {
+  CaptureViolations capture;
+  const arch::Platform platform = test::small_platform();
+  runtime::ManagerOptions manager;
+  runtime::ConcurrentOptions pool;
+  pool.workers = 2;
+  runtime::ConcurrentRuntimeManager rt(platform, manager, pool);
+
+  const kpn::Application app = test::pipeline_app({});
+  std::vector<AppId> admitted;
+  for (int i = 0; i < 3; ++i) {
+    const runtime::AdmitOutcome outcome = rt.admit(app);
+    if (outcome.status == runtime::AdmitStatus::Admitted) {
+      admitted.push_back(outcome.app_id);
+    }
+  }
+  EXPECT_FALSE(admitted.empty());
+  rt.defrag_now();
+  for (const AppId id : admitted) EXPECT_TRUE(rt.release(id));
+  rt.wait_idle();
+  rt.shutdown();
+
+  EXPECT_EQ(capture.total(), 0u)
+      << (capture.seen.empty() ? "" : capture.seen.front().message);
+#if RTSM_AUDIT
+  EXPECT_TRUE(audit::lockdep::witness_acyclic());
+  EXPECT_GT(audit::lockdep::stats().acquisitions, 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace rtsm
